@@ -1,0 +1,84 @@
+// Command sammy-lab runs individual packet-level lab scenarios (the §6
+// experiments) and prints traces and comparisons, for interactive
+// exploration beyond what sammy-eval's fixed figures report.
+//
+// Usage:
+//
+//	sammy-lab [-chunks 90] [-seed 1] <single|udp|tcp|http|video|burst|ablation>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lab"
+	"repro/internal/trace"
+)
+
+func main() {
+	chunks := flag.Int("chunks", 90, "session length in 4s chunks")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sammy-lab [flags] <single|udp|tcp|http|video|burst|ablation|approaches|pairings>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	switch flag.Arg(0) {
+	case "single":
+		control := lab.SingleFlow(lab.ControlController(), *chunks, *seed)
+		sammy := lab.SingleFlow(lab.SammyController(), *chunks, *seed)
+		fmt.Println("control:")
+		fmt.Print(trace.ASCII(control.Throughput, 110, 8))
+		fmt.Print(trace.ASCII(control.RTT, 110, 5))
+		fmt.Println("sammy:")
+		fmt.Print(trace.ASCII(sammy.Throughput, 110, 8))
+		fmt.Print(trace.ASCII(sammy.RTT, 110, 5))
+		fmt.Println("CSV (control throughput, sammy throughput):")
+		fmt.Print(trace.CSV(control.Throughput, sammy.Throughput))
+	case "udp":
+		r := lab.UDPNeighbor(*chunks, *seed)
+		fmt.Printf("UDP one-way delay: control %.2f ms, sammy %.2f ms (%+.1f%%)\n",
+			r.Control, r.Sammy, r.ImprovementPct())
+	case "tcp":
+		r := lab.TCPNeighbor(*chunks, *seed)
+		fmt.Printf("TCP neighbor throughput: control %.1f Mbps, sammy %.1f Mbps (%+.1f%%)\n",
+			r.Control, r.Sammy, r.ImprovementPct())
+	case "http":
+		r := lab.HTTPNeighbor(*chunks, *seed)
+		fmt.Printf("HTTP response time: control %.0f ms, sammy %.0f ms (%+.1f%%)\n",
+			r.Control, r.Sammy, r.ImprovementPct())
+	case "video":
+		r := lab.VideoNeighbor(15, 4, *seed)
+		fmt.Printf("neighbor video play delay: control %.0f ms, sammy %.0f ms (%+.1f%%)\n",
+			r.Control, r.Sammy, r.ImprovementPct())
+	case "burst":
+		for _, p := range lab.BurstSizeExperiment([]int{4, 8, 16, 24, 32, 40}, *chunks, *seed) {
+			fmt.Printf("burst %2d: retx %.4f (%+.1f%%) tput %v\n",
+				p.Burst, p.RetxFraction, p.RetxChangePct, p.Throughput)
+		}
+	case "ablation":
+		for _, r := range lab.AblationLimiters(40, *seed) {
+			fmt.Printf("%-13s retx %.4f tput %v rtt %.1fms\n",
+				r.Name, r.RetxFraction, r.Throughput, r.MeanRTTms)
+		}
+	case "approaches":
+		for _, r := range lab.CompareApproaches(*chunks, *seed) {
+			fmt.Printf("%-10s solo %v (rtt %.1fms) neighbor %v vmaf %.1f\n",
+				r.Name, r.SoloThroughput, r.SoloRTT, r.NeighborThroughput, r.VMAF)
+		}
+	case "pairings":
+		for _, r := range lab.BothSammy(60, *seed) {
+			fmt.Printf("%-16s rtt %.1fms drops %d peakQ %dB\n",
+				r.Pairing, r.MedianRTT, r.Drops, r.PeakQueue)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

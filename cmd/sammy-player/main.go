@@ -1,0 +1,73 @@
+// Command sammy-player streams a synthetic title from a sammy-server over
+// real HTTP, running the full Sammy decision loop: per chunk it selects a
+// bitrate with the production-style ABR and a pace rate with Sammy's
+// buffer-interpolated multiplier, sending the pace rate to the server in
+// the request headers.
+//
+// Usage:
+//
+//	sammy-player [-url http://localhost:8404] [-chunks 20] [-mode sammy|control|naive] [-realtime]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/cdn"
+	"repro/internal/core"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8404", "sammy-server base URL")
+	chunks := flag.Int("chunks", 20, "number of chunks to stream")
+	chunkDur := flag.Duration("chunk-duration", 4*time.Second, "chunk duration")
+	mode := flag.String("mode", "sammy", "controller: sammy, control or naive")
+	realtime := flag.Bool("realtime", false, "wait out off periods on the wall clock")
+	flag.Parse()
+
+	var ctrl *core.Controller
+	switch *mode {
+	case "sammy":
+		ctrl = core.NewSammy(abr.Production{}, core.DefaultC0, core.DefaultC1)
+	case "control":
+		ctrl = core.NewControl(abr.Production{})
+	case "naive":
+		ctrl = core.NewNaiveBaseline(abr.Production{}, 4)
+	default:
+		fmt.Fprintf(os.Stderr, "sammy-player: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	title := cdn.NewDemoTitle(*chunks, *chunkDur)
+	fmt.Printf("streaming %d x %v chunks (%s), ladder top %v\n",
+		*chunks, *chunkDur, *mode, title.Ladder.Top().Bitrate)
+
+	report, err := cdn.StreamSession(context.Background(), cdn.SessionConfig{
+		Controller: ctrl,
+		Title:      title,
+		Client:     &cdn.Client{BaseURL: *url},
+		Realtime:   *realtime,
+		OnChunk: func(i int, rung video.Rung, pace units.BitsPerSecond, res cdn.FetchResult) {
+			paceStr := "unpaced"
+			if pace > 0 {
+				paceStr = pace.String()
+			}
+			fmt.Printf("chunk %3d  rung %v  pace %-10s  got %v in %v (%v)\n",
+				i, rung.Bitrate, paceStr, res.Size,
+				res.Duration.Round(time.Millisecond), res.Throughput)
+		},
+	})
+	if err != nil {
+		log.Fatalf("sammy-player: %v", err)
+	}
+	fmt.Printf("\nsession report: playDelay=%v rebuffers=%d vmaf=%.1f avgBitrate=%v chunkThroughput=%v paced=%d/%d\n",
+		report.PlayDelay.Round(time.Millisecond), report.Rebuffers, report.VMAF,
+		report.AvgBitrate, report.ChunkThroughput, report.PacedChunks, report.Chunks)
+}

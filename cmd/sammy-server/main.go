@@ -1,0 +1,42 @@
+// Command sammy-server runs the real-HTTP chunk server with
+// application-informed pacing: clients request a pace rate via the
+// X-Sammy-Pace-Rate-Bps header (or a CMCD rtp key) and the server limits
+// its sending rate accordingly, like a Fastly/Akamai edge honouring the
+// paper's header-driven pacing.
+//
+// Usage:
+//
+//	sammy-server [-addr :8404] [-burst 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/units"
+)
+
+func main() {
+	addr := flag.String("addr", ":8404", "listen address")
+	burst := flag.Int("burst", 4, "pacing burst in 1500-byte packets")
+	kernel := flag.Bool("kernel", false, "enforce pacing with SO_MAX_PACING_RATE (Linux; falls back to user space)")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           &cdn.Server{Burst: units.Bytes(*burst) * 1500, KernelPacing: *kernel},
+		ConnContext:       cdn.ConnContext,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	mode := "user-space token bucket"
+	if *kernel {
+		mode = "kernel SO_MAX_PACING_RATE"
+	}
+	fmt.Printf("sammy-server listening on %s (pacing burst %d packets, %s)\n", *addr, *burst, mode)
+	fmt.Println("try: curl -H 'X-Sammy-Pace-Rate-Bps: 8000000' 'http://localhost:8404/chunk?size=4000000' -o /dev/null")
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Sammy: smoothing
+// video traffic to be a friendly internet neighbor" (Spang et al., ACM
+// SIGCOMM 2023).
+//
+// The library lives under internal/ (see README.md for the package map);
+// the root package holds the top-level benchmarks in bench_test.go, one per
+// table and figure in the paper's evaluation. Executables are under cmd/,
+// runnable examples under examples/.
+package repro

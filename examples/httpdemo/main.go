@@ -1,0 +1,64 @@
+// HTTP demo: the deployability prototype end-to-end on loopback — a real
+// net/http chunk server that honours the pacing header, and a player that
+// streams a short title through it with Sammy's joint bitrate/pace-rate
+// decisions. This mirrors the paper's open-source prototype (dash.js +
+// Fastly) using off-the-shelf pieces.
+//
+// Run with: go run ./examples/httpdemo
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/cdn"
+	"repro/internal/core"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+func main() {
+	// Start the paced chunk server on an ephemeral loopback port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("httpdemo: listen: %v", err)
+	}
+	srv := &http.Server{Handler: &cdn.Server{}, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Printf("httpdemo: server: %v", err)
+		}
+	}()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("chunk server on %s\n\n", base)
+
+	title := cdn.NewDemoTitle(10, time.Second)
+	ctrl := core.NewSammy(abr.Production{}, core.DefaultC0, core.DefaultC1)
+	report, err := cdn.StreamSession(context.Background(), cdn.SessionConfig{
+		Controller: ctrl,
+		Title:      title,
+		Client:     &cdn.Client{BaseURL: base},
+		OnChunk: func(i int, rung video.Rung, pace units.BitsPerSecond, res cdn.FetchResult) {
+			paced := "unpaced (initial phase)"
+			if res.Paced {
+				paced = fmt.Sprintf("paced at %v via header", pace)
+			}
+			fmt.Printf("chunk %2d: %v @ %v, downloaded in %6s — %s\n",
+				i, res.Size, rung.Bitrate,
+				res.Duration.Round(time.Millisecond), paced)
+		},
+	})
+	if err != nil {
+		log.Fatalf("httpdemo: %v", err)
+	}
+	fmt.Printf("\nplayDelay=%v rebuffers=%d vmaf=%.1f chunkThroughput=%v (%d/%d chunks paced)\n",
+		report.PlayDelay.Round(time.Millisecond), report.Rebuffers, report.VMAF,
+		report.ChunkThroughput, report.PacedChunks, report.Chunks)
+	fmt.Println("\nThe same header works against a CDN that supports CMCD rtp or socket pacing.")
+}

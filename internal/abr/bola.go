@@ -1,0 +1,91 @@
+package abr
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/video"
+)
+
+// BOLA is the Lyapunov buffer-based algorithm of Spiteri et al. ([65] in
+// the paper), in its BOLA-BASIC form as deployed in the dash.js reference
+// player: each rung m has utility v_m = ln(S_m / S_min), and the algorithm
+// picks the rung maximizing
+//
+//	(V·(v_m + γp) − Q) / S_m
+//
+// where Q is the buffer level. The parameters V and γp are derived from
+// the player's buffer target the way dash.js derives them, so the lowest
+// rung wins below a small reservoir and the highest wins near the target.
+//
+// BOLA is relevant to the reproduction because it is a pure buffer-based
+// algorithm: §2.1 observes that such algorithms encode past bandwidth in
+// the buffer, and §2.3.1 explains how naive throughput reduction shrinks
+// their buffers and quality — which is why Sammy's pace floor matters.
+type BOLA struct {
+	// BufferTarget is the buffer level at which the top rung is chosen;
+	// default 30 s.
+	BufferTarget time.Duration
+	// MinimumBuffer is the reservoir below which the lowest rung is
+	// chosen; default 10 s (dash.js's MINIMUM_BUFFER_S).
+	MinimumBuffer time.Duration
+}
+
+// Name implements Algorithm.
+func (b BOLA) Name() string { return "bola" }
+
+func (b BOLA) params(ladder video.Ladder) (vp, gp float64) {
+	target := b.BufferTarget
+	if target <= 0 {
+		target = 30 * time.Second
+	}
+	minBuf := b.MinimumBuffer
+	if minBuf <= 0 {
+		minBuf = 10 * time.Second
+	}
+	if target <= minBuf {
+		target = 2 * minBuf
+	}
+	topUtility := utility(ladder, len(ladder)-1)
+	// dash.js's derivation: gp positions the zero-crossings so the ladder
+	// spreads between the reservoir and the target; vp scales scores to
+	// buffer seconds.
+	gp = (topUtility - 1) / (float64(target)/float64(minBuf) - 1)
+	if gp <= 0 {
+		gp = 1
+	}
+	vp = minBuf.Seconds() / gp
+	return vp, gp
+}
+
+// utility is v_m = ln(bitrate_m / bitrate_min).
+func utility(l video.Ladder, m int) float64 {
+	return math.Log(float64(l[m].Bitrate) / float64(l[0].Bitrate))
+}
+
+// SelectRung implements Algorithm.
+func (b BOLA) SelectRung(ctx Context) int {
+	ladder := ctx.Title.Ladder
+	if len(ladder) == 1 {
+		return 0
+	}
+	if !ctx.Playing || ctx.Buffer == 0 {
+		// Startup fallback, as deployed buffer-based algorithms do [64].
+		x := ctx.effectiveThroughput()
+		if x <= 0 {
+			return 0
+		}
+		return maxRungAtOrBelow(ladder, x/2)
+	}
+	vp, gp := b.params(ladder)
+	q := ctx.Buffer.Seconds()
+	best, bestScore := 0, math.Inf(-1)
+	for m := range ladder {
+		size := float64(ctx.Title.ChunkAt(ctx.ChunkIndex, m).Size)
+		score := (vp*(utility(ladder, m)+gp) - q) / size
+		if score > bestScore {
+			best, bestScore = m, score
+		}
+	}
+	return best
+}

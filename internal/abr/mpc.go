@@ -1,0 +1,121 @@
+package abr
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/units"
+)
+
+// MPC is a model-predictive-control ABR in the style of Yin et al. ([73] in
+// the paper): for each candidate rung it simulates the buffer over a
+// lookahead horizon using the throughput estimate and real upcoming chunk
+// sizes, and maximizes an explicit QoE objective
+//
+//	Σ quality(r) − RebufferPenalty·rebufferTime − SwitchPenalty·|Δquality|
+//
+// §4.2 notes that Sammy's threshold analysis "also applies to MPC
+// algorithms with appropriately chosen utility functions"; this
+// implementation makes that concrete — its decisions stay fixed as long as
+// the (discounted) throughput estimate clears the top rung's threshold.
+type MPC struct {
+	// Horizon is the lookahead in chunks; default 5.
+	Horizon int
+	// RebufferPenalty is QoE points lost per second of rebuffering;
+	// default 25 (high: rebuffers dominate, as in the robust-MPC tuning).
+	RebufferPenalty float64
+	// SwitchPenalty is QoE points lost per point of quality change between
+	// consecutive chunks; default 0.5.
+	SwitchPenalty float64
+	// Discount scales the throughput estimate for robustness (the robust-
+	// MPC idea); default 0.8.
+	Discount float64
+}
+
+// Name implements Algorithm.
+func (m MPC) Name() string { return "mpc" }
+
+func (m MPC) params() (horizon int, rebufPen, switchPen, discount float64) {
+	horizon = m.Horizon
+	if horizon <= 0 {
+		horizon = 5
+	}
+	rebufPen = m.RebufferPenalty
+	if rebufPen <= 0 {
+		rebufPen = 25
+	}
+	switchPen = m.SwitchPenalty
+	if switchPen <= 0 {
+		switchPen = 0.5
+	}
+	discount = m.Discount
+	if discount <= 0 || discount > 1 {
+		discount = 0.8
+	}
+	return horizon, rebufPen, switchPen, discount
+}
+
+// SelectRung implements Algorithm.
+func (m MPC) SelectRung(ctx Context) int {
+	horizon, rebufPen, switchPen, discount := m.params()
+	x := ctx.effectiveThroughput()
+	if x <= 0 {
+		return 0
+	}
+	xHat := units.BitsPerSecond(float64(x) * discount)
+
+	prevQuality := math.NaN()
+	if ctx.PrevRung >= 0 && ctx.PrevRung < len(ctx.Title.Ladder) {
+		prevQuality = ctx.Title.Ladder[ctx.PrevRung].VMAF
+	}
+
+	best, bestScore := 0, math.Inf(-1)
+	for rung := range ctx.Title.Ladder {
+		score := m.planScore(ctx, rung, horizon, xHat, rebufPen, switchPen, prevQuality)
+		if score > bestScore {
+			best, bestScore = rung, score
+		}
+	}
+	return best
+}
+
+// planScore evaluates holding the given rung over the horizon (the
+// constant-rung relaxation of the full combinatorial plan, which is the
+// standard practical simplification).
+func (m MPC) planScore(ctx Context, rung, horizon int, x units.BitsPerSecond,
+	rebufPen, switchPen, prevQuality float64) float64 {
+	buf := ctx.Buffer
+	var score float64
+	quality := ctx.Title.Ladder[rung].VMAF
+	if !math.IsNaN(prevQuality) {
+		score -= switchPen * math.Abs(quality-prevQuality)
+	}
+	for i := ctx.ChunkIndex; i < ctx.ChunkIndex+horizon && i < ctx.Title.NumChunks; i++ {
+		chunk := ctx.Title.ChunkAt(i, rung)
+		dl := x.TimeToSend(chunk.Size)
+		buf -= dl
+		if buf < 0 {
+			score -= rebufPen * (-buf).Seconds()
+			buf = 0
+		}
+		buf += chunk.Duration
+		if ctx.MaxBuffer > 0 && buf > ctx.MaxBuffer {
+			buf = ctx.MaxBuffer
+		}
+		score += quality
+	}
+	return score
+}
+
+// MinThroughputFor reports the MPC decision threshold for sustaining
+// bitrate r from buffer b0 over lookahead d, the §4.2 quantity Sammy's pace
+// floor must clear. For a rebuffer-dominated objective this coincides with
+// the HYB bound at β = Discount: the estimate must keep the predicted
+// buffer non-negative.
+func (m MPC) MinThroughputFor(r units.BitsPerSecond, b0, d time.Duration) units.BitsPerSecond {
+	_, _, _, discount := m.params()
+	if d <= 0 {
+		return 0
+	}
+	return units.BitsPerSecond(float64(r) / discount / (1 + float64(b0)/float64(d)))
+}

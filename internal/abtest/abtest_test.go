@@ -1,0 +1,230 @@
+package abtest
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// smallConfig is a reduced-size experiment big enough to show the Table 2
+// shape but fast enough for CI.
+func smallConfig(seed int64) Config {
+	return Config{
+		Population:       PopulationConfig{Users: 250, Seed: seed},
+		SessionsPerUser:  3,
+		ChunksPerSession: 80,
+	}
+}
+
+func TestGeneratePopulation(t *testing.T) {
+	users := GeneratePopulation(PopulationConfig{Users: 500, Seed: 1})
+	if len(users) != 500 {
+		t.Fatalf("users = %d", len(users))
+	}
+	var below6, above90 int
+	for _, u := range users {
+		if u.Path.Capacity < 500*units.Kbps {
+			t.Fatalf("capacity floor violated: %v", u.Path.Capacity)
+		}
+		if u.Path.Capacity < 6*units.Mbps {
+			below6++
+		}
+		if u.Path.Capacity > 90*units.Mbps {
+			above90++
+		}
+	}
+	// The mix must populate both tails of the Fig 3 buckets.
+	if below6 < 8 || above90 < 10 {
+		t.Errorf("capacity mix tails too thin: <6Mbps=%d >90Mbps=%d", below6, above90)
+	}
+}
+
+func TestGeneratePopulationDeterministic(t *testing.T) {
+	a := GeneratePopulation(PopulationConfig{Users: 10, Seed: 7})
+	b := GeneratePopulation(PopulationConfig{Users: 10, Seed: 7})
+	for i := range a {
+		if a[i].Path.Capacity != b[i].Path.Capacity || a[i].Seed != b[i].Seed {
+			t.Fatalf("population not deterministic at user %d", i)
+		}
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	tests := []struct {
+		x    units.BitsPerSecond
+		want int
+	}{
+		{1 * units.Mbps, 0},
+		{6 * units.Mbps, 1},
+		{14 * units.Mbps, 1},
+		{20 * units.Mbps, 2},
+		{50 * units.Mbps, 3},
+		{200 * units.Mbps, 4},
+	}
+	for _, tt := range tests {
+		if got := BucketIndex(tt.x); got != tt.want {
+			t.Errorf("BucketIndex(%v) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestMainExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population experiment")
+	}
+	results := Run(smallConfig(11), []Arm{ControlArm(), SammyArm(core.DefaultC0, core.DefaultC1)})
+	control, sammy := results[0], results[1]
+
+	if len(control.Sessions) == 0 || len(sammy.Sessions) != len(control.Sessions) {
+		t.Fatalf("session counts: control=%d sammy=%d", len(control.Sessions), len(sammy.Sessions))
+	}
+
+	// Calibration: the control's median throughput-to-bitrate ratio should
+	// be in the neighbourhood of the paper's 13×.
+	ratio := MedianThroughputToBitrateRatio(control)
+	if ratio < 5 || ratio > 25 {
+		t.Errorf("control throughput/bitrate ratio = %.1f, want ≈ 13", ratio)
+	}
+
+	rows := Compare(sammy, control, 99)
+	byName := map[string]TableRow{}
+	for _, r := range rows {
+		byName[r.Metric] = r
+	}
+
+	// Table 2 shape: a large significant throughput reduction...
+	tput := byName["ChunkThroughputMbps"]
+	if !tput.Significant() || tput.CI.Point > -30 {
+		t.Errorf("throughput change = %v, want large reduction", tput.CI)
+	}
+	// ...retransmits and RTT improve...
+	if r := byName["RetransmitPct"]; r.CI.Point > 0 && r.Significant() {
+		t.Errorf("retransmits worsened: %v", r.CI)
+	}
+	if r := byName["RTTms"]; r.CI.Point > 0 && r.Significant() {
+		t.Errorf("RTT worsened: %v", r.CI)
+	}
+	// ...quality and play delay do not regress materially...
+	if r := byName["VMAF"]; r.Significant() && r.CI.Point < -0.5 {
+		t.Errorf("VMAF regressed: %v", r.CI)
+	}
+	if r := byName["InitialVMAF"]; r.Significant() && r.CI.Point < -0.5 {
+		t.Errorf("initial VMAF regressed: %v", r.CI)
+	}
+	if r := byName["PlayDelayMs"]; r.Significant() && r.CI.Point > 2 {
+		t.Errorf("play delay regressed: %v", r.CI)
+	}
+	// ...and rebuffers do not blow up.
+	if r := byName["RebuffersPerHour"]; r.Significant() && r.CI.Point > 25 {
+		t.Errorf("rebuffers regressed: %v", r.CI)
+	}
+}
+
+func TestFig3BucketsMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population experiment")
+	}
+	results := Run(smallConfig(13), []Arm{ControlArm(), SammyArm(core.DefaultC0, core.DefaultC1)})
+	rows := CompareByPreExperiment(results[1], results[0], 5)
+	if len(rows) != len(PreExpBuckets) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Fig 3 shape: little/no reduction in the slowest bucket, large
+	// reduction in the fastest, roughly monotone in between.
+	slowest, fastest := rows[0], rows[len(rows)-1]
+	if fastest.Sessions == 0 || slowest.Sessions == 0 {
+		t.Fatalf("empty buckets: %+v", rows)
+	}
+	if fastest.CI.Point > -50 {
+		t.Errorf(">90Mbps bucket change = %v, want ≈ -74%%", fastest.CI)
+	}
+	if slowest.CI.Point < -35 {
+		t.Errorf("<6Mbps bucket change = %v, want small", slowest.CI)
+	}
+	if !(fastest.CI.Point < slowest.CI.Point) {
+		t.Errorf("reduction should grow with pre-experiment throughput: %v vs %v", fastest.CI, slowest.CI)
+	}
+}
+
+func TestNaiveBaselineUnderperformsSammy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population experiment")
+	}
+	results := Run(smallConfig(17), []Arm{
+		ControlArm(),
+		SammyArm(core.DefaultC0, core.DefaultC1),
+		{Name: "naive-4x", NewController: func() *core.Controller {
+			return core.NewNaiveBaseline(productionABR(0), 4)
+		}},
+	})
+	control := results[0]
+	sammyRows := rowsByName(Compare(results[1], control, 3))
+	naiveRows := rowsByName(Compare(results[2], control, 3))
+
+	// §5.5: the naive baseline increases play delay (it paces the initial
+	// phase); Sammy does not.
+	if naiveRows["PlayDelayMs"].CI.Point <= sammyRows["PlayDelayMs"].CI.Point {
+		t.Errorf("naive play delay %v should be worse than Sammy %v",
+			naiveRows["PlayDelayMs"].CI, sammyRows["PlayDelayMs"].CI)
+	}
+	if !naiveRows["PlayDelayMs"].Significant() || naiveRows["PlayDelayMs"].CI.Point < 0 {
+		t.Errorf("naive baseline should significantly increase play delay: %v", naiveRows["PlayDelayMs"].CI)
+	}
+	// Sammy achieves at least as much throughput reduction.
+	if sammyRows["ChunkThroughputMbps"].CI.Point > naiveRows["ChunkThroughputMbps"].CI.Point+8 {
+		t.Errorf("Sammy reduction %v should be comparable or better than naive %v",
+			sammyRows["ChunkThroughputMbps"].CI, naiveRows["ChunkThroughputMbps"].CI)
+	}
+}
+
+func TestInitialOnlyArmImprovesStartupOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population experiment")
+	}
+	results := Run(smallConfig(19), []Arm{
+		ControlArm(),
+		{Name: "initial-only", NewController: func() *core.Controller {
+			return core.NewInitialOnly(productionABR(retunedStartupSafety))
+		}},
+	})
+	rows := rowsByName(Compare(results[1], results[0], 3))
+	// Table 3 shape: throughput unchanged (no pacing)...
+	if r := rows["ChunkThroughputMbps"]; r.Significant() && math.Abs(r.CI.Point) > 10 {
+		t.Errorf("initial-only arm moved throughput: %v", r.CI)
+	}
+	// ...initial quality and/or play delay improve, neither regresses.
+	improved := rows["InitialVMAF"].CI.Point > 0 || rows["PlayDelayMs"].CI.Point < 0
+	if !improved {
+		t.Errorf("initial-only arm shows no startup improvement: initVMAF=%v playDelay=%v",
+			rows["InitialVMAF"].CI, rows["PlayDelayMs"].CI)
+	}
+	if r := rows["InitialVMAF"]; r.Significant() && r.CI.Point < -0.3 {
+		t.Errorf("initial VMAF regressed: %v", r.CI)
+	}
+}
+
+func rowsByName(rows []TableRow) map[string]TableRow {
+	m := make(map[string]TableRow, len(rows))
+	for _, r := range rows {
+		m[r.Metric] = r
+	}
+	return m
+}
+
+func TestFormatTable(t *testing.T) {
+	rows := []TableRow{
+		{Metric: "ChunkThroughputMbps", CI: stats.CI{Point: -61, Lo: -62, Hi: -60}},
+		{Metric: "VMAF", CI: stats.CI{Point: 0.04, Lo: -0.1, Hi: 0.2}},
+	}
+	out := FormatTable("Table 2", rows)
+	if want := "-61.00%"; !strings.Contains(out, want) {
+		t.Errorf("missing %q in:\n%s", want, out)
+	}
+	if !strings.Contains(out, "–") {
+		t.Errorf("insignificant row should print –:\n%s", out)
+	}
+}

@@ -1,0 +1,257 @@
+package abtest
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/player"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// Arm is one experiment cell: a named controller recipe. NewController is
+// called once per user so history-source behaviour is applied per user.
+type Arm struct {
+	Name          string
+	NewController func() *core.Controller
+}
+
+// StandardArms returns the paper's main experiment cells: the production
+// control, Sammy with the production parameters, the §5.5 naive baseline
+// and the §5.4 initial-phase-only arm.
+func StandardArms() []Arm {
+	return []Arm{
+		ControlArm(),
+		SammyArm(core.DefaultC0, core.DefaultC1),
+		{
+			Name:          "naive-4x",
+			NewController: func() *core.Controller { return core.NewNaiveBaseline(productionABR(0), 4) },
+		},
+		{
+			Name:          "initial-only",
+			NewController: func() *core.Controller { return core.NewInitialOnly(productionABR(retunedStartupSafety)) },
+		},
+	}
+}
+
+// retunedStartupSafety is the §4.3 retuning: arms whose initial estimates
+// come only from initial-phase throughput can trust them more.
+const retunedStartupSafety = 1.5
+
+// controlStartupSafety is the control's conservative discount, needed
+// because combined-history estimates are biased high by playing-phase
+// throughput.
+const controlStartupSafety = 0.6
+
+// productionABR builds the production ABR with the given startup safety
+// (0 = control default).
+func productionABR(safety float64) abr.Production {
+	if safety <= 0 {
+		safety = controlStartupSafety
+	}
+	return abr.Production{StartupSafety: safety}
+}
+
+// ControlArm returns the unpaced production arm.
+func ControlArm() Arm {
+	return Arm{
+		Name:          "control",
+		NewController: func() *core.Controller { return core.NewControl(productionABR(0)) },
+	}
+}
+
+// SammyArm returns a Sammy arm with the given pace multipliers.
+func SammyArm(c0, c1 float64) Arm {
+	return Arm{
+		Name:          "sammy",
+		NewController: func() *core.Controller { return core.NewSammy(productionABR(retunedStartupSafety), c0, c1) },
+	}
+}
+
+// Config parameterizes an experiment run.
+type Config struct {
+	Population PopulationConfig
+	// SessionsPerUser is how many sequential sessions each user streams
+	// (history carries across them). Default 3.
+	SessionsPerUser int
+	// WarmupSessions are excluded from metrics so histories reach steady
+	// state (the §5.7 apples-to-apples concern). Default 1.
+	WarmupSessions int
+	// ChunksPerSession is the session length in chunks. Default 150
+	// (a 10-minute session of 4 s chunks).
+	ChunksPerSession int
+	// Ladder for all titles; default video.DefaultLadder().
+	Ladder video.Ladder
+	// ChunkDuration; default 4 s.
+	ChunkDuration time.Duration
+	// Parallelism bounds worker goroutines; default GOMAXPROCS.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SessionsPerUser <= 0 {
+		c.SessionsPerUser = 3
+	}
+	if c.WarmupSessions < 0 || c.WarmupSessions >= c.SessionsPerUser {
+		c.WarmupSessions = 0
+	} else if c.WarmupSessions == 0 && c.SessionsPerUser > 1 {
+		c.WarmupSessions = 1
+	}
+	if c.ChunksPerSession <= 0 {
+		c.ChunksPerSession = 150
+	}
+	if c.Ladder == nil {
+		c.Ladder = video.DefaultLadder()
+	}
+	if c.ChunkDuration <= 0 {
+		c.ChunkDuration = 4 * time.Second
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// SessionRecord pairs a session's QoE with its user's grouping variables.
+type SessionRecord struct {
+	UserID int
+	PreExp units.BitsPerSecond
+	QoE    player.QoE
+}
+
+// ArmResult aggregates one arm's measured sessions.
+type ArmResult struct {
+	Name     string
+	Sessions []SessionRecord
+}
+
+// Metric extracts a scalar from a session for table building.
+type Metric struct {
+	Name string
+	// Lower reports whether smaller values are better (affects nothing in
+	// the math, only presentation notes).
+	Get func(player.QoE) float64
+}
+
+// Metrics are the Table 2 rows in order.
+var Metrics = []Metric{
+	{"ChunkThroughputMbps", func(q player.QoE) float64 { return q.ChunkThroughput.Mbps() }},
+	{"RetransmitPct", func(q player.QoE) float64 { return q.RetxFraction * 100 }},
+	{"RTTms", func(q player.QoE) float64 { return q.MedianRTT.Seconds() * 1000 }},
+	{"InitialVMAF", func(q player.QoE) float64 { return q.InitialVMAF }},
+	{"VMAF", func(q player.QoE) float64 { return q.VMAF }},
+	{"PlayDelayMs", func(q player.QoE) float64 { return q.PlayDelay.Seconds() * 1000 }},
+	{"RebufferSessPct", func(q player.QoE) float64 {
+		if q.Rebuffered {
+			return 100
+		}
+		return 0
+	}},
+	{"RebuffersPerHour", func(q player.QoE) float64 {
+		h := q.PlayedTime.Hours()
+		if h <= 0 {
+			return 0
+		}
+		return float64(q.RebufferCount) / h
+	}},
+}
+
+// Values extracts metric m from every session in r.
+func (r ArmResult) Values(m Metric) []float64 {
+	out := make([]float64, 0, len(r.Sessions))
+	for _, s := range r.Sessions {
+		out = append(out, m.Get(s.QoE))
+	}
+	return out
+}
+
+// Run executes the experiment: it generates one population, measures each
+// user's pre-experiment throughput with control sessions, then runs every
+// arm against identical per-user copies (same path, same seeds, fresh
+// histories), which is the §5.7 "reset historical throughput in both
+// groups" design. Sessions after the warmup are recorded.
+func Run(cfg Config, arms []Arm) []ArmResult {
+	cfg = cfg.withDefaults()
+	users := GeneratePopulation(cfg.Population)
+	measurePreExperiment(cfg, users)
+
+	results := make([]ArmResult, len(arms))
+	for i, arm := range arms {
+		results[i] = runArm(cfg, arm, users)
+	}
+	return results
+}
+
+// measurePreExperiment fills each user's PreExpThroughput with the p95 of
+// per-chunk throughput from a short unpaced control session.
+func measurePreExperiment(cfg Config, users []*User) {
+	forEachUser(cfg.Parallelism, users, func(u *User) {
+		rng := rand.New(rand.NewSource(u.Seed ^ 0x5eed))
+		title := video.NewTitle(cfg.Ladder.CapAt(u.TopBitrate), cfg.ChunkDuration, 40, rng)
+		ctrl := core.NewControl(productionABR(0))
+		var tputs []float64
+		player.Run(player.Config{
+			Controller: ctrl,
+			Title:      title,
+			History:    &core.History{},
+		}, u.Path, rng, func(ev player.ChunkEvent) {
+			tputs = append(tputs, ev.Throughput.Mbps())
+		})
+		u.PreExpThroughput = units.BitsPerSecond(p95(tputs)) * units.Mbps
+	})
+}
+
+// runArm runs every user's session sequence under one arm.
+func runArm(cfg Config, arm Arm, users []*User) ArmResult {
+	type userSessions struct {
+		records []SessionRecord
+	}
+	perUser := make([]userSessions, len(users))
+
+	forEachUser(cfg.Parallelism, users, func(u *User) {
+		// Paired design: every arm sees the same user RNG stream and a
+		// fresh history.
+		rng := rand.New(rand.NewSource(u.Seed))
+		hist := &core.History{}
+		ctrl := arm.NewController()
+		var recs []SessionRecord
+		for s := 0; s < cfg.SessionsPerUser; s++ {
+			title := video.NewTitle(cfg.Ladder.CapAt(u.TopBitrate), cfg.ChunkDuration, cfg.ChunksPerSession, rng)
+			q := player.Run(player.Config{
+				Controller: ctrl,
+				Title:      title,
+				History:    hist,
+			}, u.Path, rng, nil)
+			if s >= cfg.WarmupSessions {
+				recs = append(recs, SessionRecord{UserID: u.ID, PreExp: u.PreExpThroughput, QoE: q})
+			}
+		}
+		perUser[u.ID] = userSessions{records: recs}
+	})
+
+	res := ArmResult{Name: arm.Name}
+	for _, us := range perUser {
+		res.Sessions = append(res.Sessions, us.records...)
+	}
+	return res
+}
+
+// forEachUser applies fn to every user with bounded parallelism.
+func forEachUser(parallelism int, users []*User, fn func(*User)) {
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for _, u := range users {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(u *User) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(u)
+		}(u)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,133 @@
+package abtest
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the §5.3 parameter-tuning loop. The paper used Ax
+// (a Bayesian optimization service) across multiple rounds of A/B testing
+// to find a Pareto improvement to all metrics of interest; for a
+// two-parameter space a coarse-to-fine grid refinement finds the same
+// frontier, and it keeps the reproduction dependency-free.
+
+// SearchConfig parameterizes the tuning loop.
+type SearchConfig struct {
+	Experiment Config
+	// Rounds of refinement; default 2 (a coarse sweep plus one zoom-in).
+	Rounds int
+	// CellsPerRound is the number of (c0, c1) cells tried each round;
+	// default 6. The paper ran twenty treatment cells per test.
+	CellsPerRound int
+	// Guardrails: a cell qualifies only if no QoE metric significantly
+	// regresses beyond these bounds (percent). Defaults: VMAF −0.15,
+	// play delay +3, rebuffers/hour +25.
+	MaxVMAFLoss      float64
+	MaxPlayDelayGain float64
+	MaxRebufferGain  float64
+	// Seed drives the comparison bootstrap.
+	Seed int64
+}
+
+func (c SearchConfig) withDefaults() SearchConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 2
+	}
+	if c.CellsPerRound <= 0 {
+		c.CellsPerRound = 6
+	}
+	if c.MaxVMAFLoss == 0 {
+		c.MaxVMAFLoss = 0.15
+	}
+	if c.MaxPlayDelayGain == 0 {
+		c.MaxPlayDelayGain = 3
+	}
+	if c.MaxRebufferGain == 0 {
+		c.MaxRebufferGain = 25
+	}
+	return c
+}
+
+// SearchResult is the tuning outcome.
+type SearchResult struct {
+	// BestC0, BestC1 is the qualifying cell with the largest throughput
+	// reduction.
+	BestC0, BestC1 float64
+	// Best is that cell's measured tradeoff point.
+	Best SweepPoint
+	// Frontier holds every evaluated cell, for Fig 5-style plotting.
+	Frontier []SweepPoint
+	// Rejected counts cells that violated a QoE guardrail.
+	Rejected int
+}
+
+// qualifies reports whether a cell respects the QoE guardrails: no
+// significant regression beyond the configured bounds.
+func (c SearchConfig) qualifies(p SweepPoint) bool {
+	if p.VMAFChg.Significant() && p.VMAFChg.Point < -c.MaxVMAFLoss {
+		return false
+	}
+	if p.PlayDelayChg.Significant() && p.PlayDelayChg.Point > c.MaxPlayDelayGain {
+		return false
+	}
+	if p.RebufferHourChg.Significant() && p.RebufferHourChg.Point > c.MaxRebufferGain {
+		return false
+	}
+	return true
+}
+
+// SearchParameters runs the multi-round tuning loop: each round sweeps a
+// band of (c0, c1) cells, keeps the qualifying cell with the deepest
+// throughput reduction, and the next round zooms into its neighbourhood.
+// It returns an error only if no cell in any round qualifies.
+func SearchParameters(cfg SearchConfig) (SearchResult, error) {
+	cfg = cfg.withDefaults()
+	res := SearchResult{BestC0: math.NaN(), BestC1: math.NaN()}
+
+	// Round 1 band: multipliers from aggressive to conservative. The c1/c0
+	// ratio is held at the production 0.875 (2.8/3.2); the search dimension
+	// that matters for the tradeoff is the overall level.
+	lo, hi := 1.2, 6.0
+	const ratio = 0.875
+
+	for round := 0; round < cfg.Rounds; round++ {
+		pairs := make([][2]float64, 0, cfg.CellsPerRound)
+		for i := 0; i < cfg.CellsPerRound; i++ {
+			// Geometric spacing: the tradeoff is roughly logarithmic in the
+			// multiplier.
+			frac := float64(i) / float64(cfg.CellsPerRound-1)
+			c0 := lo * math.Pow(hi/lo, frac)
+			pairs = append(pairs, [2]float64{c0, c0 * ratio})
+		}
+		points := SweepParameters(cfg.Experiment, pairs, cfg.Seed+int64(round))
+		res.Frontier = append(res.Frontier, points...)
+
+		bestIdx := -1
+		for i, p := range points {
+			if !cfg.qualifies(p) {
+				res.Rejected++
+				continue
+			}
+			if bestIdx < 0 || p.ThroughputChg.Point < points[bestIdx].ThroughputChg.Point {
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			continue
+		}
+		best := points[bestIdx]
+		if math.IsNaN(res.BestC0) || best.ThroughputChg.Point < res.Best.ThroughputChg.Point {
+			res.BestC0, res.BestC1, res.Best = best.C0, best.C1, best
+		}
+		// Zoom into the winner's neighbourhood for the next round.
+		lo = best.C0 * 0.7
+		hi = best.C0 * 1.4
+		if lo < 0.8 {
+			lo = 0.8
+		}
+	}
+	if math.IsNaN(res.BestC0) {
+		return res, fmt.Errorf("abtest: no parameter cell satisfied the QoE guardrails")
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package abtest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSearchConfigDefaults(t *testing.T) {
+	cfg := SearchConfig{}.withDefaults()
+	if cfg.Rounds != 2 || cfg.CellsPerRound != 6 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if cfg.MaxVMAFLoss != 0.15 || cfg.MaxPlayDelayGain != 3 || cfg.MaxRebufferGain != 25 {
+		t.Errorf("guardrail defaults = %+v", cfg)
+	}
+}
+
+func TestQualifiesGuardrails(t *testing.T) {
+	cfg := SearchConfig{}.withDefaults()
+	ok := SweepPoint{
+		ThroughputChg: stats.CI{Point: -60, Lo: -65, Hi: -55},
+		VMAFChg:       stats.CI{Point: -0.05, Lo: -0.2, Hi: 0.1}, // n.s.
+	}
+	if !cfg.qualifies(ok) {
+		t.Error("insignificant movements should qualify")
+	}
+	badVMAF := ok
+	badVMAF.VMAFChg = stats.CI{Point: -0.5, Lo: -0.7, Hi: -0.3}
+	if cfg.qualifies(badVMAF) {
+		t.Error("significant VMAF loss should disqualify")
+	}
+	badDelay := ok
+	badDelay.PlayDelayChg = stats.CI{Point: 12, Lo: 5, Hi: 19}
+	if cfg.qualifies(badDelay) {
+		t.Error("significant play-delay gain should disqualify")
+	}
+	badRebuf := ok
+	badRebuf.RebufferHourChg = stats.CI{Point: 80, Lo: 40, Hi: 120}
+	if cfg.qualifies(badRebuf) {
+		t.Error("significant rebuffer gain should disqualify")
+	}
+}
+
+func TestSearchParametersFindsDeepQualifyingCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population experiment")
+	}
+	res, err := SearchParameters(SearchConfig{
+		Experiment: Config{
+			Population:       PopulationConfig{Users: 120, Seed: 31},
+			SessionsPerUser:  2,
+			ChunksPerSession: 50,
+		},
+		Rounds:        2,
+		CellsPerRound: 4,
+		Seed:          31,
+	})
+	if err != nil {
+		t.Fatalf("search failed: %v", err)
+	}
+	if math.IsNaN(res.BestC0) || res.BestC0 <= 0 {
+		t.Fatalf("no best cell: %+v", res)
+	}
+	// The winner must deliver a deep reduction (the §5.3 outcome: the
+	// selected production parameters reduced throughput 61%).
+	if res.Best.ThroughputChg.Point > -40 {
+		t.Errorf("best cell reduction = %v, want deep", res.Best.ThroughputChg)
+	}
+	// c1 tracks the production ratio.
+	if ratio := res.BestC1 / res.BestC0; math.Abs(ratio-0.875) > 1e-9 {
+		t.Errorf("c1/c0 ratio = %v", ratio)
+	}
+	// Two rounds of 4 cells evaluated.
+	if len(res.Frontier) != 8 {
+		t.Errorf("frontier cells = %d, want 8", len(res.Frontier))
+	}
+	// The winner must itself qualify under the guardrails.
+	cfg := SearchConfig{}.withDefaults()
+	if !cfg.qualifies(res.Best) {
+		t.Errorf("winning cell violates guardrails: %+v", res.Best)
+	}
+}
+
+func TestSearchParametersImpossibleGuardrails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population experiment")
+	}
+	// Guardrails nothing can pass (any significant play-delay change above
+	// -100% disqualifies... use a negative bound to reject everything with
+	// any significant movement, plus a VMAF bound of ~0).
+	_, err := SearchParameters(SearchConfig{
+		Experiment: Config{
+			Population:       PopulationConfig{Users: 60, Seed: 37},
+			SessionsPerUser:  2,
+			ChunksPerSession: 40,
+		},
+		Rounds:           1,
+		CellsPerRound:    3,
+		MaxVMAFLoss:      -1,   // any VMAF point below +1% disqualifies if significant
+		MaxPlayDelayGain: -200, // any significant play-delay movement disqualifies
+		MaxRebufferGain:  -200,
+		Seed:             37,
+	})
+	// This may or may not reject all cells depending on significance; the
+	// function must not panic and must return a coherent result either way.
+	if err != nil {
+		t.Logf("search rejected all cells as expected: %v", err)
+	}
+}

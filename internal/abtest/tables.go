@@ -1,0 +1,218 @@
+package abtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/player"
+	"repro/internal/stats"
+	"repro/internal/video"
+)
+
+// TableRow is one metric movement between a treatment and the control:
+// percent change with a bootstrap 95% CI, the paper's table format.
+type TableRow struct {
+	Metric string
+	CI     stats.CI
+}
+
+// Significant reports whether the movement excludes zero.
+func (r TableRow) Significant() bool { return r.CI.Significant() }
+
+// String formats like the paper: insignificant movements print "–" for the
+// point estimate but keep the interval.
+func (r TableRow) String() string {
+	if !r.Significant() {
+		return fmt.Sprintf("%-22s –     [%.2f, %.2f]", r.Metric, r.CI.Lo, r.CI.Hi)
+	}
+	return fmt.Sprintf("%-22s %+.2f%% [%.2f, %.2f]", r.Metric, r.CI.Point, r.CI.Lo, r.CI.Hi)
+}
+
+// bootstrapIters is plenty for stable two-decimal tables.
+const bootstrapIters = 400
+
+// Compare builds the Table 2/3-style rows for treatment vs control. Sparse
+// event metrics (rebuffers) use means; everything else uses medians, as the
+// paper does.
+func Compare(treatment, control ArmResult, seed int64) []TableRow {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]TableRow, 0, len(Metrics))
+	for _, m := range Metrics {
+		t := treatment.Values(m)
+		c := control.Values(m)
+		var ci stats.CI
+		if strings.HasPrefix(m.Name, "Rebuffer") {
+			ci = stats.MeanPercentChange(t, c, bootstrapIters, rng)
+		} else {
+			ci = stats.MedianPercentChange(t, c, bootstrapIters, rng)
+		}
+		rows = append(rows, TableRow{Metric: m.Name, CI: ci})
+	}
+	return rows
+}
+
+// FormatTable renders rows with a title, for experiment output.
+func FormatTable(title string, rows []TableRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %s\n", r)
+	}
+	return sb.String()
+}
+
+// BucketRow is one Fig 3 group: the throughput change for users whose
+// pre-experiment throughput fell in the bucket.
+type BucketRow struct {
+	Bucket   string
+	Sessions int
+	CI       stats.CI
+}
+
+// CompareByPreExperiment builds Figure 3: the chunk-throughput percent
+// change per pre-experiment throughput bucket.
+func CompareByPreExperiment(treatment, control ArmResult, seed int64) []BucketRow {
+	rng := rand.New(rand.NewSource(seed))
+	tput := Metrics[0] // ChunkThroughputMbps
+	rows := make([]BucketRow, 0, len(PreExpBuckets))
+	for i, b := range PreExpBuckets {
+		var t, c []float64
+		for _, s := range treatment.Sessions {
+			if BucketIndex(s.PreExp) == i {
+				t = append(t, tput.Get(s.QoE))
+			}
+		}
+		for _, s := range control.Sessions {
+			if BucketIndex(s.PreExp) == i {
+				c = append(c, tput.Get(s.QoE))
+			}
+		}
+		row := BucketRow{Bucket: b.Name, Sessions: len(t)}
+		if len(t) > 0 && len(c) > 0 {
+			row.CI = stats.MedianPercentChange(t, c, bootstrapIters, rng)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SweepPoint is one Fig 5 cell: a (c0, c1) setting with its throughput and
+// VMAF changes relative to control.
+type SweepPoint struct {
+	C0, C1          float64
+	ThroughputChg   stats.CI
+	VMAFChg         stats.CI
+	PlayDelayChg    stats.CI
+	RebufferHourChg stats.CI
+}
+
+// SweepParameters runs Figure 5: a grid of Sammy (c0, c1) cells against one
+// shared control, reporting each cell's tradeoff point.
+func SweepParameters(cfg Config, pairs [][2]float64, seed int64) []SweepPoint {
+	arms := []Arm{ControlArm()}
+	for _, p := range pairs {
+		c0, c1 := p[0], p[1]
+		arms = append(arms, Arm{
+			Name:          fmt.Sprintf("sammy-c0=%.1f-c1=%.1f", c0, c1),
+			NewController: func() *core.Controller { return core.NewSammy(productionABR(retunedStartupSafety), c0, c1) },
+		})
+	}
+	results := Run(cfg, arms)
+	control := results[0]
+	rng := rand.New(rand.NewSource(seed))
+	points := make([]SweepPoint, 0, len(pairs))
+	for i, p := range pairs {
+		res := results[i+1]
+		points = append(points, SweepPoint{
+			C0: p[0], C1: p[1],
+			ThroughputChg:   stats.MedianPercentChange(res.Values(Metrics[0]), control.Values(Metrics[0]), bootstrapIters, rng),
+			VMAFChg:         stats.MedianPercentChange(res.Values(Metrics[4]), control.Values(Metrics[4]), bootstrapIters, rng),
+			PlayDelayChg:    stats.MedianPercentChange(res.Values(Metrics[5]), control.Values(Metrics[5]), bootstrapIters, rng),
+			RebufferHourChg: stats.MeanPercentChange(res.Values(Metrics[7]), control.Values(Metrics[7]), bootstrapIters, rng),
+		})
+	}
+	return points
+}
+
+// ColdStartPoint is one Fig 6 sample: the initial-quality gap between a
+// cold-start arm and a warmed-up control after a given number of days.
+type ColdStartPoint struct {
+	Day            int
+	InitialVMAFChg stats.CI
+}
+
+// ColdStartStudy runs Figure 6: both arms stream one session per user per
+// day with identical seeds; the treatment starts with empty histories while
+// the control starts with a warmed-up history. The initial-quality gap
+// shrinks as the treatment's history converges.
+func ColdStartStudy(cfg Config, days int, seed int64) []ColdStartPoint {
+	cfg = cfg.withDefaults()
+	users := GeneratePopulation(cfg.Population)
+	rng := rand.New(rand.NewSource(seed))
+
+	type armState struct {
+		hist *core.History
+		ctrl *core.Controller
+	}
+	control := make([]armState, len(users))
+	treat := make([]armState, len(users))
+	for i := range users {
+		control[i] = armState{hist: &core.History{}, ctrl: core.NewControl(productionABR(0))}
+		treat[i] = armState{hist: &core.History{}, ctrl: core.NewControl(productionABR(0))}
+	}
+
+	// Warm up the control histories with a few pre-experiment days.
+	for d := 0; d < 3; d++ {
+		for i, u := range users {
+			dayRng := rand.New(rand.NewSource(u.Seed + int64(d)*7919))
+			title := video.NewTitle(cfg.Ladder.CapAt(u.TopBitrate), cfg.ChunkDuration, cfg.ChunksPerSession, dayRng)
+			player.Run(player.Config{Controller: control[i].ctrl, Title: title, History: control[i].hist},
+				u.Path, dayRng, nil)
+		}
+	}
+
+	points := make([]ColdStartPoint, 0, days)
+	for d := 0; d < days; d++ {
+		var tVals, cVals []float64
+		for i, u := range users {
+			dayRng := rand.New(rand.NewSource(u.Seed + int64(100+d)*104729))
+			title := video.NewTitle(cfg.Ladder.CapAt(u.TopBitrate), cfg.ChunkDuration, cfg.ChunksPerSession, dayRng)
+
+			cQ := player.Run(player.Config{Controller: control[i].ctrl, Title: title, History: control[i].hist},
+				u.Path, rand.New(rand.NewSource(u.Seed+int64(d))), nil)
+			tQ := player.Run(player.Config{Controller: treat[i].ctrl, Title: title, History: treat[i].hist},
+				u.Path, rand.New(rand.NewSource(u.Seed+int64(d))), nil)
+			cVals = append(cVals, cQ.InitialVMAF)
+			tVals = append(tVals, tQ.InitialVMAF)
+		}
+		points = append(points, ColdStartPoint{
+			Day:            d,
+			InitialVMAFChg: stats.MedianPercentChange(tVals, cVals, bootstrapIters, rng),
+		})
+	}
+	return points
+}
+
+// MedianOf is a convenience for calibration checks: the median of metric m
+// in result r.
+func MedianOf(r ArmResult, m Metric) float64 {
+	return stats.Median(r.Values(m))
+}
+
+// MedianThroughputToBitrateRatio reports the calibration target from the
+// paper's footnote 1: median session chunk throughput over median session
+// average bitrate, which should land near 13× for the control arm.
+func MedianThroughputToBitrateRatio(r ArmResult) float64 {
+	var tputs, rates []float64
+	for _, s := range r.Sessions {
+		tputs = append(tputs, s.QoE.ChunkThroughput.Mbps())
+		rates = append(rates, s.QoE.AvgBitrate.Mbps())
+	}
+	mr := stats.Median(rates)
+	if mr == 0 {
+		return 0
+	}
+	return stats.Median(tputs) / mr
+}

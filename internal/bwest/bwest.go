@@ -1,0 +1,113 @@
+// Package bwest implements packet-pair bandwidth estimation ([37, 39] in
+// the paper), the alternative §3.1 mentions for recovering available
+// bandwidth under pacing: two packets sent back-to-back are spread by the
+// bottleneck's serialization time, so the receiver can estimate the
+// bottleneck rate as size/gap regardless of the pace rate between pairs.
+//
+// Sammy deliberately does not pursue this — its pacing-aware ABR avoids
+// needing bandwidth estimates at all — but the estimator demonstrates that
+// the alternative is implementable on the same substrate, and its tests
+// document its known failure mode (cross traffic inflating the gap).
+package bwest
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Sample is one observed packet pair: the receiver-side gap between two
+// packets the sender emitted back-to-back, and their size.
+type Sample struct {
+	Gap  time.Duration
+	Size units.Bytes
+}
+
+// Rate converts a sample to a bottleneck-rate estimate.
+func (s Sample) Rate() units.BitsPerSecond {
+	if s.Gap <= 0 {
+		return 0
+	}
+	return units.Rate(s.Size, s.Gap)
+}
+
+// Estimator accumulates pair samples and reports a robust estimate of the
+// bottleneck rate. The median of per-pair rates is used: cross traffic can
+// only widen gaps (lowering individual estimates), and receiver batching
+// can only shrink them, so the median of a modest window is the standard
+// robust choice.
+type Estimator struct {
+	window  []units.BitsPerSecond
+	maxSize int
+}
+
+// NewEstimator returns an estimator over the last window samples (default
+// 21 when window ≤ 0; odd sizes make the median unambiguous).
+func NewEstimator(window int) *Estimator {
+	if window <= 0 {
+		window = 21
+	}
+	return &Estimator{maxSize: window}
+}
+
+// Observe records one packet-pair sample. Degenerate samples (non-positive
+// gap or size) are ignored.
+func (e *Estimator) Observe(s Sample) {
+	r := s.Rate()
+	if r <= 0 {
+		return
+	}
+	e.window = append(e.window, r)
+	if len(e.window) > e.maxSize {
+		e.window = e.window[1:]
+	}
+}
+
+// Count reports the number of samples in the window.
+func (e *Estimator) Count() int { return len(e.window) }
+
+// Estimate reports the median per-pair rate, or 0 with no samples.
+func (e *Estimator) Estimate() units.BitsPerSecond {
+	if len(e.window) == 0 {
+		return 0
+	}
+	sorted := make([]units.BitsPerSecond, len(e.window))
+	copy(sorted, e.window)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}
+
+// PairTracker turns a stream of (arrivalTime, size, senderBurstID)
+// observations into pair samples: consecutive packets within the same
+// sender burst form pairs. The video client can tag the first packets of
+// each pacing burst this way.
+type PairTracker struct {
+	est *Estimator
+
+	haveLast  bool
+	lastAt    time.Duration
+	lastBurst int64
+}
+
+// NewPairTracker wraps an estimator.
+func NewPairTracker(est *Estimator) *PairTracker {
+	if est == nil {
+		est = NewEstimator(0)
+	}
+	return &PairTracker{est: est}
+}
+
+// Arrival records one packet arrival. burstID identifies the sender-side
+// burst the packet belongs to; only packets within one burst pair up.
+func (t *PairTracker) Arrival(at time.Duration, size units.Bytes, burstID int64) {
+	if t.haveLast && burstID == t.lastBurst {
+		t.est.Observe(Sample{Gap: at - t.lastAt, Size: size})
+	}
+	t.haveLast = true
+	t.lastAt = at
+	t.lastBurst = burstID
+}
+
+// Estimate reports the tracked estimate.
+func (t *PairTracker) Estimate() units.BitsPerSecond { return t.est.Estimate() }

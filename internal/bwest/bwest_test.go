@@ -1,0 +1,165 @@
+package bwest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestSampleRate(t *testing.T) {
+	// A 1500 B pair spread by 300 µs implies a 40 Mbps bottleneck.
+	s := Sample{Gap: 300 * time.Microsecond, Size: 1500}
+	if got := s.Rate(); got != 40*units.Mbps {
+		t.Errorf("Rate = %v, want 40Mbps", got)
+	}
+	if (Sample{Gap: 0, Size: 1500}).Rate() != 0 {
+		t.Error("zero gap should yield 0")
+	}
+}
+
+func TestEstimatorCleanPairs(t *testing.T) {
+	e := NewEstimator(0)
+	if e.Estimate() != 0 {
+		t.Error("empty estimator should report 0")
+	}
+	for i := 0; i < 30; i++ {
+		e.Observe(Sample{Gap: 300 * time.Microsecond, Size: 1500})
+	}
+	if got := e.Estimate(); got != 40*units.Mbps {
+		t.Errorf("clean estimate = %v, want 40Mbps", got)
+	}
+	if e.Count() != 21 {
+		t.Errorf("window = %d, want capped at 21", e.Count())
+	}
+}
+
+func TestEstimatorRobustToCrossTraffic(t *testing.T) {
+	// Cross traffic widens some gaps (lower per-pair rates); the median
+	// should still recover the bottleneck rate when fewer than half the
+	// pairs are disturbed.
+	rng := rand.New(rand.NewSource(1))
+	e := NewEstimator(0)
+	for i := 0; i < 100; i++ {
+		gap := 300 * time.Microsecond
+		if rng.Float64() < 0.4 {
+			gap += time.Duration(rng.Intn(2000)) * time.Microsecond
+		}
+		e.Observe(Sample{Gap: gap, Size: 1500})
+	}
+	got := e.Estimate().Mbps()
+	if got < 35 || got > 41 {
+		t.Errorf("estimate with 40%% disturbed pairs = %.1f Mbps, want ≈ 40", got)
+	}
+}
+
+func TestEstimatorFailsWithMajorityCrossTraffic(t *testing.T) {
+	// Documented failure mode: with most pairs disturbed, packet-pair
+	// underestimates — one reason §3.1 avoids relying on it.
+	rng := rand.New(rand.NewSource(2))
+	e := NewEstimator(0)
+	for i := 0; i < 100; i++ {
+		gap := 300*time.Microsecond + time.Duration(500+rng.Intn(1500))*time.Microsecond
+		e.Observe(Sample{Gap: gap, Size: 1500})
+	}
+	if got := e.Estimate().Mbps(); got > 20 {
+		t.Errorf("estimate under heavy cross traffic = %.1f Mbps; expected a clear underestimate", got)
+	}
+}
+
+func TestEstimatorIgnoresDegenerate(t *testing.T) {
+	e := NewEstimator(0)
+	e.Observe(Sample{Gap: 0, Size: 1500})
+	e.Observe(Sample{Gap: -time.Millisecond, Size: 1500})
+	e.Observe(Sample{Gap: time.Millisecond, Size: 0})
+	if e.Count() != 0 {
+		t.Errorf("degenerate samples recorded: %d", e.Count())
+	}
+}
+
+func TestPairTrackerPairsWithinBursts(t *testing.T) {
+	e := NewEstimator(0)
+	tr := NewPairTracker(e)
+	// Burst 1: three packets 300 µs apart → two pairs.
+	tr.Arrival(0, 1500, 1)
+	tr.Arrival(300*time.Microsecond, 1500, 1)
+	tr.Arrival(600*time.Microsecond, 1500, 1)
+	// Burst 2 arrives much later; the inter-burst gap must not pair.
+	tr.Arrival(100*time.Millisecond, 1500, 2)
+	tr.Arrival(100*time.Millisecond+300*time.Microsecond, 1500, 2)
+	if e.Count() != 3 {
+		t.Fatalf("pairs = %d, want 3 (2 within burst 1, 1 within burst 2)", e.Count())
+	}
+	if got := tr.Estimate(); got != 40*units.Mbps {
+		t.Errorf("estimate = %v, want 40Mbps", got)
+	}
+}
+
+func TestPacketPairThroughSimulatedBottleneck(t *testing.T) {
+	// End-to-end: bursts paced far below the link rate still reveal the
+	// bottleneck via intra-burst spreading — the §3.1 claim that pacing
+	// does not have to blind a client that uses packet pairs.
+	s := sim.New()
+	tr := NewPairTracker(NewEstimator(0))
+	var burst int64
+	dst := sim.HandlerFunc(func(p *sim.Packet) {
+		tr.Arrival(s.Now(), p.Size, p.Seq/4) // 4-packet bursts share an ID
+	})
+	link := sim.NewLink(s, sim.LinkConfig{
+		Rate:       40 * units.Mbps,
+		Delay:      2500 * time.Microsecond,
+		QueueLimit: 100000,
+	}, dst)
+
+	// Send 4-packet bursts every 10 ms: an average rate of only 4.8 Mbps.
+	var seq int64
+	var sendBurst func()
+	sendBurst = func() {
+		for i := 0; i < 4; i++ {
+			link.Send(&sim.Packet{Seq: seq, Size: 1500, SentAt: s.Now()})
+			seq++
+		}
+		burst++
+		if burst < 30 {
+			s.Schedule(10*time.Millisecond, sendBurst)
+		}
+	}
+	sendBurst()
+	s.Run()
+
+	got := tr.Estimate().Mbps()
+	if got < 38 || got > 42 {
+		t.Errorf("packet-pair estimate = %.1f Mbps, want ≈ 40 (the bottleneck, not the 4.8 Mbps pace)", got)
+	}
+}
+
+func TestEstimatorMedianWithinSamplesProperty(t *testing.T) {
+	f := func(gapsUs []uint16) bool {
+		e := NewEstimator(0)
+		var lo, hi units.BitsPerSecond
+		for _, g := range gapsUs {
+			s := Sample{Gap: time.Duration(int(g)+1) * time.Microsecond, Size: 1500}
+			e.Observe(s)
+			r := s.Rate()
+			if lo == 0 || r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+		if e.Count() == 0 {
+			return e.Estimate() == 0
+		}
+		got := e.Estimate()
+		// Median must lie within the observed range (of the window, which
+		// is a subset of all samples, so the global range bounds it too).
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

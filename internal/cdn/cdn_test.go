@@ -1,0 +1,193 @@
+package cdn
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/pacing"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	return newTestServerWith(t, &Server{})
+}
+
+func newTestServerWith(t *testing.T, handler *Server) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return srv, &Client{HTTP: srv.Client(), BaseURL: srv.URL}
+}
+
+func TestUnpacedFetch(t *testing.T) {
+	_, client := newTestServer(t)
+	res, err := client.FetchChunk(context.Background(), 500*units.KB, pacing.NoPacing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 500*units.KB {
+		t.Errorf("size = %v", res.Size)
+	}
+	if res.Paced {
+		t.Error("unpaced fetch marked paced")
+	}
+	// Loopback: should be far faster than any plausible pace rate.
+	if res.Duration > time.Second {
+		t.Errorf("unpaced 500KB took %v", res.Duration)
+	}
+}
+
+func TestPacedFetchRespectsRate(t *testing.T) {
+	_, client := newTestServer(t)
+	// 400 KB at 8 Mbps should take ≈ 400 ms.
+	rate := 8 * units.Mbps
+	res, err := client.FetchChunk(context.Background(), 400*units.KB, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Paced {
+		t.Fatal("server did not acknowledge pacing")
+	}
+	want := rate.TimeToSend(400 * units.KB)
+	if res.Duration < want*8/10 {
+		t.Errorf("paced fetch finished too fast: %v, floor %v", res.Duration, want)
+	}
+	if res.Duration > want*2 {
+		t.Errorf("paced fetch too slow: %v, want ≈ %v", res.Duration, want)
+	}
+	got := res.Throughput
+	if float64(got) > float64(rate)*1.3 {
+		t.Errorf("measured throughput %v exceeds pace rate %v", got, rate)
+	}
+}
+
+func TestCMCDHeaderAlsoPaces(t *testing.T) {
+	srv, _ := newTestServer(t)
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/chunk?size=1000", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(pacing.CMCDHeader, "rtp=8000")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("X-Sammy-Paced") != "1" {
+		t.Error("CMCD rtp header should trigger pacing")
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/chunk", http.StatusBadRequest},
+		{"/chunk?size=0", http.StatusBadRequest},
+		{"/chunk?size=abc", http.StatusBadRequest},
+		{"/chunk?size=999999999999", http.StatusRequestEntityTooLarge},
+		{"/other", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp, err := srv.Client().Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestPacedWriterTiming(t *testing.T) {
+	var buf bytes.Buffer
+	var slept, clock time.Duration
+	pw := NewPacedWriter(&buf, 8*units.Mbps, 6000)
+	pw.now = func() time.Duration { return clock }
+	pw.sleep = func(d time.Duration) {
+		slept += d
+		clock += d
+	}
+	// 100 KB at 8 Mbps = 100 ms, minus the 6 KB burst.
+	n, err := pw.Write(make([]byte, 100*1024))
+	if err != nil || n != 100*1024 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	// All bytes written.
+	if buf.Len() != 100*1024 {
+		t.Errorf("buffer = %d bytes", buf.Len())
+	}
+	want := (8 * units.Mbps).TimeToSend(100*1024 - 6000)
+	if slept < want*9/10 || slept > want*11/10 {
+		t.Errorf("slept %v, want ≈ %v", slept, want)
+	}
+}
+
+func TestStreamSessionSammyOverRealHTTP(t *testing.T) {
+	_, client := newTestServer(t)
+	title := NewDemoTitle(8, time.Second)
+	ctrl := core.NewSammy(abr.Production{}, core.DefaultC0, core.DefaultC1)
+	var events int
+	report, err := StreamSession(context.Background(), SessionConfig{
+		Controller: ctrl,
+		Title:      title,
+		Client:     client,
+		OnChunk: func(i int, rung video.Rung, pace units.BitsPerSecond, res FetchResult) {
+			events++
+			if res.Size <= 0 {
+				t.Errorf("chunk %d empty", i)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != report.Chunks {
+		t.Errorf("OnChunk fired %d times for %d chunks", events, report.Chunks)
+	}
+	if report.Chunks != 8 {
+		t.Fatalf("chunks = %d", report.Chunks)
+	}
+	if report.PacedChunks == 0 {
+		t.Error("no chunk was paced; playing-phase chunks should carry the header")
+	}
+	if report.PlayDelay <= 0 {
+		t.Error("play delay not recorded")
+	}
+	if report.VMAF <= 0 {
+		t.Error("VMAF not computed")
+	}
+}
+
+func TestStreamSessionValidation(t *testing.T) {
+	_, err := StreamSession(context.Background(), SessionConfig{})
+	if err == nil || !strings.Contains(err.Error(), "needs") {
+		t.Errorf("expected validation error, got %v", err)
+	}
+}
+
+func TestStreamSessionCancellation(t *testing.T) {
+	_, client := newTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := StreamSession(ctx, SessionConfig{
+		Controller: core.NewControl(abr.Production{}),
+		Title:      NewDemoTitle(4, time.Second),
+		Client:     client,
+	})
+	if err == nil {
+		t.Error("cancelled session should error")
+	}
+}

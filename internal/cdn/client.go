@@ -1,0 +1,85 @@
+package cdn
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/pacing"
+	"repro/internal/units"
+)
+
+// FetchResult summarizes one chunk download over real HTTP.
+type FetchResult struct {
+	Size       units.Bytes
+	FirstByte  time.Duration // request to first body byte
+	Duration   time.Duration // request to last body byte
+	Throughput units.BitsPerSecond
+	Paced      bool // server confirmed it applied pacing
+}
+
+// Client fetches chunks from a cdn.Server, carrying the requested pace rate
+// in the pacing headers.
+type Client struct {
+	// HTTP is the underlying client; http.DefaultClient if nil.
+	HTTP *http.Client
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+}
+
+// FetchChunk downloads size bytes, asking the server to pace at rate
+// (pacing.NoPacing for unpaced). It measures what the paper's client
+// measures: time to first byte and download-time throughput.
+func (c *Client) FetchChunk(ctx context.Context, size units.Bytes, rate units.BitsPerSecond) (FetchResult, error) {
+	if size <= 0 {
+		return FetchResult{}, fmt.Errorf("cdn: chunk size must be positive, got %d", size)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	url := fmt.Sprintf("%s/chunk?size=%d", c.BaseURL, int64(size))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("cdn: build request: %w", err)
+	}
+	pacing.SetHeader(req.Header, rate)
+
+	start := time.Now()
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("cdn: fetch chunk: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return FetchResult{}, fmt.Errorf("cdn: fetch chunk: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Read the first byte separately for the TTFB measurement.
+	var one [1]byte
+	var firstByte time.Duration
+	n, err := io.ReadFull(resp.Body, one[:])
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("cdn: read first byte: %w", err)
+	}
+	firstByte = time.Since(start)
+	rest, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("cdn: read body: %w", err)
+	}
+	total := units.Bytes(int64(n) + rest)
+	dur := time.Since(start)
+	if total != size {
+		return FetchResult{}, fmt.Errorf("cdn: short body: got %d bytes, want %d", total, size)
+	}
+	return FetchResult{
+		Size:       total,
+		FirstByte:  firstByte,
+		Duration:   dur,
+		Throughput: units.Rate(total, dur-firstByte+time.Microsecond),
+		Paced:      resp.Header.Get("X-Sammy-Paced") == "1",
+	}, nil
+}

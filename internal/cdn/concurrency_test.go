@@ -1,0 +1,112 @@
+package cdn
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/pacing"
+	"repro/internal/units"
+)
+
+func TestConcurrentPacedFetches(t *testing.T) {
+	// The server must pace each response independently: concurrent clients
+	// with different pace rates each see their own limit.
+	_, client := newTestServer(t)
+	rates := []units.BitsPerSecond{4 * units.Mbps, 8 * units.Mbps, 16 * units.Mbps}
+	size := 200 * units.KB
+
+	var wg sync.WaitGroup
+	results := make([]FetchResult, len(rates))
+	errs := make([]error, len(rates))
+	for i, rate := range rates {
+		wg.Add(1)
+		go func(i int, rate units.BitsPerSecond) {
+			defer wg.Done()
+			results[i], errs[i] = client.FetchChunk(context.Background(), size, rate)
+		}(i, rate)
+	}
+	wg.Wait()
+
+	for i, rate := range rates {
+		if errs[i] != nil {
+			t.Fatalf("fetch %d: %v", i, errs[i])
+		}
+		want := rate.TimeToSend(size)
+		if results[i].Duration < want/2 {
+			t.Errorf("fetch at %v finished in %v, floor ≈ %v", rate, results[i].Duration, want)
+		}
+		if results[i].Duration > want*3 {
+			t.Errorf("fetch at %v took %v, want ≈ %v", rate, results[i].Duration, want)
+		}
+	}
+	// Faster pace rates must actually finish sooner.
+	if results[0].Duration < results[2].Duration {
+		t.Errorf("4 Mbps fetch (%v) finished before 16 Mbps fetch (%v)",
+			results[0].Duration, results[2].Duration)
+	}
+}
+
+func TestConcurrentStreamSessions(t *testing.T) {
+	// Multiple full sessions against one server, in parallel.
+	_, client := newTestServer(t)
+	const sessions = 4
+	var wg sync.WaitGroup
+	reports := make([]SessionReport, sessions)
+	errs := make([]error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctrl := core.NewSammy(abr.Production{}, core.DefaultC0, core.DefaultC1)
+			reports[i], errs[i] = StreamSession(context.Background(), SessionConfig{
+				Controller: ctrl,
+				Title:      NewDemoTitle(5, time.Second),
+				Client:     client,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if reports[i].Chunks != 5 {
+			t.Errorf("session %d chunks = %d", i, reports[i].Chunks)
+		}
+	}
+}
+
+func TestServerBurstConfiguration(t *testing.T) {
+	// A larger burst shortens small paced transfers (more credit up front).
+	fetchWith := func(burst units.Bytes) time.Duration {
+		t.Helper()
+		srvBurst := &Server{Burst: burst}
+		srv, client := newTestServerWith(t, srvBurst)
+		_ = srv
+		res, err := client.FetchChunk(context.Background(), 60*units.KB, 4*units.Mbps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration
+	}
+	small := fetchWith(6000)
+	large := fetchWith(48000)
+	if large >= small {
+		t.Errorf("48KB burst (%v) should beat 6KB burst (%v) on a 60KB transfer", large, small)
+	}
+}
+
+func TestFetchChunkValidation(t *testing.T) {
+	_, client := newTestServer(t)
+	if _, err := client.FetchChunk(context.Background(), 0, pacing.NoPacing); err == nil {
+		t.Error("zero size should error")
+	}
+	bad := &Client{BaseURL: "http://127.0.0.1:1"} // nothing listening
+	if _, err := bad.FetchChunk(context.Background(), 1000, pacing.NoPacing); err == nil {
+		t.Error("unreachable server should error")
+	}
+}

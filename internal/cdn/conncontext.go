@@ -1,0 +1,31 @@
+package cdn
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+// connKey carries the accepted net.Conn through the request context so the
+// handler can reach the socket for kernel pacing.
+type connKey struct{}
+
+// ConnContext is the http.Server hook that makes kernel pacing possible:
+// install it so every request's context carries its connection.
+//
+//	srv := &http.Server{
+//	    Handler:     &cdn.Server{KernelPacing: true},
+//	    ConnContext: cdn.ConnContext,
+//	}
+//
+// On platforms without SO_MAX_PACING_RATE the hook is harmless and the
+// server paces in user space.
+func ConnContext(ctx context.Context, c net.Conn) context.Context {
+	return context.WithValue(ctx, connKey{}, c)
+}
+
+// requestConn extracts the connection stored by ConnContext.
+func requestConn(r *http.Request) net.Conn {
+	c, _ := r.Context().Value(connKey{}).(net.Conn)
+	return c
+}

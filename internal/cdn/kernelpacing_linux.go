@@ -1,0 +1,67 @@
+//go:build linux
+
+package cdn
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"syscall"
+
+	"repro/internal/units"
+)
+
+// This file implements kernel-enforced application-informed pacing, the
+// deployment path §3.2 describes: "In Linux, an HTTP server can implement
+// application-informed pacing by setting the SO_MAX_PACING_RATE socket
+// option to an application-provided value." With it, the kernel's TCP
+// internal pacing (or the fq qdisc) spaces packets; the user-space paced
+// writer is bypassed.
+
+// soMaxPacingRate is SO_MAX_PACING_RATE from <asm-generic/socket.h>; the
+// stdlib syscall package does not export it.
+const soMaxPacingRate = 0x2f
+
+// setKernelPacingRate applies rate as the socket's maximum pacing rate.
+// A zero rate removes the limit. It returns an error when the connection
+// does not expose a raw socket (e.g. a TLS or test wrapper).
+func setKernelPacingRate(c net.Conn, rate units.BitsPerSecond) error {
+	sc, ok := c.(syscall.Conn)
+	if !ok {
+		return fmt.Errorf("cdn: connection %T does not expose a raw socket", c)
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return fmt.Errorf("cdn: raw socket: %w", err)
+	}
+	// SO_MAX_PACING_RATE takes bytes per second; 0 would fully throttle the
+	// socket, so "no limit" is expressed as the maximum value.
+	bytesPerSec := int(rate.BytesPerSecond())
+	if rate <= 0 {
+		bytesPerSec = int(^uint32(0))
+	}
+	var sockErr error
+	if err := raw.Control(func(fd uintptr) {
+		sockErr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soMaxPacingRate, bytesPerSec)
+	}); err != nil {
+		return fmt.Errorf("cdn: socket control: %w", err)
+	}
+	if sockErr != nil {
+		return fmt.Errorf("cdn: set SO_MAX_PACING_RATE: %w", sockErr)
+	}
+	return nil
+}
+
+// applyKernelPacing tries to pace the request's socket in the kernel,
+// reporting whether it succeeded (in which case the user-space pacer is
+// unnecessary).
+func (s *Server) applyKernelPacing(r *http.Request, rate units.BitsPerSecond) bool {
+	if !s.KernelPacing {
+		return false
+	}
+	c := requestConn(r)
+	if c == nil {
+		return false
+	}
+	return setKernelPacingRate(c, rate) == nil
+}

@@ -1,0 +1,81 @@
+//go:build linux
+
+package cdn
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// startKernelPacingServer runs a real http.Server (httptest does not let us
+// install ConnContext pre-1.22-style cleanly with our helper) on an
+// ephemeral loopback port with kernel pacing enabled.
+func startKernelPacingServer(t *testing.T) *Client {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           &Server{KernelPacing: true},
+		ConnContext:       ConnContext,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return &Client{BaseURL: "http://" + ln.Addr().String()}
+}
+
+func TestKernelPacingEnforcesRateOnLoopback(t *testing.T) {
+	client := startKernelPacingServer(t)
+	rate := 16 * units.Mbps
+	size := 600 * units.KB // 300 ms at 16 Mbps
+	res, err := client.FetchChunk(context.Background(), size, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Paced {
+		t.Fatal("server did not acknowledge pacing")
+	}
+	want := rate.TimeToSend(size)
+	if res.Duration < want/2 {
+		t.Skipf("transfer finished in %v (< %v/2); kernel pacing unavailable in this environment", res.Duration, want)
+	}
+	if res.Duration > want*3 {
+		t.Errorf("kernel-paced transfer took %v, want ≈ %v", res.Duration, want)
+	}
+}
+
+func TestKernelPacingResetBetweenRequests(t *testing.T) {
+	client := startKernelPacingServer(t)
+	// Paced request first...
+	if _, err := client.FetchChunk(context.Background(), 200*units.KB, 16*units.Mbps); err != nil {
+		t.Fatal(err)
+	}
+	// ...then an unpaced one on (likely) the same keep-alive connection
+	// must run at loopback speed again.
+	res, err := client.FetchChunk(context.Background(), 2*units.MB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paced {
+		t.Error("unpaced request marked paced")
+	}
+	if res.Duration > 2*time.Second {
+		t.Errorf("unpaced follow-up took %v; the pacing limit was not lifted", res.Duration)
+	}
+}
+
+func TestSetKernelPacingRateRejectsNonSockets(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if err := setKernelPacingRate(c1, 1*units.Mbps); err == nil {
+		t.Error("net.Pipe conn should be rejected")
+	}
+}

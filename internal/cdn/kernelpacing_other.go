@@ -1,0 +1,15 @@
+//go:build !linux
+
+package cdn
+
+import (
+	"net/http"
+
+	"repro/internal/units"
+)
+
+// applyKernelPacing is a no-op on platforms without SO_MAX_PACING_RATE;
+// the server falls back to the user-space paced writer.
+func (s *Server) applyKernelPacing(r *http.Request, rate units.BitsPerSecond) bool {
+	return false
+}

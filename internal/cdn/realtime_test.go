@@ -1,0 +1,60 @@
+package cdn
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+)
+
+func TestStreamSessionRealtimeWaitsOffPeriods(t *testing.T) {
+	// With Realtime on and a tiny buffer, the session must wait out off
+	// periods on the wall clock: total wall time approaches the content
+	// duration rather than the raw download time.
+	_, client := newTestServer(t)
+	title := NewDemoTitle(6, 200*time.Millisecond)
+	start := time.Now()
+	report, err := StreamSession(context.Background(), SessionConfig{
+		Controller:     core.NewControl(abr.Production{}),
+		Title:          title,
+		Client:         client,
+		MaxBuffer:      400 * time.Millisecond, // two chunks
+		StartThreshold: 200 * time.Millisecond,
+		Realtime:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if report.Chunks != 6 {
+		t.Fatalf("chunks = %d", report.Chunks)
+	}
+	// 6 × 200 ms of content with a 400 ms buffer: the player must spend at
+	// least ~½ of the content duration waiting (loopback downloads are
+	// nearly instant).
+	if elapsed < 500*time.Millisecond {
+		t.Errorf("realtime session finished in %v; off periods were not waited out", elapsed)
+	}
+}
+
+func TestStreamSessionVirtualTimeFastPath(t *testing.T) {
+	// Without Realtime the same session must finish almost immediately.
+	_, client := newTestServer(t)
+	title := NewDemoTitle(6, 200*time.Millisecond)
+	start := time.Now()
+	_, err := StreamSession(context.Background(), SessionConfig{
+		Controller:     core.NewControl(abr.Production{}),
+		Title:          title,
+		Client:         client,
+		MaxBuffer:      400 * time.Millisecond,
+		StartThreshold: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("virtual-time session took %v on loopback", elapsed)
+	}
+}

@@ -1,0 +1,171 @@
+// Package cdn is the deployability prototype: a real net/http chunk server
+// that honours application-informed pacing requested via HTTP headers, and
+// a client that streams video through it. It is the repo's analogue of the
+// paper's open-source prototype (an unmodified dash.js player against a
+// Fastly CDN that sets TCP pace rates from a header): everything runs over
+// real TCP sockets, typically on loopback.
+//
+// The server enforces the requested pace rate in user space with a
+// token-bucket paced writer (burst-limited, like SO_MAX_PACING_RATE plus a
+// burst cap), so the demo works on any OS without kernel support.
+package cdn
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/pacing"
+	"repro/internal/units"
+)
+
+// DefaultBurstBytes is the paced writer's burst: 4 packets of 1500 B,
+// matching the production burst size (§5.6).
+const DefaultBurstBytes units.Bytes = 4 * 1500
+
+// Server serves synthetic video chunks at /chunk, honouring the pacing
+// headers parsed by package pacing. The chunk body is deterministic filler;
+// only its size and delivery timing matter to the experiments.
+type Server struct {
+	// MaxChunk bounds request sizes to keep the demo well-behaved.
+	// Default 64 MB.
+	MaxChunk units.Bytes
+	// Burst is the paced writer's bucket depth. Default DefaultBurstBytes.
+	Burst units.Bytes
+	// KernelPacing, on Linux, enforces the pace rate with the
+	// SO_MAX_PACING_RATE socket option — the §3.2 deployment path — and
+	// skips the user-space pacer. Requires cdn.ConnContext installed as the
+	// http.Server's ConnContext; falls back to user-space pacing when the
+	// socket is unreachable.
+	KernelPacing bool
+}
+
+// ServeHTTP implements http.Handler.
+//
+// GET /chunk?size=N serves N bytes. The response is paced at the rate
+// requested in the X-Sammy-Pace-Rate-Bps or CMCD rtp header; without one it
+// is written as fast as the socket accepts.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/chunk" {
+		http.NotFound(w, r)
+		return
+	}
+	size, err := strconv.ParseInt(r.URL.Query().Get("size"), 10, 64)
+	if err != nil || size <= 0 {
+		http.Error(w, "cdn: size query parameter required", http.StatusBadRequest)
+		return
+	}
+	maxChunk := s.MaxChunk
+	if maxChunk <= 0 {
+		maxChunk = 64 * units.MB
+	}
+	if units.Bytes(size) > maxChunk {
+		http.Error(w, fmt.Sprintf("cdn: size exceeds limit %d", maxChunk), http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	rate := pacing.FromHeader(r.Header)
+	burst := s.Burst
+	if burst <= 0 {
+		burst = DefaultBurstBytes
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	// Kernel pacing is per-socket state, so it must be (re)applied on every
+	// request of a keep-alive connection: set for paced requests, cleared
+	// for unpaced ones.
+	kernelApplied := s.applyKernelPacing(r, rate)
+	kernelPaced := rate > 0 && kernelApplied
+	if rate > 0 {
+		w.Header().Set("X-Sammy-Paced", "1")
+		if kernelPaced {
+			w.Header().Set("X-Sammy-Paced-By", "kernel")
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+
+	var out io.Writer = w
+	if rate > 0 && !kernelPaced {
+		out = NewPacedWriter(w, rate, burst)
+	}
+	writeFiller(out, units.Bytes(size), w)
+}
+
+// writeFiller streams n deterministic bytes to out, flushing as it goes so
+// pacing is visible on the wire.
+func writeFiller(out io.Writer, n units.Bytes, rw http.ResponseWriter) {
+	flusher, _ := rw.(http.Flusher)
+	buf := make([]byte, 16*1024)
+	for i := range buf {
+		buf[i] = byte('a' + i%26)
+	}
+	remaining := int64(n)
+	for remaining > 0 {
+		chunk := int64(len(buf))
+		if chunk > remaining {
+			chunk = remaining
+		}
+		wrote, err := out.Write(buf[:chunk])
+		remaining -= int64(wrote)
+		if err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// PacedWriter rate-limits writes with a token bucket over the wall clock:
+// each Write is split into burst-sized pieces with real sleeps in between.
+// It is the user-space equivalent of setting SO_MAX_PACING_RATE on the
+// socket.
+type PacedWriter struct {
+	w     io.Writer
+	pacer *pacing.Pacer
+	burst units.Bytes
+	// now and sleep are the clock; tests replace both together so the
+	// virtual clock advances consistently with mocked sleeps.
+	now   func() time.Duration
+	sleep func(time.Duration)
+}
+
+// NewPacedWriter wraps w so that sustained throughput does not exceed rate,
+// with at most burst bytes sent back-to-back.
+func NewPacedWriter(w io.Writer, rate units.BitsPerSecond, burst units.Bytes) *PacedWriter {
+	if burst <= 0 {
+		burst = DefaultBurstBytes
+	}
+	start := time.Now()
+	return &PacedWriter{
+		w:     w,
+		pacer: pacing.NewPacer(rate, burst),
+		burst: burst,
+		now:   func() time.Duration { return time.Since(start) },
+		sleep: time.Sleep,
+	}
+}
+
+// Write implements io.Writer, sleeping as needed to respect the pace rate.
+func (p *PacedWriter) Write(b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		piece := b
+		if units.Bytes(len(piece)) > p.burst {
+			piece = b[:p.burst]
+		}
+		if d := p.pacer.Delay(p.now(), units.Bytes(len(piece))); d > 0 {
+			p.sleep(d)
+		}
+		n, err := p.w.Write(piece)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		b = b[n:]
+	}
+	return total, nil
+}

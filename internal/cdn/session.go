@@ -1,0 +1,162 @@
+package cdn
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// SessionConfig parameterizes a real-HTTP streaming session.
+type SessionConfig struct {
+	Controller *core.Controller // required
+	Title      *video.Title     // required
+	Client     *Client          // required
+	// MaxBuffer is the client buffer; default 30 s (kept small so demos
+	// reach the on-off steady state quickly).
+	MaxBuffer time.Duration
+	// StartThreshold is the buffer needed to start playback; default 2
+	// chunk durations.
+	StartThreshold time.Duration
+	// Realtime makes the session wait out off periods on the wall clock,
+	// like a real player. Off by default so tests and demos finish quickly
+	// (buffer time is then simulated).
+	Realtime bool
+	// OnChunk, when set, observes each download.
+	OnChunk func(index int, rung video.Rung, pace units.BitsPerSecond, res FetchResult)
+}
+
+// SessionReport is the QoE summary of a real-HTTP session.
+type SessionReport struct {
+	Chunks          int
+	PlayDelay       time.Duration
+	Rebuffers       int
+	RebufferTime    time.Duration
+	VMAF            float64
+	AvgBitrate      units.BitsPerSecond
+	ChunkThroughput units.BitsPerSecond // download-time weighted
+	PacedChunks     int
+}
+
+// StreamSession plays cfg.Title through the HTTP server, making a joint
+// bitrate/pace-rate decision per chunk and carrying the pace rate to the
+// server in the request headers. It is the real-network twin of player.Run.
+func StreamSession(ctx context.Context, cfg SessionConfig) (SessionReport, error) {
+	if cfg.Controller == nil || cfg.Title == nil || cfg.Client == nil {
+		return SessionReport{}, fmt.Errorf("cdn: session needs Controller, Title and Client")
+	}
+	if cfg.MaxBuffer <= 0 {
+		cfg.MaxBuffer = 30 * time.Second
+	}
+	if cfg.StartThreshold <= 0 {
+		cfg.StartThreshold = 2 * cfg.Title.ChunkDuration
+	}
+
+	est := abr.NewEstimator(5)
+	hist := &core.History{}
+	var (
+		report     SessionReport
+		buffer     time.Duration
+		playing    bool
+		wallStart  = time.Now()
+		virtual    time.Duration // virtual off-period time when !Realtime
+		vmafWeight float64
+		prevRung   = -1
+		totalBytes units.Bytes
+		totalDL    time.Duration
+	)
+
+	elapsed := func() time.Duration { return time.Since(wallStart) + virtual }
+
+	for i := 0; i < cfg.Title.NumChunks; i++ {
+		if err := ctx.Err(); err != nil {
+			return report, fmt.Errorf("cdn: session cancelled: %w", err)
+		}
+		// Off period: wait for buffer room.
+		if playing {
+			if room := cfg.MaxBuffer - buffer; room < cfg.Title.ChunkDuration {
+				wait := cfg.Title.ChunkDuration - room
+				if cfg.Realtime {
+					time.Sleep(wait)
+				} else {
+					virtual += wait
+				}
+				buffer -= wait
+			}
+		}
+
+		dctx := abr.Context{
+			Title:           cfg.Title,
+			ChunkIndex:      i,
+			Buffer:          buffer,
+			MaxBuffer:       cfg.MaxBuffer,
+			Playing:         playing,
+			Throughput:      est.Estimate(),
+			InitialEstimate: hist.Estimate(cfg.Controller.HistorySource()),
+			PrevRung:        prevRung,
+		}
+		dec := cfg.Controller.Decide(dctx)
+		prevRung = dec.Rung
+		chunk := cfg.Title.ChunkAt(i, dec.Rung)
+
+		res, err := cfg.Client.FetchChunk(ctx, chunk.Size, dec.PaceRate)
+		if err != nil {
+			return report, fmt.Errorf("cdn: chunk %d: %w", i, err)
+		}
+		if res.Paced {
+			report.PacedChunks++
+		}
+		est.Observe(res.Throughput)
+		if playing {
+			hist.ObservePlaying(res.Throughput)
+		} else {
+			hist.ObserveInitial(res.Throughput)
+		}
+		totalBytes += res.Size
+		totalDL += res.Duration
+		vmafWeight += chunk.Duration.Seconds() * chunk.Rung.VMAF
+
+		if playing {
+			buffer -= res.Duration
+			if buffer < 0 {
+				report.Rebuffers++
+				report.RebufferTime += -buffer
+				buffer = 0
+			}
+			buffer += chunk.Duration
+		} else {
+			buffer += chunk.Duration
+			if buffer >= cfg.StartThreshold {
+				playing = true
+				report.PlayDelay = elapsed()
+			}
+		}
+		if buffer > cfg.MaxBuffer {
+			buffer = cfg.MaxBuffer
+		}
+		report.Chunks++
+		if cfg.OnChunk != nil {
+			cfg.OnChunk(i, chunk.Rung, dec.PaceRate, res)
+		}
+	}
+	if !playing {
+		report.PlayDelay = elapsed()
+	}
+	played := time.Duration(report.Chunks) * cfg.Title.ChunkDuration
+	if played > 0 {
+		report.VMAF = vmafWeight / played.Seconds()
+		report.AvgBitrate = units.Rate(totalBytes, played)
+	}
+	report.ChunkThroughput = units.Rate(totalBytes, totalDL)
+	return report, nil
+}
+
+// NewDemoTitle builds a small deterministic title for demos and tests.
+func NewDemoTitle(chunks int, chunkDuration time.Duration) *video.Title {
+	return video.NewTitle(video.LabLadder(), chunkDuration, chunks, rand.New(rand.NewSource(42)))
+}

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// ExampleController_Decide shows Algorithm 1 end to end: the ABR picks the
+// rung, and the pace rate is a buffer-interpolated multiple of the ladder's
+// top bitrate.
+func ExampleController_Decide() {
+	sammy := core.NewSammy(abr.Production{}, 3.2, 2.8)
+	title := video.NewTitle(video.LabLadder(), 4*time.Second, 100, nil)
+
+	decision := sammy.Decide(abr.Context{
+		Title:      title,
+		ChunkIndex: 20,
+		Buffer:     30 * time.Second,
+		MaxBuffer:  60 * time.Second, // half full: multiplier = 3.0
+		Playing:    true,
+		Throughput: 50 * units.Mbps,
+		PrevRung:   -1,
+	})
+	fmt.Printf("rung %d, pace %v, burst %d packets\n",
+		decision.Rung, decision.PaceRate, decision.Burst)
+	// Output: rung 7, pace 9.90Mbps, burst 4 packets
+}
+
+// ExampleController_ValidatePaceFloor checks a parameter choice against the
+// paper's Eq. 1 threshold before deploying it.
+func ExampleController_ValidatePaceFloor() {
+	h := abr.HYB{Beta: 0.5} // needs 2x the bitrate at an empty buffer
+	top := 3300 * units.Kbps
+
+	safe := core.NewSammy(h, 3.2, 2.8)
+	fmt.Println("3.2/2.8:", safe.ValidatePaceFloor(h, top, 4*time.Minute, 32*time.Second) == nil)
+
+	unsafe := core.NewSammy(h, 1.5, 1.2)
+	fmt.Println("1.5/1.2:", unsafe.ValidatePaceFloor(h, top, 4*time.Minute, 32*time.Second) == nil)
+	// Output:
+	// 3.2/2.8: true
+	// 1.5/1.2: false
+}

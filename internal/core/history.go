@@ -1,0 +1,81 @@
+package core
+
+import (
+	"repro/internal/units"
+)
+
+// History is a per-user store of historical throughput observations used
+// for initial bitrate selection (§4.1). It keeps two exponentially weighted
+// series:
+//
+//   - the combined series, updated with throughput from every chunk of
+//     every session — the pre-Sammy production behaviour. When the playing
+//     phase is paced this series is polluted downward-and-sideways by pace
+//     rates, which is exactly the coupling §4.1 warns about;
+//   - the initial-only series, updated only with initial-phase chunk
+//     throughput — Sammy's fix, immune to playing-phase pacing.
+//
+// The zero value is an empty history ready for use.
+type History struct {
+	combined ewma
+	initial  ewma
+}
+
+// ewma is an exponentially weighted moving average over positive samples.
+type ewma struct {
+	value float64
+	n     int64
+}
+
+// ewmaAlpha weights new observations; ~0.3 tracks a device's network over a
+// handful of sessions without whiplash from a single outlier.
+const ewmaAlpha = 0.3
+
+func (e *ewma) observe(x float64) {
+	if x <= 0 {
+		return
+	}
+	if e.n == 0 {
+		e.value = x
+	} else {
+		e.value = ewmaAlpha*x + (1-ewmaAlpha)*e.value
+	}
+	e.n++
+}
+
+// ObserveInitial records a chunk throughput measured during a session's
+// initial phase. Initial-phase samples feed both series.
+func (h *History) ObserveInitial(x units.BitsPerSecond) {
+	h.initial.observe(float64(x))
+	h.combined.observe(float64(x))
+}
+
+// ObservePlaying records a chunk throughput measured during the playing
+// phase. Playing-phase samples feed only the combined series.
+func (h *History) ObservePlaying(x units.BitsPerSecond) {
+	h.combined.observe(float64(x))
+}
+
+// Estimate reports the estimate from the requested source, or 0 when that
+// series has no observations yet (a cold start, the Fig 6 condition).
+func (h *History) Estimate(src HistorySource) units.BitsPerSecond {
+	switch src {
+	case InitialHistory:
+		return units.BitsPerSecond(h.initial.value)
+	default:
+		return units.BitsPerSecond(h.combined.value)
+	}
+}
+
+// HasData reports whether the requested series has any observations.
+func (h *History) HasData(src HistorySource) bool {
+	if src == InitialHistory {
+		return h.initial.n > 0
+	}
+	return h.combined.n > 0
+}
+
+// Reset clears both series, the "reset historical throughput information in
+// both treatment and control" step §5.7 uses for apples-to-apples
+// comparisons.
+func (h *History) Reset() { *h = History{} }

@@ -1,0 +1,241 @@
+// Package core implements Sammy, the paper's joint bitrate and pace-rate
+// selection scheme (§4, Algorithm 1), together with the variants the
+// evaluation compares against: the unpaced production control, the naive
+// fixed-multiplier pacing baseline of §5.5, and the initial-phase-only
+// changes of §5.4 / Table 3.
+//
+// Sammy's playing-phase rule: given buffer fill fraction B and the ladder's
+// highest bitrate r_top, request a pace rate of (c1·B + c0·(1−B))·r_top.
+// The production experiments use c0 = 3.2 and c1 = 2.8. During the initial
+// phase Sammy does not pace, and bitrate selection is driven by a separate
+// history of *initial-phase* throughput (§4.1).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/pacing"
+	"repro/internal/units"
+)
+
+// Default pace-rate multipliers from the paper's production experiments
+// (§5: "Sammy paces at 3.2x the maximum bitrate when the buffer is empty,
+// and 2.8x the maximum bitrate when the buffer is full").
+const (
+	DefaultC0 = 3.2
+	DefaultC1 = 2.8
+)
+
+// DefaultBurst is the pacing burst size in packets used in production for
+// CPU efficiency (§5.6).
+const DefaultBurst = 4
+
+// HistorySource selects which historical throughput series feeds initial
+// bitrate selection.
+type HistorySource int
+
+const (
+	// CombinedHistory uses throughput from all phases of past sessions —
+	// the pre-Sammy production behaviour, which pacing would pollute.
+	CombinedHistory HistorySource = iota
+	// InitialHistory uses throughput only from the initial phases of past
+	// sessions — Sammy's §4.1 change.
+	InitialHistory
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// ABR is the underlying bitrate-selection algorithm. Required.
+	ABR abr.Algorithm
+	// C0 and C1 are the empty- and full-buffer pace multipliers applied to
+	// the ladder's highest bitrate. Defaults: 3.2 and 2.8.
+	C0, C1 float64
+	// Burst is the pacing burst in packets. Default 4.
+	Burst int
+	// PaceInitial, when true, applies pacing during the initial phase too
+	// (the §5.5 naive baseline does; Sammy does not).
+	PaceInitial bool
+	// FixedMultiplier, when positive, replaces the buffer-interpolated
+	// multiplier with a constant (the §5.5 baseline paces at a flat 4×).
+	FixedMultiplier float64
+	// DisablePacing turns all pacing off (control, and the Table 3
+	// initial-phase-only arm).
+	DisablePacing bool
+	// History selects the throughput history feeding initial selection.
+	History HistorySource
+}
+
+// Decision is a joint bitrate + pace-rate choice for one chunk, the output
+// of Algorithm 1.
+type Decision struct {
+	Rung     int                 // ladder index for the chunk
+	PaceRate units.BitsPerSecond // requested pace rate; 0 = no pacing
+	Burst    int                 // pacing burst in packets (meaningful when pacing)
+}
+
+// Controller executes Algorithm 1 chunk by chunk for one session. It is the
+// "Sammy" object: construct one per video session with NewSammy (or one of
+// the variant constructors) and call Decide before each chunk download.
+type Controller struct {
+	name string
+	cfg  Config
+}
+
+// NewController builds a controller from an explicit config, validating it.
+func NewController(name string, cfg Config) (*Controller, error) {
+	if cfg.ABR == nil {
+		return nil, fmt.Errorf("core: config needs an ABR algorithm")
+	}
+	if cfg.C0 == 0 {
+		cfg.C0 = DefaultC0
+	}
+	if cfg.C1 == 0 {
+		cfg.C1 = DefaultC1
+	}
+	if cfg.C0 < 0 || cfg.C1 < 0 {
+		return nil, fmt.Errorf("core: pace multipliers must be non-negative, got c0=%v c1=%v", cfg.C0, cfg.C1)
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = DefaultBurst
+	}
+	if cfg.FixedMultiplier < 0 {
+		return nil, fmt.Errorf("core: fixed multiplier must be non-negative, got %v", cfg.FixedMultiplier)
+	}
+	return &Controller{name: name, cfg: cfg}, nil
+}
+
+// mustController is NewController for the package's own constructors, whose
+// configs are valid by construction.
+func mustController(name string, cfg Config) *Controller {
+	c, err := NewController(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewSammy returns Sammy with the production parameters: buffer-interpolated
+// pacing between c0 and c1 in the playing phase, no pacing in the initial
+// phase, initial-only throughput history.
+func NewSammy(a abr.Algorithm, c0, c1 float64) *Controller {
+	return mustController("sammy", Config{
+		ABR: a, C0: c0, C1: c1, Burst: DefaultBurst, History: InitialHistory,
+	})
+}
+
+// NewControl returns the unpaced production control arm: the plain ABR
+// algorithm, no pacing, combined history.
+func NewControl(a abr.Algorithm) *Controller {
+	return mustController("control", Config{
+		ABR: a, DisablePacing: true, History: CombinedHistory,
+	})
+}
+
+// NewNaiveBaseline returns the §5.5 baseline: the production ABR untouched,
+// with every chunk (including the initial phase) paced at a fixed multiple
+// of the maximum bitrate.
+func NewNaiveBaseline(a abr.Algorithm, multiplier float64) *Controller {
+	return mustController("naive-baseline", Config{
+		ABR: a, FixedMultiplier: multiplier, PaceInitial: true,
+		Burst: DefaultBurst, History: CombinedHistory,
+	})
+}
+
+// NewInitialOnly returns the §5.4 / Table 3 arm: Sammy's initial-phase
+// history changes with pacing disabled.
+func NewInitialOnly(a abr.Algorithm) *Controller {
+	return mustController("initial-only", Config{
+		ABR: a, DisablePacing: true, History: InitialHistory,
+	})
+}
+
+// Name identifies the controller variant in experiment output.
+func (c *Controller) Name() string { return c.name }
+
+// Config returns the controller's effective configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// HistorySource reports which history series should feed
+// Context.InitialEstimate for this controller.
+func (c *Controller) HistorySource() HistorySource { return c.cfg.History }
+
+// Decide runs Algorithm 1 for the chunk described by ctx: the underlying
+// ABR picks the rung, then the pace rate is derived from the buffer level
+// and the ladder's highest bitrate.
+func (c *Controller) Decide(ctx abr.Context) Decision {
+	rung := c.cfg.ABR.SelectRung(ctx)
+	d := Decision{Rung: rung, PaceRate: pacing.NoPacing, Burst: c.cfg.Burst}
+	if c.cfg.DisablePacing {
+		return d
+	}
+	if !ctx.Playing && !c.cfg.PaceInitial {
+		// Algorithm 1: "if ABR is in initial phase then pace rate ← no
+		// pacing". The initial phase is a tiny fraction of traffic and
+		// pacing it would directly increase play delay (§4.1).
+		return d
+	}
+	top := ctx.Title.Ladder.Top().Bitrate
+	mult := c.multiplier(ctx)
+	d.PaceRate = units.BitsPerSecond(mult * float64(top))
+	return d
+}
+
+// multiplier computes the pace multiplier: fixed when configured, otherwise
+// linear in buffer fill between c0 (empty) and c1 (full).
+func (c *Controller) multiplier(ctx abr.Context) float64 {
+	if c.cfg.FixedMultiplier > 0 {
+		return c.cfg.FixedMultiplier
+	}
+	b := 0.0
+	if ctx.MaxBuffer > 0 {
+		b = float64(ctx.Buffer) / float64(ctx.MaxBuffer)
+		if b < 0 {
+			b = 0
+		}
+		if b > 1 {
+			b = 1
+		}
+	}
+	return c.cfg.C1*b + c.cfg.C0*(1-b)
+}
+
+// ThresholdABR is implemented by ABR algorithms that expose their §4.2
+// decision threshold: the minimum throughput estimate that still selects
+// bitrate r from starting buffer b0 over lookahead duration d (Eq. 1).
+type ThresholdABR interface {
+	MinThroughputFor(r units.BitsPerSecond, b0, d time.Duration) units.BitsPerSecond
+}
+
+// ValidatePaceFloor checks that the controller's pace rates stay above the
+// ABR algorithm's decision threshold for the top rung at every buffer
+// level, the condition §4.2 requires so pacing never changes bitrate
+// decisions. It returns nil when safe and a descriptive error otherwise.
+//
+// top is the ladder's highest bitrate, maxBuffer the player's buffer
+// capacity and lookahead the ABR's lookahead duration.
+func (c *Controller) ValidatePaceFloor(a ThresholdABR, top units.BitsPerSecond, maxBuffer, lookahead time.Duration) error {
+	if c.cfg.DisablePacing {
+		return nil
+	}
+	// The multiplier is linear in buffer fill and the threshold is
+	// decreasing in buffer, so checking a dense grid of buffer levels is
+	// sufficient and simple.
+	const steps = 64
+	for i := 0; i <= steps; i++ {
+		fill := float64(i) / steps
+		buf := time.Duration(fill * float64(maxBuffer))
+		mult := c.cfg.FixedMultiplier
+		if mult <= 0 {
+			mult = c.cfg.C1*fill + c.cfg.C0*(1-fill)
+		}
+		pace := units.BitsPerSecond(mult * float64(top))
+		need := a.MinThroughputFor(top, buf, lookahead)
+		if pace < need {
+			return fmt.Errorf("core: pace rate %v at buffer fill %.2f is below the ABR threshold %v for the top bitrate %v",
+				pace, fill, need, top)
+		}
+	}
+	return nil
+}

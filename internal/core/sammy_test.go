@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+func playingCtx(bufFrac float64) abr.Context {
+	title := video.NewTitle(video.DefaultLadder(), 4*time.Second, 300, nil)
+	maxBuf := 60 * time.Second
+	return abr.Context{
+		Title:      title,
+		ChunkIndex: 20,
+		Buffer:     time.Duration(bufFrac * float64(maxBuf)),
+		MaxBuffer:  maxBuf,
+		Playing:    true,
+		Throughput: 50 * units.Mbps,
+		PrevRung:   -1,
+	}
+}
+
+func TestSammyPaceMultiplierInterpolation(t *testing.T) {
+	s := NewSammy(abr.Production{}, 3.2, 2.8)
+	top := float64(video.DefaultLadder().Top().Bitrate)
+
+	empty := s.Decide(playingCtx(0))
+	if got := float64(empty.PaceRate) / top; math.Abs(got-3.2) > 1e-9 {
+		t.Errorf("empty-buffer multiplier = %v, want 3.2", got)
+	}
+	full := s.Decide(playingCtx(1))
+	if got := float64(full.PaceRate) / top; math.Abs(got-2.8) > 1e-9 {
+		t.Errorf("full-buffer multiplier = %v, want 2.8", got)
+	}
+	half := s.Decide(playingCtx(0.5))
+	if got := float64(half.PaceRate) / top; math.Abs(got-3.0) > 1e-9 {
+		t.Errorf("half-buffer multiplier = %v, want 3.0", got)
+	}
+}
+
+func TestSammyNoPacingInInitialPhase(t *testing.T) {
+	s := NewSammy(abr.Production{}, 3.2, 2.8)
+	ctx := playingCtx(0)
+	ctx.Playing = false
+	ctx.Throughput = 0
+	ctx.InitialEstimate = 20 * units.Mbps
+	d := s.Decide(ctx)
+	if d.PaceRate != 0 {
+		t.Errorf("initial phase pace rate = %v, want no pacing (Algorithm 1)", d.PaceRate)
+	}
+}
+
+func TestSammyBurstDefault(t *testing.T) {
+	s := NewSammy(abr.Production{}, 0, 0) // zeros take defaults
+	d := s.Decide(playingCtx(0.5))
+	if d.Burst != DefaultBurst {
+		t.Errorf("burst = %d, want %d", d.Burst, DefaultBurst)
+	}
+	if got := s.Config().C0; got != DefaultC0 {
+		t.Errorf("default c0 = %v", got)
+	}
+}
+
+func TestControlNeverPaces(t *testing.T) {
+	c := NewControl(abr.Production{})
+	for _, frac := range []float64{0, 0.5, 1} {
+		if d := c.Decide(playingCtx(frac)); d.PaceRate != 0 {
+			t.Errorf("control paced at %v", d.PaceRate)
+		}
+	}
+	if c.HistorySource() != CombinedHistory {
+		t.Error("control should use combined history")
+	}
+}
+
+func TestNaiveBaselinePacesEverythingAtFixedMultiple(t *testing.T) {
+	b := NewNaiveBaseline(abr.Production{}, 4)
+	top := float64(video.DefaultLadder().Top().Bitrate)
+
+	playing := b.Decide(playingCtx(0.9))
+	if got := float64(playing.PaceRate) / top; math.Abs(got-4) > 1e-9 {
+		t.Errorf("baseline playing multiplier = %v, want 4", got)
+	}
+	ctx := playingCtx(0)
+	ctx.Playing = false
+	ctx.InitialEstimate = 20 * units.Mbps
+	initial := b.Decide(ctx)
+	if got := float64(initial.PaceRate) / top; math.Abs(got-4) > 1e-9 {
+		t.Errorf("baseline initial multiplier = %v, want 4 (§5.5 paces the initial phase too)", got)
+	}
+}
+
+func TestInitialOnlyArm(t *testing.T) {
+	c := NewInitialOnly(abr.Production{})
+	if d := c.Decide(playingCtx(0.5)); d.PaceRate != 0 {
+		t.Error("initial-only arm must not pace")
+	}
+	if c.HistorySource() != InitialHistory {
+		t.Error("initial-only arm should use initial history")
+	}
+}
+
+func TestSammyRungMatchesUnderlyingABR(t *testing.T) {
+	// Sammy delegates rung choice entirely to the ABR algorithm.
+	a := abr.Production{}
+	s := NewSammy(a, 3.2, 2.8)
+	f := func(bufFrac uint8, mbps uint16) bool {
+		ctx := playingCtx(float64(bufFrac%101) / 100)
+		ctx.Throughput = units.BitsPerSecond(int(mbps)+1000) * units.Kbps
+		return s.Decide(ctx).Rung == a.SelectRung(ctx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaceRateDecreasesAsBufferFills(t *testing.T) {
+	// c0 > c1, so pacing smooths harder (lower rate) as the buffer grows —
+	// the §4.2 buffer-based pace selection.
+	s := NewSammy(abr.Production{}, 3.2, 2.8)
+	prev := units.BitsPerSecond(math.Inf(1))
+	for frac := 0.0; frac <= 1.0; frac += 0.1 {
+		d := s.Decide(playingCtx(frac))
+		if d.PaceRate > prev {
+			t.Fatalf("pace rate increased with buffer at fill %v", frac)
+		}
+		prev = d.PaceRate
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController("x", Config{}); err == nil {
+		t.Error("missing ABR should error")
+	}
+	if _, err := NewController("x", Config{ABR: abr.Production{}, C0: -1}); err == nil {
+		t.Error("negative multiplier should error")
+	}
+	if _, err := NewController("x", Config{ABR: abr.Production{}, FixedMultiplier: -2}); err == nil {
+		t.Error("negative fixed multiplier should error")
+	}
+	if c, err := NewController("x", Config{ABR: abr.Production{}}); err != nil || c.Name() != "x" {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestValidatePaceFloor(t *testing.T) {
+	a := abr.Production{} // β=0.7 ⇒ empty-buffer threshold = top/0.7 ≈ 1.43×top
+	top := video.DefaultLadder().Top().Bitrate
+	maxBuf := 60 * time.Second
+	look := 32 * time.Second
+
+	good := NewSammy(a, 3.2, 2.8)
+	if err := good.ValidatePaceFloor(a, top, maxBuf, look); err != nil {
+		t.Errorf("production parameters rejected: %v", err)
+	}
+
+	// A pace multiplier below 1/β at empty buffer violates Eq. 1.
+	bad := NewSammy(a, 1.1, 1.0)
+	err := bad.ValidatePaceFloor(a, top, maxBuf, look)
+	if err == nil {
+		t.Fatal("multiplier below the Eq. 1 floor should be rejected")
+	}
+	if !strings.Contains(err.Error(), "below the ABR threshold") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+
+	// Control never paces, so any parameters validate.
+	if err := NewControl(a).ValidatePaceFloor(a, top, maxBuf, look); err != nil {
+		t.Errorf("control should always validate: %v", err)
+	}
+}
+
+func TestHistorySeparation(t *testing.T) {
+	var h History
+	if h.HasData(InitialHistory) || h.HasData(CombinedHistory) {
+		t.Fatal("zero-value history should be empty")
+	}
+	h.ObserveInitial(5 * units.Mbps)
+	h.ObservePlaying(50 * units.Mbps) // paced/fast playing-phase sample
+	h.ObservePlaying(50 * units.Mbps)
+	h.ObservePlaying(50 * units.Mbps)
+
+	init := h.Estimate(InitialHistory)
+	comb := h.Estimate(CombinedHistory)
+	if init != 5*units.Mbps {
+		t.Errorf("initial estimate = %v, want 5Mbps", init)
+	}
+	if comb <= init {
+		t.Errorf("combined estimate %v should be pulled up by playing-phase samples above %v", comb, init)
+	}
+}
+
+func TestHistoryReset(t *testing.T) {
+	var h History
+	h.ObserveInitial(5 * units.Mbps)
+	h.Reset()
+	if h.HasData(InitialHistory) || h.Estimate(InitialHistory) != 0 {
+		t.Error("reset should clear the history (§5.7)")
+	}
+}
+
+func TestHistoryIgnoresNonPositive(t *testing.T) {
+	var h History
+	h.ObserveInitial(0)
+	h.ObservePlaying(-1)
+	if h.HasData(CombinedHistory) {
+		t.Error("non-positive samples should be ignored")
+	}
+}
+
+func TestHistoryEWMAConvergesProperty(t *testing.T) {
+	// Feeding a constant converges the estimate to that constant.
+	f := func(mbps uint8) bool {
+		var h History
+		x := units.BitsPerSecond(int(mbps)+1) * units.Mbps
+		for i := 0; i < 50; i++ {
+			h.ObserveInitial(x)
+		}
+		got := h.Estimate(InitialHistory)
+		return math.Abs(float64(got-x))/float64(x) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

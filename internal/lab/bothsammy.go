@@ -1,0 +1,54 @@
+package lab
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tdigest"
+)
+
+// BothSammyResult compares link-level congestion when two video sessions
+// share the bottleneck, across the three pairings §6 hints at: both on the
+// production algorithm, Sammy next to a production neighbor (the Fig 8d
+// condition), and both on Sammy ("it is possible that if the neighboring
+// traffic instead used Sammy, the congestion reduction could be even
+// larger").
+type BothSammyResult struct {
+	Pairing   string
+	MedianRTT float64 // ms, across both sessions' samples
+	Drops     int64   // bottleneck queue drops
+	PeakQueue int64   // bytes
+}
+
+// BothSammy runs the three pairings and reports link congestion for each.
+func BothSammy(chunks int, seed int64) []BothSammyResult {
+	pairings := []struct {
+		name   string
+		first  func() *core.Controller
+		second func() *core.Controller
+	}{
+		{"control+control", ControlController, ControlController},
+		{"sammy+control", SammyController, ControlController},
+		{"sammy+sammy", SammyController, SammyController},
+	}
+	out := make([]BothSammyResult, 0, len(pairings))
+	for _, pairing := range pairings {
+		topo := NewTopology(Config{})
+		p1, c1 := topo.VideoSession(1, pairing.first(), chunks, seed, nil)
+		p2, c2 := topo.VideoSession(2, pairing.second(), chunks, seed+1, nil)
+		p1.Start()
+		topo.S.At(4*time.Second, p2.Start)
+		topo.S.RunUntil(time.Duration(chunks) * 12 * time.Second)
+
+		merged := tdigest.New(100)
+		merged.Merge(c1.RTT)
+		merged.Merge(c2.RTT)
+		out = append(out, BothSammyResult{
+			Pairing:   pairing.name,
+			MedianRTT: merged.Quantile(0.5),
+			Drops:     topo.Fwd.Stats.Dropped,
+			PeakQueue: int64(topo.Fwd.Stats.PeakQueue),
+		})
+	}
+	return out
+}

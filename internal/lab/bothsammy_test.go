@@ -1,0 +1,38 @@
+package lab
+
+import (
+	"testing"
+)
+
+func TestBothSammyCongestionOrdering(t *testing.T) {
+	results := BothSammy(60, 9)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byName := map[string]BothSammyResult{}
+	for _, r := range results {
+		byName[r.Pairing] = r
+	}
+	cc := byName["control+control"]
+	sc := byName["sammy+control"]
+	ss := byName["sammy+sammy"]
+
+	// §6's suggestion: one Sammy helps, two Sammys help more. RTT and
+	// drops order accordingly.
+	if sc.MedianRTT >= cc.MedianRTT {
+		t.Errorf("sammy+control RTT %.1f ms not below control+control %.1f ms", sc.MedianRTT, cc.MedianRTT)
+	}
+	if ss.MedianRTT > sc.MedianRTT {
+		t.Errorf("sammy+sammy RTT %.1f ms above sammy+control %.1f ms", ss.MedianRTT, sc.MedianRTT)
+	}
+	if ss.Drops > cc.Drops {
+		t.Errorf("sammy+sammy drops %d above control pairing %d", ss.Drops, cc.Drops)
+	}
+	// With both paced (2×10 Mbps < 40 Mbps after startup), the steady-state
+	// queue stays small: peak is dominated by the unpaced startup, so just
+	// require both-Sammy congestion to be no worse than the all-control
+	// case on every axis.
+	if ss.PeakQueue > cc.PeakQueue {
+		t.Errorf("sammy+sammy peak queue %d above control pairing %d", ss.PeakQueue, cc.PeakQueue)
+	}
+}

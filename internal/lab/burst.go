@@ -1,0 +1,181 @@
+package lab
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/player"
+	"repro/internal/tcp"
+	"repro/internal/traffic"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// This file implements the Fig 4 burst-size experiment and the rate-limiter
+// ablation. Burst size matters only when bursts can overflow a queue, so
+// these scenarios use a shallower queue shared with cross traffic —
+// conditions the production network provides for free.
+
+// BurstPoint is one Fig 4 sample: a pacing burst size and the retransmit
+// change relative to the unpaced control.
+type BurstPoint struct {
+	Burst         int     // pacing burst in packets; 0 = unpaced control
+	RetxFraction  float64 // session retransmit fraction
+	RetxChangePct float64 // percent change vs the unpaced control
+	Throughput    units.BitsPerSecond
+	VMAF          float64
+}
+
+// burstTopology is the Fig 4 network: the lab link with a shallow queue and
+// a CBR cross flow occupying part of it, so line-rate bursts from the video
+// flow overflow while well-paced packets slip through.
+func burstTopology() *Topology {
+	topo := NewTopology(Config{QueueBDPs: 1.5})
+	cross := traffic.NewUDPFlow(topo.S, 999, topo.Fwd, topo.Class, 15*units.Mbps, 1500)
+	cross.Start()
+	return topo
+}
+
+// BurstSizeExperiment runs Fig 4: a video session paced at 2× the maximum
+// bitrate with each burst size (paper: 4 to 40 packets), plus an unpaced
+// control, reporting the retransmit change per burst size. Smaller bursts
+// mean fewer drops; throughput and quality stay flat (§5.6).
+func BurstSizeExperiment(bursts []int, chunks int, seed int64) []BurstPoint {
+	run := func(burst int) BurstPoint {
+		topo := burstTopology()
+		conn := topo.Conn(1, tcp.Config{PacerBurst: maxInt(burst, 1)})
+		title := video.NewTitle(video.LabLadder(), 4*time.Second, chunks, newRng(seed))
+		var ctrl *core.Controller
+		if burst == 0 {
+			ctrl = ControlController()
+		} else {
+			// Fixed 2× pacing with the requested burst isolates the
+			// burst-size effect, as in §5.6.
+			var err error
+			ctrl, err = core.NewController("pace-2x", core.Config{
+				ABR:             abr.Production{},
+				FixedMultiplier: 2,
+				PaceInitial:     true,
+				Burst:           burst,
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+		cfg := player.Config{
+			Controller: ctrl,
+			Title:      title,
+			History:    &core.History{},
+			// A small client buffer reaches the steady on-off pattern after
+			// a few chunks; burst-size effects only exist at on-period
+			// onsets, when the token bucket has refilled during the off
+			// period.
+			MaxBuffer: 20 * time.Second,
+		}
+		p := player.NewSimPlayer(topo.S, conn, cfg, nil, nil)
+		p.Start()
+		topo.S.RunUntil(time.Duration(chunks) * 12 * time.Second)
+		q := p.QoE()
+		return BurstPoint{
+			Burst:        burst,
+			RetxFraction: conn.Stats.RetransmitFraction(),
+			Throughput:   q.ChunkThroughput,
+			VMAF:         q.VMAF,
+		}
+	}
+
+	control := run(0)
+	points := []BurstPoint{control}
+	for _, b := range bursts {
+		pt := run(b)
+		if control.RetxFraction > 0 {
+			pt.RetxChangePct = 100 * (pt.RetxFraction - control.RetxFraction) / control.RetxFraction
+		}
+		points = append(points, pt)
+	}
+	return points
+}
+
+// LimiterResult is one rate-limiter mechanism's outcome in the ablation
+// behind Table 1's mechanism column: all limiters cap average throughput,
+// but burstier mechanisms keep losing packets.
+type LimiterResult struct {
+	Name         string
+	RetxFraction float64
+	Throughput   units.BitsPerSecond
+	MeanRTTms    float64
+}
+
+// AblationLimiters compares the Table 1 rate-limiting mechanisms on the
+// on-off video workload, where their burstiness differences live. All hold
+// the flow to 2x the top bitrate on average:
+//
+//   - "pacing-b4": application-informed pacing with Sammy's 4-packet burst;
+//   - "token-bucket": a server-side token bucket in the style of [3], with
+//     a deep (24-packet) bucket that releases line-rate bursts after idle;
+//   - "cwnd-cap": a Trickle-style [25] window cap, whose burstiness the
+//     paper equates with the stack's 40-packet line-rate burst allowance
+//     (section 5.6), which is how it is modelled here;
+//   - "unpaced": no limiter, for reference.
+func AblationLimiters(chunks int, seed int64) []LimiterResult {
+	type mechanism struct {
+		name  string
+		burst int // pacer burst in packets; 0 = unpaced
+	}
+	mechanisms := []mechanism{
+		{"unpaced", 0},
+		{"cwnd-cap", 40},
+		{"token-bucket", 24},
+		{"pacing-b4", 4},
+	}
+
+	var out []LimiterResult
+	for _, m := range mechanisms {
+		topo := burstTopology()
+		conn := topo.Conn(1, tcp.Config{PacerBurst: maxInt(m.burst, 1)})
+		var ctrl *core.Controller
+		if m.burst == 0 {
+			ctrl = ControlController()
+		} else {
+			var err error
+			ctrl, err = core.NewController(m.name, core.Config{
+				ABR:             abr.Production{},
+				FixedMultiplier: 2,
+				PaceInitial:     true,
+				Burst:           m.burst,
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+		title := video.NewTitle(video.LabLadder(), 4*time.Second, chunks, newRng(seed))
+		p := player.NewSimPlayer(topo.S, conn, player.Config{
+			Controller: ctrl,
+			Title:      title,
+			History:    &core.History{},
+			MaxBuffer:  20 * time.Second,
+		}, nil, nil)
+		p.Start()
+		topo.S.RunUntil(time.Duration(chunks) * 12 * time.Second)
+		q := p.QoE()
+		out = append(out, LimiterResult{
+			Name:         m.name,
+			RetxFraction: conn.Stats.RetransmitFraction(),
+			Throughput:   q.ChunkThroughput,
+			MeanRTTms:    conn.RTT.Quantile(0.5),
+		})
+	}
+	return out
+}
+
+// newRng seeds a deterministic RNG for a scenario.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

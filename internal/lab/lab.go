@@ -1,0 +1,240 @@
+// Package lab assembles the paper's §6 testbed experiments on the
+// packet-level simulator: the single-flow trace (Fig 7), the four neighbor
+// studies (Fig 8a-d), the pacing burst-size experiment (Fig 4), and the
+// rate-limiter ablation behind Table 1's mechanism comparison.
+//
+// The topology is the paper's: a 40 Mbps bottleneck, 5 ms round-trip time,
+// a drop-tail queue of 4× the bandwidth-delay product, and a video with a
+// maximum bitrate of 3.3 Mbps.
+package lab
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/player"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// Topology is one instantiated lab network.
+type Topology struct {
+	S     *sim.Simulator
+	Fwd   *sim.Link
+	Class *sim.Classifier
+	Rate  units.BitsPerSecond
+	RTT   time.Duration
+}
+
+// Config parameterizes the lab network; zero values take the paper's §6
+// settings.
+type Config struct {
+	Rate      units.BitsPerSecond // default 40 Mbps
+	RTT       time.Duration       // default 5 ms
+	QueueBDPs float64             // queue size in BDPs; default 4
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rate <= 0 {
+		c.Rate = 40 * units.Mbps
+	}
+	if c.RTT <= 0 {
+		c.RTT = 5 * time.Millisecond
+	}
+	if c.QueueBDPs <= 0 {
+		c.QueueBDPs = 4
+	}
+	return c
+}
+
+// NewTopology builds the lab network.
+func NewTopology(cfg Config) *Topology {
+	cfg = cfg.withDefaults()
+	s := sim.New()
+	class := sim.NewClassifier()
+	bdp := cfg.Rate.BytesIn(cfg.RTT)
+	fwd := sim.NewLink(s, sim.LinkConfig{
+		Rate:       cfg.Rate,
+		Delay:      cfg.RTT / 2,
+		QueueLimit: units.Bytes(float64(bdp) * cfg.QueueBDPs),
+	}, class)
+	return &Topology{S: s, Fwd: fwd, Class: class, Rate: cfg.Rate, RTT: cfg.RTT}
+}
+
+// RevCfg is the per-flow reverse path: fast and uncongested.
+func (t *Topology) RevCfg() sim.LinkConfig {
+	return sim.LinkConfig{Rate: 1 * units.Gbps, Delay: t.RTT / 2}
+}
+
+// Conn builds a TCP connection through the bottleneck for flow id.
+func (t *Topology) Conn(id sim.FlowID, cfg tcp.Config) *tcp.Conn {
+	return tcp.NewConn(t.S, id, t.Fwd, t.Class, t.RevCfg(), cfg)
+}
+
+// VideoSession wires a player over a fresh connection.
+func (t *Topology) VideoSession(id sim.FlowID, ctrl *core.Controller, chunks int, seed int64,
+	onChunk func(player.ChunkEvent)) (*player.SimPlayer, *tcp.Conn) {
+	conn := t.Conn(id, tcp.Config{})
+	rng := rand.New(rand.NewSource(seed))
+	title := video.NewTitle(video.LabLadder(), 4*time.Second, chunks, rng)
+	cfg := player.Config{
+		Controller: ctrl,
+		Title:      title,
+		History:    &core.History{},
+		// TV clients hold minutes of buffer; the long prebuffer phase is
+		// what congests the link in the paper's Fig 7/8 traces.
+		MaxBuffer: 4 * time.Minute,
+	}
+	return player.NewSimPlayer(t.S, conn, cfg, onChunk, nil), conn
+}
+
+// Controllers for the two arms every lab experiment compares.
+
+// ControlController is the unpaced production arm.
+func ControlController() *core.Controller {
+	return core.NewControl(abr.Production{})
+}
+
+// SammyController is Sammy with the production parameters.
+func SammyController() *core.Controller {
+	return core.NewSammy(abr.Production{}, core.DefaultC0, core.DefaultC1)
+}
+
+// --- Fig 7: single flow --------------------------------------------------
+
+// SingleFlowResult is a Fig 7 panel: the session's QoE plus throughput and
+// RTT time series.
+type SingleFlowResult struct {
+	QoE        player.QoE
+	Throughput trace.Series // binned wire throughput, Mbps
+	RTT        trace.Series // SRTT samples, ms
+	Retransmit float64      // session retransmit fraction
+}
+
+// SingleFlow runs one video session alone on the lab link, tracing
+// throughput in 250 ms bins and sampling SRTT every 100 ms.
+func SingleFlow(ctrl *core.Controller, chunks int, seed int64) SingleFlowResult {
+	topo := NewTopology(Config{})
+	binner := trace.NewThroughputBinner(250 * time.Millisecond)
+	p, conn := topo.VideoSession(1, ctrl, chunks, seed, func(ev player.ChunkEvent) {
+		binner.AddInterval(ev.Start, ev.End, ev.Size)
+	})
+
+	rttSeries := trace.Series{Name: "rtt", Unit: "ms"}
+	var sampleRTT func()
+	sampleRTT = func() {
+		if srtt := conn.SRTT(); srtt > 0 {
+			rttSeries.Add(topo.S.Now(), srtt.Seconds()*1000)
+		}
+		if !p.Done() {
+			topo.S.Schedule(100*time.Millisecond, sampleRTT)
+		}
+	}
+	p.Start()
+	topo.S.Schedule(100*time.Millisecond, sampleRTT)
+	topo.S.RunUntil(time.Duration(chunks) * 8 * time.Second)
+
+	return SingleFlowResult{
+		QoE:        p.QoE(),
+		Throughput: binner.Series("throughput"),
+		RTT:        rttSeries,
+		Retransmit: conn.Stats.RetransmitFraction(),
+	}
+}
+
+// --- Fig 8 neighbors -------------------------------------------------------
+
+// NeighborResult compares a neighbor metric under the control and Sammy
+// video arms.
+type NeighborResult struct {
+	Control float64
+	Sammy   float64
+}
+
+// ImprovementPct reports the percent change from control to Sammy
+// (negative = reduction).
+func (n NeighborResult) ImprovementPct() float64 {
+	if n.Control == 0 {
+		return 0
+	}
+	return 100 * (n.Sammy - n.Control) / n.Control
+}
+
+// UDPNeighbor runs Fig 8a: a 5 Mbps paced UDP flow shares the link with a
+// video session; the metric is the UDP flow's mean one-way delay in ms.
+func UDPNeighbor(chunks int, seed int64) NeighborResult {
+	run := func(ctrl *core.Controller) float64 {
+		topo := NewTopology(Config{})
+		p, _ := topo.VideoSession(1, ctrl, chunks, seed, nil)
+		u := traffic.NewUDPFlow(topo.S, 2, topo.Fwd, topo.Class, 5*units.Mbps, 1500)
+		p.Start()
+		// Measure once playback is underway, across the window where the
+		// control arm is still filling its large client buffer.
+		topo.S.At(5*time.Second, u.Start)
+		end := 45 * time.Second
+		topo.S.At(end, u.Stop)
+		topo.S.RunUntil(end + 5*time.Second)
+		return u.MeanDelay().Seconds() * 1000
+	}
+	return NeighborResult{Control: run(ControlController()), Sammy: run(SammyController())}
+}
+
+// TCPNeighbor runs Fig 8b: a bulk TCP flow starts 10 s after playback; the
+// metric is its achieved throughput in Mbps.
+func TCPNeighbor(chunks int, seed int64) NeighborResult {
+	run := func(ctrl *core.Controller) float64 {
+		topo := NewTopology(Config{})
+		p, _ := topo.VideoSession(1, ctrl, chunks, seed, nil)
+		size := 60 * units.MB
+		bulk := traffic.NewBulkFlow(topo.S, 2, topo.Fwd, topo.Class, topo.RevCfg(), size)
+		p.Start()
+		bulk.StartAt(10 * time.Second)
+		topo.S.RunUntil(time.Duration(chunks) * 8 * time.Second)
+		return bulk.Throughput().Mbps()
+	}
+	return NeighborResult{Control: run(ControlController()), Sammy: run(SammyController())}
+}
+
+// HTTPNeighbor runs Fig 8c: repeated 3 MB HTTP requests during playback;
+// the metric is the mean response time in ms.
+func HTTPNeighbor(chunks int, seed int64) NeighborResult {
+	run := func(ctrl *core.Controller) float64 {
+		topo := NewTopology(Config{})
+		p, _ := topo.VideoSession(1, ctrl, chunks, seed, nil)
+		h := traffic.NewHTTPLoad(topo.S, 2, topo.Fwd, topo.Class, topo.RevCfg(),
+			3*units.MB, 200*time.Millisecond)
+		p.Start()
+		h.StartAt(5 * time.Second)
+		end := 45 * time.Second
+		topo.S.At(end, h.Stop)
+		topo.S.RunUntil(end + 20*time.Second)
+		return h.MeanResponseTime().Seconds() * 1000
+	}
+	return NeighborResult{Control: run(ControlController()), Sammy: run(SammyController())}
+}
+
+// VideoNeighbor runs Fig 8d: a second video session (always the production
+// control, as in the paper) starts a few seconds after the first; the
+// metric is the neighbor's play delay in ms, averaged over trials.
+func VideoNeighbor(chunks int, trials int, seed int64) NeighborResult {
+	run := func(ctrl func() *core.Controller) float64 {
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			topo := NewTopology(Config{})
+			p1, _ := topo.VideoSession(1, ctrl(), chunks, seed+int64(trial), nil)
+			p2, _ := topo.VideoSession(2, ControlController(), chunks, seed+int64(trial)+1000, nil)
+			p1.Start()
+			topo.S.At(4*time.Second, p2.Start)
+			topo.S.RunUntil(time.Duration(chunks) * 12 * time.Second)
+			sum += p2.QoE().PlayDelay.Seconds() * 1000
+		}
+		return sum / float64(trials)
+	}
+	return NeighborResult{Control: run(ControlController), Sammy: run(SammyController)}
+}

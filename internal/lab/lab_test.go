@@ -1,0 +1,179 @@
+package lab
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSingleFlowFig7Shape(t *testing.T) {
+	// Fig 7: control saturates the 40 Mbps link with inflated RTTs; Sammy
+	// settles near 3×3.3 ≈ 10 Mbps with RTTs at the 5 ms floor.
+	control := SingleFlow(ControlController(), 90, 1)
+	sammy := SingleFlow(SammyController(), 90, 1)
+
+	if control.QoE.Chunks != 90 || sammy.QoE.Chunks != 90 {
+		t.Fatalf("sessions incomplete: control=%d sammy=%d chunks",
+			control.QoE.Chunks, sammy.QoE.Chunks)
+	}
+	// Control's peak binned throughput approaches the link rate.
+	if max := control.Throughput.Max(); max < 30 {
+		t.Errorf("control peak throughput = %.1f Mbps, want ≈ 40", max)
+	}
+	// Sammy's post-startup peaks sit near the pace rate, far below the link.
+	if max := sammy.Throughput.Max(); max > 25 {
+		t.Errorf("sammy peak throughput = %.1f Mbps, want ≲ 12 after startup", max)
+	}
+	// RTT: Sammy's mean near the 5 ms floor; control's clearly inflated.
+	cRTT, sRTT := control.RTT.Mean(), sammy.RTT.Mean()
+	if sRTT > 8 {
+		t.Errorf("sammy mean RTT = %.1f ms, want ≈ 5", sRTT)
+	}
+	if cRTT < sRTT+3 {
+		t.Errorf("control RTT %.1f ms not clearly above sammy %.1f ms", cRTT, sRTT)
+	}
+	// QoE parity: same quality, no rebuffers.
+	if sammy.QoE.VMAF < control.QoE.VMAF-0.5 {
+		t.Errorf("sammy VMAF %.2f below control %.2f", sammy.QoE.VMAF, control.QoE.VMAF)
+	}
+	if sammy.QoE.RebufferCount > 0 {
+		t.Errorf("sammy rebuffered %d times", sammy.QoE.RebufferCount)
+	}
+}
+
+func TestUDPNeighborFig8a(t *testing.T) {
+	res := UDPNeighbor(90, 2)
+	// Paper: one-way delay improves by ~51%. Shape: a substantial reduction.
+	imp := res.ImprovementPct()
+	if imp > -25 {
+		t.Errorf("UDP delay change = %.1f%% (control %.2fms, sammy %.2fms), want strong reduction",
+			imp, res.Control, res.Sammy)
+	}
+	if res.Sammy > 6 {
+		t.Errorf("sammy-side UDP delay = %.2f ms, want near the uncongested ≈3 ms", res.Sammy)
+	}
+}
+
+func TestTCPNeighborFig8b(t *testing.T) {
+	res := TCPNeighbor(90, 3)
+	// Paper: +28% (20 → 25.7 Mbps). Shape: the neighbor gets clearly more
+	// than its fair share when the video paces.
+	if res.Control < 12 || res.Control > 30 {
+		t.Errorf("control-side TCP throughput = %.1f Mbps, want ≈ 20 (fair share)", res.Control)
+	}
+	if res.Sammy < res.Control*1.1 {
+		t.Errorf("sammy-side TCP throughput = %.1f Mbps, want > control %.1f by ≥10%%",
+			res.Sammy, res.Control)
+	}
+}
+
+func TestHTTPNeighborFig8c(t *testing.T) {
+	res := HTTPNeighbor(90, 4)
+	// Paper: response times improve 18% (1095 → 898 ms). Shape: a clear
+	// reduction.
+	if res.Sammy >= res.Control {
+		t.Errorf("HTTP response time did not improve: control %.0f ms, sammy %.0f ms",
+			res.Control, res.Sammy)
+	}
+	imp := res.ImprovementPct()
+	if imp > -5 {
+		t.Errorf("HTTP response change = %.1f%%, want ≤ -5%%", imp)
+	}
+}
+
+func TestVideoNeighborFig8d(t *testing.T) {
+	res := VideoNeighbor(15, 2, 5)
+	// Paper: play delay improves ~4%. Shape: the neighbor starts at least
+	// as fast next to Sammy.
+	if res.Sammy > res.Control*1.02 {
+		t.Errorf("neighbor play delay worsened: control %.0f ms, sammy %.0f ms",
+			res.Control, res.Sammy)
+	}
+}
+
+func TestBurstSizeFig4Shape(t *testing.T) {
+	points := BurstSizeExperiment([]int{4, 40}, 40, 6)
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	control, b4, b40 := points[0], points[1], points[2]
+	if control.Burst != 0 || b4.Burst != 4 || b40.Burst != 40 {
+		t.Fatalf("unexpected ordering: %+v", points)
+	}
+	// Fig 4 shape: both paced settings beat the unpaced control, and the
+	// 4-packet burst beats the 40-packet burst.
+	if control.RetxFraction == 0 {
+		t.Fatal("unpaced control should retransmit on the shallow queue")
+	}
+	if b40.RetxFraction >= control.RetxFraction {
+		t.Errorf("burst-40 retx %.4f not below control %.4f", b40.RetxFraction, control.RetxFraction)
+	}
+	if b4.RetxFraction >= b40.RetxFraction {
+		t.Errorf("burst-4 retx %.4f not below burst-40 %.4f", b4.RetxFraction, b40.RetxFraction)
+	}
+	// §5.6: no meaningful difference in throughput or quality across burst
+	// sizes.
+	tputRatio := float64(b4.Throughput) / float64(b40.Throughput)
+	if tputRatio < 0.85 || tputRatio > 1.15 {
+		t.Errorf("throughput should be flat across burst sizes: %v vs %v", b4.Throughput, b40.Throughput)
+	}
+	if diff := b4.VMAF - b40.VMAF; diff < -1 || diff > 1 {
+		t.Errorf("VMAF should be flat across burst sizes: %.2f vs %.2f", b4.VMAF, b40.VMAF)
+	}
+}
+
+func TestAblationLimiters(t *testing.T) {
+	results := AblationLimiters(40, 7)
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byName := map[string]LimiterResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	unpaced := byName["unpaced"]
+	cwndCap := byName["cwnd-cap"]
+	bucket := byName["token-bucket"]
+	paced := byName["pacing-b4"]
+
+	// All limiters hold throughput near 2x the 3.3 Mbps top bitrate; the
+	// unpaced reference runs much faster.
+	for _, r := range []LimiterResult{cwndCap, bucket, paced} {
+		mbps := r.Throughput.Mbps()
+		if mbps < 4 || mbps > 9 {
+			t.Errorf("%s throughput = %.1f Mbps, want ≈ 6.6 (2x top bitrate)", r.Name, mbps)
+		}
+	}
+	if unpaced.Throughput.Mbps() < 12 {
+		t.Errorf("unpaced throughput = %.1f Mbps, want ≫ limiters", unpaced.Throughput.Mbps())
+	}
+	// Table 1's mechanism distinction: every limiter beats unpaced, and
+	// burstiness orders the residual losses — window-cap (40-pkt bursts) ≥
+	// token bucket (24) ≥ pacing (4).
+	if cwndCap.RetxFraction >= unpaced.RetxFraction {
+		t.Errorf("cwnd-cap retx %.4f not below unpaced %.4f", cwndCap.RetxFraction, unpaced.RetxFraction)
+	}
+	if bucket.RetxFraction > cwndCap.RetxFraction {
+		t.Errorf("token-bucket retx %.4f above cwnd-cap %.4f", bucket.RetxFraction, cwndCap.RetxFraction)
+	}
+	if paced.RetxFraction > bucket.RetxFraction {
+		t.Errorf("pacing-b4 retx %.4f above token-bucket %.4f", paced.RetxFraction, bucket.RetxFraction)
+	}
+	if paced.RetxFraction >= cwndCap.RetxFraction {
+		t.Errorf("pacing-b4 retx %.4f should be strictly below cwnd-cap %.4f",
+			paced.RetxFraction, cwndCap.RetxFraction)
+	}
+}
+
+func TestTopologyDefaults(t *testing.T) {
+	topo := NewTopology(Config{})
+	if topo.Rate != 40e6 {
+		t.Errorf("rate = %v", topo.Rate)
+	}
+	if topo.RTT != 5*time.Millisecond {
+		t.Errorf("rtt = %v", topo.RTT)
+	}
+	// Queue is 4×BDP = 4 × 25 000 B.
+	if got := topo.Fwd.QueueLimit(); got != 100000 {
+		t.Errorf("queue = %d, want 100000", got)
+	}
+}

@@ -1,0 +1,99 @@
+package lab
+
+import (
+	"time"
+
+	"repro/internal/player"
+	"repro/internal/tcp"
+	"repro/internal/traffic"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// This file implements the §2.2 comparison between Sammy and the scavenger
+// congestion-control approach (LEDBAT / PCC-Proteus style): scavengers
+// yield when competing but "fully utilize the network when no neighboring
+// traffic is present", while Sammy "consistently sends at a rate closer to
+// the video bitrate". Both behaviours are observable here.
+
+// ApproachResult captures one smoothing approach's behaviour in two
+// conditions: streaming alone, and sharing the link with a bulk TCP
+// neighbor.
+type ApproachResult struct {
+	Name string
+	// SoloThroughput is the session's chunk throughput with the link to
+	// itself — the smoothness measure (lower = smoother).
+	SoloThroughput units.BitsPerSecond
+	// SoloRTT is the mean SRTT while streaming alone, in ms.
+	SoloRTT float64
+	// NeighborThroughput is a competing bulk flow's achieved rate.
+	NeighborThroughput units.BitsPerSecond
+	// VMAF is the solo session's quality.
+	VMAF float64
+}
+
+// scavengerArm describes one smoothing approach for CompareApproaches.
+type scavengerArm struct {
+	name    string
+	variant tcp.Variant
+	sammy   bool
+}
+
+// CompareApproaches runs the control, the scavenger-transport approach and
+// Sammy through the solo and shared-link conditions.
+func CompareApproaches(chunks int, seed int64) []ApproachResult {
+	arms := []scavengerArm{
+		{name: "control", variant: tcp.Reno},
+		{name: "scavenger", variant: tcp.Scavenger},
+		{name: "sammy", variant: tcp.Reno, sammy: true},
+	}
+	out := make([]ApproachResult, 0, len(arms))
+	for _, arm := range arms {
+		res := ApproachResult{Name: arm.name}
+
+		// Condition 1: alone on the link.
+		{
+			topo := NewTopology(Config{})
+			p, conn := armSession(topo, arm, chunks, seed)
+			p.Start()
+			topo.S.RunUntil(time.Duration(chunks) * 8 * time.Second)
+			q := p.QoE()
+			res.SoloThroughput = q.ChunkThroughput
+			res.VMAF = q.VMAF
+			if conn.RTT.Count() > 0 {
+				res.SoloRTT = conn.RTT.Quantile(0.5)
+			}
+		}
+
+		// Condition 2: sharing with a bulk TCP neighbor.
+		{
+			topo := NewTopology(Config{})
+			p, _ := armSession(topo, arm, chunks, seed)
+			bulk := traffic.NewBulkFlow(topo.S, 99, topo.Fwd, topo.Class, topo.RevCfg(), 60*units.MB)
+			p.Start()
+			bulk.StartAt(10 * time.Second)
+			topo.S.RunUntil(time.Duration(chunks) * 8 * time.Second)
+			res.NeighborThroughput = bulk.Throughput()
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// armSession wires a video session whose transport uses the arm's variant
+// and whose controller is Sammy when requested.
+func armSession(topo *Topology, arm scavengerArm, chunks int, seed int64) (*player.SimPlayer, *tcp.Conn) {
+	conn := tcp.NewConn(topo.S, 1, topo.Fwd, topo.Class, topo.RevCfg(), tcp.Config{Variant: arm.variant})
+	title := video.NewTitle(video.LabLadder(), 4*time.Second, chunks, newRng(seed))
+	ctrl := ControlController()
+	if arm.sammy {
+		ctrl = SammyController()
+	}
+	cfg := player.Config{
+		Controller: ctrl,
+		Title:      title,
+		History:    nil, // session-local
+		MaxBuffer:  4 * time.Minute,
+	}
+	return player.NewSimPlayer(topo.S, conn, cfg, nil, nil), conn
+}

@@ -1,0 +1,58 @@
+package lab
+
+import (
+	"testing"
+)
+
+func TestCompareApproaches(t *testing.T) {
+	results := CompareApproaches(90, 3)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byName := map[string]ApproachResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	control := byName["control"]
+	scav := byName["scavenger"]
+	sammy := byName["sammy"]
+
+	// §2.2's key distinction: alone on the link, both the control and the
+	// scavenger transport run at network speed; only Sammy stays near the
+	// video bitrate.
+	if control.SoloThroughput.Mbps() < 20 {
+		t.Errorf("control solo throughput = %.1f Mbps, want near link rate", control.SoloThroughput.Mbps())
+	}
+	if scav.SoloThroughput.Mbps() < 20 {
+		t.Errorf("scavenger solo throughput = %.1f Mbps, want near link rate (it only yields to neighbors)",
+			scav.SoloThroughput.Mbps())
+	}
+	if sammy.SoloThroughput.Mbps() > 14 {
+		t.Errorf("sammy solo throughput = %.1f Mbps, want ≈ 3x3.3 = 10", sammy.SoloThroughput.Mbps())
+	}
+
+	// The scavenger does keep its own queueing low while alone (delay-based
+	// backoff), unlike the control.
+	if scav.SoloRTT >= control.SoloRTT {
+		t.Errorf("scavenger solo RTT %.1f ms should be below control %.1f ms", scav.SoloRTT, control.SoloRTT)
+	}
+
+	// Both the scavenger and Sammy leave a neighbor more than its fair
+	// share; the control does not.
+	if control.NeighborThroughput.Mbps() > 25 {
+		t.Errorf("control neighbor throughput = %.1f Mbps, want ≈ fair share", control.NeighborThroughput.Mbps())
+	}
+	if scav.NeighborThroughput.Mbps() < 25 {
+		t.Errorf("scavenger neighbor throughput = %.1f Mbps, want well above fair share", scav.NeighborThroughput.Mbps())
+	}
+	if sammy.NeighborThroughput.Mbps() < 25 {
+		t.Errorf("sammy neighbor throughput = %.1f Mbps, want well above fair share", sammy.NeighborThroughput.Mbps())
+	}
+
+	// All three approaches deliver the same quality on this easy link.
+	for _, r := range results {
+		if r.VMAF < 90 {
+			t.Errorf("%s VMAF = %.1f, want ≈ top", r.Name, r.VMAF)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// BenchmarkDownloadCongested measures the analytic model's cost per unpaced
+// chunk — the number that bounds A/B population throughput.
+func BenchmarkDownloadCongested(b *testing.B) {
+	c := NewConn(path(80), rand.New(rand.NewSource(1)))
+	c.Connect()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Download(3*units.MB, 0)
+	}
+}
+
+// BenchmarkDownloadSmooth is the paced regime's cost per chunk.
+func BenchmarkDownloadSmooth(b *testing.B) {
+	c := NewConn(path(80), rand.New(rand.NewSource(1)))
+	c.Connect()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Download(3*units.MB, 18*units.Mbps)
+	}
+}

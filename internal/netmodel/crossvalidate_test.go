@@ -1,0 +1,159 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// This file cross-validates the analytic path model against the
+// packet-level simulator on matched topologies, the validation DESIGN.md
+// commits to: the two substrates must agree on regimes (paced throughput
+// near the pace rate with floor RTTs; unpaced throughput near capacity
+// with inflated RTTs and losses), not on exact numbers.
+
+// matchedTopology builds the packet-level twin of a netmodel Path.
+func matchedTopology(p Path) (*sim.Simulator, *tcp.Conn) {
+	s := sim.New()
+	class := sim.NewClassifier()
+	fwd := sim.NewLink(s, sim.LinkConfig{
+		Rate:       p.Capacity,
+		Delay:      p.BaseRTT / 2,
+		QueueLimit: p.QueueBytes,
+	}, class)
+	conn := tcp.NewConn(s, 1, fwd, class,
+		sim.LinkConfig{Rate: 1 * units.Gbps, Delay: p.BaseRTT / 2}, tcp.Config{})
+	return s, conn
+}
+
+// chunkSequenceSim downloads n chunks of the given size over the simulator
+// and reports aggregate throughput, retransmit fraction and median RTT.
+func chunkSequenceSim(p Path, n int, size units.Bytes, pace units.BitsPerSecond) (units.BitsPerSecond, float64, float64) {
+	s, conn := matchedTopology(p)
+	if pace > 0 {
+		conn.SetPacingRate(pace)
+		conn.SetPacerBurst(4)
+	}
+	var total units.Bytes
+	var dl time.Duration
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= n {
+			return
+		}
+		start := s.Now()
+		conn.Fetch(size, nil, func(r tcp.FetchResult) {
+			total += r.Size
+			dl += r.DoneAt - start
+			// Chunk gap, like a buffer-full player.
+			s.Schedule(2*time.Second, func() { issue(i + 1) })
+		})
+	}
+	issue(0)
+	s.RunUntil(time.Duration(n) * 30 * time.Second)
+	return units.Rate(total, dl), conn.Stats.RetransmitFraction(), conn.RTT.Quantile(0.5)
+}
+
+// chunkSequenceModel is the same workload through the analytic model.
+func chunkSequenceModel(p Path, n int, size units.Bytes, pace units.BitsPerSecond, seed int64) (units.BitsPerSecond, float64, float64) {
+	c := NewConn(p, rand.New(rand.NewSource(seed)))
+	c.Connect()
+	var total, sent, retx units.Bytes
+	var dl time.Duration
+	var rttW, pkts float64
+	for i := 0; i < n; i++ {
+		r := c.Download(size, pace)
+		total += r.Bytes
+		sent += r.SentBytes
+		retx += r.RetxBytes
+		dl += r.Duration
+		rttW += r.MeanRTT.Seconds() * 1000 * float64(r.Packets)
+		pkts += float64(r.Packets)
+	}
+	return units.Rate(total, dl), float64(retx) / float64(sent), rttW / pkts
+}
+
+func validationPath() Path {
+	capacity := 40 * units.Mbps
+	rtt := 20 * time.Millisecond
+	return Path{
+		Capacity:         capacity,
+		BaseRTT:          rtt,
+		QueueBytes:       2 * capacity.BytesIn(rtt),
+		ThroughputJitter: 0.001, // near-deterministic for comparison
+		BaseLossRate:     1e-9,
+	}
+}
+
+func TestPacedRegimeAgreement(t *testing.T) {
+	p := validationPath()
+	pace := 10 * units.Mbps
+	size := 4 * units.MB
+	simTput, simRetx, simRTT := chunkSequenceSim(p, 8, size, pace)
+	modTput, modRetx, modRTT := chunkSequenceModel(p, 8, size, pace, 1)
+
+	// Throughput within 20% of each other, both near the pace rate.
+	ratio := float64(modTput) / float64(simTput)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("paced throughput disagreement: sim %v vs model %v", simTput, modTput)
+	}
+	// Both regimes report near-zero losses.
+	if simRetx > 0.005 || modRetx > 0.005 {
+		t.Errorf("paced losses should be ≈0: sim %.4f, model %.4f", simRetx, modRetx)
+	}
+	// Both RTTs at the base (20 ms) floor.
+	if simRTT > 25 || modRTT > 25 {
+		t.Errorf("paced RTTs should sit at the floor: sim %.1f ms, model %.1f ms", simRTT, modRTT)
+	}
+}
+
+func TestUnpacedRegimeAgreement(t *testing.T) {
+	p := validationPath()
+	size := 6 * units.MB
+	simTput, simRetx, simRTT := chunkSequenceSim(p, 8, size, 0)
+	modTput, modRetx, modRTT := chunkSequenceModel(p, 8, size, 0, 2)
+
+	// Both near capacity (the sim's NewReno recovers slower, so allow a
+	// wide band), and both clearly above the paced regime.
+	if simTput < 20*units.Mbps || modTput < 20*units.Mbps {
+		t.Errorf("unpaced throughput too low: sim %v, model %v", simTput, modTput)
+	}
+	// Both congested: losses present, RTTs inflated above the base.
+	if simRetx == 0 {
+		t.Error("sim unpaced run shows no losses; topology not congesting")
+	}
+	if modRetx == 0 {
+		t.Error("model unpaced run shows no losses")
+	}
+	if simRTT < 22 || modRTT < 22 {
+		t.Errorf("unpaced RTTs should inflate: sim %.1f ms, model %.1f ms", simRTT, modRTT)
+	}
+}
+
+func TestRegimeOrderingAgreement(t *testing.T) {
+	// The central comparative statement both substrates must agree on:
+	// pacing reduces throughput, retransmits and RTT for the same workload.
+	p := validationPath()
+	size := 4 * units.MB
+
+	sPacedT, sPacedR, sPacedD := chunkSequenceSim(p, 6, size, 10*units.Mbps)
+	sFreeT, sFreeR, sFreeD := chunkSequenceSim(p, 6, size, 0)
+	mPacedT, mPacedR, mPacedD := chunkSequenceModel(p, 6, size, 10*units.Mbps, 3)
+	mFreeT, mFreeR, mFreeD := chunkSequenceModel(p, 6, size, 0, 3)
+
+	check := func(name string, paced, free float64) {
+		if paced >= free {
+			t.Errorf("%s: paced %.4f not below unpaced %.4f", name, paced, free)
+		}
+	}
+	check("sim throughput", float64(sPacedT), float64(sFreeT))
+	check("model throughput", float64(mPacedT), float64(mFreeT))
+	check("sim retx", sPacedR+1e-9, sFreeR)
+	check("model retx", mPacedR+1e-9, mFreeR)
+	check("sim rtt", sPacedD, sFreeD)
+	check("model rtt", mPacedD, mFreeD)
+}

@@ -1,0 +1,200 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/units"
+)
+
+func path(capMbps float64) Path {
+	return Path{
+		Capacity: units.BitsPerSecond(capMbps) * units.Mbps,
+		BaseRTT:  30 * time.Millisecond,
+	}
+}
+
+func TestPacedDownloadRidesPaceRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConn(path(100), rng)
+	c.Connect()
+	// Warm the window with one download.
+	c.Download(4*units.MB, 15*units.Mbps)
+	r := c.Download(8*units.MB, 15*units.Mbps)
+	got := r.Throughput.Mbps()
+	if got < 12 || got > 15.5 {
+		t.Errorf("paced throughput = %.1f Mbps, want ≈ 15", got)
+	}
+	if r.MeanRTT > 35*time.Millisecond {
+		t.Errorf("paced RTT = %v, want ≈ base 30ms", r.MeanRTT)
+	}
+	frac := float64(r.RetxBytes) / float64(r.SentBytes)
+	if frac > 0.005 {
+		t.Errorf("paced retransmit fraction = %v, want ≈ 0", frac)
+	}
+}
+
+func TestUnpacedDownloadSaturatesAndCongests(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConn(path(100), rng)
+	c.Connect()
+	c.Download(4*units.MB, 0)
+	r := c.Download(16*units.MB, 0)
+	// Per-chunk lognormal bandwidth jitter (σ=0.15) can push a single
+	// chunk's available bandwidth well above the nominal capacity.
+	got := r.Throughput.Mbps()
+	if got < 60 || got > 160 {
+		t.Errorf("unpaced throughput = %.1f Mbps, want near capacity 100", got)
+	}
+	if r.MeanRTT <= 31*time.Millisecond {
+		t.Errorf("unpaced RTT = %v, want inflated above base", r.MeanRTT)
+	}
+	if r.RetxBytes == 0 {
+		t.Error("unpaced bulk download should retransmit")
+	}
+}
+
+func TestPacedVsUnpacedShape(t *testing.T) {
+	// The Table 2 directional claims at the model level: pacing reduces
+	// throughput, retransmit fraction and RTT for the same workload.
+	sum := func(pace units.BitsPerSecond, seed int64) (tput, retx, rtt float64) {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewConn(path(80), rng)
+		c.Connect()
+		var bytes, sent, retxB units.Bytes
+		var dl time.Duration
+		var rttW float64
+		for i := 0; i < 50; i++ {
+			r := c.Download(2*units.MB, pace)
+			bytes += r.Bytes
+			sent += r.SentBytes
+			retxB += r.RetxBytes
+			dl += r.Duration
+			rttW += r.MeanRTT.Seconds() * float64(r.Packets)
+		}
+		return units.Rate(bytes, dl).Mbps(), float64(retxB) / float64(sent), rttW
+	}
+	pTput, pRetx, pRTT := sum(12*units.Mbps, 3)
+	uTput, uRetx, uRTT := sum(0, 3)
+	if pTput >= uTput*0.6 {
+		t.Errorf("paced throughput %.1f not well below unpaced %.1f", pTput, uTput)
+	}
+	if pRetx >= uRetx {
+		t.Errorf("paced retx %.5f not below unpaced %.5f", pRetx, uRetx)
+	}
+	if pRTT >= uRTT {
+		t.Errorf("paced RTT weight %.3f not below unpaced %.3f", pRTT, uRTT)
+	}
+}
+
+func TestPaceAboveCapacityBehavesAsUnpaced(t *testing.T) {
+	// §3.2: a pace rate above available bandwidth degrades to normal
+	// congestion-control behaviour.
+	rng := rand.New(rand.NewSource(4))
+	c := NewConn(path(20), rng)
+	c.Connect()
+	c.Download(2*units.MB, 0)
+	r := c.Download(8*units.MB, 200*units.Mbps)
+	if got := r.Throughput.Mbps(); got > 25 {
+		t.Errorf("throughput %.1f exceeds capacity 20", got)
+	}
+	if r.RetxBytes == 0 {
+		t.Error("pace above capacity should still congest")
+	}
+}
+
+func TestCwndPersistsAcrossChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewConn(path(100), rng)
+	c.Connect()
+	before := c.Cwnd()
+	c.Download(4*units.MB, 0)
+	after := c.Cwnd()
+	if after <= before {
+		t.Errorf("cwnd did not grow: %v -> %v", before, after)
+	}
+	// Second chunk should start fast: its duration should be well below a
+	// cold-start chunk of the same size.
+	r2 := c.Download(2*units.MB, 0)
+	cold := NewConn(path(100), rand.New(rand.NewSource(5)))
+	cold.Connect()
+	rCold := cold.Download(2*units.MB, 0)
+	if r2.Duration >= rCold.Duration {
+		t.Errorf("warm chunk (%v) not faster than cold chunk (%v)", r2.Duration, rCold.Duration)
+	}
+}
+
+func TestConnectLatencyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := NewConn(path(50), rng)
+	if d := c.Connect(); d != 30*time.Millisecond {
+		t.Errorf("handshake = %v, want 1 base RTT", d)
+	}
+	if d := c.Connect(); d != 0 {
+		t.Errorf("second Connect = %v, want 0", d)
+	}
+}
+
+func TestDownloadInvariantsProperty(t *testing.T) {
+	f := func(seed int64, sizeKB uint16, paceMbps uint8, capMbps uint8) bool {
+		capacity := float64(capMbps%200) + 2
+		rng := rand.New(rand.NewSource(seed))
+		c := NewConn(path(capacity), rng)
+		c.Connect()
+		size := units.Bytes(int(sizeKB)+10) * units.KB
+		pace := units.BitsPerSecond(paceMbps) * units.Mbps / 4
+		r := c.Download(size, pace)
+		if r.Duration <= 0 || r.FirstByte <= 0 || r.FirstByte > r.Duration {
+			return false
+		}
+		if r.Bytes != size || r.SentBytes < size || r.RetxBytes != r.SentBytes-size {
+			return false
+		}
+		if r.MeanRTT < 30*time.Millisecond-time.Millisecond {
+			return false
+		}
+		return r.Packets > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlowerPathSlowerDownloads(t *testing.T) {
+	dur := func(capMbps float64) time.Duration {
+		rng := rand.New(rand.NewSource(7))
+		c := NewConn(path(capMbps), rng)
+		c.Connect()
+		var total time.Duration
+		for i := 0; i < 10; i++ {
+			total += c.Download(2*units.MB, 0).Duration
+		}
+		return total
+	}
+	if dur(10) <= dur(100) {
+		t.Error("10 Mbps path should be slower than 100 Mbps path")
+	}
+}
+
+func TestPanicsOnBadInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, fn := range map[string]func(){
+		"zero capacity": func() { NewConn(Path{}, rng) },
+		"nil rng":       func() { NewConn(path(10), nil) },
+		"zero size": func() {
+			c := NewConn(path(10), rng)
+			c.Download(0, 0)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

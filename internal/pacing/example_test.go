@@ -1,0 +1,44 @@
+package pacing_test
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/pacing"
+	"repro/internal/units"
+)
+
+// ExampleSetHeader shows the client half of application-informed pacing:
+// the ABR's chosen pace rate travels to the server in request headers, in
+// both the native and CMCD forms.
+func ExampleSetHeader() {
+	h := http.Header{}
+	pacing.SetHeader(h, 15*units.Mbps)
+	fmt.Println(h.Get(pacing.Header))
+	fmt.Println(h.Get(pacing.CMCDHeader))
+	fmt.Println(pacing.FromHeader(h))
+	// Output:
+	// 15000000
+	// rtp=15000
+	// 15.00Mbps
+}
+
+// ExamplePacer demonstrates the token-bucket behaviour the transport relies
+// on: a full burst goes immediately, then sends are spaced at the rate.
+func ExamplePacer() {
+	p := pacing.NewPacer(12*units.Mbps, 4*1500) // 4-packet burst
+	now := time.Duration(0)
+	for i := 0; i < 6; i++ {
+		d := p.Delay(now, 1500)
+		fmt.Printf("packet %d waits %v\n", i, d)
+		now += d
+	}
+	// Output:
+	// packet 0 waits 0s
+	// packet 1 waits 0s
+	// packet 2 waits 0s
+	// packet 3 waits 0s
+	// packet 4 waits 1ms
+	// packet 5 waits 1ms
+}

@@ -1,0 +1,164 @@
+package pacing
+
+import (
+	"net/http"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := http.Header{}
+	SetHeader(h, 15*units.Mbps)
+	if got := FromHeader(h); got != 15*units.Mbps {
+		t.Errorf("round trip = %v, want 15Mbps", got)
+	}
+	if h.Get(Header) != "15000000" {
+		t.Errorf("native header = %q", h.Get(Header))
+	}
+	if h.Get(CMCDHeader) != "rtp=15000" {
+		t.Errorf("CMCD header = %q", h.Get(CMCDHeader))
+	}
+}
+
+func TestHeaderClear(t *testing.T) {
+	h := http.Header{}
+	SetHeader(h, 15*units.Mbps)
+	SetHeader(h, NoPacing)
+	if h.Get(Header) != "" || h.Get(CMCDHeader) != "" {
+		t.Error("NoPacing should clear both headers")
+	}
+	if got := FromHeader(h); got != NoPacing {
+		t.Errorf("empty headers = %v, want NoPacing", got)
+	}
+}
+
+func TestFromHeaderCMCDFallback(t *testing.T) {
+	h := http.Header{}
+	h.Set(CMCDHeader, "bl=2000,rtp=12000,sid=\"abc\"")
+	if got := FromHeader(h); got != 12*units.Mbps {
+		t.Errorf("CMCD rtp = %v, want 12Mbps", got)
+	}
+}
+
+func TestFromHeaderGarbage(t *testing.T) {
+	for _, v := range []string{"fast", "-5", "0"} {
+		h := http.Header{}
+		h.Set(Header, v)
+		if got := FromHeader(h); got != NoPacing {
+			t.Errorf("header %q = %v, want NoPacing", v, got)
+		}
+	}
+	h := http.Header{}
+	h.Set(CMCDHeader, "rtp=junk")
+	if got := FromHeader(h); got != NoPacing {
+		t.Errorf("bad CMCD = %v, want NoPacing", got)
+	}
+}
+
+func TestPacerUnpacedAlwaysImmediate(t *testing.T) {
+	p := NewPacer(NoPacing, 0)
+	for i := 0; i < 10; i++ {
+		if d := p.Delay(0, 1e9); d != 0 {
+			t.Fatalf("unpaced pacer delayed: %v", d)
+		}
+	}
+}
+
+func TestPacerBurstThenSpacing(t *testing.T) {
+	// 12 Mbps with a 4-packet burst: first 4 × 1500 B go immediately, then
+	// each further packet waits 1 ms (1500 B at 12 Mbps).
+	p := NewPacer(12*units.Mbps, 4*1500)
+	now := time.Duration(0)
+	for i := 0; i < 4; i++ {
+		if d := p.Delay(now, 1500); d != 0 {
+			t.Fatalf("burst packet %d delayed %v", i, d)
+		}
+	}
+	d := p.Delay(now, 1500)
+	if d != time.Millisecond {
+		t.Fatalf("post-burst delay = %v, want 1ms", d)
+	}
+	// After waiting, the next packet should again wait ~1 ms.
+	now += d
+	if d2 := p.Delay(now, 1500); d2 != time.Millisecond {
+		t.Fatalf("second post-burst delay = %v, want 1ms", d2)
+	}
+}
+
+func TestPacerLongRunRateProperty(t *testing.T) {
+	// Over many sends, achieved rate never exceeds pace rate (plus one
+	// burst of slack).
+	f := func(rateMbps, burstPkts uint8, npkts uint16) bool {
+		rate := units.BitsPerSecond(int(rateMbps)+1) * units.Mbps
+		burst := units.Bytes(int(burstPkts)%40+1) * 1500
+		n := int(npkts)%500 + 10
+		p := NewPacer(rate, burst)
+		now := time.Duration(0)
+		sent := units.Bytes(0)
+		for i := 0; i < n; i++ {
+			d := p.Delay(now, 1500)
+			now += d
+			sent += 1500
+		}
+		if now == 0 {
+			return sent <= burst
+		}
+		// Allow a small relative tolerance for nanosecond truncation of
+		// each returned delay.
+		achieved := units.Rate(sent-burst, now)
+		return float64(achieved) <= float64(rate)*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacerTokensCapAtBurst(t *testing.T) {
+	p := NewPacer(12*units.Mbps, 2*1500)
+	// A long idle period must not accumulate more than one burst of credit.
+	now := 10 * time.Second
+	for i := 0; i < 2; i++ {
+		if d := p.Delay(now, 1500); d != 0 {
+			t.Fatalf("packet %d delayed %v after idle", i, d)
+		}
+	}
+	if d := p.Delay(now, 1500); d == 0 {
+		t.Fatal("third packet after idle should be delayed")
+	}
+}
+
+func TestPacerSetRateMidstream(t *testing.T) {
+	p := NewPacer(12*units.Mbps, 1500)
+	now := time.Duration(0)
+	now += p.Delay(now, 1500)
+	now += p.Delay(now, 1500)
+	// Halve the rate: spacing doubles.
+	p.SetRate(now, 6*units.Mbps, 1500)
+	d := p.Delay(now, 1500)
+	if d < 1900*time.Microsecond || d > 2100*time.Microsecond {
+		t.Errorf("post-change delay = %v, want ≈2ms", d)
+	}
+}
+
+func TestPacerRefund(t *testing.T) {
+	p := NewPacer(12*units.Mbps, 1500)
+	if d := p.Delay(0, 1500); d != 0 {
+		t.Fatalf("first send delayed %v", d)
+	}
+	p.Refund(1500)
+	if d := p.Delay(0, 1500); d != 0 {
+		t.Fatal("refunded tokens should allow immediate send")
+	}
+}
+
+func TestPacerPanicsOnZeroBurst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPacer(1*units.Mbps, 0)
+}

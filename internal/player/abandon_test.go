@@ -1,0 +1,80 @@
+package player
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func abandonSession(t *testing.T, ctrl *core.Controller, abandonAfter time.Duration, seed int64) QoE {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := Config{
+		Controller:   ctrl,
+		Title:        testTitle(rng),
+		History:      &core.History{},
+		AbandonAfter: abandonAfter,
+	}
+	return Run(cfg, testPath(150), rng, nil)
+}
+
+func TestAbandonmentMarksSession(t *testing.T) {
+	q := abandonSession(t, core.NewControl(abr.Production{}), time.Minute, 1)
+	if !q.Abandoned {
+		t.Fatal("session should be marked abandoned")
+	}
+	// On a fast path the buffer fills well beyond the watch point, so a
+	// healthy chunk of content was downloaded and never watched.
+	if q.WastedBuffer <= 0 {
+		t.Error("abandoned session should report wasted buffer")
+	}
+	if q.WastedBytes <= 0 {
+		t.Error("abandoned session should report wasted bytes")
+	}
+	// Played time reflects the watch point, not the downloads.
+	if q.PlayedTime > 80*time.Second {
+		t.Errorf("played time = %v after abandoning at 1 minute", q.PlayedTime)
+	}
+}
+
+func TestNoAbandonmentWhenWatchingThrough(t *testing.T) {
+	q := abandonSession(t, core.NewControl(abr.Production{}), 0, 2)
+	if q.Abandoned || q.WastedBytes != 0 || q.WastedBuffer != 0 {
+		t.Errorf("non-abandoned session reports waste: %+v", q)
+	}
+}
+
+func TestSammyWastesLessBufferOnAbandonment(t *testing.T) {
+	// Sammy's pacing slows buffer growth (the Trickle-baseline side effect
+	// the paper notes in Table 1): at an early quit point, less downloaded-
+	// but-unwatched content sits in the buffer.
+	control := abandonSession(t, core.NewControl(abr.Production{}), 30*time.Second, 3)
+	sammy := abandonSession(t, core.NewSammy(abr.Production{}, 3.2, 2.8), 30*time.Second, 3)
+	if !control.Abandoned || !sammy.Abandoned {
+		t.Fatal("both sessions should abandon")
+	}
+	if sammy.WastedBytes >= control.WastedBytes {
+		t.Errorf("Sammy wasted %v, control wasted %v; pacing should waste less",
+			sammy.WastedBytes, control.WastedBytes)
+	}
+}
+
+func TestAbandonmentWastedBytesScaleWithQuitTime(t *testing.T) {
+	// Quitting later (with a capped buffer) cannot waste more than the
+	// buffer limit's worth of content.
+	q := abandonSession(t, core.NewControl(abr.Production{}), 3*time.Minute, 4)
+	if !q.Abandoned {
+		t.Skip("session finished before the quit point")
+	}
+	if q.WastedBuffer > 4*time.Minute {
+		t.Errorf("wasted buffer %v exceeds the buffer cap", q.WastedBuffer)
+	}
+	maxWaste := q.AvgBitrate.BytesIn(4 * time.Minute)
+	if q.WastedBytes > maxWaste+units.MB {
+		t.Errorf("wasted bytes %v exceed a full buffer's worth %v", q.WastedBytes, maxWaste)
+	}
+}

@@ -1,0 +1,126 @@
+package player
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+)
+
+// These tests exercise §4.2's central claim beyond the production
+// algorithm: Sammy works with a *class* of pacing-aware ABR algorithms.
+// For each underlying algorithm, pacing at the production multipliers must
+// preserve quality and rebuffer behaviour while slashing chunk throughput.
+
+func TestSammyWorksAcrossABRClass(t *testing.T) {
+	algorithms := []abr.Algorithm{
+		abr.Production{StartupSafety: 1.1},
+		abr.HYB{Beta: 0.7, Lookahead: 8},
+		abr.BOLA{},
+		abr.MPC{},
+	}
+	for _, algo := range algorithms {
+		algo := algo
+		t.Run(algo.Name(), func(t *testing.T) {
+			run := func(ctrl *core.Controller, seed int64) QoE {
+				rng := rand.New(rand.NewSource(seed))
+				cfg := Config{
+					Controller: ctrl,
+					Title:      testTitle(rng),
+					History:    &core.History{},
+				}
+				return Run(cfg, testPath(150), rng, nil)
+			}
+			control := run(core.NewControl(algo), 7)
+			sammy := run(core.NewSammy(algo, core.DefaultC0, core.DefaultC1), 7)
+
+			if float64(sammy.ChunkThroughput) > 0.5*float64(control.ChunkThroughput) {
+				t.Errorf("throughput not halved: %v vs %v", sammy.ChunkThroughput, control.ChunkThroughput)
+			}
+			if sammy.VMAF < control.VMAF-1 {
+				t.Errorf("quality regressed: %.2f vs %.2f", sammy.VMAF, control.VMAF)
+			}
+			if sammy.RebufferCount > control.RebufferCount {
+				t.Errorf("rebuffers regressed: %d vs %d", sammy.RebufferCount, control.RebufferCount)
+			}
+		})
+	}
+}
+
+func TestSammyPaceFloorValidatesForThresholdABRs(t *testing.T) {
+	// Every algorithm exposing a §4.2 threshold must accept the production
+	// multipliers for its own β.
+	look := 32 * time.Second
+	maxBuf := 4 * time.Minute
+	rng := rand.New(rand.NewSource(1))
+	top := testTitle(rng).Ladder.Top().Bitrate
+
+	cases := []struct {
+		algo abr.Algorithm
+		th   core.ThresholdABR
+	}{
+		{abr.Production{}, abr.Production{}},
+		{abr.HYB{Beta: 0.7}, abr.HYB{Beta: 0.7}},
+		{abr.MPC{Discount: 0.8}, abr.MPC{Discount: 0.8}},
+	}
+	for _, c := range cases {
+		ctrl := core.NewSammy(c.algo, core.DefaultC0, core.DefaultC1)
+		if err := ctrl.ValidatePaceFloor(c.th, top, maxBuf, look); err != nil {
+			t.Errorf("%s: production multipliers rejected: %v", c.algo.Name(), err)
+		}
+	}
+	// β=0.5 needs at least 2× at empty buffer; 3.2 still clears it, but
+	// 1.8 must not.
+	h := abr.HYB{Beta: 0.5}
+	if err := core.NewSammy(h, 3.2, 2.8).ValidatePaceFloor(h, top, maxBuf, look); err != nil {
+		t.Errorf("β=0.5 with 3.2x rejected: %v", err)
+	}
+	if err := core.NewSammy(h, 1.8, 1.6).ValidatePaceFloor(h, top, maxBuf, look); err == nil {
+		t.Error("β=0.5 with 1.8x should be rejected (needs 2x at empty buffer)")
+	}
+}
+
+func TestNaivePacingHurtsSimpleThroughputRule(t *testing.T) {
+	// The inverse of the class property: the §2.3.1 strawman, which is NOT
+	// pacing-aware, loses quality under low fixed pacing (the downward
+	// spiral), while the same pacing leaves a buffer-aware algorithm fine.
+	run := func(algo abr.Algorithm, mult float64, seed int64) QoE {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Controller: core.NewNaiveBaseline(algo, mult),
+			Title:      testTitle(rng),
+			History:    &core.History{},
+		}
+		return Run(cfg, testPath(150), rng, nil)
+	}
+	naiveOnSpiralProne := run(abr.SimpleThroughput{C: 0.5}, 1.5, 9)
+	naiveOnBufferAware := run(abr.BOLA{}, 1.5, 9)
+	// Pacing against the *top* bitrate (as Algorithm 1 does) caps the
+	// damage at a rung or two rather than the full §2.3.1 spiral — the
+	// spiral itself, with pacing proportional to the current bitrate, is
+	// exercised in package abr. Here the throughput rule still pays a clear
+	// quality price that the buffer-aware algorithm does not.
+	if naiveOnSpiralProne.VMAF >= naiveOnBufferAware.VMAF-1.5 {
+		t.Errorf("expected the throughput rule to lose quality under 1.5x pacing: %.1f vs BOLA %.1f",
+			naiveOnSpiralProne.VMAF, naiveOnBufferAware.VMAF)
+	}
+	if naiveOnSpiralProne.AvgBitrate >= naiveOnBufferAware.AvgBitrate {
+		t.Errorf("spiral should show up in bitrate: %v vs %v",
+			naiveOnSpiralProne.AvgBitrate, naiveOnBufferAware.AvgBitrate)
+	}
+}
+
+func ExampleRun() {
+	rng := rand.New(rand.NewSource(1))
+	cfg := Config{
+		Controller: core.NewSammy(abr.Production{}, core.DefaultC0, core.DefaultC1),
+		Title:      testTitle(rng),
+		History:    &core.History{},
+	}
+	q := Run(cfg, testPath(100), rng, nil)
+	fmt.Println(q.Chunks, q.RebufferCount)
+	// Output: 150 0
+}

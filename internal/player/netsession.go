@@ -1,0 +1,115 @@
+package player
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/netmodel"
+)
+
+// Run executes one video session synchronously over an analytic netmodel
+// path, returning its QoE report. onChunk, when non-nil, receives a trace
+// event per chunk.
+//
+// This is the population-scale driver: a ten-minute session costs
+// microseconds, so the A/B harness can run tens of thousands of them.
+func Run(cfg Config, path netmodel.Path, rng *rand.Rand, onChunk func(ChunkEvent)) QoE {
+	cfg.setDefaults()
+	acct := newAccounting(cfg)
+	est := abr.NewEstimator(cfg.EstimatorWindow)
+
+	conn := netmodel.NewConn(path, rng)
+	now := conn.Connect() // handshake counts toward play delay
+
+	buffer := time.Duration(0)
+	playing := false
+	playDelay := time.Duration(0)
+	prevRung := -1
+	var contentDownloaded time.Duration // duration of fetched chunks
+	var abandoned bool
+	var wastedBuffer time.Duration
+
+	for i := 0; i < cfg.WatchChunks; i++ {
+		// Early abandonment: the user quits once they have watched
+		// AbandonAfter of content. Whatever is still in the buffer (or
+		// currently downloading) was wasted.
+		if cfg.AbandonAfter > 0 && playing {
+			watched := contentDownloaded - buffer
+			if watched >= cfg.AbandonAfter {
+				abandoned = true
+				wastedBuffer = buffer
+				break
+			}
+		}
+		// Off period: wait until the buffer has room for the next chunk.
+		if playing {
+			if room := cfg.MaxBuffer - buffer; room < cfg.Title.ChunkDuration {
+				wait := cfg.Title.ChunkDuration - room
+				now += wait
+				buffer -= wait
+			}
+		}
+
+		ctx := decisionContext(cfg, i, buffer, playing, est, prevRung)
+		dec := cfg.Controller.Decide(ctx)
+		prevRung = dec.Rung
+		chunk := cfg.Title.ChunkAt(i, dec.Rung)
+
+		start := now
+		res := conn.Download(chunk.Size, dec.PaceRate)
+		now += res.Duration
+
+		observe(cfg, est, res.Throughput, playing)
+		acct.chunkDone(chunk, res.SentBytes, res.RetxBytes, res.Duration, res.MeanRTT, res.Packets)
+
+		if playing {
+			// The buffer drained during the download and refills by the
+			// chunk duration; going below zero is a rebuffer.
+			buffer -= res.Duration
+			if buffer < 0 {
+				acct.rebuffer(-buffer)
+				now += -buffer // the stall extends wall-clock time
+				buffer = 0
+			}
+			buffer += chunk.Duration
+		} else {
+			buffer += chunk.Duration
+			if buffer >= cfg.StartThreshold {
+				playing = true
+				playDelay = now
+			}
+		}
+		if cfg.MaxBuffer > 0 && buffer > cfg.MaxBuffer {
+			buffer = cfg.MaxBuffer
+		}
+
+		contentDownloaded += chunk.Duration
+		if onChunk != nil {
+			onChunk(ChunkEvent{
+				Index: i, Start: start, End: now,
+				Size: chunk.Size, Rung: chunk.Rung,
+				PaceRate: dec.PaceRate, Throughput: res.Throughput,
+				Buffer: buffer, Playing: playing,
+			})
+		}
+	}
+	if !playing {
+		// The user never reached playback (pathological path); report the
+		// whole session as play delay.
+		playDelay = now
+	}
+	q := acct.finish(playDelay)
+	if abandoned {
+		q.Abandoned = true
+		q.WastedBuffer = wastedBuffer
+		// Chunks in the buffer at quit time were downloaded but unplayed;
+		// approximate their bytes from the session's average bitrate.
+		q.WastedBytes = q.AvgBitrate.BytesIn(wastedBuffer)
+		q.PlayedTime -= wastedBuffer
+		if q.PlayedTime < 0 {
+			q.PlayedTime = 0
+		}
+	}
+	return q
+}

@@ -1,0 +1,211 @@
+package player
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+func testTitle(rng *rand.Rand) *video.Title {
+	return video.NewTitle(video.DefaultLadder(), 4*time.Second, 150, rng) // 10-minute title
+}
+
+func testPath(capMbps float64) netmodel.Path {
+	return netmodel.Path{
+		Capacity: units.BitsPerSecond(capMbps) * units.Mbps,
+		BaseRTT:  30 * time.Millisecond,
+	}
+}
+
+func runSession(t *testing.T, ctrl *core.Controller, capMbps float64, seed int64) QoE {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := Config{
+		Controller: ctrl,
+		Title:      testTitle(rng),
+		History:    &core.History{},
+	}
+	return Run(cfg, testPath(capMbps), rng, nil)
+}
+
+func TestControlSessionOnFastPath(t *testing.T) {
+	q := runSession(t, core.NewControl(abr.Production{}), 200, 1)
+	if q.Chunks != 150 {
+		t.Fatalf("chunks = %d, want 150", q.Chunks)
+	}
+	if q.PlayDelay <= 0 || q.PlayDelay > 5*time.Second {
+		t.Errorf("play delay = %v, want small positive", q.PlayDelay)
+	}
+	if q.VMAF < 85 {
+		t.Errorf("VMAF = %.1f on a 200 Mbps path, want near top", q.VMAF)
+	}
+	if q.RebufferCount != 0 {
+		t.Errorf("rebuffers = %d on a fast path", q.RebufferCount)
+	}
+	// On-off behaviour: chunk throughput far above the average bitrate.
+	if float64(q.ChunkThroughput) < 3*float64(q.AvgBitrate) {
+		t.Errorf("control chunk throughput %v should be ≫ bitrate %v", q.ChunkThroughput, q.AvgBitrate)
+	}
+}
+
+func TestSammyReducesThroughputKeepsQuality(t *testing.T) {
+	// The headline Table 2 shape on one user: quality preserved, chunk
+	// throughput way down, retransmits and RTT down.
+	sammy := runSession(t, core.NewSammy(abr.Production{}, 3.2, 2.8), 200, 2)
+	control := runSession(t, core.NewControl(abr.Production{}), 200, 2)
+
+	if sammy.VMAF < control.VMAF-0.5 {
+		t.Errorf("Sammy VMAF %.2f below control %.2f", sammy.VMAF, control.VMAF)
+	}
+	if float64(sammy.ChunkThroughput) > 0.6*float64(control.ChunkThroughput) {
+		t.Errorf("Sammy throughput %v not well below control %v", sammy.ChunkThroughput, control.ChunkThroughput)
+	}
+	if sammy.RetxFraction >= control.RetxFraction {
+		t.Errorf("Sammy retx %.5f not below control %.5f", sammy.RetxFraction, control.RetxFraction)
+	}
+	if sammy.MedianRTT >= control.MedianRTT {
+		t.Errorf("Sammy RTT %v not below control %v", sammy.MedianRTT, control.MedianRTT)
+	}
+	if sammy.RebufferCount > control.RebufferCount {
+		t.Errorf("Sammy rebuffers %d exceed control %d", sammy.RebufferCount, control.RebufferCount)
+	}
+}
+
+func TestSammyPaceRatesTrackTopBitrate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	title := testTitle(rng)
+	cfg := Config{
+		Controller: core.NewSammy(abr.Production{}, 3.2, 2.8),
+		Title:      title,
+		History:    &core.History{},
+	}
+	top := float64(title.Ladder.Top().Bitrate)
+	var paced, unpaced int
+	Run(cfg, testPath(100), rng, func(ev ChunkEvent) {
+		if ev.PaceRate == 0 {
+			unpaced++
+			if ev.Playing && ev.Index > 3 {
+				t.Errorf("chunk %d unpaced while playing", ev.Index)
+			}
+			return
+		}
+		paced++
+		mult := float64(ev.PaceRate) / top
+		if mult < 2.8-1e-9 || mult > 3.2+1e-9 {
+			t.Errorf("chunk %d pace multiplier %.2f outside [2.8, 3.2]", ev.Index, mult)
+		}
+	})
+	if unpaced == 0 {
+		t.Error("initial-phase chunks should be unpaced")
+	}
+	if paced == 0 {
+		t.Error("playing-phase chunks should be paced")
+	}
+}
+
+func TestSlowPathLowerQuality(t *testing.T) {
+	fast := runSession(t, core.NewControl(abr.Production{}), 100, 4)
+	slow := runSession(t, core.NewControl(abr.Production{}), 3, 4)
+	if slow.VMAF >= fast.VMAF {
+		t.Errorf("slow path VMAF %.1f not below fast %.1f", slow.VMAF, fast.VMAF)
+	}
+	if slow.AvgBitrate >= fast.AvgBitrate {
+		t.Errorf("slow path bitrate %v not below fast %v", slow.AvgBitrate, fast.AvgBitrate)
+	}
+}
+
+func TestHistoryFlowsAcrossSessions(t *testing.T) {
+	// A user's second session should start with a better initial rung than
+	// their cold-start first session (Fig 6's mechanism).
+	rng := rand.New(rand.NewSource(5))
+	hist := &core.History{}
+	ctrl := core.NewSammy(abr.Production{}, 3.2, 2.8)
+	title := testTitle(rng)
+	cfg := Config{Controller: ctrl, Title: title, History: hist}
+
+	var firstRungCold, firstRungWarm video.Rung
+	Run(cfg, testPath(50), rng, func(ev ChunkEvent) {
+		if ev.Index == 0 {
+			firstRungCold = ev.Rung
+		}
+	})
+	Run(cfg, testPath(50), rng, func(ev ChunkEvent) {
+		if ev.Index == 0 {
+			firstRungWarm = ev.Rung
+		}
+	})
+	if firstRungWarm.Bitrate <= firstRungCold.Bitrate {
+		t.Errorf("warm first rung %v not above cold %v", firstRungWarm.Bitrate, firstRungCold.Bitrate)
+	}
+}
+
+func TestWatchChunksCapsSession(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := Config{
+		Controller:  core.NewControl(abr.Production{}),
+		Title:       testTitle(rng),
+		History:     &core.History{},
+		WatchChunks: 10,
+	}
+	q := Run(cfg, testPath(50), rng, nil)
+	if q.Chunks != 10 {
+		t.Errorf("chunks = %d, want 10", q.Chunks)
+	}
+	if q.PlayedTime != 40*time.Second {
+		t.Errorf("played = %v, want 40s", q.PlayedTime)
+	}
+}
+
+func TestVerySlowPathRebuffers(t *testing.T) {
+	// Capacity below even the lowest rung bitrate: the session must report
+	// rebuffers rather than hang or panic.
+	q := runSession(t, core.NewControl(abr.Production{}), 0.2, 7)
+	if !q.Rebuffered || q.RebufferCount == 0 {
+		t.Error("0.2 Mbps path should rebuffer")
+	}
+	if q.RebufferTime <= 0 {
+		t.Error("rebuffer time should be positive")
+	}
+}
+
+func TestInitialVMAFWindowAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := Config{
+		Controller: core.NewControl(abr.Production{}),
+		Title:      testTitle(rng),
+		History:    &core.History{},
+	}
+	q := Run(cfg, testPath(100), rng, nil)
+	if q.InitialVMAF <= 0 || q.InitialVMAF > 100 {
+		t.Errorf("initial VMAF = %v", q.InitialVMAF)
+	}
+	// On a fast path, quality climbs after startup, so the session VMAF
+	// should be at least the initial VMAF.
+	if q.VMAF < q.InitialVMAF-1 {
+		t.Errorf("session VMAF %.1f below initial %.1f", q.VMAF, q.InitialVMAF)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runSession(t, core.NewSammy(abr.Production{}, 3.2, 2.8), 80, 42)
+	b := runSession(t, core.NewSammy(abr.Production{}, 3.2, 2.8), 80, 42)
+	if a != b {
+		t.Errorf("same seed produced different QoE:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestConfigPanicsWithoutRequiredFields(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	cfg := Config{}
+	cfg.setDefaults()
+}

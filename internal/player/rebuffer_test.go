@@ -1,0 +1,109 @@
+package player
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// These tests drive the sim player through its stall path: a link too slow
+// for even the lowest rung must produce rebuffers in real simulated time,
+// and recovery must resume playback correctly.
+
+func TestSimPlayerRebuffersOnStarvedLink(t *testing.T) {
+	s := sim.New()
+	class := sim.NewClassifier()
+	// 200 kbps link: below the 235 kbps lowest rung.
+	fwd := sim.NewLink(s, sim.LinkConfig{
+		Rate:       200 * units.Kbps,
+		Delay:      10 * time.Millisecond,
+		QueueLimit: 30000,
+	}, class)
+	conn := tcp.NewConn(s, 1, fwd, class,
+		sim.LinkConfig{Rate: 1 * units.Mbps, Delay: 10 * time.Millisecond}, tcp.Config{})
+	title := video.NewTitle(video.LabLadder(), 4*time.Second, 10, rand.New(rand.NewSource(1)))
+	p := NewSimPlayer(s, conn, Config{
+		Controller: core.NewControl(abr.Production{}),
+		Title:      title,
+		History:    &core.History{},
+		MaxBuffer:  30 * time.Second,
+	}, nil, nil)
+	p.Start()
+	s.RunUntil(20 * time.Minute)
+	if !p.Done() {
+		t.Fatal("session did not finish")
+	}
+	q := p.QoE()
+	if q.RebufferCount == 0 || !q.Rebuffered {
+		t.Error("starved link should rebuffer")
+	}
+	if q.RebufferTime <= 0 {
+		t.Error("rebuffer time should be positive")
+	}
+	// All chunks still delivered despite stalls.
+	if q.Chunks != 10 {
+		t.Errorf("chunks = %d", q.Chunks)
+	}
+}
+
+func TestSimPlayerRecoversAfterOutage(t *testing.T) {
+	// A mid-session outage stalls playback; once the link returns the
+	// session finishes with the stall recorded.
+	s := sim.New()
+	class := sim.NewClassifier()
+	inner := sim.NewLink(s, sim.LinkConfig{
+		Rate:       10 * units.Mbps,
+		Delay:      5 * time.Millisecond,
+		QueueLimit: 50000,
+	}, class)
+	blocked := false
+	gate := gateSender{inner: inner, blocked: &blocked}
+	conn := tcp.NewConn(s, 1, gate, class,
+		sim.LinkConfig{Rate: 1 * units.Gbps, Delay: 5 * time.Millisecond}, tcp.Config{})
+	title := video.NewTitle(video.LabLadder(), 4*time.Second, 15, rand.New(rand.NewSource(2)))
+	p := NewSimPlayer(s, conn, Config{
+		Controller:     core.NewControl(abr.Production{}),
+		Title:          title,
+		History:        &core.History{},
+		MaxBuffer:      12 * time.Second, // small buffer so the outage bites
+		StartThreshold: 4 * time.Second,
+	}, nil, nil)
+	p.Start()
+	// Outage from 10 s to 40 s: longer than the whole buffer.
+	s.At(10*time.Second, func() { blocked = true })
+	s.At(40*time.Second, func() { blocked = false })
+	s.RunUntil(10 * time.Minute)
+	if !p.Done() {
+		t.Fatal("session did not finish after the outage")
+	}
+	q := p.QoE()
+	if q.RebufferCount == 0 {
+		t.Error("a 30s outage against a 12s buffer must rebuffer")
+	}
+	if q.RebufferTime < 10*time.Second {
+		t.Errorf("rebuffer time = %v, want most of the outage", q.RebufferTime)
+	}
+	if q.Chunks != 15 {
+		t.Errorf("chunks = %d", q.Chunks)
+	}
+}
+
+// gateSender blocks Sends while *blocked is true.
+type gateSender struct {
+	inner   *sim.Link
+	blocked *bool
+}
+
+func (g gateSender) Send(p *sim.Packet) bool {
+	if *g.blocked {
+		return false
+	}
+	return g.inner.Send(p)
+}

@@ -1,0 +1,179 @@
+package player
+
+import (
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// SimPlayer runs a video session event-by-event on the packet-level
+// simulator, downloading chunks through a tcp.Conn whose pacing rate it
+// sets per chunk via SetPacingRate — the simulator-side analogue of the
+// application-informed pacing HTTP header.
+//
+// Construct with NewSimPlayer, call Start, run the simulator, then read
+// QoE.
+type SimPlayer struct {
+	s    *sim.Simulator
+	conn *tcp.Conn
+	cfg  Config
+
+	acct *accounting
+	est  *abr.Estimator
+
+	started   time.Duration
+	playing   bool
+	playDelay time.Duration
+	prevRung  int
+	nextChunk int
+	finished  bool
+
+	// Buffer is tracked as (level at lastUpdate, lastUpdate); while playing
+	// it drains in real simulated time.
+	bufAtUpdate time.Duration
+	lastUpdate  time.Duration
+
+	onChunk func(ChunkEvent)
+	onDone  func(QoE)
+}
+
+// NewSimPlayer builds a player over conn. onChunk and onDone may be nil.
+func NewSimPlayer(s *sim.Simulator, conn *tcp.Conn, cfg Config, onChunk func(ChunkEvent), onDone func(QoE)) *SimPlayer {
+	cfg.setDefaults()
+	return &SimPlayer{
+		s:        s,
+		conn:     conn,
+		cfg:      cfg,
+		acct:     newAccounting(cfg),
+		est:      abr.NewEstimator(cfg.EstimatorWindow),
+		prevRung: -1,
+		onChunk:  onChunk,
+		onDone:   onDone,
+	}
+}
+
+// Start begins the session at the current simulated time.
+func (p *SimPlayer) Start() {
+	p.started = p.s.Now()
+	p.lastUpdate = p.s.Now()
+	p.requestNext()
+}
+
+// Done reports whether the session has downloaded all its chunks.
+func (p *SimPlayer) Done() bool { return p.finished }
+
+// QoE returns the session report; valid once Done.
+func (p *SimPlayer) QoE() QoE { return p.acct.finish(p.playDelay) }
+
+// Buffer reports the playback buffer level at the current simulated time.
+func (p *SimPlayer) Buffer() time.Duration {
+	b := p.bufAtUpdate
+	if p.playing {
+		b -= p.s.Now() - p.lastUpdate
+		if b < 0 {
+			b = 0
+		}
+	}
+	return b
+}
+
+// Playing reports whether playback has started.
+func (p *SimPlayer) Playing() bool { return p.playing }
+
+// syncBuffer advances the drain bookkeeping to the current time, recording
+// any stall that occurred since the last update.
+func (p *SimPlayer) syncBuffer() {
+	now := p.s.Now()
+	if p.playing {
+		elapsed := now - p.lastUpdate
+		if elapsed >= p.bufAtUpdate {
+			stall := elapsed - p.bufAtUpdate
+			p.acct.rebuffer(stall)
+			p.bufAtUpdate = 0
+		} else {
+			p.bufAtUpdate -= elapsed
+		}
+	}
+	p.lastUpdate = now
+}
+
+// requestNext issues the next chunk download, waiting first if the buffer
+// has no room (the off period).
+func (p *SimPlayer) requestNext() {
+	if p.nextChunk >= p.cfg.WatchChunks {
+		p.finished = true
+		if !p.playing {
+			p.playDelay = p.s.Now() - p.started
+		}
+		if p.onDone != nil {
+			p.onDone(p.QoE())
+		}
+		return
+	}
+	p.syncBuffer()
+	if p.playing {
+		if room := p.cfg.MaxBuffer - p.bufAtUpdate; room < p.cfg.Title.ChunkDuration {
+			wait := p.cfg.Title.ChunkDuration - room
+			p.s.Schedule(wait, p.requestNext)
+			return
+		}
+	}
+
+	i := p.nextChunk
+	p.nextChunk++
+	ctx := decisionContext(p.cfg, i, p.bufAtUpdate, p.playing, p.est, p.prevRung)
+	dec := p.cfg.Controller.Decide(ctx)
+	p.prevRung = dec.Rung
+	chunk := p.cfg.Title.ChunkAt(i, dec.Rung)
+
+	p.conn.SetPacingRate(dec.PaceRate)
+	if dec.PaceRate > 0 {
+		p.conn.SetPacerBurst(dec.Burst)
+	}
+	start := p.s.Now()
+	statsBefore := p.conn.Stats
+
+	p.conn.Fetch(chunk.Size, nil, func(r tcp.FetchResult) {
+		p.syncBuffer()
+		wasPlaying := p.playing
+		tput := r.Throughput()
+		observe(p.cfg, p.est, tput, wasPlaying)
+
+		statsAfter := p.conn.Stats
+		sent := statsAfter.BytesSent - statsBefore.BytesSent
+		retx := statsAfter.RetransmitBytes - statsBefore.RetransmitBytes
+		srtt := p.conn.SRTT()
+		pkts := statsAfter.SegmentsSent - statsBefore.SegmentsSent
+		p.acct.chunkDone(chunk, sent, retx, r.DoneAt-r.RequestedAt, srtt, pkts)
+
+		p.bufAtUpdate += chunk.Duration
+		if p.cfg.MaxBuffer > 0 && p.bufAtUpdate > p.cfg.MaxBuffer {
+			p.bufAtUpdate = p.cfg.MaxBuffer
+		}
+		if !p.playing && p.bufAtUpdate >= p.cfg.StartThreshold {
+			p.playing = true
+			p.playDelay = p.s.Now() - p.started
+		}
+		if p.onChunk != nil {
+			p.onChunk(ChunkEvent{
+				Index: i, Start: start - p.started, End: p.s.Now() - p.started,
+				Size: chunk.Size, Rung: chunk.Rung,
+				PaceRate: dec.PaceRate, Throughput: tput,
+				Buffer: p.bufAtUpdate, Playing: p.playing,
+			})
+		}
+		p.requestNext()
+	})
+}
+
+// AvgThroughputSoFar reports the running download-time-weighted throughput,
+// used by lab traces.
+func (p *SimPlayer) AvgThroughputSoFar() units.BitsPerSecond {
+	if p.acct.qoe.DownloadTime <= 0 {
+		return 0
+	}
+	return units.Rate(p.acct.qoe.Bytes, p.acct.qoe.DownloadTime)
+}

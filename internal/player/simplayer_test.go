@@ -1,0 +1,156 @@
+package player
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// labSetup builds the paper's §6 lab: a 40 Mbps bottleneck, 5 ms RTT, queue
+// of 4×BDP, and a video with a 3.3 Mbps top bitrate.
+type labSetup struct {
+	s     *sim.Simulator
+	fwd   *sim.Link
+	class *sim.Classifier
+	rng   *rand.Rand
+}
+
+func newLab() *labSetup {
+	s := sim.New()
+	class := sim.NewClassifier()
+	rate := 40 * units.Mbps
+	bdp := rate.BytesIn(5 * time.Millisecond)
+	fwd := sim.NewLink(s, sim.LinkConfig{
+		Rate:       rate,
+		Delay:      2500 * time.Microsecond,
+		QueueLimit: 4 * bdp,
+	}, class)
+	return &labSetup{s: s, fwd: fwd, class: class, rng: rand.New(rand.NewSource(1))}
+}
+
+func (l *labSetup) player(flow sim.FlowID, ctrl *core.Controller, chunks int) *SimPlayer {
+	conn := tcp.NewConn(l.s, flow, l.fwd, l.class,
+		sim.LinkConfig{Rate: 1 * units.Gbps, Delay: 2500 * time.Microsecond}, tcp.Config{})
+	title := video.NewTitle(video.LabLadder(), 4*time.Second, chunks, l.rng)
+	cfg := Config{Controller: ctrl, Title: title, History: &core.History{}, MaxBuffer: 60 * time.Second}
+	return NewSimPlayer(l.s, conn, cfg, nil, nil)
+}
+
+func TestSimPlayerControlSession(t *testing.T) {
+	lab := newLab()
+	p := lab.player(1, core.NewControl(abr.Production{}), 30)
+	p.Start()
+	lab.s.RunUntil(10 * time.Minute)
+	if !p.Done() {
+		t.Fatal("session did not finish")
+	}
+	q := p.QoE()
+	if q.Chunks != 30 {
+		t.Fatalf("chunks = %d", q.Chunks)
+	}
+	if q.RebufferCount != 0 {
+		t.Errorf("rebuffers = %d on a 40 Mbps link", q.RebufferCount)
+	}
+	// Unpaced downloads on a 40 Mbps link run near link rate — an order of
+	// magnitude above the 3.3 Mbps top bitrate (the on-off pattern).
+	if q.ChunkThroughput < 15*units.Mbps {
+		t.Errorf("control chunk throughput = %v, want ≫ bitrate", q.ChunkThroughput)
+	}
+	if q.VMAF < 90 {
+		t.Errorf("VMAF = %.1f, want ≈ top", q.VMAF)
+	}
+}
+
+func TestSimPlayerSammyVsControl(t *testing.T) {
+	// Fig 7's single-flow comparison: Sammy holds QoE while cutting chunk
+	// throughput and RTT.
+	run := func(ctrl *core.Controller) QoE {
+		lab := newLab()
+		p := lab.player(1, ctrl, 40)
+		p.Start()
+		lab.s.RunUntil(15 * time.Minute)
+		if !p.Done() {
+			t.Fatal("session did not finish")
+		}
+		return p.QoE()
+	}
+	control := run(core.NewControl(abr.Production{}))
+	sammy := run(core.NewSammy(abr.Production{}, 3.2, 2.8))
+
+	if sammy.VMAF < control.VMAF-0.5 {
+		t.Errorf("Sammy VMAF %.2f below control %.2f", sammy.VMAF, control.VMAF)
+	}
+	if sammy.RebufferCount > 0 {
+		t.Errorf("Sammy rebuffered %d times", sammy.RebufferCount)
+	}
+	// Sammy paces at ≈3× the 3.3 Mbps top bitrate ≈ 10 Mbps, far below the
+	// ≈38 Mbps the control achieves.
+	if float64(sammy.ChunkThroughput) > 0.5*float64(control.ChunkThroughput) {
+		t.Errorf("Sammy throughput %v not well below control %v",
+			sammy.ChunkThroughput, control.ChunkThroughput)
+	}
+	if sammy.MedianRTT >= control.MedianRTT {
+		t.Errorf("Sammy RTT %v not below control %v", sammy.MedianRTT, control.MedianRTT)
+	}
+}
+
+func TestSimPlayerBufferDrainsInRealTime(t *testing.T) {
+	lab := newLab()
+	p := lab.player(1, core.NewControl(abr.Production{}), 20)
+	p.Start()
+	lab.s.RunUntil(20 * time.Second)
+	if !p.Playing() {
+		t.Fatal("playback should have started within 20s on a 40 Mbps link")
+	}
+	b1 := p.Buffer()
+	if b1 <= 0 {
+		t.Fatal("buffer should be positive while playing")
+	}
+	if b1 > 60*time.Second {
+		t.Errorf("buffer %v exceeds max", b1)
+	}
+	lab.s.Run()
+	if !p.Done() {
+		t.Error("session did not finish")
+	}
+}
+
+func TestSimPlayerEmitsChunkEvents(t *testing.T) {
+	lab := newLab()
+	conn := tcp.NewConn(lab.s, 1, lab.fwd, lab.class,
+		sim.LinkConfig{Rate: 1 * units.Gbps, Delay: 2500 * time.Microsecond}, tcp.Config{})
+	title := video.NewTitle(video.LabLadder(), 4*time.Second, 10, lab.rng)
+	var events []ChunkEvent
+	doneCalled := false
+	cfg := Config{Controller: core.NewSammy(abr.Production{}, 3.2, 2.8), Title: title,
+		History: &core.History{}, MaxBuffer: 60 * time.Second}
+	p := NewSimPlayer(lab.s, conn, cfg,
+		func(ev ChunkEvent) { events = append(events, ev) },
+		func(QoE) { doneCalled = true })
+	p.Start()
+	lab.s.Run()
+	if len(events) != 10 {
+		t.Fatalf("events = %d, want 10", len(events))
+	}
+	if !doneCalled {
+		t.Error("onDone not called")
+	}
+	for i, ev := range events {
+		if ev.Index != i {
+			t.Errorf("event %d has index %d", i, ev.Index)
+		}
+		if ev.End <= ev.Start {
+			t.Errorf("event %d has non-positive duration", i)
+		}
+		if i > 0 && ev.Start < events[i-1].End {
+			t.Errorf("event %d overlaps previous (sequential downloads expected)", i)
+		}
+	}
+}

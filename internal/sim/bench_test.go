@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func BenchmarkEventLoop(b *testing.B) {
+	s := New()
+	var tick func()
+	count := 0
+	tick = func() {
+		count++
+		if count < b.N {
+			s.Schedule(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.Schedule(0, tick)
+	s.Run()
+}
+
+func BenchmarkScheduleCancel(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		e := s.Schedule(time.Hour, func() {})
+		e.Cancel()
+		if i%1024 == 0 {
+			s.RunUntil(s.Now()) // drain cancelled events occasionally
+		}
+	}
+}
+
+func BenchmarkLinkTransit(b *testing.B) {
+	s := New()
+	delivered := 0
+	l := NewLink(s, LinkConfig{Rate: 1 * units.Gbps, Delay: time.Millisecond, QueueLimit: 100 * units.MB},
+		HandlerFunc(func(p *Packet) { delivered++ }))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(&Packet{Seq: int64(i), Size: 1500})
+		if i%4096 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

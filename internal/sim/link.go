@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// Link is a unidirectional network link with a fixed rate, propagation delay
+// and a drop-tail queue bounded in bytes. Packets sent while the link is
+// transmitting queue up; packets arriving to a full queue are dropped.
+//
+// Link also keeps the congestion statistics the experiments report: drops,
+// delivered bytes and peak queue occupancy.
+type Link struct {
+	sim   *Simulator
+	rate  units.BitsPerSecond
+	delay time.Duration
+	limit units.Bytes // queue limit; 0 means effectively unbounded
+	dst   Handler
+
+	queue       []*Packet
+	queuedBytes units.Bytes
+	busy        bool
+
+	// Stats accumulates link counters; exported for experiment readouts.
+	Stats LinkStats
+}
+
+// LinkStats are cumulative counters for a link.
+type LinkStats struct {
+	Sent           int64       // packets accepted for transmission
+	SentBytes      units.Bytes // bytes accepted for transmission
+	Dropped        int64       // packets dropped at the queue
+	DroppedBytes   units.Bytes // bytes dropped at the queue
+	Delivered      int64       // packets handed to the destination
+	DeliveredBytes units.Bytes // bytes handed to the destination
+	PeakQueue      units.Bytes // maximum instantaneous queue occupancy
+}
+
+// LinkConfig parameterizes a link.
+type LinkConfig struct {
+	Rate       units.BitsPerSecond // serialization rate; must be > 0
+	Delay      time.Duration       // one-way propagation delay
+	QueueLimit units.Bytes         // drop-tail bound in bytes; 0 = unbounded
+}
+
+// NewLink creates a link on s delivering packets to dst.
+func NewLink(s *Simulator, cfg LinkConfig, dst Handler) *Link {
+	if cfg.Rate <= 0 {
+		panic("sim: link rate must be positive")
+	}
+	return &Link{sim: s, rate: cfg.Rate, delay: cfg.Delay, limit: cfg.QueueLimit, dst: dst}
+}
+
+// Rate reports the link's serialization rate.
+func (l *Link) Rate() units.BitsPerSecond { return l.rate }
+
+// Delay reports the link's one-way propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// QueueBytes reports the current queue occupancy in bytes, excluding the
+// packet being serialized.
+func (l *Link) QueueBytes() units.Bytes { return l.queuedBytes }
+
+// QueueLimit reports the configured drop-tail bound.
+func (l *Link) QueueLimit() units.Bytes { return l.limit }
+
+// SetDestination replaces the delivery handler, which lets topologies be
+// wired after construction.
+func (l *Link) SetDestination(dst Handler) { l.dst = dst }
+
+// Send enqueues p for transmission, dropping it if the queue is full.
+// It reports whether the packet was accepted.
+func (l *Link) Send(p *Packet) bool {
+	if l.limit > 0 && l.queuedBytes+p.Size > l.limit {
+		l.Stats.Dropped++
+		l.Stats.DroppedBytes += p.Size
+		return false
+	}
+	l.Stats.Sent++
+	l.Stats.SentBytes += p.Size
+	l.queue = append(l.queue, p)
+	l.queuedBytes += p.Size
+	if l.queuedBytes > l.Stats.PeakQueue {
+		l.Stats.PeakQueue = l.queuedBytes
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+	return true
+}
+
+// transmitNext pops the head of the queue and models its serialization then
+// propagation.
+func (l *Link) transmitNext() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	p := l.queue[0]
+	copy(l.queue, l.queue[1:])
+	l.queue[len(l.queue)-1] = nil
+	l.queue = l.queue[:len(l.queue)-1]
+	l.queuedBytes -= p.Size
+
+	txTime := l.rate.TimeToSend(p.Size)
+	l.sim.Schedule(txTime, func() {
+		// Serialization finished: the wire is free for the next packet while
+		// this one propagates.
+		l.sim.Schedule(l.delay, func() {
+			l.Stats.Delivered++
+			l.Stats.DeliveredBytes += p.Size
+			if l.dst != nil {
+				l.dst.HandlePacket(p)
+			}
+		})
+		l.transmitNext()
+	})
+}
+
+// LossRate reports the fraction of offered packets that were dropped.
+func (s LinkStats) LossRate() float64 {
+	offered := s.Sent + s.Dropped
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(offered)
+}

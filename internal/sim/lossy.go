@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/units"
+)
+
+// LossyLink wraps a Link with independent random packet loss, modelling
+// non-congestive loss (radio noise, transient cross-traffic collisions).
+// Congestive drop-tail loss still happens inside the wrapped link; this
+// wrapper adds the residual loss floor real paths have.
+type LossyLink struct {
+	link *Link
+	rate float64
+	rng  *rand.Rand
+
+	// RandomDrops counts packets dropped by the random process (separate
+	// from the inner link's queue drops).
+	RandomDrops int64
+}
+
+// NewLossyLink wraps link with loss probability rate per packet, drawn from
+// rng. rate must be in [0, 1) and rng must not be nil when rate > 0.
+func NewLossyLink(link *Link, rate float64, rng *rand.Rand) *LossyLink {
+	if rate < 0 || rate >= 1 {
+		panic("sim: loss rate must be in [0, 1)")
+	}
+	if rate > 0 && rng == nil {
+		panic("sim: lossy link needs an rng")
+	}
+	return &LossyLink{link: link, rate: rate, rng: rng}
+}
+
+// Send forwards p to the wrapped link unless the random process drops it.
+// It reports whether the packet entered the link.
+func (l *LossyLink) Send(p *Packet) bool {
+	if l.rate > 0 && l.rng.Float64() < l.rate {
+		l.RandomDrops++
+		return false
+	}
+	return l.link.Send(p)
+}
+
+// Inner exposes the wrapped link for stats readouts.
+func (l *LossyLink) Inner() *Link { return l.link }
+
+// QueueBytes reports the inner link's queue occupancy.
+func (l *LossyLink) QueueBytes() units.Bytes { return l.link.QueueBytes() }

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestLossyLinkDropsAtConfiguredRate(t *testing.T) {
+	s := New()
+	delivered := 0
+	inner := NewLink(s, LinkConfig{Rate: 100 * units.Mbps, Delay: time.Millisecond, QueueLimit: 10 * units.MB},
+		HandlerFunc(func(p *Packet) { delivered++ }))
+	lossy := NewLossyLink(inner, 0.1, rand.New(rand.NewSource(1)))
+
+	const n = 10000
+	sent := 0
+	for i := 0; i < n; i++ {
+		if lossy.Send(&Packet{Seq: int64(i), Size: 1500}) {
+			sent++
+		}
+	}
+	s.Run()
+	lossRate := float64(lossy.RandomDrops) / n
+	if lossRate < 0.08 || lossRate > 0.12 {
+		t.Errorf("random loss rate = %.3f, want ≈ 0.1", lossRate)
+	}
+	if delivered != sent {
+		t.Errorf("delivered %d != admitted %d", delivered, sent)
+	}
+	if lossy.Inner() != inner {
+		t.Error("Inner() should expose the wrapped link")
+	}
+}
+
+func TestLossyLinkZeroRatePassthrough(t *testing.T) {
+	s := New()
+	delivered := 0
+	inner := NewLink(s, LinkConfig{Rate: 10 * units.Mbps, Delay: 0},
+		HandlerFunc(func(p *Packet) { delivered++ }))
+	lossy := NewLossyLink(inner, 0, nil)
+	for i := 0; i < 100; i++ {
+		lossy.Send(&Packet{Size: 1500})
+	}
+	s.Run()
+	if delivered != 100 || lossy.RandomDrops != 0 {
+		t.Errorf("passthrough broken: delivered=%d drops=%d", delivered, lossy.RandomDrops)
+	}
+}
+
+func TestLossyLinkValidation(t *testing.T) {
+	s := New()
+	inner := NewLink(s, LinkConfig{Rate: 1 * units.Mbps}, nil)
+	for name, fn := range map[string]func(){
+		"rate 1":   func() { NewLossyLink(inner, 1, rand.New(rand.NewSource(1))) },
+		"negative": func() { NewLossyLink(inner, -0.1, rand.New(rand.NewSource(1))) },
+		"nil rng":  func() { NewLossyLink(inner, 0.1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

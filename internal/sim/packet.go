@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// FlowID identifies a flow so that shared links can classify packets back to
+// their endpoints.
+type FlowID int32
+
+// Packet is a simulated network packet. Size is the wire size including
+// headers; Seq is protocol-specific (TCP uses packet sequence numbers, UDP
+// uses a send counter).
+type Packet struct {
+	Flow    FlowID
+	Seq     int64
+	Ack     int64
+	IsAck   bool
+	Size    units.Bytes
+	SentAt  time.Duration // stamped by the sender for delay measurement
+	Retrans bool          // true for TCP retransmissions
+	Payload any           // opaque per-protocol data
+}
+
+// Sender accepts packets for transmission, reporting whether the packet
+// was admitted. *Link and *LossyLink both implement it, so endpoints can be
+// wired to either.
+type Sender interface {
+	Send(p *Packet) bool
+}
+
+// Handler consumes delivered packets.
+type Handler interface {
+	HandlePacket(p *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(p *Packet)
+
+// HandlePacket calls f(p).
+func (f HandlerFunc) HandlePacket(p *Packet) { f(p) }
+
+// Classifier routes delivered packets to per-flow handlers, so several flows
+// can share one bottleneck link.
+type Classifier struct {
+	handlers map[FlowID]Handler
+}
+
+// NewClassifier returns an empty classifier.
+func NewClassifier() *Classifier {
+	return &Classifier{handlers: make(map[FlowID]Handler)}
+}
+
+// Register installs h as the receiver for flow id, replacing any previous
+// registration.
+func (c *Classifier) Register(id FlowID, h Handler) { c.handlers[id] = h }
+
+// Unregister removes the handler for flow id.
+func (c *Classifier) Unregister(id FlowID) { delete(c.handlers, id) }
+
+// HandlePacket dispatches p to its flow's handler; packets for unknown flows
+// are dropped silently, like a host with no listening socket.
+func (c *Classifier) HandlePacket(p *Packet) {
+	if h, ok := c.handlers[p.Flow]; ok {
+		h.HandlePacket(p)
+	}
+}

@@ -1,0 +1,121 @@
+// Package sim is a packet-level discrete-event network simulator: an event
+// loop plus links with finite rate, propagation delay and drop-tail queues.
+// It is the substrate for the paper's lab experiments (Figures 4, 7 and 8),
+// standing in for the physical testbed: congestion behaviour — queue
+// build-up, drops, RTT inflation — emerges from the same mechanics.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback. Cancel prevents a pending event from
+// firing; cancelling an already-fired event is a no-op.
+type Event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 once removed
+}
+
+// Cancel prevents the event from firing if it has not fired yet.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.fn = nil
+	}
+}
+
+// eventHeap orders events by time, breaking ties by scheduling order so the
+// simulation is deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event scheduler. The zero value is
+// ready to use. Simulator is not safe for concurrent use; all callbacks run
+// on the calling goroutine inside Run.
+type Simulator struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now reports the current simulated time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Schedule arranges for fn to run delay after the current simulated time.
+// Negative delays are treated as zero.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute simulated time t. Times in the past
+// are clamped to the present.
+func (s *Simulator) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() { s.RunUntil(1<<63 - 1) }
+
+// RunUntil executes events with timestamps ≤ end, then advances the clock to
+// end (if any event ran past it the clock stays at the last event time).
+func (s *Simulator) RunUntil(end time.Duration) {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if e.at > end {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		if e.fn != nil {
+			fn := e.fn
+			e.fn = nil
+			fn()
+		}
+	}
+	if s.now < end && end < 1<<62 {
+		s.now = end
+	}
+}
+
+// Pending reports how many events are scheduled (including cancelled ones
+// that have not been drained yet).
+func (s *Simulator) Pending() int { return len(s.events) }

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedian(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	if got := Mean(xs); got != 22 {
+		t.Errorf("Mean = %v, want 22", got)
+	}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %v, want 3", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) {
+		t.Error("empty inputs should yield NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {-1, 10}, {2, 40},
+		{1.0 / 3.0, 20},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	// For any sample, Quantile must be monotone in q and bounded by min/max.
+	f := func(raw []float64, qa, qb float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q1 := math.Mod(math.Abs(qa), 1)
+		q2 := math.Mod(math.Abs(qb), 1)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(xs, q1), Quantile(xs, q2)
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		return v1 <= v2 && v1 >= sorted[0] && v2 <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4.571428571428571) > 1e-9 {
+		t.Errorf("Variance = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single sample should be NaN")
+	}
+}
+
+func TestBootstrapPercentChangeDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	control := make([]float64, 500)
+	treatment := make([]float64, 500)
+	for i := range control {
+		control[i] = 100 + rng.NormFloat64()*5
+		treatment[i] = 60 + rng.NormFloat64()*5 // a 40% reduction
+	}
+	ci := MedianPercentChange(treatment, control, 500, rng)
+	if !ci.Significant() {
+		t.Fatalf("expected significant change, got %v", ci)
+	}
+	if ci.Point > -35 || ci.Point < -45 {
+		t.Errorf("point estimate %v, want ≈ -40", ci.Point)
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Errorf("CI %v does not bracket the point estimate", ci)
+	}
+}
+
+func TestBootstrapPercentChangeNullCoversZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	control := make([]float64, 400)
+	treatment := make([]float64, 400)
+	for i := range control {
+		control[i] = 50 + rng.NormFloat64()*10
+		treatment[i] = 50 + rng.NormFloat64()*10
+	}
+	ci := MedianPercentChange(treatment, control, 500, rng)
+	if ci.Significant() {
+		t.Errorf("identical distributions reported significant: %v", ci)
+	}
+}
+
+func TestBootstrapEmptyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ci := MedianPercentChange(nil, []float64{1}, 10, rng)
+	if !math.IsNaN(ci.Point) {
+		t.Errorf("expected NaN point for empty treatment, got %v", ci.Point)
+	}
+}
+
+func TestCISignificant(t *testing.T) {
+	tests := []struct {
+		ci   CI
+		want bool
+	}{
+		{CI{Point: -5, Lo: -7, Hi: -3}, true},
+		{CI{Point: 5, Lo: 3, Hi: 7}, true},
+		{CI{Point: 1, Lo: -1, Hi: 3}, false},
+		{CI{Point: 0, Lo: 0, Hi: 0}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.ci.Significant(); got != tt.want {
+			t.Errorf("%v.Significant() = %v, want %v", tt.ci, got, tt.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.5, 1.5, 2.5, 2.6, -10, 99}
+	edges, counts := Histogram(xs, 0, 3, 3)
+	if len(edges) != 4 || len(counts) != 3 {
+		t.Fatalf("shape: edges=%d counts=%d", len(edges), len(counts))
+	}
+	// -10 clamps into bin 0, 99 clamps into bin 2.
+	want := []int{2, 1, 3}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	if _, c := Histogram(xs, 3, 0, 3); c != nil {
+		t.Error("inverted range should return nil")
+	}
+}
+
+func TestHistogramCountsSumProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		_, counts := Histogram(xs, -100, 100, 7)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"math"
+)
+
+// WelchMeanDiffCI computes a 95% confidence interval for the difference in
+// means (treatment − control) using Welch's unequal-variance t-interval
+// with the normal approximation for the critical value (samples in these
+// experiments are large enough that t ≈ z). It complements the bootstrap
+// percent-change intervals for absolute-difference readouts.
+func WelchMeanDiffCI(treatment, control []float64) CI {
+	if len(treatment) < 2 || len(control) < 2 {
+		return CI{Point: math.NaN(), Lo: math.NaN(), Hi: math.NaN()}
+	}
+	mt, mc := Mean(treatment), Mean(control)
+	vt, vc := Variance(treatment), Variance(control)
+	se := math.Sqrt(vt/float64(len(treatment)) + vc/float64(len(control)))
+	const z = 1.959964 // 97.5th percentile of the standard normal
+	diff := mt - mc
+	return CI{Point: diff, Lo: diff - z*se, Hi: diff + z*se}
+}
+
+// WelchPercentChangeCI expresses the Welch interval as a percent change of
+// the control mean, the format the paper's tables use. It returns NaN when
+// the control mean is zero.
+func WelchPercentChangeCI(treatment, control []float64) CI {
+	ci := WelchMeanDiffCI(treatment, control)
+	base := Mean(control)
+	if base == 0 || math.IsNaN(base) {
+		return CI{Point: math.NaN(), Lo: math.NaN(), Hi: math.NaN()}
+	}
+	scale := 100 / base
+	lo, hi := ci.Lo*scale, ci.Hi*scale
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return CI{Point: ci.Point * scale, Lo: lo, Hi: hi}
+}

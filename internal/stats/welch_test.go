@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchMeanDiffCIDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	control := make([]float64, 400)
+	treatment := make([]float64, 300) // unequal sizes and variances
+	for i := range control {
+		control[i] = 100 + 5*rng.NormFloat64()
+	}
+	for i := range treatment {
+		treatment[i] = 90 + 15*rng.NormFloat64()
+	}
+	ci := WelchMeanDiffCI(treatment, control)
+	if !ci.Significant() {
+		t.Fatalf("10-point shift not detected: %v", ci)
+	}
+	if ci.Point > -8 || ci.Point < -12 {
+		t.Errorf("point = %v, want ≈ -10", ci.Point)
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Errorf("interval %v does not bracket the point", ci)
+	}
+}
+
+func TestWelchMeanDiffCINullCoversZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = 50 + 10*rng.NormFloat64()
+		b[i] = 50 + 10*rng.NormFloat64()
+	}
+	if ci := WelchMeanDiffCI(a, b); ci.Significant() {
+		t.Errorf("identical distributions reported significant: %v", ci)
+	}
+}
+
+func TestWelchSmallSamples(t *testing.T) {
+	if ci := WelchMeanDiffCI([]float64{1}, []float64{2, 3}); !math.IsNaN(ci.Point) {
+		t.Errorf("single-sample input should yield NaN, got %v", ci)
+	}
+}
+
+func TestWelchPercentChangeCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	control := make([]float64, 400)
+	treatment := make([]float64, 400)
+	for i := range control {
+		control[i] = 200 + 10*rng.NormFloat64()
+		treatment[i] = 100 + 10*rng.NormFloat64() // -50%
+	}
+	ci := WelchPercentChangeCI(treatment, control)
+	if math.Abs(ci.Point+50) > 2 {
+		t.Errorf("percent change = %v, want ≈ -50", ci.Point)
+	}
+	if !ci.Significant() {
+		t.Errorf("large change not significant: %v", ci)
+	}
+	// Zero control mean yields NaN.
+	zero := []float64{0, 0, 0}
+	if ci := WelchPercentChangeCI(treatment, zero); !math.IsNaN(ci.Point) {
+		t.Errorf("zero base should yield NaN, got %v", ci)
+	}
+}
+
+func TestWelchAgreesWithBootstrapOnMeans(t *testing.T) {
+	// Both estimators should localize the same mean shift.
+	rng := rand.New(rand.NewSource(4))
+	control := make([]float64, 300)
+	treatment := make([]float64, 300)
+	for i := range control {
+		control[i] = 80 + 8*rng.NormFloat64()
+		treatment[i] = 60 + 8*rng.NormFloat64()
+	}
+	w := WelchPercentChangeCI(treatment, control)
+	b := MeanPercentChange(treatment, control, 500, rng)
+	if math.Abs(w.Point-b.Point) > 1 {
+		t.Errorf("Welch %v vs bootstrap %v disagree", w.Point, b.Point)
+	}
+	if w.Significant() != b.Significant() {
+		t.Errorf("significance disagreement: Welch %v, bootstrap %v", w, b)
+	}
+}

@@ -1,0 +1,31 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// BenchmarkBulkTransfer measures simulator throughput for one unpaced bulk
+// flow (wall-clock cost per simulated transfer).
+func BenchmarkBulkTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net := newTestNet(40*units.Mbps, 4)
+		c := net.conn(1, Config{})
+		c.Fetch(10*units.MB, nil, nil)
+		net.s.Run()
+	}
+}
+
+// BenchmarkPacedTransfer is the same transfer under 4-packet-burst pacing,
+// showing the pacing timers' overhead.
+func BenchmarkPacedTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net := newTestNet(40*units.Mbps, 4)
+		c := net.conn(1, Config{})
+		c.SetPacingRate(15 * units.Mbps)
+		c.SetPacerBurst(4)
+		c.Fetch(4*units.MB, nil, nil)
+		net.s.Run()
+	}
+}

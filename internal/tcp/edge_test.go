@@ -1,0 +1,187 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// These tests exercise the connection's less-travelled paths: handshake
+// loss, the establishment callback, slow-start restart, timeouts and the
+// Trickle-style window cap.
+
+func TestSynLossRecoveredByRetry(t *testing.T) {
+	// Drop everything for the first 2 seconds (covering the SYN), then let
+	// traffic through; the 3-second SYN retry must establish the
+	// connection.
+	s := sim.New()
+	class := sim.NewClassifier()
+	inner := sim.NewLink(s, sim.LinkConfig{
+		Rate: 40 * units.Mbps, Delay: 2500 * time.Microsecond, QueueLimit: 100000,
+	}, class)
+	// A gate on the reverse path would be more precise, but dropping the
+	// SYN-ACK on the forward path has the same effect on establishment.
+	blocked := true
+	gate := senderFunc(func(p *sim.Packet) bool {
+		if blocked {
+			return false
+		}
+		return inner.Send(p)
+	})
+	c := NewConn(s, 1, gate, class,
+		sim.LinkConfig{Rate: 1 * units.Gbps, Delay: 2500 * time.Microsecond}, Config{})
+	established := false
+	c.OnEstablished(func() { established = true })
+	var done bool
+	c.Fetch(100*units.KB, nil, func(FetchResult) { done = true })
+	s.At(2*time.Second, func() { blocked = false })
+	s.RunUntil(30 * time.Second)
+	if !established {
+		t.Fatal("connection never established despite SYN retries")
+	}
+	if !done {
+		t.Fatal("fetch did not complete after establishment")
+	}
+}
+
+// senderFunc adapts a function to sim.Sender.
+type senderFunc func(p *sim.Packet) bool
+
+func (f senderFunc) Send(p *sim.Packet) bool { return f(p) }
+
+func TestOnEstablishedFiresOnce(t *testing.T) {
+	net := newTestNet(40*units.Mbps, 4)
+	c := net.conn(1, Config{})
+	count := 0
+	c.OnEstablished(func() { count++ })
+	c.Fetch(100*units.KB, nil, nil)
+	c.Fetch(100*units.KB, nil, nil)
+	net.s.Run()
+	if count != 1 {
+		t.Errorf("OnEstablished fired %d times", count)
+	}
+}
+
+func TestSlowStartRestartCollapsesWindowAfterIdle(t *testing.T) {
+	// On a long-RTT path the slow-start ramp is expensive, so collapsing
+	// the window after idle visibly slows the post-idle chunk.
+	run := func(ssr bool) float64 {
+		s := sim.New()
+		class := sim.NewClassifier()
+		fwd := sim.NewLink(s, sim.LinkConfig{
+			Rate:       40 * units.Mbps,
+			Delay:      50 * time.Millisecond, // 100 ms RTT
+			QueueLimit: 4 * (40 * units.Mbps).BytesIn(100*time.Millisecond),
+		}, class)
+		c := NewConn(s, 1, fwd, class,
+			sim.LinkConfig{Rate: 1 * units.Gbps, Delay: 50 * time.Millisecond},
+			Config{SlowStartRestart: ssr})
+		var secondDur time.Duration
+		c.Fetch(4*units.MB, nil, func(r1 FetchResult) {
+			// Idle well past the RTO, then fetch again.
+			s.Schedule(10*time.Second, func() {
+				start := s.Now()
+				c.Fetch(2*units.MB, nil, func(r2 FetchResult) {
+					secondDur = r2.DoneAt - start
+				})
+			})
+		})
+		s.Run()
+		return secondDur.Seconds()
+	}
+	withSSR := run(true)
+	withoutSSR := run(false)
+	if withSSR <= withoutSSR*1.2 {
+		t.Errorf("SSR second chunk (%.3fs) should be clearly slower than without (%.3fs)", withSSR, withoutSSR)
+	}
+}
+
+func TestCwndCapLimitsThroughput(t *testing.T) {
+	net := newTestNet(40*units.Mbps, 4)
+	c := net.conn(1, Config{})
+	// Cap at 10 segments: throughput ≤ 10×1500×8/RTT ≈ 24 Mbps at the 5 ms
+	// base RTT, and no queue builds so the RTT stays at base.
+	c.SetCwndCap(10)
+	var res FetchResult
+	c.Fetch(10*units.MB, nil, func(r FetchResult) { res = r })
+	net.s.Run()
+	got := res.Throughput().Mbps()
+	if got > 25 {
+		t.Errorf("capped throughput = %.1f Mbps, want ≤ 24", got)
+	}
+	if got < 15 {
+		t.Errorf("capped throughput = %.1f Mbps, unexpectedly low", got)
+	}
+	// Removing the cap restores full rate on a second transfer.
+	c.SetCwndCap(0)
+	c.Fetch(10*units.MB, nil, func(r FetchResult) { res = r })
+	net.s.Run()
+	if got := res.Throughput().Mbps(); got < 30 {
+		t.Errorf("uncapped throughput = %.1f Mbps, want near link rate", got)
+	}
+}
+
+func TestTimeoutPathGoBackN(t *testing.T) {
+	// Block the forward link mid-transfer long enough to force an RTO, then
+	// release; the transfer must finish and the timeout must be counted.
+	s := sim.New()
+	class := sim.NewClassifier()
+	inner := sim.NewLink(s, sim.LinkConfig{
+		Rate: 10 * units.Mbps, Delay: 2500 * time.Microsecond, QueueLimit: 50000,
+	}, class)
+	blocked := false
+	gate := senderFunc(func(p *sim.Packet) bool {
+		if blocked {
+			return false
+		}
+		return inner.Send(p)
+	})
+	c := NewConn(s, 1, gate, class,
+		sim.LinkConfig{Rate: 1 * units.Gbps, Delay: 2500 * time.Microsecond}, Config{})
+	done := false
+	c.Fetch(2*units.MB, nil, func(FetchResult) { done = true })
+	s.At(200*time.Millisecond, func() { blocked = true })
+	s.At(1500*time.Millisecond, func() { blocked = false })
+	s.RunUntil(time.Minute)
+	if !done {
+		t.Fatal("transfer did not recover from the outage")
+	}
+	if c.Stats.Timeouts == 0 {
+		t.Error("expected at least one RTO during the outage")
+	}
+}
+
+func TestRTTDigestPopulated(t *testing.T) {
+	net := newTestNet(40*units.Mbps, 4)
+	c := net.conn(1, Config{})
+	c.Fetch(2*units.MB, nil, nil)
+	net.s.Run()
+	if c.Stats.RTTSamples == 0 || c.RTT.Count() == 0 {
+		t.Fatal("no RTT samples recorded")
+	}
+	// Median RTT near the 5 ms base on an uncontended short transfer.
+	med := c.RTT.Quantile(0.5)
+	if med < 4.5 || med > 30 {
+		t.Errorf("median RTT = %.1f ms", med)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int64, units.Bytes) {
+		net := newTestNet(40*units.Mbps, 1)
+		c := net.conn(1, Config{})
+		rng := rand.New(rand.NewSource(5))
+		_ = rng
+		c.Fetch(8*units.MB, nil, nil)
+		net.s.Run()
+		return c.Stats.SegmentsSent, c.Stats.RetransmitBytes
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 || r1 != r2 {
+		t.Errorf("simulation not deterministic: (%d,%d) vs (%d,%d)", s1, r1, s2, r2)
+	}
+}

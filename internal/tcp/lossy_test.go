@@ -1,0 +1,100 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// lossyNet is the testNet topology with a random-loss wrapper on the
+// bottleneck.
+func lossyNet(rate units.BitsPerSecond, lossRate float64, seed int64) (*sim.Simulator, *sim.LossyLink, *sim.Classifier) {
+	s := sim.New()
+	class := sim.NewClassifier()
+	inner := sim.NewLink(s, sim.LinkConfig{
+		Rate:       rate,
+		Delay:      2500 * time.Microsecond,
+		QueueLimit: 4 * rate.BytesIn(5*time.Millisecond),
+	}, class)
+	lossy := sim.NewLossyLink(inner, lossRate, rand.New(rand.NewSource(seed)))
+	return s, lossy, class
+}
+
+func TestReliabilityUnderRandomLoss(t *testing.T) {
+	// Every byte must arrive, in order, despite 2% random loss.
+	s, lossy, class := lossyNet(20*units.Mbps, 0.02, 1)
+	c := NewConn(s, 1, lossy, class, sim.LinkConfig{Rate: 1 * units.Gbps, Delay: 2500 * time.Microsecond}, Config{})
+	var res *FetchResult
+	size := 5 * units.MB
+	c.Fetch(size, nil, func(r FetchResult) { res = &r })
+	s.Run()
+	if res == nil {
+		t.Fatal("transfer did not complete under random loss")
+	}
+	if res.Size != size {
+		t.Errorf("size = %v", res.Size)
+	}
+	if lossy.RandomDrops == 0 {
+		t.Error("the loss process never fired; test is vacuous")
+	}
+	if c.Stats.Retransmits == 0 {
+		t.Error("losses should force retransmissions")
+	}
+}
+
+func TestReliabilityUnderRandomLossProperty(t *testing.T) {
+	// For arbitrary (bounded) loss rates, seeds and sizes, the transfer
+	// completes with exactly the requested bytes.
+	f := func(seed int64, lossPct uint8, sizeKB uint16) bool {
+		loss := float64(lossPct%8) / 100 // 0-7%
+		size := units.Bytes(int(sizeKB)%2000+50) * units.KB
+		s, lossy, class := lossyNet(20*units.Mbps, loss, seed)
+		c := NewConn(s, 1, lossy, class,
+			sim.LinkConfig{Rate: 1 * units.Gbps, Delay: 2500 * time.Microsecond}, Config{})
+		var got units.Bytes
+		c.Fetch(size, nil, func(r FetchResult) { got = r.Size })
+		s.RunUntil(10 * time.Minute)
+		return got == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVariantsAllSurviveRandomLoss(t *testing.T) {
+	for _, v := range []Variant{Reno, Cubic, Scavenger} {
+		s, lossy, class := lossyNet(20*units.Mbps, 0.03, 7)
+		c := NewConn(s, 1, lossy, class,
+			sim.LinkConfig{Rate: 1 * units.Gbps, Delay: 2500 * time.Microsecond}, Config{Variant: v})
+		done := false
+		c.Fetch(2*units.MB, nil, func(FetchResult) { done = true })
+		s.RunUntil(5 * time.Minute)
+		if !done {
+			t.Errorf("%v transfer did not complete under random loss", v)
+		}
+	}
+}
+
+func TestPacedFlowSurvivesRandomLoss(t *testing.T) {
+	// Pacing plus loss recovery must coexist: the pace timer and RTO/fast
+	// retransmit machinery interleave.
+	s, lossy, class := lossyNet(40*units.Mbps, 0.02, 3)
+	c := NewConn(s, 1, lossy, class,
+		sim.LinkConfig{Rate: 1 * units.Gbps, Delay: 2500 * time.Microsecond}, Config{})
+	c.SetPacingRate(10 * units.Mbps)
+	c.SetPacerBurst(4)
+	var res *FetchResult
+	c.Fetch(4*units.MB, nil, func(r FetchResult) { res = &r })
+	s.RunUntil(5 * time.Minute)
+	if res == nil {
+		t.Fatal("paced transfer did not complete under loss")
+	}
+	// Loss recovery may dip below the pace rate but the cap still holds.
+	if got := res.Throughput(); got > 10.5*units.Mbps {
+		t.Errorf("throughput %v exceeds pace rate", got)
+	}
+}

@@ -1,0 +1,278 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// testNet is a one-bottleneck topology: server → (bottleneck link) →
+// classifier → client, with private reverse links per connection.
+type testNet struct {
+	s     *sim.Simulator
+	fwd   *sim.Link
+	class *sim.Classifier
+}
+
+// newTestNet builds the paper's lab topology: a single bottleneck with the
+// given rate, 2.5 ms one-way delay each direction (5 ms RTT) and a queue of
+// queueBDP × BDP.
+func newTestNet(rate units.BitsPerSecond, queueBDP float64) *testNet {
+	s := sim.New()
+	class := sim.NewClassifier()
+	rtt := 5 * time.Millisecond
+	bdp := rate.BytesIn(rtt)
+	limit := units.Bytes(float64(bdp) * queueBDP)
+	fwd := sim.NewLink(s, sim.LinkConfig{
+		Rate:       rate,
+		Delay:      rtt / 2,
+		QueueLimit: limit,
+	}, class)
+	return &testNet{s: s, fwd: fwd, class: class}
+}
+
+func (n *testNet) revCfg() sim.LinkConfig {
+	return sim.LinkConfig{Rate: 1 * units.Gbps, Delay: 2500 * time.Microsecond}
+}
+
+func (n *testNet) conn(flow sim.FlowID, cfg Config) *Conn {
+	return NewConn(n.s, flow, n.fwd, n.class, n.revCfg(), cfg)
+}
+
+func TestHandshakeAndSingleFetch(t *testing.T) {
+	net := newTestNet(40*units.Mbps, 4)
+	c := net.conn(1, Config{})
+	var res *FetchResult
+	c.Fetch(1500*10, nil, func(r FetchResult) { res = &r })
+	net.s.Run()
+	if res == nil {
+		t.Fatal("fetch did not complete")
+	}
+	if !c.Stats.HandshakeComplete {
+		t.Error("handshake did not complete")
+	}
+	// 1 RTT handshake + 1 RTT request/response + transfer: at 40 Mbps and
+	// 5 ms RTT this is well under 100 ms.
+	if res.DoneAt > 100*time.Millisecond {
+		t.Errorf("completion at %v, too slow", res.DoneAt)
+	}
+	if res.FirstByteAt <= res.RequestedAt {
+		t.Error("first byte should arrive after the request")
+	}
+}
+
+func TestThroughputApproachesLinkRate(t *testing.T) {
+	net := newTestNet(40*units.Mbps, 4)
+	c := net.conn(1, Config{})
+	var res FetchResult
+	c.Fetch(20*units.MB, nil, func(r FetchResult) { res = r })
+	net.s.Run()
+	// NewReno without SACK pays a multi-RTT recovery after the slow-start
+	// overshoot, so utilization lands in the high 80s.
+	got := res.Throughput()
+	if got < 32*units.Mbps || got > 41*units.Mbps {
+		t.Errorf("bulk throughput = %v, want ≈ 35-40Mbps", got)
+	}
+}
+
+func TestRTTInflatesWithFullQueue(t *testing.T) {
+	// An unpaced bulk flow on a 4×BDP queue should inflate the RTT towards
+	// base + queue/rate = 5 ms + 4·5 ms = 25 ms.
+	net := newTestNet(40*units.Mbps, 4)
+	c := net.conn(1, Config{})
+	done := false
+	c.Fetch(40*units.MB, nil, func(FetchResult) { done = true })
+	net.s.Run()
+	if !done {
+		t.Fatal("fetch did not complete")
+	}
+	p90 := c.RTT.Quantile(0.9)
+	if p90 < 15 {
+		t.Errorf("p90 RTT = %.1fms, expected inflated (>15ms)", p90)
+	}
+}
+
+func TestPacedFlowKeepsQueueEmpty(t *testing.T) {
+	// Pacing at 15 Mbps on a 40 Mbps link: no congestion, RTT stays at the
+	// 5 ms floor and there are no retransmits (paper Fig 7 Sammy behaviour).
+	net := newTestNet(40*units.Mbps, 4)
+	c := net.conn(1, Config{})
+	c.SetPacingRate(15 * units.Mbps)
+	c.SetPacerBurst(4)
+	var res FetchResult
+	c.Fetch(10*units.MB, nil, func(r FetchResult) { res = r })
+	net.s.Run()
+	if c.Stats.Retransmits != 0 {
+		t.Errorf("paced flow retransmitted %d segments", c.Stats.Retransmits)
+	}
+	p90 := c.RTT.Quantile(0.9)
+	if p90 > 7 {
+		t.Errorf("p90 RTT = %.1fms, want ≈ 5ms floor", p90)
+	}
+	got := res.Throughput()
+	if got < 13*units.Mbps || got > 15.5*units.Mbps {
+		t.Errorf("paced throughput = %v, want ≈ 15Mbps", got)
+	}
+}
+
+func TestPacingIsUpperBoundNotFloor(t *testing.T) {
+	// Requesting a pace rate above capacity must degrade gracefully to
+	// congestion-control behaviour (§3.2: pacing is an upper bound).
+	net := newTestNet(10*units.Mbps, 2)
+	c := net.conn(1, Config{})
+	c.SetPacingRate(100 * units.Mbps)
+	var res FetchResult
+	c.Fetch(5*units.MB, nil, func(r FetchResult) { res = r })
+	net.s.Run()
+	got := res.Throughput()
+	if got > 10.5*units.Mbps {
+		t.Errorf("throughput %v exceeds link rate", got)
+	}
+	if got < 8*units.Mbps {
+		t.Errorf("throughput %v too far below link rate", got)
+	}
+}
+
+func TestUnpacedBulkFlowRetransmits(t *testing.T) {
+	// Reno on a drop-tail queue must lose packets at the sawtooth peaks.
+	net := newTestNet(40*units.Mbps, 1)
+	c := net.conn(1, Config{})
+	done := false
+	c.Fetch(40*units.MB, nil, func(FetchResult) { done = true })
+	net.s.Run()
+	if !done {
+		t.Fatal("fetch did not complete")
+	}
+	if c.Stats.Retransmits == 0 {
+		t.Error("expected drop-tail losses for an unpaced bulk flow")
+	}
+	if c.Stats.FastRetransmits == 0 {
+		t.Error("expected fast retransmits, not only timeouts")
+	}
+}
+
+func TestAllBytesDeliveredDespiteLosses(t *testing.T) {
+	// Reliability invariant: every requested byte is eventually delivered,
+	// in order, even across a tiny queue that forces heavy loss.
+	net := newTestNet(20*units.Mbps, 0.5)
+	c := net.conn(1, Config{})
+	var res *FetchResult
+	size := 8 * units.MB
+	c.Fetch(size, nil, func(r FetchResult) { res = &r })
+	net.s.Run()
+	if res == nil {
+		t.Fatal("fetch did not complete")
+	}
+	if res.Size != size {
+		t.Errorf("size = %v, want %v", res.Size, size)
+	}
+	if c.Stats.DeliveredBytes < size {
+		t.Errorf("delivered %v < requested %v", c.Stats.DeliveredBytes, size)
+	}
+}
+
+func TestSequentialFetchesShareConnection(t *testing.T) {
+	// Sequential chunk downloads on one persistent connection (the video
+	// player pattern): completions arrive in order.
+	net := newTestNet(40*units.Mbps, 4)
+	c := net.conn(1, Config{})
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		c.Fetch(2*units.MB, nil, func(FetchResult) { order = append(order, i) })
+	}
+	net.s.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("completion order = %v", order)
+	}
+}
+
+func TestTwoFlowsShareBottleneckFairly(t *testing.T) {
+	// Two identical unpaced Reno flows should split a 40 Mbps link roughly
+	// evenly over a long transfer.
+	net := newTestNet(40*units.Mbps, 4)
+	c1 := net.conn(1, Config{})
+	c2 := net.conn(2, Config{})
+	var r1, r2 FetchResult
+	c1.Fetch(20*units.MB, nil, func(r FetchResult) { r1 = r })
+	c2.Fetch(20*units.MB, nil, func(r FetchResult) { r2 = r })
+	net.s.Run()
+	t1, t2 := r1.Throughput().Mbps(), r2.Throughput().Mbps()
+	sum := t1 + t2
+	if sum < 30 || sum > 42 {
+		t.Errorf("aggregate throughput = %.1f Mbps, want ≈ 40", sum)
+	}
+	ratio := t1 / t2
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("fairness ratio = %.2f (t1=%.1f, t2=%.1f)", ratio, t1, t2)
+	}
+}
+
+func TestPacedFlowLeavesBandwidthForNeighbor(t *testing.T) {
+	// A flow paced to 10 Mbps next to an unpaced flow: the neighbor should
+	// get most of the remaining 30 Mbps (paper Fig 8b shape).
+	net := newTestNet(40*units.Mbps, 4)
+	paced := net.conn(1, Config{})
+	paced.SetPacingRate(10 * units.Mbps)
+	paced.SetPacerBurst(4)
+	bulk := net.conn(2, Config{})
+	var rPaced, rBulk FetchResult
+	paced.Fetch(12*units.MB, nil, func(r FetchResult) { rPaced = r })
+	bulk.Fetch(25*units.MB, nil, func(r FetchResult) { rBulk = r })
+	net.s.Run()
+	if got := rBulk.Throughput().Mbps(); got < 22 {
+		t.Errorf("neighbor throughput = %.1f Mbps, want > 22 (fair share would be 20)", got)
+	}
+	if got := rPaced.Throughput().Mbps(); got > 10.5 {
+		t.Errorf("paced throughput = %.1f Mbps, exceeds pace rate", got)
+	}
+}
+
+func TestRetransmitFraction(t *testing.T) {
+	s := Stats{BytesSent: 1000, RetransmitBytes: 100}
+	if got := s.RetransmitFraction(); got != 0.1 {
+		t.Errorf("RetransmitFraction = %v", got)
+	}
+	if got := (Stats{}).RetransmitFraction(); got != 0 {
+		t.Errorf("empty RetransmitFraction = %v", got)
+	}
+}
+
+func TestFetchPanicsOnZeroSize(t *testing.T) {
+	net := newTestNet(40*units.Mbps, 4)
+	c := net.conn(1, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Fetch(0, nil, nil)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	cfg.setDefaults()
+	if cfg.MSS != 1500 || cfg.InitialCwnd != 10 || cfg.PacerBurst != 40 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if cfg.MinRTO != 200*time.Millisecond {
+		t.Errorf("MinRTO default = %v", cfg.MinRTO)
+	}
+}
+
+func TestFetchResultThroughput(t *testing.T) {
+	r := FetchResult{
+		Size:        units.Bytes(1250000),
+		RequestedAt: 0,
+		FirstByteAt: time.Second,
+		DoneAt:      2 * time.Second,
+	}
+	if got := r.Throughput(); got != 10*units.Mbps {
+		t.Errorf("Throughput = %v, want 10Mbps", got)
+	}
+	if got := r.ResponseTime(); got != 2*time.Second {
+		t.Errorf("ResponseTime = %v", got)
+	}
+}

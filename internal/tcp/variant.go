@@ -1,0 +1,157 @@
+package tcp
+
+import (
+	"math"
+	"time"
+)
+
+// Variant selects the congestion-control law a connection uses for window
+// growth and loss response. The NewReno loss-recovery machinery (fast
+// retransmit, partial acks, RTO) is shared across variants, as it is in
+// real stacks.
+//
+// Reno is the paper's production default ("the congestion control algorithm
+// Netflix uses by default", §6). Cubic is the common Linux default, useful
+// as a neighbor workload. Scavenger is a LEDBAT-style delay-based
+// less-than-best-effort law (§2.2): it backs off as soon as it detects
+// queueing delay, which makes it yield to any loss-based flow — the
+// alternative smoothing approach the paper contrasts Sammy with.
+type Variant int
+
+const (
+	// Reno is classic slow start + AIMD.
+	Reno Variant = iota
+	// Cubic grows the window along a cubic curve anchored at the last loss
+	// (RFC 8312 shape, simplified).
+	Cubic
+	// Scavenger is a LEDBAT-style delay-based law targeting a small bound
+	// on self-induced queueing delay.
+	Scavenger
+)
+
+// String names the variant for experiment output.
+func (v Variant) String() string {
+	switch v {
+	case Cubic:
+		return "cubic"
+	case Scavenger:
+		return "scavenger"
+	default:
+		return "reno"
+	}
+}
+
+// Cubic constants (RFC 8312): the scaling constant and the multiplicative
+// decrease factor.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// Scavenger (LEDBAT-like) constants: the queueing-delay target and the
+// per-RTT gain. The target must sit below the bottleneck queue's maximum
+// delay or the scavenger can never detect competition (a known LEDBAT
+// deployment pitfall); 10 ms is comfortably inside the lab queue's 20 ms.
+const (
+	scavengerTarget = 10 * time.Millisecond
+	scavengerGain   = 2.0
+)
+
+// cubicState tracks the cubic curve between losses.
+type cubicState struct {
+	wMax       float64       // window before the last reduction
+	epochStart time.Duration // when the current growth epoch began; -1 if unset
+	k          float64       // time (seconds) to return to wMax
+}
+
+// lossBeta is the multiplicative decrease applied at a fast retransmit.
+func (c *Conn) lossBeta() float64 {
+	switch c.cfg.Variant {
+	case Cubic:
+		return cubicBeta
+	default:
+		return 0.5
+	}
+}
+
+// increaseWindow applies the variant's growth law for newlyAcked segments
+// acknowledged with the given RTT sample (0 when no sample was taken).
+func (c *Conn) increaseWindow(newlyAcked int64, rtt time.Duration) {
+	switch c.cfg.Variant {
+	case Cubic:
+		c.increaseCubic(newlyAcked)
+	case Scavenger:
+		c.increaseScavenger(newlyAcked, rtt)
+	default:
+		c.increaseReno(newlyAcked)
+	}
+}
+
+// increaseReno is slow start below ssthresh and 1/cwnd per ack above.
+func (c *Conn) increaseReno(newlyAcked int64) {
+	for i := int64(0); i < newlyAcked; i++ {
+		if c.cwnd < c.ssthresh {
+			c.cwnd++
+		} else {
+			c.cwnd += 1 / c.cwnd
+		}
+	}
+}
+
+// increaseCubic follows W(t) = C·(t−K)³ + Wmax above ssthresh.
+func (c *Conn) increaseCubic(newlyAcked int64) {
+	for i := int64(0); i < newlyAcked; i++ {
+		if c.cwnd < c.ssthresh {
+			c.cwnd++
+			continue
+		}
+		if c.cubic.epochStart < 0 {
+			c.cubic.epochStart = c.s.Now()
+			if c.cubic.wMax < c.cwnd {
+				c.cubic.wMax = c.cwnd
+			}
+			c.cubic.k = math.Cbrt(c.cubic.wMax * (1 - cubicBeta) / cubicC)
+		}
+		t := (c.s.Now() - c.cubic.epochStart).Seconds()
+		target := cubicC*math.Pow(t-c.cubic.k, 3) + c.cubic.wMax
+		if target > c.cwnd {
+			// Standard per-ack catch-up toward the cubic target.
+			c.cwnd += (target - c.cwnd) / c.cwnd
+		} else {
+			// TCP-friendly floor: at least Reno's growth.
+			c.cwnd += 0.3 / c.cwnd
+		}
+	}
+}
+
+// increaseScavenger adjusts the window proportionally to how far the
+// current queueing delay sits from the target (LEDBAT's controller).
+func (c *Conn) increaseScavenger(newlyAcked int64, rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	if c.minRTT == 0 || rtt < c.minRTT {
+		c.minRTT = rtt
+	}
+	queueing := rtt - c.minRTT
+	offTarget := float64(scavengerTarget-queueing) / float64(scavengerTarget)
+	if offTarget > 1 {
+		offTarget = 1
+	}
+	if offTarget < -1 {
+		offTarget = -1
+	}
+	c.cwnd += scavengerGain * offTarget * float64(newlyAcked) / c.cwnd
+	if c.cwnd < 2 {
+		c.cwnd = 2
+	}
+}
+
+// onVariantLoss lets the variant update its private state when a loss event
+// halves (or beta-reduces) the window.
+func (c *Conn) onVariantLoss() {
+	if c.cfg.Variant == Cubic {
+		c.cubic.wMax = c.cwnd
+		c.cubic.epochStart = -1
+	}
+}

@@ -1,0 +1,125 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestVariantString(t *testing.T) {
+	tests := []struct {
+		v    Variant
+		want string
+	}{
+		{Reno, "reno"},
+		{Cubic, "cubic"},
+		{Scavenger, "scavenger"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestCubicBulkThroughput(t *testing.T) {
+	// Cubic should fill the pipe at least as well as Reno on a long
+	// transfer.
+	run := func(v Variant) units.BitsPerSecond {
+		net := newTestNet(40*units.Mbps, 2)
+		c := net.conn(1, Config{Variant: v})
+		var res FetchResult
+		c.Fetch(30*units.MB, nil, func(r FetchResult) { res = r })
+		net.s.Run()
+		return res.Throughput()
+	}
+	reno := run(Reno)
+	cubic := run(Cubic)
+	if cubic < 30*units.Mbps {
+		t.Errorf("cubic bulk throughput = %v, want near link rate", cubic)
+	}
+	if float64(cubic) < 0.9*float64(reno) {
+		t.Errorf("cubic (%v) should be at least comparable to reno (%v)", cubic, reno)
+	}
+}
+
+func TestCubicRecoversAfterLoss(t *testing.T) {
+	// The cubic epoch must reset on loss and still deliver everything.
+	net := newTestNet(20*units.Mbps, 0.5) // shallow queue forces losses
+	c := net.conn(1, Config{Variant: Cubic})
+	var done bool
+	c.Fetch(10*units.MB, nil, func(FetchResult) { done = true })
+	net.s.Run()
+	if !done {
+		t.Fatal("cubic transfer did not complete")
+	}
+	if c.Stats.Retransmits == 0 {
+		t.Error("expected losses on the shallow queue")
+	}
+}
+
+func TestScavengerAloneUtilizesLink(t *testing.T) {
+	// §2.2: scavenger transports "fully utilize the network when no
+	// neighboring traffic is present" — the key behavioural difference from
+	// Sammy's consistent smoothing.
+	net := newTestNet(40*units.Mbps, 4)
+	c := net.conn(1, Config{Variant: Scavenger})
+	var res FetchResult
+	c.Fetch(20*units.MB, nil, func(r FetchResult) { res = r })
+	net.s.Run()
+	got := res.Throughput().Mbps()
+	if got < 25 {
+		t.Errorf("solo scavenger throughput = %.1f Mbps, want near link rate", got)
+	}
+	// It should hold queueing delay near its 25 ms target rather than
+	// filling the 20 ms queue plus sawtooth losses.
+	if c.Stats.Retransmits > 20 {
+		t.Errorf("scavenger retransmits = %d, want close to none", c.Stats.Retransmits)
+	}
+}
+
+func TestScavengerYieldsToReno(t *testing.T) {
+	// A scavenger flow competing with a loss-based flow should take much
+	// less than half the link (LEDBAT's less-than-best-effort goal).
+	net := newTestNet(40*units.Mbps, 4)
+	scav := net.conn(1, Config{Variant: Scavenger})
+	reno := net.conn(2, Config{Variant: Reno})
+	var rScav, rReno FetchResult
+	// The scavenger starts first; the Reno flow then takes over the link.
+	scav.Fetch(12*units.MB, nil, func(r FetchResult) { rScav = r })
+	net.s.At(500*time.Millisecond, func() {
+		reno.Fetch(30*units.MB, nil, func(r FetchResult) { rReno = r })
+	})
+	net.s.Run()
+	renoMbps := rReno.Throughput().Mbps()
+	scavMbps := rScav.Throughput().Mbps()
+	if renoMbps < 22 {
+		t.Errorf("reno vs scavenger = %.1f Mbps, want well above the 20 Mbps fair share", renoMbps)
+	}
+	if scavMbps > renoMbps {
+		t.Errorf("scavenger (%.1f) outran reno (%.1f); it should yield", scavMbps, renoMbps)
+	}
+}
+
+func TestScavengerDeliversReliably(t *testing.T) {
+	// Yielding must not break reliability.
+	net := newTestNet(10*units.Mbps, 1)
+	scav := net.conn(1, Config{Variant: Scavenger})
+	bulk := net.conn(2, Config{})
+	var done bool
+	scav.Fetch(3*units.MB, nil, func(FetchResult) { done = true })
+	bulk.Fetch(20*units.MB, nil, nil)
+	net.s.Run()
+	if !done {
+		t.Fatal("scavenger transfer starved completely")
+	}
+}
+
+func TestVariantDefaultIsReno(t *testing.T) {
+	var cfg Config
+	cfg.setDefaults()
+	if cfg.Variant != Reno {
+		t.Errorf("default variant = %v", cfg.Variant)
+	}
+}

@@ -1,0 +1,75 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// TestWireBurstBound observes packet departures on the wire and checks the
+// §5.6 property directly: with pacing at rate R and burst b, no more than b
+// data packets ever leave back-to-back (i.e. within a window much shorter
+// than b/R), once past the initial token bucket fill.
+func TestWireBurstBound(t *testing.T) {
+	for _, burst := range []int{4, 8, 16} {
+		burst := burst
+		t.Run(fmt.Sprintf("burst%d", burst), func(t *testing.T) {
+			s := sim.New()
+			class := sim.NewClassifier()
+			var departures []time.Duration
+			// A fast link so serialization does not mask sender bursts; we
+			// tap departures by wrapping Send.
+			link := sim.NewLink(s, sim.LinkConfig{
+				Rate: 1 * units.Gbps, Delay: time.Millisecond, QueueLimit: 10 * units.MB,
+			}, class)
+			tap := tapSender{inner: link, s: s, times: &departures}
+
+			c := NewConn(s, 1, tap, class,
+				sim.LinkConfig{Rate: 1 * units.Gbps, Delay: time.Millisecond},
+				Config{PacerBurst: burst})
+			rate := 12 * units.Mbps
+			c.SetPacingRate(rate)
+			c.Fetch(3*units.MB, nil, nil)
+			s.Run()
+
+			// Count the longest run of departures spaced by less than a
+			// tenth of the per-packet pace interval (1 ms at 12 Mbps).
+			perPacket := rate.TimeToSend(1500)
+			longest, run := 1, 1
+			for i := 1; i < len(departures); i++ {
+				if departures[i]-departures[i-1] < perPacket/10 {
+					run++
+					if run > longest {
+						longest = run
+					}
+				} else {
+					run = 1
+				}
+			}
+			if longest > burst {
+				t.Errorf("observed a %d-packet back-to-back run, burst limit is %d", longest, burst)
+			}
+			// The burst allowance should actually be used at chunk start.
+			if longest < burst/2 {
+				t.Errorf("longest run %d far below burst %d; pacer is over-throttling", longest, burst)
+			}
+		})
+	}
+}
+
+// tapSender records departure times of data packets before forwarding.
+type tapSender struct {
+	inner *sim.Link
+	s     *sim.Simulator
+	times *[]time.Duration
+}
+
+func (t tapSender) Send(p *sim.Packet) bool {
+	if !p.IsAck && p.Payload == nil {
+		*t.times = append(*t.times, t.s.Now())
+	}
+	return t.inner.Send(p)
+}

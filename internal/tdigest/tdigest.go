@@ -1,0 +1,216 @@
+// Package tdigest implements the merging t-digest of Dunning, the streaming
+// quantile sketch the paper uses to summarize per-connection RTT samples
+// before merging them into a per-session estimate ([21] in the paper).
+//
+// The implementation follows the "merging digest" design: incoming samples
+// accumulate in a buffer; when the buffer fills, buffered points and existing
+// centroids are merged in sorted order subject to the k1 scale-function size
+// bound, which keeps centroids small near the tails and large in the middle.
+package tdigest
+
+import (
+	"math"
+	"sort"
+)
+
+// centroid is a weighted point in the sketch.
+type centroid struct {
+	mean   float64
+	weight float64
+}
+
+// TDigest is a streaming quantile sketch. The zero value is not ready for
+// use; construct with New. TDigest is not safe for concurrent use.
+type TDigest struct {
+	compression float64
+	centroids   []centroid
+	buffer      []centroid
+	count       float64
+	min, max    float64
+}
+
+// New returns a t-digest with the given compression parameter. Larger
+// compression means more centroids and better accuracy; 100 is the
+// conventional default.
+func New(compression float64) *TDigest {
+	if compression < 10 {
+		compression = 10
+	}
+	return &TDigest{
+		compression: compression,
+		buffer:      make([]centroid, 0, int(8*compression)),
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}
+}
+
+// Add inserts a sample with weight 1.
+func (t *TDigest) Add(x float64) { t.AddWeighted(x, 1) }
+
+// AddWeighted inserts a sample with the given positive weight. NaN samples
+// and non-positive weights are ignored.
+func (t *TDigest) AddWeighted(x, w float64) {
+	if math.IsNaN(x) || w <= 0 {
+		return
+	}
+	t.buffer = append(t.buffer, centroid{mean: x, weight: w})
+	t.count += w
+	if x < t.min {
+		t.min = x
+	}
+	if x > t.max {
+		t.max = x
+	}
+	if len(t.buffer) == cap(t.buffer) {
+		t.compress()
+	}
+}
+
+// Merge folds the contents of other into t, leaving other unchanged. This is
+// how per-connection digests combine into a per-session digest.
+func (t *TDigest) Merge(other *TDigest) {
+	if other == nil {
+		return
+	}
+	other.compress()
+	for _, c := range other.centroids {
+		t.AddWeighted(c.mean, c.weight)
+	}
+}
+
+// Count reports the total weight added.
+func (t *TDigest) Count() float64 { return t.count }
+
+// Min reports the smallest sample added, or +Inf when empty.
+func (t *TDigest) Min() float64 { return t.min }
+
+// Max reports the largest sample added, or -Inf when empty.
+func (t *TDigest) Max() float64 { return t.max }
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the added samples.
+// It returns NaN for an empty digest.
+func (t *TDigest) Quantile(q float64) float64 {
+	t.compress()
+	if t.count == 0 || len(t.centroids) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return t.min
+	}
+	if q >= 1 {
+		return t.max
+	}
+	target := q * t.count
+
+	// Walk centroids accumulating weight; interpolate within the matching
+	// centroid, treating each centroid's weight as spread around its mean.
+	var cum float64
+	for i, c := range t.centroids {
+		if cum+c.weight >= target {
+			// Position of target within this centroid, in [0,1].
+			frac := (target - cum) / c.weight
+			lo, hi := t.neighborBounds(i)
+			return lo + frac*(hi-lo)
+		}
+		cum += c.weight
+	}
+	return t.max
+}
+
+// neighborBounds estimates the value range covered by centroid i using the
+// midpoints to its neighbors, clamped to the observed min/max.
+func (t *TDigest) neighborBounds(i int) (lo, hi float64) {
+	c := t.centroids[i]
+	lo, hi = t.min, t.max
+	if i > 0 {
+		lo = (t.centroids[i-1].mean + c.mean) / 2
+	}
+	if i < len(t.centroids)-1 {
+		hi = (c.mean + t.centroids[i+1].mean) / 2
+	}
+	return lo, hi
+}
+
+// CDF estimates the fraction of samples ≤ x. It returns NaN for an empty
+// digest.
+func (t *TDigest) CDF(x float64) float64 {
+	t.compress()
+	if t.count == 0 {
+		return math.NaN()
+	}
+	if x < t.min {
+		return 0
+	}
+	if x >= t.max {
+		return 1
+	}
+	var cum float64
+	for i, c := range t.centroids {
+		lo, hi := t.neighborBounds(i)
+		if x < lo {
+			break
+		}
+		if x < hi {
+			frac := 0.5
+			if hi > lo {
+				frac = (x - lo) / (hi - lo)
+			}
+			return (cum + frac*c.weight) / t.count
+		}
+		cum += c.weight
+	}
+	return math.Min(1, cum/t.count)
+}
+
+// CentroidCount reports how many centroids the compressed sketch holds,
+// exposed for tests of the size bound.
+func (t *TDigest) CentroidCount() int {
+	t.compress()
+	return len(t.centroids)
+}
+
+// compress merges buffered samples into the centroid list, enforcing the k1
+// scale-function bound on centroid sizes.
+func (t *TDigest) compress() {
+	if len(t.buffer) == 0 {
+		return
+	}
+	merged := append(t.centroids, t.buffer...)
+	t.buffer = t.buffer[:0]
+	sort.Slice(merged, func(i, j int) bool { return merged[i].mean < merged[j].mean })
+
+	out := merged[:0]
+	var cum float64 // weight before the current output centroid
+	cur := merged[0]
+	kLo := t.kScale(0) // k value at the start of the current centroid
+	for _, c := range merged[1:] {
+		proposed := cur.weight + c.weight
+		q1 := (cum + proposed) / t.count
+		// A centroid may span at most one unit of the k1 scale function,
+		// which keeps centroids tiny near the tails and large in the middle.
+		if t.kScale(q1)-kLo <= 1 {
+			// Merge c into cur (weighted mean).
+			cur.mean = (cur.mean*cur.weight + c.mean*c.weight) / proposed
+			cur.weight = proposed
+		} else {
+			out = append(out, cur)
+			cum += cur.weight
+			kLo = t.kScale(cum / t.count)
+			cur = c
+		}
+	}
+	out = append(out, cur)
+	t.centroids = append([]centroid(nil), out...)
+}
+
+// kScale is the k1 scale function, k1(q) = δ/(2π)·asin(2q−1), which maps
+// quantiles to "centroid budget" units.
+func (t *TDigest) kScale(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return t.compression / (2 * math.Pi) * math.Asin(2*q-1)
+}

@@ -1,0 +1,209 @@
+package tdigest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyDigest(t *testing.T) {
+	d := New(100)
+	if !math.IsNaN(d.Quantile(0.5)) {
+		t.Error("empty digest Quantile should be NaN")
+	}
+	if !math.IsNaN(d.CDF(1)) {
+		t.Error("empty digest CDF should be NaN")
+	}
+	if d.Count() != 0 {
+		t.Error("empty digest Count should be 0")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	d := New(100)
+	d.Add(42)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := d.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+	if d.Min() != 42 || d.Max() != 42 {
+		t.Errorf("Min/Max = %v/%v", d.Min(), d.Max())
+	}
+}
+
+func TestIgnoresBadInput(t *testing.T) {
+	d := New(100)
+	d.Add(math.NaN())
+	d.AddWeighted(5, 0)
+	d.AddWeighted(5, -1)
+	if d.Count() != 0 {
+		t.Errorf("bad inputs should be ignored, count = %v", d.Count())
+	}
+}
+
+func TestUniformQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := New(100)
+	n := 50000
+	for i := 0; i < n; i++ {
+		d.Add(rng.Float64())
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := d.Quantile(q)
+		if math.Abs(got-q) > 0.02 {
+			t.Errorf("uniform Quantile(%v) = %v, want ≈ %v", q, got, q)
+		}
+	}
+}
+
+func TestNormalMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := New(100)
+	for i := 0; i < 20000; i++ {
+		d.Add(50 + 10*rng.NormFloat64())
+	}
+	if got := d.Quantile(0.5); math.Abs(got-50) > 1 {
+		t.Errorf("normal median = %v, want ≈ 50", got)
+	}
+}
+
+func TestExactAgainstSorted(t *testing.T) {
+	// Against a small exact sample, the digest should be close.
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 2000)
+	d := New(200)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64()) // lognormal, like RTTs
+		d.Add(xs[i])
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		exact := xs[int(q*float64(len(xs)-1))]
+		got := d.Quantile(q)
+		if math.Abs(got-exact)/exact > 0.1 {
+			t.Errorf("lognormal Quantile(%v) = %v, exact %v", q, got, exact)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Two connections with different RTT regimes merged into one session,
+	// mirroring the paper's per-session RTT merging.
+	a, b, all := New(100), New(100), New(100)
+	for i := 0; i < 5000; i++ {
+		x := 10 + 2*rng.NormFloat64()
+		a.Add(x)
+		all.Add(x)
+	}
+	for i := 0; i < 5000; i++ {
+		x := 30 + 2*rng.NormFloat64()
+		b.Add(x)
+		all.Add(x)
+	}
+	a.Merge(b)
+	if a.Count() != 10000 {
+		t.Fatalf("merged count = %v, want 10000", a.Count())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		got, want := a.Quantile(q), all.Quantile(q)
+		if math.Abs(got-want) > 1.5 {
+			t.Errorf("merged Quantile(%v) = %v, combined %v", q, got, want)
+		}
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestCDFInverseOfQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := New(100)
+	for i := 0; i < 10000; i++ {
+		d.Add(rng.Float64() * 100)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		x := d.Quantile(q)
+		back := d.CDF(x)
+		if math.Abs(back-q) > 0.03 {
+			t.Errorf("CDF(Quantile(%v)) = %v", q, back)
+		}
+	}
+	if d.CDF(-1) != 0 {
+		t.Error("CDF below min should be 0")
+	}
+	if d.CDF(1000) != 1 {
+		t.Error("CDF above max should be 1")
+	}
+}
+
+func TestCompressionBoundsCentroids(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := New(100)
+	for i := 0; i < 100000; i++ {
+		d.Add(rng.NormFloat64())
+	}
+	if n := d.CentroidCount(); n > 200 {
+		t.Errorf("centroid count %d exceeds ≈2·compression bound", n)
+	}
+}
+
+func TestQuantileWithinMinMaxProperty(t *testing.T) {
+	f := func(raw []float64, q float64) bool {
+		d := New(50)
+		any := false
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				d.Add(x)
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		qq := math.Mod(math.Abs(q), 1)
+		v := d.Quantile(qq)
+		return v >= d.Min()-1e-9 && v <= d.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := New(100)
+	for i := 0; i < 5000; i++ {
+		d.Add(rng.ExpFloat64() * 20)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := d.Quantile(q)
+		if v < prev-1e-9 {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := New(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Add(rng.Float64())
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := New(100)
+	for i := 0; i < 100000; i++ {
+		d.Add(rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Quantile(0.5)
+	}
+}

@@ -1,0 +1,190 @@
+// Package trace records and renders the time series behind the paper's
+// trace figures: per-bin throughput (Figures 1 and 7), RTT over time, and
+// buffer levels. Output formats are CSV (for plotting) and a compact ASCII
+// chart (for terminal inspection and EXPERIMENTS.md).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Series is a named time series with aligned timestamps and values.
+type Series struct {
+	Name   string
+	Unit   string
+	Times  []time.Duration
+	Values []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.Times) }
+
+// Max reports the maximum value, or 0 when empty.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean reports the arithmetic mean of the values, or NaN when empty.
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// ThroughputBinner accumulates transferred bytes into fixed time bins and
+// reports a throughput series, which is how Figure 1's "a few seconds of a
+// typical session" panels are built.
+type ThroughputBinner struct {
+	bin  time.Duration
+	bins []float64 // bytes per bin
+}
+
+// NewThroughputBinner returns a binner with the given bin width.
+func NewThroughputBinner(bin time.Duration) *ThroughputBinner {
+	if bin <= 0 {
+		panic("trace: bin width must be positive")
+	}
+	return &ThroughputBinner{bin: bin}
+}
+
+// AddInterval spreads n bytes uniformly across the interval [start, end),
+// the natural way to account a chunk download into bins. A degenerate
+// interval credits everything to start's bin.
+func (b *ThroughputBinner) AddInterval(start, end time.Duration, n units.Bytes) {
+	if n <= 0 {
+		return
+	}
+	if end <= start {
+		b.addToBin(int(start/b.bin), float64(n))
+		return
+	}
+	perSecond := float64(n) / (end - start).Seconds()
+	for t := start; t < end; {
+		binIdx := int(t / b.bin)
+		binEnd := time.Duration(binIdx+1) * b.bin
+		if binEnd > end {
+			binEnd = end
+		}
+		b.addToBin(binIdx, perSecond*(binEnd-t).Seconds())
+		t = binEnd
+	}
+}
+
+func (b *ThroughputBinner) addToBin(i int, bytes float64) {
+	if i < 0 {
+		i = 0
+	}
+	for len(b.bins) <= i {
+		b.bins = append(b.bins, 0)
+	}
+	b.bins[i] += bytes
+}
+
+// Series reports the binned throughput in Mbps.
+func (b *ThroughputBinner) Series(name string) Series {
+	s := Series{Name: name, Unit: "Mbps"}
+	for i, bytes := range b.bins {
+		mbps := bytes * 8 / b.bin.Seconds() / 1e6
+		s.Add(time.Duration(i)*b.bin, mbps)
+	}
+	return s
+}
+
+// CSV renders one or more series with a shared time column (rows are the
+// union of all timestamps; missing values are blank).
+func CSV(series ...Series) string {
+	var sb strings.Builder
+	sb.WriteString("seconds")
+	for _, s := range series {
+		fmt.Fprintf(&sb, ",%s(%s)", s.Name, s.Unit)
+	}
+	sb.WriteByte('\n')
+
+	// Collect the union of timestamps in order.
+	idx := make([]int, len(series))
+	for {
+		next := time.Duration(math.MaxInt64)
+		for i, s := range series {
+			if idx[i] < s.Len() && s.Times[idx[i]] < next {
+				next = s.Times[idx[i]]
+			}
+		}
+		if next == time.Duration(math.MaxInt64) {
+			break
+		}
+		fmt.Fprintf(&sb, "%.3f", next.Seconds())
+		for i, s := range series {
+			if idx[i] < s.Len() && s.Times[idx[i]] == next {
+				fmt.Fprintf(&sb, ",%.4f", s.Values[idx[i]])
+				idx[i]++
+			} else {
+				sb.WriteByte(',')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ASCII renders a crude fixed-height chart of the series, downsampling to
+// width columns. It is meant for terminal output, not publication.
+func ASCII(s Series, width, height int) string {
+	if width <= 0 || height <= 0 || s.Len() == 0 {
+		return ""
+	}
+	max := s.Max()
+	if max <= 0 {
+		max = 1
+	}
+	// Downsample by averaging into width columns.
+	cols := make([]float64, width)
+	counts := make([]int, width)
+	for i, v := range s.Values {
+		c := i * width / s.Len()
+		cols[c] += v
+		counts[c]++
+	}
+	for i := range cols {
+		if counts[i] > 0 {
+			cols[i] /= float64(counts[i])
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (max %.1f %s)\n", s.Name, max, s.Unit)
+	for row := height; row >= 1; row-- {
+		threshold := max * (float64(row) - 0.5) / float64(height)
+		for _, v := range cols {
+			if v >= threshold {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Name, s.Unit = "tput", "Mbps"
+	s.Add(0, 1)
+	s.Add(time.Second, 3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Max() != 3 {
+		t.Errorf("Max = %v", s.Max())
+	}
+	if s.Mean() != 2 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	var empty Series
+	if empty.Max() != 0 || !math.IsNaN(empty.Mean()) {
+		t.Error("empty series Max/Mean wrong")
+	}
+}
+
+func TestBinnerSingleInterval(t *testing.T) {
+	b := NewThroughputBinner(time.Second)
+	// 1 MB over 2 seconds: 4 Mbps in each of two bins.
+	b.AddInterval(0, 2*time.Second, 1*units.MB)
+	s := b.Series("x")
+	if s.Len() != 2 {
+		t.Fatalf("bins = %d", s.Len())
+	}
+	for i, v := range s.Values {
+		if math.Abs(v-4) > 1e-9 {
+			t.Errorf("bin %d = %v Mbps, want 4", i, v)
+		}
+	}
+}
+
+func TestBinnerIntervalSplitsAcrossBins(t *testing.T) {
+	b := NewThroughputBinner(time.Second)
+	// 1 MB over [0.5s, 1.5s): half the bytes in each bin.
+	b.AddInterval(500*time.Millisecond, 1500*time.Millisecond, 1*units.MB)
+	s := b.Series("x")
+	if s.Len() != 2 {
+		t.Fatalf("bins = %d", s.Len())
+	}
+	if math.Abs(s.Values[0]-4) > 1e-9 || math.Abs(s.Values[1]-4) > 1e-9 {
+		t.Errorf("values = %v, want [4 4]", s.Values)
+	}
+}
+
+func TestBinnerDegenerateInterval(t *testing.T) {
+	b := NewThroughputBinner(time.Second)
+	b.AddInterval(3*time.Second, 3*time.Second, 1*units.MB)
+	s := b.Series("x")
+	if s.Len() != 4 {
+		t.Fatalf("bins = %d, want 4", s.Len())
+	}
+	if s.Values[3] != 8 {
+		t.Errorf("bin 3 = %v Mbps, want 8", s.Values[3])
+	}
+	b.AddInterval(0, time.Second, 0) // zero bytes: no-op
+}
+
+func TestBinnerConservesBytesProperty(t *testing.T) {
+	// Total bytes in equals total bytes out regardless of intervals.
+	f := func(intervals []struct {
+		StartMs uint16
+		LenMs   uint16
+		KB      uint8
+	}) bool {
+		b := NewThroughputBinner(250 * time.Millisecond)
+		var total float64
+		for _, iv := range intervals {
+			start := time.Duration(iv.StartMs) * time.Millisecond
+			end := start + time.Duration(iv.LenMs)*time.Millisecond
+			n := units.Bytes(int64(iv.KB)+1) * units.KB
+			b.AddInterval(start, end, n)
+			total += float64(n)
+		}
+		var out float64
+		for _, bytes := range b.bins {
+			out += bytes
+		}
+		return math.Abs(out-total) < 1e-6*math.Max(total, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a := Series{Name: "a", Unit: "Mbps"}
+	a.Add(0, 1)
+	a.Add(time.Second, 2)
+	b := Series{Name: "b", Unit: "ms"}
+	b.Add(time.Second, 5)
+	got := CSV(a, b)
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), got)
+	}
+	if lines[0] != "seconds,a(Mbps),b(ms)" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.000,1.0000,") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "1.000,2.0000,5.0000") {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestASCII(t *testing.T) {
+	s := Series{Name: "tput", Unit: "Mbps"}
+	for i := 0; i < 100; i++ {
+		v := 1.0
+		if i >= 50 {
+			v = 10
+		}
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	out := ASCII(s, 20, 5)
+	if !strings.Contains(out, "#") {
+		t.Error("chart has no marks")
+	}
+	rows := strings.Split(out, "\n")
+	// Header + 5 rows + baseline + trailing empty.
+	if len(rows) != 8 {
+		t.Errorf("rows = %d:\n%s", len(rows), out)
+	}
+	// Top row should only mark the second half.
+	top := rows[1]
+	if strings.Contains(top[:10], "#") || !strings.Contains(top[10:], "#") {
+		t.Errorf("top row shape wrong: %q", top)
+	}
+	if ASCII(Series{}, 10, 5) != "" {
+		t.Error("empty series should render empty")
+	}
+}
+
+func TestBinnerPanicsOnZeroBin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewThroughputBinner(0)
+}

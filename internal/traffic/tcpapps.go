@@ -1,0 +1,111 @@
+package traffic
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// BulkFlow is a long-lived, congestion-window-limited TCP transfer — the
+// Fig 8b neighbor ("a standard, congestion window limited TCP Reno
+// connection").
+type BulkFlow struct {
+	conn  *tcp.Conn
+	s     *sim.Simulator
+	size  units.Bytes
+	start time.Duration
+
+	Result    tcp.FetchResult
+	Completed bool
+}
+
+// NewBulkFlow builds a bulk transfer of size bytes over a fresh connection
+// on the shared forward link. Call StartAt to schedule it.
+func NewBulkFlow(s *sim.Simulator, flow sim.FlowID, fwd sim.Sender, fwdClass *sim.Classifier,
+	revCfg sim.LinkConfig, size units.Bytes) *BulkFlow {
+	b := &BulkFlow{
+		conn: tcp.NewConn(s, flow, fwd, fwdClass, revCfg, tcp.Config{}),
+		s:    s,
+		size: size,
+	}
+	return b
+}
+
+// StartAt schedules the transfer to begin at absolute simulated time t
+// (the paper starts the TCP neighbor 10 s after playback).
+func (b *BulkFlow) StartAt(t time.Duration) {
+	b.s.At(t, func() {
+		b.start = b.s.Now()
+		b.conn.Fetch(b.size, nil, func(r tcp.FetchResult) {
+			b.Result = r
+			b.Completed = true
+		})
+	})
+}
+
+// Throughput reports the transfer's achieved throughput (0 until complete).
+func (b *BulkFlow) Throughput() units.BitsPerSecond {
+	if !b.Completed {
+		return 0
+	}
+	return units.Rate(b.Result.Size, b.Result.DoneAt-b.start)
+}
+
+// Conn exposes the underlying connection for stat readouts.
+func (b *BulkFlow) Conn() *tcp.Conn { return b.conn }
+
+// HTTPLoad repeatedly issues fixed-size HTTP requests over one persistent
+// connection and records each response time — the Fig 8c neighbor
+// ("repeatedly issue 3MB HTTP requests during video playback").
+type HTTPLoad struct {
+	conn    *tcp.Conn
+	s       *sim.Simulator
+	size    units.Bytes
+	gap     time.Duration
+	stopped bool
+
+	ResponseTimes []time.Duration
+}
+
+// NewHTTPLoad builds the load generator: requests of size bytes, with gap
+// think time between a response and the next request.
+func NewHTTPLoad(s *sim.Simulator, flow sim.FlowID, fwd sim.Sender, fwdClass *sim.Classifier,
+	revCfg sim.LinkConfig, size units.Bytes, gap time.Duration) *HTTPLoad {
+	return &HTTPLoad{
+		conn: tcp.NewConn(s, flow, fwd, fwdClass, revCfg, tcp.Config{}),
+		s:    s,
+		size: size,
+		gap:  gap,
+	}
+}
+
+// StartAt schedules the first request at absolute simulated time t.
+func (h *HTTPLoad) StartAt(t time.Duration) { h.s.At(t, h.issue) }
+
+// Stop prevents further requests after the in-flight one completes.
+func (h *HTTPLoad) Stop() { h.stopped = true }
+
+// MeanResponseTime reports the average response time across completed
+// requests.
+func (h *HTTPLoad) MeanResponseTime() time.Duration {
+	if len(h.ResponseTimes) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range h.ResponseTimes {
+		sum += d
+	}
+	return sum / time.Duration(len(h.ResponseTimes))
+}
+
+func (h *HTTPLoad) issue() {
+	if h.stopped {
+		return
+	}
+	h.conn.Fetch(h.size, nil, func(r tcp.FetchResult) {
+		h.ResponseTimes = append(h.ResponseTimes, r.ResponseTime())
+		h.s.Schedule(h.gap, h.issue)
+	})
+}

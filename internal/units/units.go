@@ -1,0 +1,131 @@
+// Package units provides value types for bitrates and byte sizes used
+// throughout the Sammy reproduction: video bitrates, pacing rates, link
+// capacities and chunk sizes. Keeping these as distinct types prevents the
+// classic bits-vs-bytes confusion in networking code.
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BitsPerSecond is a data rate in bits per second. Video bitrates, pacing
+// rates and link capacities are all expressed in this type.
+type BitsPerSecond float64
+
+// Common rate units.
+const (
+	BitPerSecond BitsPerSecond = 1
+	Kbps                       = 1e3 * BitPerSecond
+	Mbps                       = 1e6 * BitPerSecond
+	Gbps                       = 1e9 * BitPerSecond
+)
+
+// Bytes is a size in bytes. Chunk sizes, queue limits and window sizes are
+// expressed in this type.
+type Bytes int64
+
+// Common size units.
+const (
+	Byte Bytes = 1
+	KB         = 1000 * Byte
+	MB         = 1000 * KB
+	GB         = 1000 * MB
+	KiB        = 1024 * Byte
+	MiB        = 1024 * KiB
+)
+
+// Mbit is one megabit expressed in bytes (125 000 bytes). It is convenient
+// when converting chunk sizes to bitrates.
+const Mbit = 125000 * Byte
+
+// BytesPerSecond reports the rate in bytes per second.
+func (r BitsPerSecond) BytesPerSecond() float64 { return float64(r) / 8 }
+
+// Mbps reports the rate in megabits per second.
+func (r BitsPerSecond) Mbps() float64 { return float64(r) / 1e6 }
+
+// IsZero reports whether the rate is exactly zero (commonly "no pacing").
+func (r BitsPerSecond) IsZero() bool { return r == 0 }
+
+// TimeToSend reports how long sending n bytes takes at rate r. It returns 0
+// for non-positive rates, which callers must treat as "unpaced".
+func (r BitsPerSecond) TimeToSend(n Bytes) time.Duration {
+	if r <= 0 || n <= 0 {
+		return 0
+	}
+	seconds := float64(n) * 8 / float64(r)
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// String formats the rate with an adaptive unit, e.g. "3.30Mbps".
+func (r BitsPerSecond) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.2fGbps", float64(r)/1e9)
+	case r >= Mbps:
+		return fmt.Sprintf("%.2fMbps", float64(r)/1e6)
+	case r >= Kbps:
+		return fmt.Sprintf("%.2fKbps", float64(r)/1e3)
+	default:
+		return fmt.Sprintf("%.0fbps", float64(r))
+	}
+}
+
+// Rate reports the data rate of sending n bytes over elapsed time d.
+// A non-positive duration yields 0.
+func Rate(n Bytes, d time.Duration) BitsPerSecond {
+	if d <= 0 {
+		return 0
+	}
+	return BitsPerSecond(float64(n) * 8 / d.Seconds())
+}
+
+// BytesIn reports how many whole bytes rate r delivers in duration d.
+func (r BitsPerSecond) BytesIn(d time.Duration) Bytes {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	return Bytes(float64(r) / 8 * d.Seconds())
+}
+
+// String formats the size with an adaptive decimal unit, e.g. "2.00MB".
+func (b Bytes) String() string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/1e9)
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/1e6)
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// ParseBitsPerSecond parses strings like "40Mbps", "3300kbps", "1.5gbps" or a
+// bare number of bits per second. Unit matching is case-insensitive.
+func ParseBitsPerSecond(s string) (BitsPerSecond, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(t, "gbps"):
+		mult, t = 1e9, strings.TrimSuffix(t, "gbps")
+	case strings.HasSuffix(t, "mbps"):
+		mult, t = 1e6, strings.TrimSuffix(t, "mbps")
+	case strings.HasSuffix(t, "kbps"):
+		mult, t = 1e3, strings.TrimSuffix(t, "kbps")
+	case strings.HasSuffix(t, "bps"):
+		t = strings.TrimSuffix(t, "bps")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse rate %q: %w", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: parse rate %q: negative rate", s)
+	}
+	return BitsPerSecond(v * mult), nil
+}

@@ -1,0 +1,141 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeToSend(t *testing.T) {
+	tests := []struct {
+		rate BitsPerSecond
+		n    Bytes
+		want time.Duration
+	}{
+		{8 * Mbps, 1 * MB, time.Second},
+		{40 * Mbps, 5 * Mbit, 125 * time.Millisecond},
+		{0, 1 * MB, 0},
+		{8 * Mbps, 0, 0},
+		{1 * Mbps, 125000 * Byte, time.Second},
+	}
+	for _, tt := range tests {
+		if got := tt.rate.TimeToSend(tt.n); got != tt.want {
+			t.Errorf("TimeToSend(%v, %v) = %v, want %v", tt.rate, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestRateRoundTrip(t *testing.T) {
+	// Rate(n, TimeToSend(n)) should recover the original rate.
+	f := func(rateMbps uint16, sizeKB uint16) bool {
+		r := BitsPerSecond(float64(rateMbps)+1) * 1e6
+		n := Bytes(int64(sizeKB)+1) * KB
+		d := r.TimeToSend(n)
+		got := Rate(n, d)
+		// Duration truncates to whole nanoseconds, so allow a small
+		// relative error for very short send times.
+		return math.Abs(float64(got-r))/float64(r) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesInInverseOfTimeToSend(t *testing.T) {
+	f := func(rateKbps uint16, ms uint16) bool {
+		r := BitsPerSecond(float64(rateKbps)+8) * 1e3
+		d := time.Duration(int64(ms)+1) * time.Millisecond
+		n := r.BytesIn(d)
+		// Sending those bytes at the same rate takes no longer than d.
+		return r.TimeToSend(n) <= d+time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseBitsPerSecond(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    BitsPerSecond
+		wantErr bool
+	}{
+		{"40Mbps", 40 * Mbps, false},
+		{"40mbps", 40 * Mbps, false},
+		{" 3.3 Mbps ", 3.3 * Mbps, false},
+		{"1.5gbps", 1.5 * Gbps, false},
+		{"250kbps", 250 * Kbps, false},
+		{"1000", 1000 * BitPerSecond, false},
+		{"12bps", 12 * BitPerSecond, false},
+		{"-1Mbps", 0, true},
+		{"fast", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseBitsPerSecond(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseBitsPerSecond(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && math.Abs(float64(got-tt.want)) > 1e-9 {
+			t.Errorf("ParseBitsPerSecond(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	tests := []struct {
+		rate BitsPerSecond
+		want string
+	}{
+		{3.3 * Mbps, "3.30Mbps"},
+		{40 * Mbps, "40.00Mbps"},
+		{2 * Gbps, "2.00Gbps"},
+		{500 * Kbps, "500.00Kbps"},
+		{12, "12bps"},
+	}
+	for _, tt := range tests {
+		if got := tt.rate.String(); got != tt.want {
+			t.Errorf("%v.String() = %q, want %q", float64(tt.rate), got, tt.want)
+		}
+	}
+	sizes := []struct {
+		b    Bytes
+		want string
+	}{
+		{2 * MB, "2.00MB"},
+		{3 * GB, "3.00GB"},
+		{1500, "1.50KB"},
+		{12, "12B"},
+	}
+	for _, tt := range sizes {
+		if got := tt.b.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int64(tt.b), got, tt.want)
+		}
+	}
+}
+
+func TestParseFormatsRoundTrip(t *testing.T) {
+	f := func(mbpsTimes10 uint16) bool {
+		r := BitsPerSecond(float64(mbpsTimes10)/10+1) * 1e6
+		got, err := ParseBitsPerSecond(r.String())
+		if err != nil {
+			return false
+		}
+		return math.Abs(float64(got-r))/float64(r) < 0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMbitConstant(t *testing.T) {
+	if Mbit != 125000*Byte {
+		t.Fatalf("Mbit = %d bytes, want 125000", int64(Mbit))
+	}
+	// One Mbit at 1 Mbps takes exactly one second.
+	if d := (1 * Mbps).TimeToSend(Mbit); d != time.Second {
+		t.Fatalf("1Mbit at 1Mbps = %v, want 1s", d)
+	}
+}

@@ -1,0 +1,89 @@
+package video
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// This file implements the playback-buffer arithmetic from the paper's
+// Appendix A: the standard buffer update equation (2)/(5), the time-averaged
+// bitrate and throughput definitions (8)/(9), and Theorem A.1 relating them.
+
+// BufferSim tracks a playback buffer in seconds of video, applying the
+// Appendix A update: downloading a chunk of duration d that takes Δ to
+// arrive changes the buffer by d − Δ (while playing). It also tracks the
+// aggregates Theorem A.1 is stated over.
+type BufferSim struct {
+	Level time.Duration // current buffer level (seconds of video)
+	Max   time.Duration // buffer capacity; 0 means unbounded
+
+	totalDuration time.Duration // D_T: total duration of downloaded chunks
+	totalSize     units.Bytes   // S_T: total size of downloaded chunks
+	totalDownload time.Duration // Σ Δ_t: total download time
+}
+
+// Step applies one chunk download: duration d of video, size s, downloaded
+// in Δ. It reports the rebuffer time incurred (the amount by which the
+// buffer would have gone negative) and the time spent with a full buffer
+// (when Max > 0 and the chunk overfills it).
+func (b *BufferSim) Step(d time.Duration, s units.Bytes, delta time.Duration) (rebuffer, fullWait time.Duration) {
+	b.totalDuration += d
+	b.totalSize += s
+	b.totalDownload += delta
+
+	b.Level -= delta
+	if b.Level < 0 {
+		rebuffer = -b.Level
+		b.Level = 0
+	}
+	b.Level += d
+	if b.Max > 0 && b.Level > b.Max {
+		fullWait = b.Level - b.Max
+		b.Level = b.Max
+	}
+	return rebuffer, fullWait
+}
+
+// AvgBitrate is r̄ = S_T / D_T (Appendix A eq. 8), the duration-weighted
+// average bitrate.
+func (b *BufferSim) AvgBitrate() units.BitsPerSecond {
+	return units.Rate(b.totalSize, b.totalDuration)
+}
+
+// AvgThroughput is x̄ = S_T / ΣΔ_t (Appendix A eq. 9), the download-time-
+// weighted average throughput — the paper's "chunk throughput" metric.
+func (b *BufferSim) AvgThroughput() units.BitsPerSecond {
+	return units.Rate(b.totalSize, b.totalDownload)
+}
+
+// TotalDuration reports D_T.
+func (b *BufferSim) TotalDuration() time.Duration { return b.totalDuration }
+
+// TotalDownloadTime reports ΣΔ_t.
+func (b *BufferSim) TotalDownloadTime() time.Duration { return b.totalDownload }
+
+// PredictBuffer applies Theorem A.1: starting from buffer B0, downloading
+// chunks with total duration D at average bitrate r and average throughput
+// x yields ending buffer B0 + D − D·r/x. This is the buffer-evolution
+// predictor used by lookahead ABR algorithms (and HYB's threshold analysis).
+func PredictBuffer(b0, d time.Duration, r, x units.BitsPerSecond) time.Duration {
+	if x <= 0 {
+		// No throughput: the whole download time is unbounded; signal an
+		// immediately-draining buffer.
+		return b0 - (1 << 62)
+	}
+	drain := time.Duration(float64(d) * float64(r) / float64(x))
+	return b0 + d - drain
+}
+
+// MaxSustainableBitrate inverts PredictBuffer: the highest bitrate r that
+// keeps the ending buffer non-negative given throughput x, starting buffer
+// B0 and lookahead duration D (the constraint r ≤ x·(1 + B0/D) scaled by
+// the ABR's safety factor β elsewhere).
+func MaxSustainableBitrate(b0, d time.Duration, x units.BitsPerSecond) units.BitsPerSecond {
+	if d <= 0 {
+		return units.BitsPerSecond(1 << 62)
+	}
+	return units.BitsPerSecond(float64(x) * (1 + float64(b0)/float64(d)))
+}

@@ -1,0 +1,68 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestCapAt(t *testing.T) {
+	l := NewLadder(1*units.Mbps, 2*units.Mbps, 4*units.Mbps, 8*units.Mbps)
+	tests := []struct {
+		limit   units.BitsPerSecond
+		wantLen int
+		wantTop units.BitsPerSecond
+	}{
+		{100 * units.Mbps, 4, 8 * units.Mbps},
+		{8 * units.Mbps, 4, 8 * units.Mbps},
+		{5 * units.Mbps, 3, 4 * units.Mbps},
+		{2 * units.Mbps, 2, 2 * units.Mbps},
+		{500 * units.Kbps, 1, 1 * units.Mbps}, // at least the lowest rung survives
+	}
+	for _, tt := range tests {
+		got := l.CapAt(tt.limit)
+		if len(got) != tt.wantLen {
+			t.Errorf("CapAt(%v) len = %d, want %d", tt.limit, len(got), tt.wantLen)
+		}
+		if got.Top().Bitrate != tt.wantTop {
+			t.Errorf("CapAt(%v) top = %v, want %v", tt.limit, got.Top().Bitrate, tt.wantTop)
+		}
+	}
+}
+
+func TestCapAtPreservesVMAF(t *testing.T) {
+	// A 4 Mbps encode looks identical whether or not an 8 Mbps rung exists.
+	l := NewLadder(1*units.Mbps, 4*units.Mbps, 8*units.Mbps)
+	capped := l.CapAt(4 * units.Mbps)
+	if capped[1].VMAF != l[1].VMAF {
+		t.Errorf("CapAt changed rung VMAF: %v vs %v", capped[1].VMAF, l[1].VMAF)
+	}
+}
+
+func TestCapAtProperty(t *testing.T) {
+	l := DefaultLadder()
+	f := func(limitKbps uint16) bool {
+		limit := units.BitsPerSecond(limitKbps) * units.Kbps
+		c := l.CapAt(limit)
+		if len(c) < 1 || len(c) > len(l) {
+			return false
+		}
+		// All rungs except possibly the forced lowest respect the limit.
+		for i := 1; i < len(c); i++ {
+			if c[i].Bitrate > limit {
+				return false
+			}
+		}
+		// The cap is a prefix of the original ladder.
+		for i := range c {
+			if c[i] != l[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
