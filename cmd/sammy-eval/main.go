@@ -21,11 +21,40 @@ import (
 	"repro/internal/abtest"
 	"repro/internal/core"
 	"repro/internal/lab"
+	"repro/internal/obs"
 	"repro/internal/player"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/video"
 )
+
+// reportMetrics prints the registry snapshot collected during the run and,
+// when csvDir is set, writes the retained events as events.jsonl next to
+// the figure CSVs.
+func reportMetrics(reg *obs.Registry, csvDir string) {
+	fmt.Println("==== metrics snapshot ====")
+	fmt.Print(reg.Snapshot())
+	rec := reg.Recorder()
+	if rec == nil {
+		return
+	}
+	fmt.Printf("events recorded: %d (retained %d)\n", rec.Total(), rec.Len())
+	if csvDir == "" {
+		return
+	}
+	path := csvDir + "/events.jsonl"
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sammy-eval: create %s: %v\n", path, err)
+		return
+	}
+	defer f.Close()
+	if err := rec.WriteJSONL(f); err != nil {
+		fmt.Fprintf(os.Stderr, "sammy-eval: write %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
+}
 
 func main() {
 	users := flag.Int("users", 400, "population size for A/B experiments")
@@ -33,6 +62,8 @@ func main() {
 	chunks := flag.Int("chunks", 100, "chunks per session")
 	seed := flag.Int64("seed", 11, "experiment seed")
 	csvDir := flag.String("csv", "", "directory to write figure CSV series into (fig1, fig7)")
+	metrics := flag.Bool("metrics", false, "collect live metrics during the run and print a registry snapshot; with -csv also writes events.jsonl")
+	eventCap := flag.Int("events", 65536, "event recorder ring size used with -metrics")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sammy-eval [flags] <table2|table3|baseline|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|approaches|abandon|all>\n")
 		flag.PrintDefaults()
@@ -41,6 +72,19 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// With -metrics, install a process-wide registry before any simulator
+	// or connection is built so every layer attaches to it, and report it
+	// after the experiment.
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		if *eventCap > 0 {
+			reg.SetRecorder(obs.NewRecorder(*eventCap))
+		}
+		obs.SetDefault(reg)
+		defer reportMetrics(reg, *csvDir)
 	}
 
 	cfg := abtest.Config{

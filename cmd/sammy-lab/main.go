@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sammy-lab [-chunks 90] [-seed 1] <single|udp|tcp|http|video|burst|ablation>
+//	sammy-lab [-chunks 90] [-seed 1] [-metrics] <single|udp|tcp|http|video|burst|ablation>
 package main
 
 import (
@@ -13,12 +13,15 @@ import (
 	"os"
 
 	"repro/internal/lab"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 func main() {
 	chunks := flag.Int("chunks", 90, "session length in 4s chunks")
 	seed := flag.Int64("seed", 1, "scenario seed")
+	metrics := flag.Bool("metrics", false, "collect live metrics during the run and print a registry snapshot")
+	events := flag.String("events", "", "also write the event trace as JSONL to this file (with -metrics)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sammy-lab [flags] <single|udp|tcp|http|video|burst|ablation|approaches|pairings>\n")
 		flag.PrintDefaults()
@@ -27,6 +30,33 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Install a process-wide registry before any scenario builds its
+	// simulator, so sim/tcp/player instrumentation attaches automatically.
+	if *metrics {
+		reg := obs.NewRegistry()
+		reg.SetRecorder(obs.NewRecorder(65536))
+		obs.SetDefault(reg)
+		defer func() {
+			fmt.Println("==== metrics snapshot ====")
+			fmt.Print(reg.Snapshot())
+			rec := reg.Recorder()
+			fmt.Printf("events recorded: %d (retained %d)\n", rec.Total(), rec.Len())
+			if *events != "" {
+				f, err := os.Create(*events)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "sammy-lab: %v\n", err)
+					return
+				}
+				defer f.Close()
+				if err := rec.WriteJSONL(f); err != nil {
+					fmt.Fprintf(os.Stderr, "sammy-lab: write %s: %v\n", *events, err)
+					return
+				}
+				fmt.Printf("wrote %s\n", *events)
+			}
+		}()
 	}
 
 	switch flag.Arg(0) {

@@ -4,19 +4,34 @@
 // its sending rate accordingly, like a Fastly/Akamai edge honouring the
 // paper's header-driven pacing.
 //
+// The server is fully instrumented: live counters and histograms (request
+// counts, pace-rate distribution, pacer sleeps, bytes served) are exposed
+// at /debug/vars via expvar under the "sammy" key, profiling endpoints are
+// mounted at /debug/pprof/, and a periodic log line summarizes the
+// registry.
+//
 // Usage:
 //
-//	sammy-server [-addr :8404] [-burst 4]
+//	sammy-server [-addr :8404] [-burst 4] [-metrics-interval 30s]
+//
+// Inspect live metrics:
+//
+//	curl localhost:8404/debug/vars | python3 -m json.tool
+//	go tool pprof localhost:8404/debug/pprof/profile
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/cdn"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -24,19 +39,59 @@ func main() {
 	addr := flag.String("addr", ":8404", "listen address")
 	burst := flag.Int("burst", 4, "pacing burst in 1500-byte packets")
 	kernel := flag.Bool("kernel", false, "enforce pacing with SO_MAX_PACING_RATE (Linux; falls back to user space)")
+	interval := flag.Duration("metrics-interval", 30*time.Second, "period between metrics log lines (0 disables)")
+	events := flag.Int("events", 4096, "event recorder ring size (0 disables event tracing)")
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *events > 0 {
+		reg.SetRecorder(obs.NewRecorder(*events))
+	}
+	reg.Publish("sammy")
+	metrics := cdn.NewMetrics(reg)
+
+	handler := &cdn.Server{
+		Burst:        units.Bytes(*burst) * 1500,
+		KernelPacing: *kernel,
+		Metrics:      metrics,
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           &cdn.Server{Burst: units.Bytes(*burst) * 1500, KernelPacing: *kernel},
+		Handler:           mux,
 		ConnContext:       cdn.ConnContext,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	if *interval > 0 {
+		go func() {
+			for range time.Tick(*interval) {
+				log.Printf("metrics: requests=%d paced=%d failed=%d bytes=%d pace_p50=%.1fMbps sleep_p95=%.2fms",
+					metrics.Requests.Value(), metrics.PacedRequests.Value(),
+					metrics.RequestsFailed.Value(), metrics.BytesServed.Value(),
+					metrics.PaceRateMbps.Quantile(0.5), metrics.PacerSleepMs.Quantile(0.95))
+			}
+		}()
+	}
+
 	mode := "user-space token bucket"
 	if *kernel {
 		mode = "kernel SO_MAX_PACING_RATE"
 	}
+	hostport := *addr
+	if strings.HasPrefix(hostport, ":") {
+		hostport = "localhost" + hostport
+	}
 	fmt.Printf("sammy-server listening on %s (pacing burst %d packets, %s)\n", *addr, *burst, mode)
-	fmt.Println("try: curl -H 'X-Sammy-Pace-Rate-Bps: 8000000' 'http://localhost:8404/chunk?size=4000000' -o /dev/null")
+	fmt.Printf("try: curl -H 'X-Sammy-Pace-Rate-Bps: 8000000' 'http://%s/chunk?size=4000000' -o /dev/null\n", hostport)
+	fmt.Printf("metrics: curl %[1]s/debug/vars   profiling: go tool pprof %[1]s/debug/pprof/profile\n", hostport)
 	log.Fatal(srv.ListenAndServe())
 }

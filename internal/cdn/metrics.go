@@ -1,0 +1,54 @@
+package cdn
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics holds the HTTP chunk server's observability hooks. A nil
+// *Metrics (the default) keeps the server uninstrumented. All fields are
+// safe under concurrent request handlers; obs types no-op on nil.
+type Metrics struct {
+	Requests       *obs.Counter // chunk requests accepted (2xx started)
+	RequestsBad    *obs.Counter // rejected before the body (4xx: bad size, too large)
+	RequestsFailed *obs.Counter // body stream aborted mid-write (client disconnect)
+	BytesServed    *obs.Counter // body bytes actually written
+
+	PacedRequests   *obs.Counter // requests that asked for a pace rate
+	UnpacedRequests *obs.Counter // requests without one
+	KernelPaced     *obs.Counter // paced via SO_MAX_PACING_RATE
+	UserPaced       *obs.Counter // paced via the user-space token bucket
+
+	PaceRateMbps  *obs.Histogram // requested pace rate per paced request
+	PacerSleepMs  *obs.Histogram // user-space pacer sleeps
+	ResponseBytes *obs.Histogram // requested chunk sizes
+
+	// Recorder receives "cdn_request" (V = size bytes, Aux = pace bits/s)
+	// and "cdn_disconnect" (V = bytes written before the failure) events on
+	// the recorder's wall clock. Nil skips events.
+	Recorder *obs.Recorder
+}
+
+// NewMetrics builds a Metrics wired to registry r (nil r yields nil,
+// keeping instrumentation off).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Requests:        r.Counter("cdn_requests"),
+		RequestsBad:     r.Counter("cdn_requests_bad"),
+		RequestsFailed:  r.Counter("cdn_requests_failed"),
+		BytesServed:     r.Counter("cdn_bytes_served"),
+		PacedRequests:   r.Counter("cdn_paced_requests"),
+		UnpacedRequests: r.Counter("cdn_unpaced_requests"),
+		KernelPaced:     r.Counter("cdn_kernel_paced"),
+		UserPaced:       r.Counter("cdn_user_paced"),
+		// Pace rates: 0.1 Mbps … ~3 Gbps.
+		PaceRateMbps: r.Histogram("cdn_pace_rate_mbps", obs.ExpBuckets(0.1, 1.6, 22)),
+		// Sleeps: 10 µs … ~1 s.
+		PacerSleepMs: r.Histogram("cdn_pacer_sleep_ms", obs.ExpBuckets(0.01, 1.8, 20)),
+		// Chunk sizes: 16 KB … ~1 GB.
+		ResponseBytes: r.Histogram("cdn_response_bytes", obs.ExpBuckets(16*1024, 2, 17)),
+		Recorder:      r.Recorder(),
+	}
+}

@@ -40,6 +40,10 @@ type Server struct {
 	// http.Server's ConnContext; falls back to user-space pacing when the
 	// socket is unreachable.
 	KernelPacing bool
+	// Metrics receives live request telemetry (counts, pace-rate and
+	// pacer-sleep histograms, bytes served). Nil (the default) disables
+	// instrumentation.
+	Metrics *Metrics
 }
 
 // ServeHTTP implements http.Handler.
@@ -48,12 +52,16 @@ type Server struct {
 // requested in the X-Sammy-Pace-Rate-Bps or CMCD rtp header; without one it
 // is written as fast as the socket accepts.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics
 	if r.URL.Path != "/chunk" {
 		http.NotFound(w, r)
 		return
 	}
 	size, err := strconv.ParseInt(r.URL.Query().Get("size"), 10, 64)
 	if err != nil || size <= 0 {
+		if m != nil {
+			m.RequestsBad.Inc()
+		}
 		http.Error(w, "cdn: size query parameter required", http.StatusBadRequest)
 		return
 	}
@@ -62,6 +70,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		maxChunk = 64 * units.MB
 	}
 	if units.Bytes(size) > maxChunk {
+		if m != nil {
+			m.RequestsBad.Inc()
+		}
 		http.Error(w, fmt.Sprintf("cdn: size exceeds limit %d", maxChunk), http.StatusRequestEntityTooLarge)
 		return
 	}
@@ -70,6 +81,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	burst := s.Burst
 	if burst <= 0 {
 		burst = DefaultBurstBytes
+	}
+	if m != nil {
+		m.Requests.Inc()
+		m.ResponseBytes.Observe(float64(size))
+		if rate > 0 {
+			m.PacedRequests.Inc()
+			m.PaceRateMbps.Observe(rate.Mbps())
+		} else {
+			m.UnpacedRequests.Inc()
+		}
+		m.Recorder.Record("cdn_request", r.RemoteAddr, float64(size), float64(rate))
 	}
 
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -84,24 +106,47 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if kernelPaced {
 			w.Header().Set("X-Sammy-Paced-By", "kernel")
 		}
+		if m != nil {
+			if kernelPaced {
+				m.KernelPaced.Inc()
+			} else {
+				m.UserPaced.Inc()
+			}
+		}
 	}
 	w.WriteHeader(http.StatusOK)
 
 	var out io.Writer = w
 	if rate > 0 && !kernelPaced {
-		out = NewPacedWriter(w, rate, burst)
+		pw := NewPacedWriter(w, rate, burst)
+		pw.metrics = m
+		out = pw
 	}
-	writeFiller(out, units.Bytes(size), w)
+	written, err := writeFiller(out, units.Bytes(size), w)
+	if m != nil {
+		m.BytesServed.Add(int64(written))
+		if err != nil {
+			// The headers are gone, so the only failure mode left is the
+			// write path — a client that disconnected mid-body. Count it
+			// separately from the 4xx rejections above.
+			m.RequestsFailed.Inc()
+			m.Recorder.Record("cdn_disconnect", r.RemoteAddr, float64(written), 0)
+		}
+	}
 }
 
 // writeFiller streams n deterministic bytes to out, flushing as it goes so
-// pacing is visible on the wire.
-func writeFiller(out io.Writer, n units.Bytes, rw http.ResponseWriter) {
+// pacing is visible on the wire. It reports how many bytes were written and
+// the first write error — typically the client disconnecting mid-body —
+// mapping a stalled short write (n written, no error) to io.ErrShortWrite
+// rather than looping forever.
+func writeFiller(out io.Writer, n units.Bytes, rw http.ResponseWriter) (units.Bytes, error) {
 	flusher, _ := rw.(http.Flusher)
 	buf := make([]byte, 16*1024)
 	for i := range buf {
 		buf[i] = byte('a' + i%26)
 	}
+	var written int64
 	remaining := int64(n)
 	for remaining > 0 {
 		chunk := int64(len(buf))
@@ -109,14 +154,19 @@ func writeFiller(out io.Writer, n units.Bytes, rw http.ResponseWriter) {
 			chunk = remaining
 		}
 		wrote, err := out.Write(buf[:chunk])
+		written += int64(wrote)
 		remaining -= int64(wrote)
 		if err != nil {
-			return // client went away
+			return units.Bytes(written), fmt.Errorf("cdn: write chunk body: %w", err)
+		}
+		if wrote < int(chunk) {
+			return units.Bytes(written), fmt.Errorf("cdn: write chunk body: %w", io.ErrShortWrite)
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+	return units.Bytes(written), nil
 }
 
 // PacedWriter rate-limits writes with a token bucket over the wall clock:
@@ -129,8 +179,9 @@ type PacedWriter struct {
 	burst units.Bytes
 	// now and sleep are the clock; tests replace both together so the
 	// virtual clock advances consistently with mocked sleeps.
-	now   func() time.Duration
-	sleep func(time.Duration)
+	now     func() time.Duration
+	sleep   func(time.Duration)
+	metrics *Metrics // sleep histogram; nil = off
 }
 
 // NewPacedWriter wraps w so that sustained throughput does not exceed rate,
@@ -158,6 +209,9 @@ func (p *PacedWriter) Write(b []byte) (int, error) {
 			piece = b[:p.burst]
 		}
 		if d := p.pacer.Delay(p.now(), units.Bytes(len(piece))); d > 0 {
+			if p.metrics != nil {
+				p.metrics.PacerSleepMs.Observe(d.Seconds() * 1000)
+			}
 			p.sleep(d)
 		}
 		n, err := p.w.Write(piece)

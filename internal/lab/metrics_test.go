@@ -1,0 +1,113 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// runInstrumentedSingleFlow runs one unpaced control session on the lab link
+// with an explicit registry attached to the simulator and connection, and
+// returns the registry together with the run's ground-truth stats.
+func runInstrumentedSingleFlow(t *testing.T, seed int64) (*obs.Registry, sim.LinkStats, tcp.Stats) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.SetRecorder(obs.NewRecorder(16384))
+	topo := NewTopology(Config{})
+	topo.S.SetMetrics(sim.NewMetrics(reg))
+	p, conn := topo.VideoSession(1, ControlController(), 40, seed, nil)
+	conn.SetMetrics(tcp.NewMetrics(reg))
+	p.Start()
+	topo.S.RunUntil(40 * 8 * time.Second)
+	if !p.Done() {
+		t.Fatal("session did not finish")
+	}
+	return reg, topo.Fwd.Stats, conn.Stats
+}
+
+func TestInstrumentedRunCountersMatchStats(t *testing.T) {
+	reg, link, conn := runInstrumentedSingleFlow(t, 7)
+
+	// The tcp counters mirror Conn.Stats exactly.
+	tcpChecks := []struct {
+		name string
+		want int64
+	}{
+		{"tcp_segments_sent", conn.SegmentsSent},
+		{"tcp_bytes_sent", int64(conn.BytesSent)},
+		{"tcp_retransmits", conn.Retransmits},
+		{"tcp_fast_retransmits", conn.FastRetransmits},
+		{"tcp_delivered_bytes", int64(conn.DeliveredBytes)},
+	}
+	for _, c := range tcpChecks {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("%s = %d, want %d (Conn.Stats)", c.name, got, c.want)
+		}
+	}
+	if conn.Retransmits == 0 {
+		t.Error("control flow on the lab link should retransmit; seed too gentle?")
+	}
+
+	// The reverse path is unbounded, so all queue drops happen on the
+	// bottleneck and the sim counter matches the forward link's stats.
+	if got := reg.Counter("sim_link_dropped_packets").Value(); got != link.Dropped {
+		t.Errorf("sim_link_dropped_packets = %d, want %d (Fwd.Stats)", got, link.Dropped)
+	}
+	if link.Dropped == 0 {
+		t.Error("control flow should overflow the 4xBDP queue")
+	}
+	if got := reg.Counter("sim_link_dropped_bytes").Value(); got != int64(link.DroppedBytes) {
+		t.Errorf("sim_link_dropped_bytes = %d, want %d", got, int64(link.DroppedBytes))
+	}
+	// Sent/delivered counters aggregate the forward link plus the ack path,
+	// so they are bounded below by the forward link alone.
+	if got := reg.Counter("sim_link_sent_packets").Value(); got < link.Sent {
+		t.Errorf("sim_link_sent_packets = %d, want >= %d", got, link.Sent)
+	}
+	if got := reg.Gauge("sim_peak_queue_bytes").Value(); got != float64(link.PeakQueue) {
+		t.Errorf("sim_peak_queue_bytes = %g, want %g", got, float64(link.PeakQueue))
+	}
+
+	// The event ring saw both layers' cold paths.
+	var drops, retx int
+	for _, ev := range reg.Recorder().Events() {
+		switch ev.Type {
+		case "link_drop":
+			drops++
+		case "tcp_retransmit":
+			retx++
+		}
+	}
+	if drops == 0 || retx == 0 {
+		t.Errorf("event ring: %d link_drop, %d tcp_retransmit events, want both > 0", drops, retx)
+	}
+}
+
+// stripWallClock removes the only wall-clock-dependent lines from a snapshot
+// so two same-seed runs compare equal.
+func stripWallClock(snapshot string) string {
+	var keep []string
+	for _, line := range strings.Split(snapshot, "\n") {
+		if strings.HasPrefix(line, "sim_wall_time_ns") || strings.HasPrefix(line, "sim_time_ratio") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+func TestInstrumentedRunDeterministic(t *testing.T) {
+	regA, _, _ := runInstrumentedSingleFlow(t, 3)
+	regB, _, _ := runInstrumentedSingleFlow(t, 3)
+	a, b := stripWallClock(regA.Snapshot()), stripWallClock(regB.Snapshot())
+	if a != b {
+		t.Errorf("same-seed runs produced different snapshots:\n--- run A ---\n%s\n--- run B ---\n%s", a, b)
+	}
+	if regA.Recorder().Total() != regB.Recorder().Total() {
+		t.Errorf("event totals differ: %d vs %d", regA.Recorder().Total(), regB.Recorder().Total())
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. Time is an offset on whatever clock
+// the producer uses — simulated time inside package sim, wall-clock offset
+// from process start in the real-HTTP path — so events from one producer
+// are totally ordered and plot directly against the CSV traces.
+//
+// The fixed shape (type + subject + two numeric values) keeps recording
+// allocation-free; producers document their field meanings per event type
+// (see DESIGN.md "Observability").
+type Event struct {
+	Time time.Duration // producer clock offset
+	Type string        // event kind, e.g. "tcp_retransmit", "link_drop"
+	Subj string        // optional subject, e.g. a flow or link name
+	V    float64       // primary value (bytes, ms, rate — per Type)
+	Aux  float64       // secondary value, 0 when unused
+}
+
+// Recorder is a fixed-capacity ring buffer of Events. When full, new events
+// overwrite the oldest — always-on tracing keeps the recent past without
+// unbounded growth. Safe for concurrent use; a nil *Recorder is a no-op.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	total uint64 // events ever recorded
+	now   func() time.Duration
+}
+
+// NewRecorder returns a recorder holding the most recent capacity events.
+// Events are stamped via RecordAt by producers with their own clock (the
+// simulator), or via Record using the wall clock measured from NewRecorder.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	start := time.Now()
+	return &Recorder{
+		ring: make([]Event, capacity),
+		now:  func() time.Duration { return time.Since(start) },
+	}
+}
+
+// RecordAt appends an event stamped with the caller's clock.
+func (r *Recorder) RecordAt(t time.Duration, typ, subj string, v, aux float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring[r.total%uint64(len(r.ring))] = Event{Time: t, Type: typ, Subj: subj, V: v, Aux: aux}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Record appends an event stamped with the recorder's wall clock.
+func (r *Recorder) Record(typ, subj string, v, aux float64) {
+	if r == nil {
+		return
+	}
+	r.RecordAt(r.now(), typ, subj, v, aux)
+}
+
+// Total reports how many events were ever recorded (including overwritten
+// ones); 0 for a nil recorder.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Len reports how many events are currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retained()
+}
+
+func (r *Recorder) retained() int {
+	if r.total < uint64(len(r.ring)) {
+		return int(r.total)
+	}
+	return len(r.ring)
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.retained()
+	out := make([]Event, 0, n)
+	start := r.total - uint64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.ring[(start+uint64(i))%uint64(len(r.ring))])
+	}
+	return out
+}
+
+// jsonEvent is the JSONL wire form; Time becomes seconds on the producer
+// clock so exported events line up with the CSV time axes.
+type jsonEvent struct {
+	T    float64 `json:"t"`
+	Type string  `json:"type"`
+	Subj string  `json:"subj,omitempty"`
+	V    float64 `json:"v"`
+	Aux  float64 `json:"aux,omitempty"`
+}
+
+// WriteJSONL writes the retained events as one JSON object per line,
+// oldest first.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	for _, ev := range r.Events() {
+		line, err := json.Marshal(jsonEvent{
+			T: ev.Time.Seconds(), Type: ev.Type, Subj: ev.Subj, V: ev.V, Aux: ev.Aux,
+		})
+		if err != nil {
+			return fmt.Errorf("obs: marshal event: %w", err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return fmt.Errorf("obs: write event: %w", err)
+		}
+	}
+	return nil
+}

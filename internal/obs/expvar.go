@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// publishMu serializes Publish calls so concurrent publishers cannot race
+// past the duplicate-name check into expvar.Publish's panic.
+var publishMu sync.Mutex
+
+// Publish exposes the registry's Export map as an expvar variable, making
+// it visible at /debug/vars on any server that mounts expvar.Handler (or
+// imports expvar with the default mux). Publishing is idempotent: expvar
+// has no unpublish and panics on duplicate names, so a name already taken
+// in the process-wide expvar namespace is left as-is (first publisher
+// wins). Repeated calls from tests or server restart loops are safe.
+func (r *Registry) Publish(name string) {
+	if r == nil {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Export() }))
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with lock-free observation and
+// quantile estimation by linear interpolation inside buckets. Accuracy is
+// bounded by bucket width, which is why the constructors below favour many
+// narrow buckets; the exact min and max are tracked separately so the
+// distribution tails do not smear to the bucket bounds.
+//
+// A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; values > bounds[last] overflow
+	counts []atomic.Int64 // len(bounds)+1, last is the overflow bucket
+
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	minBits atomic.Uint64 // float64 bits, +Inf until the first observation
+	maxBits atomic.Uint64 // float64 bits, -Inf until the first observation
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. An empty bounds slice yields a single overflow bucket (mean,
+// min and max stay exact; quantiles degrade to the min–max span).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// LinearBuckets returns n ascending bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + width*float64(i)
+	}
+	return b
+}
+
+// ExpBuckets returns n ascending bounds start, start·factor, start·factor², ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 {
+		panic("obs: ExpBuckets needs start > 0 and factor > 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if math.Float64frombits(old) <= v || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count reports the number of observations; 0 for a nil histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean reports the arithmetic mean, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Min reports the smallest observation, 0 when empty.
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max reports the largest observation, 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear interpolation
+// within the containing bucket, clamped to the observed min and max. It
+// returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	// Snapshot the bucket counts; concurrent Observes may skew a live read
+	// slightly but never corrupt it.
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	min, max := h.Min(), h.Max()
+	rank := q * float64(total-1) // 0-based fractional rank
+	var below float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if rank < below+fc {
+			lo := min
+			if i > 0 {
+				lo = math.Max(min, h.bounds[i-1])
+			}
+			hi := max
+			if i < len(h.bounds) {
+				hi = math.Min(max, h.bounds[i])
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := 0.0
+			if fc > 1 {
+				frac = (rank - below) / (fc - 1)
+			}
+			return lo + (hi-lo)*frac
+		}
+		below += fc
+	}
+	return max
+}
+
+// HistogramSummary is a point-in-time digest of a histogram.
+type HistogramSummary struct {
+	Count          int64
+	Mean, Min, Max float64
+	P50, P95, P99  float64
+}
+
+// Summary reports the histogram's digest in one consistent-enough read.
+func (h *Histogram) Summary() HistogramSummary {
+	if h == nil {
+		return HistogramSummary{}
+	}
+	return HistogramSummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,276 @@
+// Package obs is the repo's zero-dependency observability layer: atomic
+// counters, gauges and fixed-bucket histograms collected in a Registry that
+// snapshots to text and publishes through expvar, plus a ring-buffered
+// structured event Recorder (package obs/events.go) for fine-grained
+// tracing.
+//
+// The design goals, in order:
+//
+//  1. Free when disabled. Instrumented code holds a nil metrics struct by
+//     default and pays exactly one pointer comparison per hot-path
+//     operation. All obs types additionally tolerate nil receivers, so a
+//     partially populated metrics struct never panics.
+//  2. Allocation-light when enabled. Counter/Gauge updates are single
+//     atomic operations; Histogram.Observe is a binary search plus three
+//     atomics; Recorder.RecordAt writes into a preallocated ring.
+//  3. Deterministic output. Snapshots list metrics in sorted name order so
+//     tests and periodic log lines diff cleanly.
+//
+// Registries hand out metrics with get-or-create semantics, so several
+// connections (or simulators) can share one set of aggregate counters:
+//
+//	reg := obs.NewRegistry()
+//	drops := reg.Counter("sim_link_dropped_packets")
+//	drops.Inc()
+//	fmt.Print(reg.Snapshot())
+//
+// A process-wide default registry (nil until SetDefault) lets binaries turn
+// on instrumentation everywhere without threading a registry through every
+// constructor: sim.New and tcp.NewConn attach to obs.Default() when it is
+// set at construction time.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reports the current count; 0 for a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 instantaneous value. The zero value is ready
+// to use; a nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetMax stores v only if it exceeds the current value, for peak tracking.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value reports the stored value; 0 for a nil gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry is a named collection of metrics with get-or-create semantics.
+// All methods are safe for concurrent use; a nil *Registry hands out nil
+// metrics, which are themselves safe no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	metrics  map[string]any // *Counter | *Gauge | *Histogram
+	recorder atomic.Pointer[Recorder]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+// It panics if name is already registered as a different metric type.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: %q already registered as %T, not Counter", name, m))
+		}
+		return c
+	}
+	c := &Counter{}
+	r.metrics[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+// It panics if name is already registered as a different metric type.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("obs: %q already registered as %T, not Gauge", name, m))
+		}
+		return g
+	}
+	g := &Gauge{}
+	r.metrics[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds if needed (an existing histogram keeps its
+// original buckets). It panics if name is registered as a different type.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: %q already registered as %T, not Histogram", name, m))
+		}
+		return h
+	}
+	h := NewHistogram(bounds)
+	r.metrics[name] = h
+	return h
+}
+
+// SetRecorder installs the registry's event recorder (may be nil to remove).
+func (r *Registry) SetRecorder(rec *Recorder) {
+	if r == nil {
+		return
+	}
+	r.recorder.Store(rec)
+}
+
+// Recorder reports the installed event recorder, nil if none (or if the
+// registry itself is nil). The returned recorder is safe to record into
+// even when nil.
+func (r *Registry) Recorder() *Recorder {
+	if r == nil {
+		return nil
+	}
+	return r.recorder.Load()
+}
+
+// Each calls fn for every registered metric in sorted name order.
+func (r *Registry) Each(fn func(name string, metric any)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	metrics := make([]any, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		fn(n, metrics[i])
+	}
+}
+
+// Snapshot renders every metric as one text line in sorted name order:
+//
+//	cdn_requests_total counter 17
+//	tcp_cwnd_segments gauge 42
+//	tcp_srtt_ms histogram count=120 mean=5.23 min=1.20 p50=5.10 p95=8.04 p99=9.51 max=12.00
+func (r *Registry) Snapshot() string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	r.Each(func(name string, metric any) {
+		switch m := metric.(type) {
+		case *Counter:
+			fmt.Fprintf(&sb, "%s counter %d\n", name, m.Value())
+		case *Gauge:
+			fmt.Fprintf(&sb, "%s gauge %g\n", name, m.Value())
+		case *Histogram:
+			s := m.Summary()
+			fmt.Fprintf(&sb, "%s histogram count=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+				name, s.Count, s.Mean, s.Min, s.P50, s.P95, s.P99, s.Max)
+		}
+	})
+	return sb.String()
+}
+
+// Export renders the registry as a JSON-encodable map: counters as int64,
+// gauges as float64, histograms as {count, mean, min, p50, p95, p99, max}.
+// This is the shape published through expvar.
+func (r *Registry) Export() map[string]any {
+	out := make(map[string]any)
+	r.Each(func(name string, metric any) {
+		switch m := metric.(type) {
+		case *Counter:
+			out[name] = m.Value()
+		case *Gauge:
+			out[name] = m.Value()
+		case *Histogram:
+			s := m.Summary()
+			out[name] = map[string]any{
+				"count": s.Count, "mean": s.Mean, "min": s.Min,
+				"p50": s.P50, "p95": s.P95, "p99": s.P99, "max": s.Max,
+			}
+		}
+	})
+	return out
+}
+
+// defaultRegistry is the process-wide registry, nil until SetDefault.
+var defaultRegistry atomic.Pointer[Registry]
+
+// Default reports the process-wide registry, nil when instrumentation is
+// off (the usual state: libraries then skip all metric work).
+func Default() *Registry { return defaultRegistry.Load() }
+
+// SetDefault installs r as the process-wide registry. Components attach to
+// it at construction time, so set it before building simulators or
+// connections. Pass nil to turn default instrumentation back off.
+func SetDefault(r *Registry) { defaultRegistry.Store(r) }

@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if again := r.Counter("c"); again != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+
+	g := r.Gauge("g")
+	g.Set(-3.5)
+	if got := g.Value(); got != -3.5 {
+		t.Fatalf("gauge = %g, want -3.5", got)
+	}
+	g.SetMax(-7) // smaller: ignored
+	if got := g.Value(); got != -3.5 {
+		t.Fatalf("gauge after SetMax(-7) = %g, want -3.5", got)
+	}
+	g.SetMax(12)
+	if got := g.Value(); got != 12 {
+		t.Fatalf("gauge after SetMax(12) = %g, want 12", got)
+	}
+}
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var rec *Recorder
+	var reg *Registry
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(5)
+	rec.Record("x", "", 0, 0)
+	rec.RecordAt(0, "x", "", 0, 0)
+	reg.Publish("obs_test_nil")
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || rec.Total() != 0 {
+		t.Fatal("nil metrics should read as zero")
+	}
+	if reg.Counter("x") != nil || reg.Gauge("x") != nil || reg.Histogram("x", nil) != nil {
+		t.Fatal("nil registry should hand out nil metrics")
+	}
+	if reg.Snapshot() != "" {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering counter name as gauge")
+		}
+	}()
+	r.Gauge("m")
+}
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from many
+// goroutines; run with -race this is the data-race check, and the counter
+// and histogram totals must be exact.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	g := r.Gauge("level")
+	peak := r.Gauge("peak")
+	h := r.Histogram("lat", LinearBuckets(0, 1, 100))
+	rec := NewRecorder(64)
+	r.SetRecorder(rec)
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				peak.SetMax(float64(w*perWorker + i))
+				h.Observe(float64(i % 100))
+				r.Recorder().Record("tick", "w", float64(i), 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Sum(); got != float64(workers)*perWorker*49.5 {
+		t.Errorf("histogram sum = %g, want %g", got, float64(workers)*perWorker*49.5)
+	}
+	if got := rec.Total(); got != workers*perWorker {
+		t.Errorf("recorder total = %d, want %d", got, workers*perWorker)
+	}
+	if got := peak.Value(); got != float64(workers*perWorker-1) {
+		t.Errorf("gauge SetMax lost the maximum: %g, want %d", got, workers*perWorker-1)
+	}
+}
+
+// TestHistogramQuantiles checks quantile accuracy against distributions
+// whose quantiles are known analytically: accuracy should be within one
+// bucket width.
+func TestHistogramQuantiles(t *testing.T) {
+	// Uniform over [0, 100) with unit buckets.
+	h := NewHistogram(LinearBuckets(1, 1, 100))
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Observe(rng.Float64() * 100)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50}, {0.95, 95}, {0.99, 99},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 1.5 {
+			t.Errorf("uniform p%g = %.2f, want %.2f ± 1.5", tc.q*100, got, tc.want)
+		}
+	}
+	if math.Abs(h.Mean()-50) > 0.5 {
+		t.Errorf("uniform mean = %.2f, want 50 ± 0.5", h.Mean())
+	}
+
+	// Exponential with mean 10 against exponential buckets; quantile of
+	// Exp(λ) at q is -ln(1-q)/λ.
+	he := NewHistogram(ExpBuckets(0.1, 1.1, 100))
+	for i := 0; i < n; i++ {
+		he.Observe(rng.ExpFloat64() * 10)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 10 * math.Ln2}, {0.95, -10 * math.Log(0.05)}, {0.99, -10 * math.Log(0.01)},
+	} {
+		got := he.Quantile(tc.q)
+		if math.Abs(got-tc.want) > tc.want*0.12 {
+			t.Errorf("exp p%g = %.2f, want %.2f ± 12%%", tc.q*100, got, tc.want)
+		}
+	}
+
+	// Degenerate cases.
+	if h2 := NewHistogram(nil); h2.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	single := NewHistogram(LinearBuckets(0, 10, 4))
+	single.Observe(7)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := single.Quantile(q); got != 7 {
+			t.Errorf("single-sample p%g = %g, want 7", q*100, got)
+		}
+	}
+}
+
+func TestHistogramMinMaxAllNegative(t *testing.T) {
+	h := NewHistogram(LinearBuckets(-100, 10, 21))
+	for _, v := range []float64{-50, -20, -80} {
+		h.Observe(v)
+	}
+	if h.Min() != -80 || h.Max() != -20 {
+		t.Fatalf("min/max = %g/%g, want -80/-20", h.Min(), h.Max())
+	}
+	if p50 := h.Quantile(0.5); p50 < -80 || p50 > -20 {
+		t.Fatalf("p50 = %g outside observed range", p50)
+	}
+}
+
+func TestRecorderWraparound(t *testing.T) {
+	rec := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		rec.RecordAt(time.Duration(i)*time.Second, "tick", "s", float64(i), float64(-i))
+	}
+	if rec.Total() != 10 {
+		t.Fatalf("total = %d, want 10", rec.Total())
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("len = %d, want 4", rec.Len())
+	}
+	evs := rec.Events()
+	want := []float64{6, 7, 8, 9}
+	for i, ev := range evs {
+		if ev.V != want[i] {
+			t.Fatalf("events = %+v, want V sequence %v (oldest first)", evs, want)
+		}
+		if ev.Time != time.Duration(want[i])*time.Second || ev.Aux != -want[i] {
+			t.Fatalf("event %d fields corrupted: %+v", i, ev)
+		}
+	}
+
+	var sb strings.Builder
+	if err := rec.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("JSONL lines = %d, want 4", len(lines))
+	}
+	var first struct {
+		T    float64 `json:"t"`
+		Type string  `json:"type"`
+		Subj string  `json:"subj"`
+		V    float64 `json:"v"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("bad JSONL line %q: %v", lines[0], err)
+	}
+	if first.T != 6 || first.Type != "tick" || first.Subj != "s" || first.V != 6 {
+		t.Fatalf("first JSONL event = %+v", first)
+	}
+}
+
+func TestRecorderUnderCapacity(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.RecordAt(0, "a", "", 1, 0)
+	rec.RecordAt(0, "b", "", 2, 0)
+	evs := rec.Events()
+	if len(evs) != 2 || evs[0].Type != "a" || evs[1].Type != "b" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestExpvarPublishIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("obs_test_requests").Add(3)
+	const name = "obs_test_registry"
+	r.Publish(name)
+	r.Publish(name) // second publish must not panic
+	// A second registry under the same name is skipped, not a panic.
+	NewRegistry().Publish(name)
+
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	var exported map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &exported); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if got := exported["obs_test_requests"]; got != float64(3) {
+		t.Fatalf("published counter = %v, want 3", got)
+	}
+	// Live view: the expvar Func re-reads the registry.
+	r.Counter("obs_test_requests").Inc()
+	if err := json.Unmarshal([]byte(expvar.Get(name).String()), &exported); err != nil {
+		t.Fatal(err)
+	}
+	if got := exported["obs_test_requests"]; got != float64(4) {
+		t.Fatalf("published counter after Inc = %v, want 4", got)
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_counter").Add(7)
+	r.Gauge("a_gauge").Set(2.5)
+	h := r.Histogram("c_hist", LinearBuckets(0, 1, 10))
+	h.Observe(3)
+	h.Observe(5)
+	snap := r.Snapshot()
+	lines := strings.Split(strings.TrimSpace(snap), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("snapshot lines = %d, want 3:\n%s", len(lines), snap)
+	}
+	if !strings.HasPrefix(lines[0], "a_gauge gauge 2.5") ||
+		!strings.HasPrefix(lines[1], "b_counter counter 7") ||
+		!strings.HasPrefix(lines[2], "c_hist histogram count=2") {
+		t.Fatalf("snapshot not sorted/formatted as expected:\n%s", snap)
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	if Default() != nil {
+		t.Skip("another test left a default registry installed")
+	}
+	r := NewRegistry()
+	SetDefault(r)
+	defer SetDefault(nil)
+	if Default() != r {
+		t.Fatal("Default did not return the installed registry")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(ExpBuckets(0.001, 2, 32))
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i % 1000))
+			i++
+		}
+	})
+}
+
+func BenchmarkRecorderRecordAt(b *testing.B) {
+	rec := NewRecorder(4096)
+	for i := 0; i < b.N; i++ {
+		rec.RecordAt(time.Duration(i), "tick", "s", 1, 2)
+	}
+}
+
+func ExampleRegistry_Snapshot() {
+	r := NewRegistry()
+	r.Counter("requests").Add(2)
+	r.Gauge("queue_bytes").Set(1500)
+	fmt.Print(r.Snapshot())
+	// Output:
+	// queue_bytes gauge 1500
+	// requests counter 2
+}

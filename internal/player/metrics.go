@@ -1,0 +1,42 @@
+package player
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics holds the player's observability hooks: buffer occupancy, bitrate
+// decisions and stall accounting — the client-side telemetry the paper's QoE
+// tables summarize per session. A nil *Metrics disables instrumentation;
+// counters aggregate across all sessions sharing the metrics.
+type Metrics struct {
+	BufferSeconds *obs.Gauge // playback buffer after the latest chunk
+	BitrateBps    *obs.Gauge // bitrate of the latest chunk
+
+	Chunks          *obs.Counter // chunk downloads completed
+	BitrateSwitches *obs.Counter // chunk-to-chunk rung changes
+	Rebuffers       *obs.Counter // stall events
+	RebufferMs      *obs.Counter // total stall time, milliseconds
+
+	// Recorder receives "player_rebuffer" (V = stall ms) and
+	// "player_bitrate_switch" (V = new bits/s, Aux = previous bits/s)
+	// events from the sim driver. The analytic driver records no events
+	// (population runs would flood the ring without a meaningful clock).
+	Recorder *obs.Recorder
+}
+
+// NewMetrics builds a Metrics wired to registry r (nil r yields nil,
+// keeping instrumentation off).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		BufferSeconds:   r.Gauge("player_buffer_seconds"),
+		BitrateBps:      r.Gauge("player_bitrate_bps"),
+		Chunks:          r.Counter("player_chunks"),
+		BitrateSwitches: r.Counter("player_bitrate_switches"),
+		Rebuffers:       r.Counter("player_rebuffers"),
+		RebufferMs:      r.Counter("player_rebuffer_ms"),
+		Recorder:        r.Recorder(),
+	}
+}

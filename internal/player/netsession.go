@@ -85,6 +85,9 @@ func Run(cfg Config, path netmodel.Path, rng *rand.Rand, onChunk func(ChunkEvent
 		}
 
 		contentDownloaded += chunk.Duration
+		if m := cfg.Metrics; m != nil {
+			m.BufferSeconds.Set(buffer.Seconds())
+		}
 		if onChunk != nil {
 			onChunk(ChunkEvent{
 				Index: i, Start: start, End: now,

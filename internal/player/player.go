@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/abr"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tdigest"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -45,6 +46,10 @@ type Config struct {
 	// EstimatorWindow sizes the in-session throughput estimator window.
 	// Default 5.
 	EstimatorWindow int
+	// Metrics receives live telemetry (buffer level, bitrate switches,
+	// rebuffers). Defaults to metrics on the process-wide obs registry when
+	// one is installed, else nil (off).
+	Metrics *Metrics
 }
 
 func (c *Config) setDefaults() {
@@ -65,6 +70,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.EstimatorWindow <= 0 {
 		c.EstimatorWindow = 5
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(obs.Default())
 	}
 }
 
@@ -120,12 +128,13 @@ type ChunkEvent struct {
 type accounting struct {
 	cfg Config
 
-	qoe        QoE
-	rtt        *tdigest.TDigest
-	vmafWeight float64 // Σ duration·vmaf
-	initWeight float64 // same, first 20 s of content
-	initDur    time.Duration
-	retxBytes  units.Bytes
+	qoe         QoE
+	rtt         *tdigest.TDigest
+	vmafWeight  float64 // Σ duration·vmaf
+	initWeight  float64 // same, first 20 s of content
+	initDur     time.Duration
+	retxBytes   units.Bytes
+	lastBitrate units.BitsPerSecond // previous chunk's rung, for switch counting
 }
 
 func newAccounting(cfg Config) *accounting {
@@ -135,6 +144,14 @@ func newAccounting(cfg Config) *accounting {
 // chunkDone records one finished chunk download.
 func (a *accounting) chunkDone(chunk video.Chunk, sentBytes, retxBytes units.Bytes,
 	downloadTime time.Duration, meanRTT time.Duration, packets int64) {
+	if m := a.cfg.Metrics; m != nil {
+		m.Chunks.Inc()
+		m.BitrateBps.Set(float64(chunk.Rung.Bitrate))
+		if a.qoe.Chunks > 0 && chunk.Rung.Bitrate != a.lastBitrate {
+			m.BitrateSwitches.Inc()
+		}
+	}
+	a.lastBitrate = chunk.Rung.Bitrate
 	a.qoe.Chunks++
 	a.qoe.Bytes += chunk.Size
 	a.qoe.SentBytes += sentBytes
@@ -163,6 +180,10 @@ func (a *accounting) rebuffer(d time.Duration) {
 	a.qoe.RebufferCount++
 	a.qoe.RebufferTime += d
 	a.qoe.Rebuffered = true
+	if m := a.cfg.Metrics; m != nil {
+		m.Rebuffers.Inc()
+		m.RebufferMs.Add(d.Milliseconds())
+	}
 }
 
 // finish computes the derived metrics and returns the report.

@@ -92,6 +92,9 @@ func (p *SimPlayer) syncBuffer() {
 		if elapsed >= p.bufAtUpdate {
 			stall := elapsed - p.bufAtUpdate
 			p.acct.rebuffer(stall)
+			if m := p.cfg.Metrics; m != nil && stall > 0 {
+				m.Recorder.RecordAt(now, "player_rebuffer", "", stall.Seconds()*1000, 0)
+			}
 			p.bufAtUpdate = 0
 		} else {
 			p.bufAtUpdate -= elapsed
@@ -126,6 +129,11 @@ func (p *SimPlayer) requestNext() {
 	p.nextChunk++
 	ctx := decisionContext(p.cfg, i, p.bufAtUpdate, p.playing, p.est, p.prevRung)
 	dec := p.cfg.Controller.Decide(ctx)
+	if m := p.cfg.Metrics; m != nil && p.prevRung >= 0 && dec.Rung != p.prevRung {
+		m.Recorder.RecordAt(p.s.Now(), "player_bitrate_switch", "",
+			float64(p.cfg.Title.Ladder[dec.Rung].Bitrate),
+			float64(p.cfg.Title.Ladder[p.prevRung].Bitrate))
+	}
 	p.prevRung = dec.Rung
 	chunk := p.cfg.Title.ChunkAt(i, dec.Rung)
 
@@ -156,6 +164,9 @@ func (p *SimPlayer) requestNext() {
 		if !p.playing && p.bufAtUpdate >= p.cfg.StartThreshold {
 			p.playing = true
 			p.playDelay = p.s.Now() - p.started
+		}
+		if m := p.cfg.Metrics; m != nil {
+			m.BufferSeconds.Set(p.bufAtUpdate.Seconds())
 		}
 		if p.onChunk != nil {
 			p.onChunk(ChunkEvent{

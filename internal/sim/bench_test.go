@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -46,4 +47,37 @@ func BenchmarkLinkTransit(b *testing.B) {
 		}
 	}
 	s.Run()
+}
+
+// benchSimLoop drives a link-plus-event-loop workload shaped like the lab
+// experiments' inner loop: schedule, transmit, deliver.
+func benchSimLoop(b *testing.B, s *Simulator) {
+	delivered := 0
+	l := NewLink(s, LinkConfig{Rate: 1 * units.Gbps, Delay: 100 * time.Microsecond, QueueLimit: 1 * units.MB},
+		HandlerFunc(func(p *Packet) { delivered++ }))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(&Packet{Seq: int64(i), Size: 1500})
+		if i%1024 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkSimLoop is the instrumentation-off baseline: the simulator pays
+// one nil check per event. Compare against BenchmarkSimLoopInstrumented to
+// measure metric overhead (the acceptance bar is ~5% with metrics off).
+func BenchmarkSimLoop(b *testing.B) {
+	benchSimLoop(b, New())
+}
+
+// BenchmarkSimLoopInstrumented runs the same workload with a full metrics
+// registry and event recorder attached.
+func BenchmarkSimLoopInstrumented(b *testing.B) {
+	reg := obs.NewRegistry()
+	reg.SetRecorder(obs.NewRecorder(4096))
+	s := New()
+	s.SetMetrics(NewMetrics(reg))
+	benchSimLoop(b, s)
 }

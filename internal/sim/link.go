@@ -1,10 +1,15 @@
 package sim
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/units"
 )
+
+// flowName renders a FlowID as an event subject. Only called on cold paths
+// (drops), so the allocation does not matter.
+func flowName(f FlowID) string { return strconv.Itoa(int(f)) }
 
 // Link is a unidirectional network link with a fixed rate, propagation delay
 // and a drop-tail queue bounded in bytes. Packets sent while the link is
@@ -73,9 +78,16 @@ func (l *Link) SetDestination(dst Handler) { l.dst = dst }
 // Send enqueues p for transmission, dropping it if the queue is full.
 // It reports whether the packet was accepted.
 func (l *Link) Send(p *Packet) bool {
+	m := l.sim.metrics
 	if l.limit > 0 && l.queuedBytes+p.Size > l.limit {
 		l.Stats.Dropped++
 		l.Stats.DroppedBytes += p.Size
+		if m != nil {
+			m.LinkDroppedPackets.Inc()
+			m.LinkDroppedBytes.Add(int64(p.Size))
+			m.Recorder.RecordAt(l.sim.now, "link_drop", flowName(p.Flow),
+				float64(p.Size), float64(l.queuedBytes))
+		}
 		return false
 	}
 	l.Stats.Sent++
@@ -84,6 +96,12 @@ func (l *Link) Send(p *Packet) bool {
 	l.queuedBytes += p.Size
 	if l.queuedBytes > l.Stats.PeakQueue {
 		l.Stats.PeakQueue = l.queuedBytes
+	}
+	if m != nil {
+		m.LinkSentPackets.Inc()
+		m.LinkSentBytes.Add(int64(p.Size))
+		m.QueueBytes.Observe(float64(l.queuedBytes))
+		m.PeakQueueBytes.SetMax(float64(l.queuedBytes))
 	}
 	if !l.busy {
 		l.transmitNext()
@@ -112,6 +130,9 @@ func (l *Link) transmitNext() {
 		l.sim.Schedule(l.delay, func() {
 			l.Stats.Delivered++
 			l.Stats.DeliveredBytes += p.Size
+			if m := l.sim.metrics; m != nil {
+				m.LinkDeliveredPackets.Inc()
+			}
 			if l.dst != nil {
 				l.dst.HandlePacket(p)
 			}

@@ -37,6 +37,11 @@ func NewLossyLink(link *Link, rate float64, rng *rand.Rand) *LossyLink {
 func (l *LossyLink) Send(p *Packet) bool {
 	if l.rate > 0 && l.rng.Float64() < l.rate {
 		l.RandomDrops++
+		if m := l.link.sim.metrics; m != nil {
+			m.RandomDropPackets.Inc()
+			m.Recorder.RecordAt(l.link.sim.now, "random_drop", flowName(p.Flow),
+				float64(p.Size), 0)
+		}
 		return false
 	}
 	return l.link.Send(p)

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics holds the simulator's observability hooks. A nil *Metrics (the
+// default) disables instrumentation: the event loop and links pay exactly
+// one pointer comparison per operation. Individual fields may also be nil;
+// obs types no-op on nil receivers.
+//
+// Counters aggregate across every link attached to the simulator, matching
+// how the experiments reason about "the bottleneck": per-link breakdowns
+// come from Link.Stats, which stays per-link and always-on.
+type Metrics struct {
+	// Event loop.
+	EventsDispatched *obs.Counter // callbacks executed by RunUntil
+	EventsScheduled  *obs.Counter // events pushed onto the heap
+
+	// Links (aggregated over all links on this simulator).
+	LinkSentPackets      *obs.Counter   // packets accepted for transmission
+	LinkSentBytes        *obs.Counter   // bytes accepted for transmission
+	LinkDroppedPackets   *obs.Counter   // drop-tail queue drops
+	LinkDroppedBytes     *obs.Counter   // bytes of dropped packets
+	LinkDeliveredPackets *obs.Counter   // packets handed to destinations
+	RandomDropPackets    *obs.Counter   // LossyLink non-congestive drops
+	QueueBytes           *obs.Histogram // occupancy sampled at each enqueue
+	PeakQueueBytes       *obs.Gauge     // maximum occupancy seen on any link
+
+	// Wall-clock accounting: how much simulated time each RunUntil covers
+	// per unit of real time. TimeRatio is sim-seconds per wall-second for
+	// the most recent RunUntil; the counters accumulate across calls.
+	SimNanos  *obs.Counter
+	WallNanos *obs.Counter
+	TimeRatio *obs.Gauge
+
+	// Recorder receives "link_drop" events (Subj = flow id as decimal,
+	// V = packet bytes, Aux = queue bytes at drop time). Nil skips events.
+	Recorder *obs.Recorder
+}
+
+// NewMetrics builds a Metrics wired to registry r (nil r yields nil,
+// keeping instrumentation off).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		EventsDispatched:     r.Counter("sim_events_dispatched"),
+		EventsScheduled:      r.Counter("sim_events_scheduled"),
+		LinkSentPackets:      r.Counter("sim_link_sent_packets"),
+		LinkSentBytes:        r.Counter("sim_link_sent_bytes"),
+		LinkDroppedPackets:   r.Counter("sim_link_dropped_packets"),
+		LinkDroppedBytes:     r.Counter("sim_link_dropped_bytes"),
+		LinkDeliveredPackets: r.Counter("sim_link_delivered_packets"),
+		RandomDropPackets:    r.Counter("sim_random_dropped_packets"),
+		QueueBytes:           r.Histogram("sim_queue_bytes", obs.ExpBuckets(1500, 2, 16)),
+		PeakQueueBytes:       r.Gauge("sim_peak_queue_bytes"),
+		SimNanos:             r.Counter("sim_time_ns"),
+		WallNanos:            r.Counter("sim_wall_time_ns"),
+		TimeRatio:            r.Gauge("sim_time_ratio"),
+		Recorder:             r.Recorder(),
+	}
+}
+
+// SetMetrics attaches m to the simulator (nil detaches). Links created on
+// this simulator report through the same Metrics, whenever attached.
+func (s *Simulator) SetMetrics(m *Metrics) { s.metrics = m }
+
+// Metrics reports the attached metrics, nil when instrumentation is off.
+func (s *Simulator) Metrics() *Metrics { return s.metrics }

@@ -8,6 +8,8 @@ package sim
 import (
 	"container/heap"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Event is a scheduled callback. Cancel prevents a pending event from
@@ -60,13 +62,22 @@ func (h *eventHeap) Pop() any {
 // ready to use. Simulator is not safe for concurrent use; all callbacks run
 // on the calling goroutine inside Run.
 type Simulator struct {
-	now    time.Duration
-	events eventHeap
-	seq    uint64
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	metrics *Metrics // nil = instrumentation off (one branch per event)
 }
 
-// New returns an empty simulator with the clock at zero.
-func New() *Simulator { return &Simulator{} }
+// New returns an empty simulator with the clock at zero. When a process-wide
+// obs registry is installed (obs.SetDefault), the simulator attaches to it;
+// otherwise instrumentation is off until SetMetrics.
+func New() *Simulator {
+	s := &Simulator{}
+	if r := obs.Default(); r != nil {
+		s.metrics = NewMetrics(r)
+	}
+	return s
+}
 
 // Now reports the current simulated time.
 func (s *Simulator) Now() time.Duration { return s.now }
@@ -89,6 +100,9 @@ func (s *Simulator) At(t time.Duration, fn func()) *Event {
 	s.seq++
 	e := &Event{at: t, seq: s.seq, fn: fn}
 	heap.Push(&s.events, e)
+	if s.metrics != nil {
+		s.metrics.EventsScheduled.Inc()
+	}
 	return e
 }
 
@@ -98,6 +112,13 @@ func (s *Simulator) Run() { s.RunUntil(1<<63 - 1) }
 // RunUntil executes events with timestamps ≤ end, then advances the clock to
 // end (if any event ran past it the clock stays at the last event time).
 func (s *Simulator) RunUntil(end time.Duration) {
+	m := s.metrics
+	var wallStart time.Time
+	var simStart time.Duration
+	if m != nil {
+		wallStart = time.Now()
+		simStart = s.now
+	}
 	for len(s.events) > 0 {
 		e := s.events[0]
 		if e.at > end {
@@ -108,11 +129,23 @@ func (s *Simulator) RunUntil(end time.Duration) {
 		if e.fn != nil {
 			fn := e.fn
 			e.fn = nil
+			if m != nil {
+				m.EventsDispatched.Inc()
+			}
 			fn()
 		}
 	}
 	if s.now < end && end < 1<<62 {
 		s.now = end
+	}
+	if m != nil {
+		wall := time.Since(wallStart)
+		simAdvance := s.now - simStart
+		m.WallNanos.Add(wall.Nanoseconds())
+		m.SimNanos.Add(simAdvance.Nanoseconds())
+		if wall > 0 {
+			m.TimeRatio.Set(simAdvance.Seconds() / wall.Seconds())
+		}
 	}
 }
 

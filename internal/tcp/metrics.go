@@ -1,0 +1,74 @@
+package tcp
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics holds the transport's observability hooks. A nil *Metrics (the
+// default) keeps the connection uninstrumented at the cost of one pointer
+// comparison per operation. Counters and histograms aggregate across every
+// connection sharing the metrics (the usual setup: one registry per
+// process or per experiment); per-connection numbers stay in Conn.Stats.
+//
+// Gauges (cwnd, ssthresh, pace rate) are last-writer-wins across
+// connections — useful live views for single-flow scenarios and for the
+// server binary's dominant connection, not population aggregates.
+type Metrics struct {
+	Cwnd     *obs.Gauge // congestion window, segments
+	Ssthresh *obs.Gauge // slow-start threshold, segments
+	PaceRate *obs.Gauge // last applied pace rate, bits/s
+
+	SegmentsSent    *obs.Counter // data segments, incl. retransmits
+	BytesSent       *obs.Counter
+	DeliveredBytes  *obs.Counter // cumulatively acked bytes
+	Retransmits     *obs.Counter // retransmitted segments
+	Timeouts        *obs.Counter // RTO expirations
+	FastRetransmits *obs.Counter // triple-dupack fast retransmits
+	FastRecoveries  *obs.Counter // full recoveries (deflate to ssthresh)
+	Established     *obs.Counter // completed handshakes
+
+	SRTT       *obs.Histogram // smoothed RTT after each sample, ms
+	PacerSleep *obs.Histogram // pacing delays taken before transmits, ms
+
+	// Recorder receives "tcp_retransmit" (V = seq), "tcp_rto" (V = backed-off
+	// RTO ms, Aux = cwnd before collapse), "tcp_fast_retx" (V = seq,
+	// Aux = new ssthresh) and "tcp_pace_rate" (V = bits/s) events, with
+	// Subj = flow id. Nil skips events.
+	Recorder *obs.Recorder
+}
+
+// NewMetrics builds a Metrics wired to registry r (nil r yields nil,
+// keeping instrumentation off).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Cwnd:            r.Gauge("tcp_cwnd_segments"),
+		Ssthresh:        r.Gauge("tcp_ssthresh_segments"),
+		PaceRate:        r.Gauge("tcp_pace_rate_bps"),
+		SegmentsSent:    r.Counter("tcp_segments_sent"),
+		BytesSent:       r.Counter("tcp_bytes_sent"),
+		DeliveredBytes:  r.Counter("tcp_delivered_bytes"),
+		Retransmits:     r.Counter("tcp_retransmits"),
+		Timeouts:        r.Counter("tcp_rto_timeouts"),
+		FastRetransmits: r.Counter("tcp_fast_retransmits"),
+		FastRecoveries:  r.Counter("tcp_fast_recoveries"),
+		Established:     r.Counter("tcp_established"),
+		// SRTT buckets: 1 ms … ~16 s, exponential; lab RTTs sit at 5-200 ms.
+		SRTT: r.Histogram("tcp_srtt_ms", obs.ExpBuckets(1, 1.5, 24)),
+		// Pacer sleeps: 10 µs … ~100 ms.
+		PacerSleep: r.Histogram("tcp_pacer_sleep_ms", obs.ExpBuckets(0.01, 1.6, 20)),
+		Recorder:   r.Recorder(),
+	}
+}
+
+// SetMetrics attaches m to the connection (nil detaches).
+func (c *Conn) SetMetrics(m *Metrics) { c.metrics = m }
+
+// setWindowMetrics refreshes the window gauges; callers guard on
+// c.metrics != nil.
+func (c *Conn) setWindowMetrics() {
+	c.metrics.Cwnd.Set(c.cwnd)
+	c.metrics.Ssthresh.Set(c.ssthresh)
+}

@@ -12,8 +12,10 @@
 package tcp
 
 import (
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pacing"
 	"repro/internal/sim"
 	"repro/internal/tdigest"
@@ -178,8 +180,12 @@ type Conn struct {
 	// Measurements.
 	Stats         Stats
 	RTT           *tdigest.TDigest // per-ack RTT samples
+	metrics       *Metrics         // nil = instrumentation off
 	onEstablished func()
 }
+
+// flowName renders the flow id as an event subject (cold paths only).
+func (c *Conn) flowName() string { return strconv.Itoa(int(c.flow)) }
 
 const (
 	ackSize     units.Bytes = 40  // wire size of a pure ack
@@ -205,6 +211,9 @@ func NewConn(s *sim.Simulator, flow sim.FlowID, fwd sim.Sender, fwdClass *sim.Cl
 		RTT:      tdigest.New(100),
 		cubic:    cubicState{epochStart: -1},
 	}
+	if r := obs.Default(); r != nil {
+		c.metrics = NewMetrics(r)
+	}
 	c.rev = sim.NewLink(s, revCfg, sim.HandlerFunc(c.handleServerPacket))
 	fwdClass.Register(flow, sim.HandlerFunc(c.handleClientPacket))
 	return c
@@ -215,6 +224,10 @@ func NewConn(s *sim.Simulator, flow sim.FlowID, fwd sim.Sender, fwdClass *sim.Cl
 // pacing. This is the transport half of §3.2.
 func (c *Conn) SetPacingRate(rate units.BitsPerSecond) {
 	c.pacer.SetRate(c.s.Now(), rate, units.Bytes(c.cfg.PacerBurst)*c.cfg.MSS)
+	if c.metrics != nil {
+		c.metrics.PaceRate.Set(float64(rate))
+		c.metrics.Recorder.RecordAt(c.s.Now(), "tcp_pace_rate", c.flowName(), float64(rate), 0)
+	}
 }
 
 // SetPacerBurst changes the pacing burst size in segments (paper §5.6).
@@ -343,6 +356,9 @@ func (c *Conn) trySend() {
 	for c.sndNxt < c.appLimit && float64(c.sndNxt-c.sndUna) < c.effectiveCwnd() {
 		if d := c.pacer.Delay(c.s.Now(), c.cfg.MSS); d > 0 {
 			c.pacer.Refund(c.cfg.MSS)
+			if c.metrics != nil {
+				c.metrics.PacerSleep.Observe(d.Seconds() * 1000)
+			}
 			c.paceTimer = c.s.Schedule(d, func() {
 				c.paceTimer = nil
 				c.trySend()
@@ -369,6 +385,14 @@ func (c *Conn) transmit(seq int64, retrans bool) {
 	p := &sim.Packet{Flow: c.flow, Seq: seq, Size: c.cfg.MSS, SentAt: c.s.Now(), Retrans: retrans}
 	c.Stats.SegmentsSent++
 	c.Stats.BytesSent += c.cfg.MSS
+	if m := c.metrics; m != nil {
+		m.SegmentsSent.Inc()
+		m.BytesSent.Add(int64(c.cfg.MSS))
+		if retrans {
+			m.Retransmits.Inc()
+			m.Recorder.RecordAt(c.s.Now(), "tcp_retransmit", c.flowName(), float64(seq), 0)
+		}
+	}
 	if retrans {
 		c.Stats.Retransmits++
 		c.Stats.RetransmitBytes += c.cfg.MSS
@@ -399,6 +423,9 @@ func (c *Conn) handleAck(p *sim.Packet) {
 		}
 		c.sndUna = ack
 		c.Stats.DeliveredBytes += units.Bytes(newlyAcked) * c.cfg.MSS
+		if c.metrics != nil {
+			c.metrics.DeliveredBytes.Add(int64(units.Bytes(newlyAcked) * c.cfg.MSS))
+		}
 		c.dupAcks = 0
 		c.backoff = 0
 
@@ -407,6 +434,9 @@ func (c *Conn) handleAck(p *sim.Packet) {
 				// Full recovery: deflate to ssthresh.
 				c.inRecovery = false
 				c.cwnd = c.ssthresh
+				if c.metrics != nil {
+					c.metrics.FastRecoveries.Inc()
+				}
 			} else {
 				// NewReno partial ack: retransmit the next hole, keep
 				// recovery going.
@@ -432,12 +462,20 @@ func (c *Conn) handleAck(p *sim.Packet) {
 			c.cwnd = c.ssthresh + 3
 			c.inRecovery = true
 			c.recoverSeq = c.sndNxt
+			if c.metrics != nil {
+				c.metrics.FastRetransmits.Inc()
+				c.metrics.Recorder.RecordAt(c.s.Now(), "tcp_fast_retx", c.flowName(),
+					float64(c.sndUna), c.ssthresh)
+			}
 			c.transmit(c.sndUna, true)
 		case c.dupAcks > 3 || (c.inRecovery && c.dupAcks >= 1):
 			// Window inflation lets new data flow during recovery.
 			c.cwnd++
 			c.trySend()
 		}
+	}
+	if c.metrics != nil {
+		c.setWindowMetrics()
 	}
 }
 
@@ -462,6 +500,9 @@ func (c *Conn) sampleRTT(rtt time.Duration) {
 	c.rto = c.srtt + 4*c.rttvar
 	if c.rto < c.cfg.MinRTO {
 		c.rto = c.cfg.MinRTO
+	}
+	if c.metrics != nil {
+		c.metrics.SRTT.Observe(c.srtt.Seconds() * 1000)
 	}
 }
 
@@ -497,6 +538,12 @@ func (c *Conn) onRTO() {
 		return // everything acked in the meantime
 	}
 	c.Stats.Timeouts++
+	if c.metrics != nil {
+		rto := c.rto << uint(c.backoff)
+		c.metrics.Timeouts.Inc()
+		c.metrics.Recorder.RecordAt(c.s.Now(), "tcp_rto", c.flowName(),
+			rto.Seconds()*1000, c.cwnd)
+	}
 	c.onVariantLoss()
 	c.ssthresh = max64f(c.cwnd/2, 2)
 	c.cwnd = 1
@@ -508,6 +555,9 @@ func (c *Conn) onRTO() {
 	c.sndNxt++
 	c.armRTOFresh()
 	c.trySend()
+	if c.metrics != nil {
+		c.setWindowMetrics()
+	}
 }
 
 // --- Client side ------------------------------------------------------
@@ -519,6 +569,9 @@ func (c *Conn) handleClientPacket(p *sim.Packet) {
 		if c.state != stateEstablished {
 			c.state = stateEstablished
 			c.Stats.HandshakeComplete = true
+			if c.metrics != nil {
+				c.metrics.Established.Inc()
+			}
 			for _, r := range c.clientSide {
 				c.sendRequest(r)
 			}

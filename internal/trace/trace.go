@@ -30,15 +30,49 @@ func (s *Series) Add(t time.Duration, v float64) {
 // Len reports the number of points.
 func (s *Series) Len() int { return len(s.Times) }
 
-// Max reports the maximum value, or 0 when empty.
+// Max reports the maximum value, or 0 when empty. The scan starts from the
+// first element, not 0, so all-negative series (e.g. queueing-delay deltas)
+// report their true maximum.
 func (s *Series) Max() float64 {
-	m := 0.0
-	for _, v := range s.Values {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
 		if v > m {
 			m = v
 		}
 	}
 	return m
+}
+
+// Min reports the minimum value, or 0 when empty.
+func (s *Series) Min() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Last reports the most recent value, or 0 when empty.
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Summary renders a one-line digest (n, min, mean, max, last) for snapshot
+// printers and metrics log lines.
+func (s *Series) Summary() string {
+	return fmt.Sprintf("%s: n=%d min=%.2f mean=%.2f max=%.2f last=%.2f %s",
+		s.Name, s.Len(), s.Min(), s.Mean(), s.Max(), s.Last(), s.Unit)
 }
 
 // Mean reports the arithmetic mean of the values, or NaN when empty.

@@ -156,3 +156,37 @@ func TestBinnerPanicsOnZeroBin(t *testing.T) {
 	}()
 	NewThroughputBinner(0)
 }
+
+func TestSeriesMaxAllNegative(t *testing.T) {
+	var s Series
+	s.Add(0, -5)
+	s.Add(time.Second, -2)
+	s.Add(2*time.Second, -9)
+	if got := s.Max(); got != -2 {
+		t.Errorf("Max of all-negative series = %g, want -2 (was the init-from-zero bug)", got)
+	}
+	if got := s.Min(); got != -9 {
+		t.Errorf("Min = %g, want -9", got)
+	}
+	if got := s.Last(); got != -9 {
+		t.Errorf("Last = %g, want -9", got)
+	}
+}
+
+func TestSeriesMinMaxLastEmpty(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.Min() != 0 || s.Last() != 0 {
+		t.Errorf("empty series min/max/last = %g/%g/%g, want all 0", s.Min(), s.Max(), s.Last())
+	}
+}
+
+func TestSeriesSummary(t *testing.T) {
+	s := Series{Name: "tput", Unit: "Mbps"}
+	s.Add(0, 4)
+	s.Add(time.Second, 8)
+	got := s.Summary()
+	want := "tput: n=2 min=4.00 mean=6.00 max=8.00 last=8.00 Mbps"
+	if got != want {
+		t.Errorf("Summary = %q, want %q", got, want)
+	}
+}
