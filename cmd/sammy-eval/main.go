@@ -11,15 +11,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/abr"
 	"repro/internal/abtest"
+	"repro/internal/cdn"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lab"
 	"repro/internal/obs"
 	"repro/internal/player"
@@ -64,12 +70,24 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write figure CSV series into (fig1, fig7)")
 	metrics := flag.Bool("metrics", false, "collect live metrics during the run and print a registry snapshot; with -csv also writes events.jsonl")
 	eventCap := flag.Int("events", 65536, "event recorder ring size used with -metrics")
+	chaosName := flag.String("chaos", "", "fault scenario ("+strings.Join(fault.ScenarioNames(), ", ")+
+		"): population experiments get the scenario's path faults, and the chaos experiment streams through its HTTP chaos")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sammy-eval [flags] <table2|table3|baseline|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|approaches|abandon|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: sammy-eval [flags] <table2|table3|baseline|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|approaches|abandon|chaos|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	scenario, err := fault.LookupScenario(*chaosName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sammy-eval: %v\n", err)
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	if flag.NArg() == 0 && *chaosName != "" {
+		// "sammy-eval -chaos burst-loss" with no experiment runs the
+		// hostile-network streaming demo.
+		name = "chaos"
+	} else if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -88,12 +106,13 @@ func main() {
 	}
 
 	cfg := abtest.Config{
-		Population:       abtest.PopulationConfig{Users: *users, Seed: *seed},
+		Population:       abtest.PopulationConfig{Users: *users, Seed: *seed, Faults: scenario.Path},
 		SessionsPerUser:  *sessions,
 		ChunksPerSession: *chunks,
 	}
 
 	experiments := map[string]func(){
+		"chaos":      func() { runChaos(scenario, *seed, *chunks) },
 		"table2":     func() { runTable2(cfg, *seed) },
 		"table3":     func() { runTable3(cfg, *seed) },
 		"baseline":   func() { runBaseline(cfg, *seed) },
@@ -111,7 +130,6 @@ func main() {
 		"tune":       func() { runTune(cfg, *seed) },
 		"pairings":   func() { runPairings(*seed) },
 	}
-	name := flag.Arg(0)
 	if name == "all" {
 		for _, n := range []string{"table2", "table3", "baseline", "fig1", "fig2", "fig3",
 			"fig4", "fig5", "fig6", "fig7", "fig8", "ablation", "approaches", "abandon", "tune", "pairings"} {
@@ -397,4 +415,67 @@ func runAbandon(seed int64) {
 // paper's worked example: β = 0.5).
 func hybForFigure() abr.HYB {
 	return abr.HYB{Beta: 0.5}
+}
+
+// runChaos streams control and Sammy sessions over a real HTTP chunk server
+// wrapped in the scenario's chaos middleware, demonstrating that the
+// resilient client completes every session — retrying 5xx storms, resuming
+// reset bodies with Range requests, degrading rungs when the ladder's top
+// cannot get through — with fully deterministic recovery counts for a fixed
+// seed.
+func runChaos(scn fault.Scenario, seed int64, chunks int) {
+	if scn.Name == "off" || !scn.Chaos.Enabled() {
+		// Without -chaos (or with a path-only scenario) default to the
+		// CDN-flakiness preset so the experiment always has teeth.
+		scn, _ = fault.LookupScenario("flaky-cdn")
+	}
+	if chunks > 40 {
+		chunks = 40 // keep the real-time demo short
+	}
+	ccfg := scn.Chaos
+	ccfg.Seed = seed
+	chaos, err := fault.NewChaos(ccfg, &cdn.Server{Metrics: cdn.NewMetrics(obs.Default())})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sammy-eval: chaos: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sammy-eval: listen: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: chaos}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	client := cdn.NewClient("http://" + ln.Addr().String())
+	client.Seed = seed
+
+	fmt.Printf("chaos scenario %q over a local HTTP chunk server (seed %d, %d chunks/session)\n",
+		scn.Name, seed, chunks)
+	fmt.Printf("  %s\n", scn.Description)
+	arms := []struct {
+		name string
+		ctrl *core.Controller
+	}{
+		{"control", lab.ControlController()},
+		{"sammy", lab.SammyController()},
+	}
+	for _, arm := range arms {
+		rep, err := cdn.StreamSession(context.Background(), cdn.SessionConfig{
+			Controller: arm.ctrl,
+			Title:      cdn.NewDemoTitle(chunks, 500*time.Millisecond),
+			Client:     client,
+		})
+		if err != nil {
+			fmt.Printf("  %-8s session aborted: %v\n", arm.name, err)
+			continue
+		}
+		fmt.Printf("  %-8s chunks %d  VMAF %.1f  playDelay %v  rebuffer %v (%d)\n",
+			arm.name, rep.Chunks, rep.VMAF, rep.PlayDelay.Round(time.Millisecond),
+			rep.RebufferTime.Round(time.Millisecond), rep.Rebuffers)
+		fmt.Printf("           retries %d  resumes %d  rung downgrades %d  failed chunks %d\n",
+			rep.Retries, rep.Resumes, rep.RungDowngrades, rep.FailedChunks)
+	}
+	fmt.Printf("faults injected by the chaos middleware: %d\n", chaos.Injected())
 }

@@ -11,7 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/lab"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -22,6 +24,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "scenario seed")
 	metrics := flag.Bool("metrics", false, "collect live metrics during the run and print a registry snapshot")
 	events := flag.String("events", "", "also write the event trace as JSONL to this file (with -metrics)")
+	chaosName := flag.String("chaos", "", "run the single-flow scenario over a faulty bottleneck ("+
+		strings.Join(fault.ScenarioNames(), ", ")+")")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sammy-lab [flags] <single|udp|tcp|http|video|burst|ablation|approaches|pairings>\n")
 		flag.PrintDefaults()
@@ -31,6 +35,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	scenario, err := fault.LookupScenario(*chaosName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sammy-lab: %v\n", err)
+		os.Exit(2)
+	}
+	labCfg := lab.Config{Faults: scenario.Path, FaultSeed: *seed}
 
 	// Install a process-wide registry before any scenario builds its
 	// simulator, so sim/tcp/player instrumentation attaches automatically.
@@ -61,8 +71,13 @@ func main() {
 
 	switch flag.Arg(0) {
 	case "single":
-		control := lab.SingleFlow(lab.ControlController(), *chunks, *seed)
-		sammy := lab.SingleFlow(lab.SammyController(), *chunks, *seed)
+		control := lab.SingleFlowOn(labCfg, lab.ControlController(), *chunks, *seed)
+		sammy := lab.SingleFlowOn(labCfg, lab.SammyController(), *chunks, *seed)
+		if labCfg.Faults != nil {
+			fmt.Printf("fault scenario %q: control dropped %d burst / %d blackout packets, "+
+				"sammy %d / %d\n", scenario.Name,
+				control.BurstDrops, control.BlackoutDrops, sammy.BurstDrops, sammy.BlackoutDrops)
+		}
 		fmt.Println("control:")
 		fmt.Print(trace.ASCII(control.Throughput, 110, 8))
 		fmt.Print(trace.ASCII(control.RTT, 110, 5))

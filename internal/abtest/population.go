@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/netmodel"
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -56,6 +57,12 @@ type PopulationConfig struct {
 	MedianRTT time.Duration
 	// RTTSigma is the lognormal σ of base RTTs. Default 0.4.
 	RTTSigma float64
+	// Faults, when set, applies a shared fault profile (burst loss, scripted
+	// blackouts, bandwidth steps) to every user's path, so population A/B
+	// runs can model a flaky-path cohort. The profile is pure configuration;
+	// each user's connections derive their own deterministic fault state
+	// from the user seed.
+	Faults *fault.Profile
 	// Seed seeds population generation.
 	Seed int64
 }
@@ -111,6 +118,7 @@ func GeneratePopulation(cfg PopulationConfig) []*User {
 				BaseLossRate:      ambientLoss,
 				OnsetBurstLoss:    0.022,
 				DropoutProb:       0.004,
+				Faults:            cfg.Faults,
 			},
 			History:    &core.History{},
 			TopBitrate: drawTopBitrate(rng),

@@ -4,82 +4,372 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pacing"
 	"repro/internal/units"
 )
 
-// FetchResult summarizes one chunk download over real HTTP.
+// DefaultHTTPClient is the transport used when Client.HTTP is nil. Unlike
+// http.DefaultClient it bounds connection setup and server think time, so a
+// dead CDN fails an attempt quickly (and retryably) instead of hanging the
+// whole session on a zero-timeout default.
+var DefaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ResponseHeaderTimeout: 15 * time.Second,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ExpectContinueTimeout: 1 * time.Second,
+		MaxIdleConns:          100,
+		MaxIdleConnsPerHost:   16,
+		IdleConnTimeout:       90 * time.Second,
+	},
+}
+
+// RetryPolicy bounds the client's recovery behaviour per chunk. Zero values
+// take the defaults noted on each field; set MaxAttempts to 1 to disable
+// retries entirely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of HTTP attempts per chunk, the first
+	// one included. Default 4.
+	MaxAttempts int
+	// TTFBTimeout aborts an attempt that has not delivered its first body
+	// byte in time (connection setup and server queueing included).
+	// Default 10 s.
+	TTFBTimeout time.Duration
+	// StallTimeout aborts an attempt whose body read makes no progress for
+	// this long. It is a no-progress watchdog, not a total-duration cap:
+	// a slow-but-moving paced body never trips it. Default 5 s.
+	StallTimeout time.Duration
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it. Default 50 ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 2 s.
+	MaxBackoff time.Duration
+	// JitterFrac shrinks each backoff by a uniform factor in
+	// [1-JitterFrac, 1], decorrelating client herds. Default 0.5.
+	// Negative disables jitter.
+	JitterFrac float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.TTFBTimeout <= 0 {
+		p.TTFBTimeout = 10 * time.Second
+	}
+	if p.StallTimeout <= 0 {
+		p.StallTimeout = 5 * time.Second
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.5
+	}
+	return p
+}
+
+// FetchResult summarizes one chunk download over real HTTP, including the
+// recovery work it took.
 type FetchResult struct {
-	Size       units.Bytes
-	FirstByte  time.Duration // request to first body byte
-	Duration   time.Duration // request to last body byte
-	Throughput units.BitsPerSecond
-	Paced      bool // server confirmed it applied pacing
+	Size       units.Bytes         // bytes delivered (== requested on success; partial on error)
+	FirstByte  time.Duration       // request to the first body byte ever received
+	Duration   time.Duration       // request to last byte, retries and backoff included
+	Throughput units.BitsPerSecond // bytes delivered per unit of body-read time
+	Paced      bool                // server confirmed it applied pacing
+	Attempts   int                 // HTTP attempts made (>= 1)
+	Retries    int                 // failed attempts that were retried
+	Resumes    int                 // attempts that resumed mid-body via an HTTP Range request
 }
 
 // Client fetches chunks from a cdn.Server, carrying the requested pace rate
-// in the pacing headers.
+// in the pacing headers. It survives a hostile path: transient 5xx,
+// connection resets, slow first bytes and mid-body stalls are retried with
+// capped exponential backoff, and partially delivered bodies are resumed
+// byte-exactly with HTTP Range requests instead of being refetched.
+//
+// A Client is safe for concurrent use.
 type Client struct {
-	// HTTP is the underlying client; http.DefaultClient if nil.
+	// HTTP is the underlying client; DefaultHTTPClient if nil.
 	HTTP *http.Client
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Retry bounds the recovery behaviour; zero values take the documented
+	// defaults.
+	Retry RetryPolicy
+	// Metrics receives fetch telemetry (attempts, retries, resumes,
+	// failures). Nil disables instrumentation.
+	Metrics *ClientMetrics
+	// Seed seeds the backoff-jitter RNG, keeping retry schedules
+	// reproducible. Default 1.
+	Seed int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a Client for baseURL with the default transport and retry
+// policy, instrumented against the process-default obs registry.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, Metrics: NewClientMetrics(obs.Default())}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return DefaultHTTPClient
 }
 
 // FetchChunk downloads size bytes, asking the server to pace at rate
 // (pacing.NoPacing for unpaced). It measures what the paper's client
-// measures: time to first byte and download-time throughput.
+// measures — time to first byte and download-time throughput — and retries
+// transient failures per the client's RetryPolicy. On error the returned
+// FetchResult still reports the partial progress (bytes, attempts, timing).
 func (c *Client) FetchChunk(ctx context.Context, size units.Bytes, rate units.BitsPerSecond) (FetchResult, error) {
+	return c.FetchChunkTo(ctx, nil, size, rate)
+}
+
+// FetchChunkTo is FetchChunk streaming the verified body into w (nil
+// discards it). Across retries and Range resumes w receives each byte
+// exactly once, in order, which is how tests prove resumes are byte-exact.
+func (c *Client) FetchChunkTo(ctx context.Context, w io.Writer, size units.Bytes, rate units.BitsPerSecond) (FetchResult, error) {
 	if size <= 0 {
 		return FetchResult{}, fmt.Errorf("cdn: chunk size must be positive, got %d", size)
 	}
-	httpc := c.HTTP
-	if httpc == nil {
-		httpc = http.DefaultClient
+	pol := c.Retry.withDefaults()
+	m := c.Metrics
+	var (
+		res      FetchResult
+		got      units.Bytes   // verified bytes delivered so far
+		bodyTime time.Duration // time spent actually reading body bytes
+		start    = time.Now()
+		lastErr  error
+	)
+	for attempt := 1; ; attempt++ {
+		res.Attempts++
+		if m != nil {
+			m.FetchAttempts.Inc()
+		}
+		attemptStart := time.Now()
+		ar, terminal, err := c.fetchOnce(ctx, w, size, got, rate, pol)
+		if ar.resumed {
+			res.Resumes++
+			if m != nil {
+				m.FetchResumes.Inc()
+				m.Recorder.Record("fetch_resume", c.BaseURL, float64(got), float64(size))
+			}
+		}
+		if res.FirstByte == 0 && ar.firstByte > 0 {
+			res.FirstByte = attemptStart.Sub(start) + ar.firstByte
+		}
+		got += ar.n
+		bodyTime += ar.bodyTime
+		if ar.paced {
+			res.Paced = true
+		}
+		if err == nil {
+			lastErr = nil
+			break
+		}
+		lastErr = err
+		if terminal || attempt >= pol.MaxAttempts {
+			break
+		}
+		res.Retries++
+		if m != nil {
+			m.FetchRetries.Inc()
+			m.Recorder.Record("fetch_retry", err.Error(), float64(attempt), float64(got))
+		}
+		if berr := c.backoff(ctx, pol, attempt); berr != nil {
+			lastErr = berr
+			break
+		}
 	}
+
+	res.Size = got
+	res.Duration = time.Since(start)
+	if got > 0 {
+		// Download-time throughput over the time spent reading body bytes.
+		// Guard the degenerate all-in-one-read case (transfer time ~0)
+		// explicitly instead of fudging every measurement.
+		transfer := bodyTime
+		if transfer <= 0 {
+			transfer = time.Nanosecond
+		}
+		res.Throughput = units.Rate(got, transfer)
+	}
+	if lastErr != nil {
+		if m != nil {
+			m.FetchFailures.Inc()
+		}
+		return res, lastErr
+	}
+	return res, nil
+}
+
+// attemptResult is one HTTP attempt's contribution to a fetch.
+type attemptResult struct {
+	n         units.Bytes   // verified body bytes this attempt delivered
+	firstByte time.Duration // attempt start to its first body byte; 0 if none
+	bodyTime  time.Duration // first body byte to end of the attempt
+	paced     bool
+	resumed   bool // the server honoured a Range resume with a 206
+}
+
+// fetchOnce runs a single HTTP attempt for bytes [offset, size) under the
+// TTFB deadline and the no-progress stall watchdog. terminal reports whether
+// the error is worth retrying: 4xx responses, parent-context cancellation
+// and protocol violations are terminal; 5xx, 429, transport errors, stalls
+// and short bodies are transient.
+func (c *Client) fetchOnce(ctx context.Context, w io.Writer, size, offset units.Bytes, rate units.BitsPerSecond, pol RetryPolicy) (attemptResult, bool, error) {
+	var ar attemptResult
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// The watchdog starts as the TTFB deadline and is re-armed to the stall
+	// timeout on every read that makes progress, so it only ever fires on a
+	// genuinely idle attempt.
+	watchdog := time.AfterFunc(pol.TTFBTimeout, cancel)
+	defer watchdog.Stop()
+
 	url := fmt.Sprintf("%s/chunk?size=%d", c.BaseURL, int64(size))
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
 	if err != nil {
-		return FetchResult{}, fmt.Errorf("cdn: build request: %w", err)
+		return ar, true, fmt.Errorf("cdn: build request: %w", err)
 	}
 	pacing.SetHeader(req.Header, rate)
+	if offset > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", int64(offset)))
+	}
 
 	start := time.Now()
-	resp, err := httpc.Do(req)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return FetchResult{}, fmt.Errorf("cdn: fetch chunk: %w", err)
+		if ctx.Err() != nil {
+			return ar, true, fmt.Errorf("cdn: fetch chunk: %w", ctx.Err())
+		}
+		return ar, false, fmt.Errorf("cdn: fetch chunk: %w", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return FetchResult{}, fmt.Errorf("cdn: fetch chunk: status %d: %s", resp.StatusCode, body)
-	}
 
-	// Read the first byte separately for the TTFB measurement.
-	var one [1]byte
-	var firstByte time.Duration
-	n, err := io.ReadFull(resp.Body, one[:])
-	if err != nil {
-		return FetchResult{}, fmt.Errorf("cdn: read first byte: %w", err)
+	expected := size - offset
+	switch {
+	case offset > 0 && resp.StatusCode == http.StatusPartialContent:
+		cr := resp.Header.Get("Content-Range")
+		if !strings.HasPrefix(cr, fmt.Sprintf("bytes %d-", int64(offset))) {
+			return ar, true, fmt.Errorf("cdn: resume mismatch: Content-Range %q, want start %d", cr, offset)
+		}
+		ar.resumed = true
+	case offset == 0 && resp.StatusCode == http.StatusOK:
+		// Fresh body.
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+		return ar, false, fmt.Errorf("cdn: fetch chunk: status %d", resp.StatusCode)
+	case offset > 0 && resp.StatusCode == http.StatusOK:
+		// The server ignored the Range header; the fresh body cannot be
+		// spliced onto bytes already handed to w.
+		return ar, true, fmt.Errorf("cdn: server ignored range resume from offset %d", offset)
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return ar, true, fmt.Errorf("cdn: fetch chunk: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
-	firstByte = time.Since(start)
-	rest, err := io.Copy(io.Discard, resp.Body)
-	if err != nil {
-		return FetchResult{}, fmt.Errorf("cdn: read body: %w", err)
+	ar.paced = resp.Header.Get("X-Sammy-Paced") == "1"
+
+	buf := make([]byte, 32*1024)
+	finish := func(terminal bool, err error) (attemptResult, bool, error) {
+		if ar.firstByte > 0 {
+			if ar.bodyTime = time.Since(start) - ar.firstByte; ar.bodyTime < 0 {
+				ar.bodyTime = 0
+			}
+		}
+		return ar, terminal, err
 	}
-	total := units.Bytes(int64(n) + rest)
-	dur := time.Since(start)
-	if total != size {
-		return FetchResult{}, fmt.Errorf("cdn: short body: got %d bytes, want %d", total, size)
+	for ar.n < expected {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if ar.firstByte == 0 {
+				ar.firstByte = time.Since(start)
+			}
+			watchdog.Reset(pol.StallTimeout)
+			if units.Bytes(n) > expected-ar.n {
+				return finish(true, fmt.Errorf("cdn: long body: server sent more than %d bytes", expected))
+			}
+			if w != nil {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return finish(true, fmt.Errorf("cdn: sink write: %w", werr))
+				}
+			}
+			ar.n += units.Bytes(n)
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				break
+			}
+			if ctx.Err() != nil {
+				return finish(true, fmt.Errorf("cdn: read body: %w", ctx.Err()))
+			}
+			if actx.Err() != nil {
+				kind := "stalled mid-body"
+				if ar.firstByte == 0 {
+					kind = "first-byte deadline exceeded"
+				}
+				return finish(false, fmt.Errorf("cdn: read body: %s (%d/%d bytes): %w", kind, ar.n, expected, rerr))
+			}
+			return finish(false, fmt.Errorf("cdn: read body: %w", rerr))
+		}
 	}
-	return FetchResult{
-		Size:       total,
-		FirstByte:  firstByte,
-		Duration:   dur,
-		Throughput: units.Rate(total, dur-firstByte+time.Microsecond),
-		Paced:      resp.Header.Get("X-Sammy-Paced") == "1",
-	}, nil
+	if ar.n < expected {
+		return finish(false, fmt.Errorf("cdn: short body: got %d of %d bytes", ar.n, expected))
+	}
+	return finish(false, nil)
+}
+
+// backoff sleeps the capped exponential delay before retry number attempt+1,
+// honouring ctx. Jitter shrinks the delay deterministically from the
+// client's seeded RNG.
+func (c *Client) backoff(ctx context.Context, pol RetryPolicy, attempt int) error {
+	shift := attempt - 1
+	if shift > 20 {
+		shift = 20
+	}
+	d := pol.BaseBackoff << shift
+	if d <= 0 || d > pol.MaxBackoff {
+		d = pol.MaxBackoff
+	}
+	if pol.JitterFrac > 0 {
+		c.mu.Lock()
+		if c.rng == nil {
+			seed := c.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			c.rng = rand.New(rand.NewSource(seed))
+		}
+		f := c.rng.Float64()
+		c.mu.Unlock()
+		d = time.Duration(float64(d) * (1 - pol.JitterFrac*f))
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("cdn: cancelled during retry backoff: %w", ctx.Err())
+	case <-t.C:
+		return nil
+	}
 }

@@ -17,6 +17,7 @@ type Metrics struct {
 	UnpacedRequests *obs.Counter // requests without one
 	KernelPaced     *obs.Counter // paced via SO_MAX_PACING_RATE
 	UserPaced       *obs.Counter // paced via the user-space token bucket
+	RangeRequests   *obs.Counter // mid-body resumes served with a 206
 
 	PaceRateMbps  *obs.Histogram // requested pace rate per paced request
 	PacerSleepMs  *obs.Histogram // user-space pacer sleeps
@@ -26,6 +27,40 @@ type Metrics struct {
 	// and "cdn_disconnect" (V = bytes written before the failure) events on
 	// the recorder's wall clock. Nil skips events.
 	Recorder *obs.Recorder
+}
+
+// ClientMetrics holds the fetch client's resilience telemetry. Nil (the
+// default) keeps the client uninstrumented.
+type ClientMetrics struct {
+	FetchAttempts  *obs.Counter // HTTP attempts, retries included
+	FetchRetries   *obs.Counter // failed attempts that were retried
+	FetchResumes   *obs.Counter // mid-body Range resumes the server honoured
+	FetchFailures  *obs.Counter // fetches that exhausted the retry budget
+	RungDowngrades *obs.Counter // session ladder downgrades after failed fetches
+	ChunksFailed   *obs.Counter // chunks skipped after the whole ladder failed
+
+	// Recorder receives "fetch_retry" (Label = error, V = attempt, Aux =
+	// bytes so far), "fetch_resume" (V = resume offset, Aux = chunk size)
+	// and "rung_downgrade" (V = chunk index, Aux = rung degraded from)
+	// events. Nil skips events.
+	Recorder *obs.Recorder
+}
+
+// NewClientMetrics builds a ClientMetrics wired to registry r (nil r yields
+// nil, keeping instrumentation off).
+func NewClientMetrics(r *obs.Registry) *ClientMetrics {
+	if r == nil {
+		return nil
+	}
+	return &ClientMetrics{
+		FetchAttempts:  r.Counter("cdn_fetch_attempts"),
+		FetchRetries:   r.Counter("cdn_fetch_retries"),
+		FetchResumes:   r.Counter("cdn_fetch_resumes"),
+		FetchFailures:  r.Counter("cdn_fetch_failures"),
+		RungDowngrades: r.Counter("cdn_rung_downgrades"),
+		ChunksFailed:   r.Counter("cdn_chunks_failed"),
+		Recorder:       r.Recorder(),
+	}
 }
 
 // NewMetrics builds a Metrics wired to registry r (nil r yields nil,
@@ -43,6 +78,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		UnpacedRequests: r.Counter("cdn_unpaced_requests"),
 		KernelPaced:     r.Counter("cdn_kernel_paced"),
 		UserPaced:       r.Counter("cdn_user_paced"),
+		RangeRequests:   r.Counter("cdn_range_requests"),
 		// Pace rates: 0.1 Mbps … ~3 Gbps.
 		PaceRateMbps: r.Histogram("cdn_pace_rate_mbps", obs.ExpBuckets(0.1, 1.6, 22)),
 		// Sleeps: 10 µs … ~1 s.

@@ -1,0 +1,345 @@
+package cdn
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/pacing"
+	"repro/internal/units"
+)
+
+// fastRetry keeps retry tests quick: real backoff shape, millisecond scale.
+var fastRetry = RetryPolicy{
+	MaxAttempts: 4,
+	TTFBTimeout: 2 * time.Second,
+	StallTimeout: time.Second,
+	BaseBackoff: time.Millisecond,
+	MaxBackoff:  5 * time.Millisecond,
+}
+
+// newChaosServer wraps a cdn.Server in the chaos middleware and returns a
+// resilient client pointed at it.
+func newChaosServer(t *testing.T, cfg fault.ChaosConfig) (*httptest.Server, *Client) {
+	t.Helper()
+	chaos, err := fault.NewChaos(cfg, &Server{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(chaos)
+	t.Cleanup(srv.Close)
+	return srv, &Client{HTTP: srv.Client(), BaseURL: srv.URL, Retry: fastRetry, Seed: 1}
+}
+
+func TestFetchSurvives503Storm(t *testing.T) {
+	// Three straight 503s, then the server recovers: the fetch must succeed
+	// on the fourth attempt with three retries on the books.
+	_, client := newChaosServer(t, fault.ChaosConfig{Seed: 1, ErrorProb: 1, MaxInjections: 3})
+	res, err := client.FetchChunk(context.Background(), 100*units.KB, pacing.NoPacing)
+	if err != nil {
+		t.Fatalf("fetch through a 503 storm failed: %v", err)
+	}
+	if res.Size != 100*units.KB {
+		t.Errorf("size = %v", res.Size)
+	}
+	if res.Attempts != 4 || res.Retries != 3 {
+		t.Errorf("attempts = %d, retries = %d; want 4 and 3", res.Attempts, res.Retries)
+	}
+	if res.Throughput <= 0 {
+		t.Error("throughput not measured on the successful attempt")
+	}
+}
+
+func TestFetchExhaustsRetryBudget(t *testing.T) {
+	// An unbounded 503 storm: the fetch fails, but the result still reports
+	// the attempts made.
+	_, client := newChaosServer(t, fault.ChaosConfig{Seed: 1, ErrorProb: 1})
+	res, err := client.FetchChunk(context.Background(), 100*units.KB, pacing.NoPacing)
+	if err == nil {
+		t.Fatal("fetch should fail when every attempt gets a 503")
+	}
+	if res.Attempts != fastRetry.MaxAttempts {
+		t.Errorf("attempts = %d, want the full budget %d", res.Attempts, fastRetry.MaxAttempts)
+	}
+	if res.Retries != fastRetry.MaxAttempts-1 {
+		t.Errorf("retries = %d", res.Retries)
+	}
+}
+
+func TestFetchTerminalOn4xx(t *testing.T) {
+	// 4xx is the server telling us the request itself is wrong; retrying
+	// would be abuse. MaxChunk 1 KB makes a 1 MB request a 413.
+	chaos, err := fault.NewChaos(fault.ChaosConfig{}, &Server{MaxChunk: units.KB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(chaos)
+	t.Cleanup(srv.Close)
+	client := &Client{HTTP: srv.Client(), BaseURL: srv.URL, Retry: fastRetry}
+	res, err := client.FetchChunk(context.Background(), units.MB, pacing.NoPacing)
+	if err == nil {
+		t.Fatal("oversized fetch should fail")
+	}
+	if res.Attempts != 1 {
+		t.Errorf("terminal 4xx was attempted %d times; must not retry", res.Attempts)
+	}
+}
+
+func TestMidBodyResetResumesByteExact(t *testing.T) {
+	// The first response is reset after exactly 20000 body bytes; the retry
+	// must resume with a Range request and the reassembled body must be
+	// byte-identical to an unfaulted fetch.
+	const size = 100 * units.KB
+	_, client := newChaosServer(t, fault.ChaosConfig{
+		Seed: 1, ResetProb: 1, ResetAfterBytes: 20_000, MaxInjections: 1,
+	})
+	var body bytes.Buffer
+	res, err := client.FetchChunkTo(context.Background(), &body, size, pacing.NoPacing)
+	if err != nil {
+		t.Fatalf("resumed fetch failed: %v", err)
+	}
+	if res.Size != size || units.Bytes(body.Len()) != size {
+		t.Fatalf("delivered %v bytes to the sink, result says %v, want %v",
+			body.Len(), res.Size, size)
+	}
+	if res.Resumes != 1 || res.Retries != 1 {
+		t.Errorf("resumes = %d, retries = %d; want 1 and 1", res.Resumes, res.Retries)
+	}
+	for i, b := range body.Bytes() {
+		if b != FillerByte(int64(i)) {
+			t.Fatalf("byte %d = %q, want %q: resume was not byte-exact", i, b, FillerByte(int64(i)))
+		}
+	}
+}
+
+func TestMidBodyStallTripsWatchdogAndResumes(t *testing.T) {
+	// The first response freezes for 2 s after 16 KB. The stall watchdog
+	// (100 ms) must abandon it long before the stall clears, and the retry
+	// resumes from the delivered prefix.
+	const size = 64 * units.KB
+	_, client := newChaosServer(t, fault.ChaosConfig{
+		Seed: 1, StallProb: 1, StallAfterBytes: 16 * 1024,
+		StallDuration: 2 * time.Second, MaxInjections: 1,
+	})
+	client.Retry.StallTimeout = 100 * time.Millisecond
+	var body bytes.Buffer
+	start := time.Now()
+	res, err := client.FetchChunkTo(context.Background(), &body, size, pacing.NoPacing)
+	if err != nil {
+		t.Fatalf("stalled fetch did not recover: %v", err)
+	}
+	if waited := time.Since(start); waited > 1500*time.Millisecond {
+		t.Errorf("recovery took %v; the watchdog should fire at ~100ms, not wait out the 2s stall", waited)
+	}
+	if res.Resumes == 0 {
+		t.Error("recovery should resume the delivered prefix, not refetch")
+	}
+	for i, b := range body.Bytes() {
+		if b != FillerByte(int64(i)) {
+			t.Fatalf("byte %d corrupt after stall recovery", i)
+		}
+	}
+}
+
+func TestFirstByteDeadline(t *testing.T) {
+	// First request never sends headers; second is served instantly. The
+	// TTFB deadline turns the dead request into a fast retry.
+	var calls atomic.Int64
+	inner := &Server{}
+	mux := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			time.Sleep(2 * time.Second)
+		}
+		inner.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	client := &Client{HTTP: srv.Client(), BaseURL: srv.URL, Retry: fastRetry}
+	client.Retry.TTFBTimeout = 100 * time.Millisecond
+	start := time.Now()
+	res, err := client.FetchChunk(context.Background(), 10*units.KB, pacing.NoPacing)
+	if err != nil {
+		t.Fatalf("fetch did not survive a dead first attempt: %v", err)
+	}
+	if time.Since(start) > 1500*time.Millisecond {
+		t.Error("TTFB deadline did not cut the dead attempt short")
+	}
+	if res.Retries != 1 {
+		t.Errorf("retries = %d, want 1", res.Retries)
+	}
+}
+
+func TestPartialResultOnFailure(t *testing.T) {
+	// Every response resets mid-body: the final error must still carry the
+	// partial progress (bytes delivered, attempts made).
+	_, client := newChaosServer(t, fault.ChaosConfig{Seed: 1, ResetProb: 1, ResetAfterBytes: 10_000})
+	client.Retry.MaxAttempts = 2
+	res, err := client.FetchChunk(context.Background(), 100*units.KB, pacing.NoPacing)
+	if err == nil {
+		t.Fatal("fetch should fail when every response resets")
+	}
+	if res.Size == 0 {
+		t.Error("partial result lost: Size = 0 despite delivered prefixes")
+	}
+	if res.Attempts != 2 || res.Retries != 1 {
+		t.Errorf("attempts = %d, retries = %d", res.Attempts, res.Retries)
+	}
+}
+
+func TestSessionDegradesThroughPermanentBlackout(t *testing.T) {
+	// The CDN serves three chunks, then goes permanently dark. The session
+	// must not error: it walks down the ladder, skips what it cannot get,
+	// and accounts the time lost as rebuffering.
+	var calls atomic.Int64
+	inner := &Server{}
+	mux := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) > 3 {
+			http.Error(w, "blackout", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	client := &Client{HTTP: srv.Client(), BaseURL: srv.URL, Seed: 1, Retry: RetryPolicy{
+		MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+		TTFBTimeout: time.Second, StallTimeout: time.Second,
+	}}
+	report, err := StreamSession(context.Background(), SessionConfig{
+		Controller: core.NewControl(abr.Production{}),
+		Title:      NewDemoTitle(8, 50*time.Millisecond),
+		Client:     client,
+	})
+	if err != nil {
+		t.Fatalf("session must survive a permanent blackout, got: %v", err)
+	}
+	if report.Chunks != 3 {
+		t.Errorf("delivered chunks = %d, want the 3 served before the blackout", report.Chunks)
+	}
+	if report.FailedChunks != 5 {
+		t.Errorf("failed chunks = %d, want 5", report.FailedChunks)
+	}
+	if report.RungDowngrades == 0 {
+		t.Error("session never tried lower rungs before giving up on a chunk")
+	}
+	if report.Retries == 0 {
+		t.Error("no retries recorded")
+	}
+	if report.Rebuffers == 0 || report.RebufferTime == 0 {
+		t.Errorf("blackout time not accounted as rebuffering: %d rebuffers, %v",
+			report.Rebuffers, report.RebufferTime)
+	}
+}
+
+func TestSessionFailFastPreservesOldBehaviour(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	client := &Client{HTTP: srv.Client(), BaseURL: srv.URL, Retry: fastRetry}
+	_, err := StreamSession(context.Background(), SessionConfig{
+		Controller: core.NewControl(abr.Production{}),
+		Title:      NewDemoTitle(4, 50*time.Millisecond),
+		Client:     client,
+		FailFast:   true,
+	})
+	if err == nil {
+		t.Error("FailFast session should abort on an unfetchable chunk")
+	}
+}
+
+func TestChaosSessionDeterministicAcrossRuns(t *testing.T) {
+	// The acceptance property behind `sammy-eval -chaos`: for a fixed seed,
+	// two full sessions over a freshly seeded chaos middleware report
+	// identical retry/resume/downgrade/failure counts.
+	type counts struct{ chunks, retries, resumes, downgrades, failed int }
+	run := func() counts {
+		chaos, err := fault.NewChaos(fault.ChaosConfig{
+			Seed: 9, ErrorProb: 0.15, ResetProb: 0.12, ResetAfterBytes: 16 * 1024,
+		}, &Server{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(chaos)
+		defer srv.Close()
+		client := &Client{HTTP: srv.Client(), BaseURL: srv.URL, Retry: fastRetry, Seed: 3}
+		report, err := StreamSession(context.Background(), SessionConfig{
+			Controller: core.NewSammy(abr.Production{}, core.DefaultC0, core.DefaultC1),
+			Title:      NewDemoTitle(12, 100*time.Millisecond),
+			Client:     client,
+		})
+		if err != nil {
+			t.Fatalf("chaos session aborted: %v", err)
+		}
+		return counts{report.Chunks, report.Retries, report.Resumes,
+			report.RungDowngrades, report.FailedChunks}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("recovery counts differ across identical seeded runs: %+v vs %+v", a, b)
+	}
+	if a.retries == 0 {
+		t.Error("scenario injected nothing; the determinism check is vacuous")
+	}
+}
+
+func TestDefaultHTTPClientHasTimeouts(t *testing.T) {
+	tr, ok := DefaultHTTPClient.Transport.(*http.Transport)
+	if !ok {
+		t.Fatal("DefaultHTTPClient should carry a configured *http.Transport")
+	}
+	if tr.ResponseHeaderTimeout <= 0 {
+		t.Error("ResponseHeaderTimeout unset: a dead server would hang fetches")
+	}
+	// A nil-HTTP client must fall back to it, not to http.DefaultClient.
+	c := &Client{}
+	if c.httpClient() != DefaultHTTPClient {
+		t.Error("nil Client.HTTP should resolve to DefaultHTTPClient")
+	}
+}
+
+func TestServerRangeRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// A resume from offset 30: 206 with the tail of the filler.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/chunk?size=100", nil)
+	req.Header.Set("Range", "bytes=30-")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("status = %d, want 206", resp.StatusCode)
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != "bytes 30-99/100" {
+		t.Errorf("Content-Range = %q", cr)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if body.Len() != 70 {
+		t.Fatalf("tail length = %d, want 70", body.Len())
+	}
+	for i, b := range body.Bytes() {
+		if b != FillerByte(int64(30+i)) {
+			t.Fatalf("tail byte %d = %q, want the offset-addressed filler", i, b)
+		}
+	}
+	// A range starting at or past the end is unsatisfiable.
+	req2, _ := http.NewRequest(http.MethodGet, srv.URL+"/chunk?size=100", nil)
+	req2.Header.Set("Range", "bytes=100-")
+	resp2, err := srv.Client().Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Errorf("status = %d, want 416", resp2.StatusCode)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/pacing"
@@ -76,6 +77,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("cdn: size exceeds limit %d", maxChunk), http.StatusRequestEntityTooLarge)
 		return
 	}
+	offset, ok := parseRangeStart(r.Header.Get("Range"), units.Bytes(size))
+	if !ok {
+		if m != nil {
+			m.RequestsBad.Inc()
+		}
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", size))
+		http.Error(w, "cdn: unsatisfiable range", http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
 
 	rate := pacing.FromHeader(r.Header)
 	burst := s.Burst
@@ -94,8 +104,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		m.Recorder.Record("cdn_request", r.RemoteAddr, float64(size), float64(rate))
 	}
 
+	body := units.Bytes(size) - offset
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set("Accept-Ranges", "bytes")
+	w.Header().Set("Content-Length", strconv.FormatInt(int64(body), 10))
 	// Kernel pacing is per-socket state, so it must be (re)applied on every
 	// request of a keep-alive connection: set for paced requests, cleared
 	// for unpaced ones.
@@ -114,7 +126,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	w.WriteHeader(http.StatusOK)
+	if offset > 0 {
+		// A client resuming a partially delivered chunk. Because the filler
+		// is offset-addressable, the resumed tail is byte-identical to what
+		// a full fetch would have carried at those positions.
+		w.Header().Set("Content-Range",
+			fmt.Sprintf("bytes %d-%d/%d", int64(offset), size-1, size))
+		if m != nil {
+			m.RangeRequests.Inc()
+		}
+		w.WriteHeader(http.StatusPartialContent)
+	} else {
+		w.WriteHeader(http.StatusOK)
+	}
 
 	var out io.Writer = w
 	if rate > 0 && !kernelPaced {
@@ -122,7 +146,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		pw.metrics = m
 		out = pw
 	}
-	written, err := writeFiller(out, units.Bytes(size), w)
+	written, err := writeFiller(out, body, offset, w)
 	if m != nil {
 		m.BytesServed.Add(int64(written))
 		if err != nil {
@@ -135,16 +159,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeFiller streams n deterministic bytes to out, flushing as it goes so
-// pacing is visible on the wire. It reports how many bytes were written and
-// the first write error — typically the client disconnecting mid-body —
-// mapping a stalled short write (n written, no error) to io.ErrShortWrite
-// rather than looping forever.
-func writeFiller(out io.Writer, n units.Bytes, rw http.ResponseWriter) (units.Bytes, error) {
+// FillerByte is the deterministic chunk body content at absolute offset off.
+// Addressing the filler by offset (not by position within a response) is
+// what makes HTTP Range resumes byte-exact: the tail served after a reset
+// matches what the aborted response would have carried.
+func FillerByte(off int64) byte {
+	return byte('a' + off%26)
+}
+
+// writeFiller streams n deterministic bytes starting at absolute offset to
+// out, flushing as it goes so pacing is visible on the wire. It reports how
+// many bytes were written and the first write error — typically the client
+// disconnecting mid-body — mapping a stalled short write (n written, no
+// error) to io.ErrShortWrite rather than looping forever.
+func writeFiller(out io.Writer, n units.Bytes, offset units.Bytes, rw http.ResponseWriter) (units.Bytes, error) {
 	flusher, _ := rw.(http.Flusher)
-	buf := make([]byte, 16*1024)
+	// The buffer length is a multiple of the filler period, so reusing it
+	// for consecutive full writes keeps the offset alignment.
+	buf := make([]byte, 16380) // 630 * 26, ~16 KB
 	for i := range buf {
-		buf[i] = byte('a' + i%26)
+		buf[i] = FillerByte(int64(offset) + int64(i))
 	}
 	var written int64
 	remaining := int64(n)
@@ -167,6 +201,29 @@ func writeFiller(out io.Writer, n units.Bytes, rw http.ResponseWriter) (units.By
 		}
 	}
 	return units.Bytes(written), nil
+}
+
+// parseRangeStart interprets the open-ended single-range form the client's
+// resume path sends: "bytes=N-". An absent or unrecognized header means the
+// full body (offset 0); a parseable start at or past the end is
+// unsatisfiable (ok=false → 416). Suffix and multi-range forms are not
+// resumes, so they fall back to the full body as RFC 9110 permits.
+func parseRangeStart(header string, size units.Bytes) (units.Bytes, bool) {
+	if header == "" {
+		return 0, true
+	}
+	spec, found := strings.CutPrefix(header, "bytes=")
+	if !found || !strings.HasSuffix(spec, "-") || strings.Contains(spec, ",") {
+		return 0, true
+	}
+	start, err := strconv.ParseInt(strings.TrimSuffix(spec, "-"), 10, 64)
+	if err != nil || start < 0 {
+		return 0, true
+	}
+	if units.Bytes(start) >= size {
+		return 0, false
+	}
+	return units.Bytes(start), true
 }
 
 // PacedWriter rate-limits writes with a token bucket over the wall clock:

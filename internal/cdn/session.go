@@ -27,6 +27,12 @@ type SessionConfig struct {
 	// like a real player. Off by default so tests and demos finish quickly
 	// (buffer time is then simulated).
 	Realtime bool
+	// FailFast restores the pre-resilience behaviour: the first chunk fetch
+	// that exhausts its retry budget aborts the session with an error. Off
+	// by default: the session degrades down the ladder, skips the chunk if
+	// even the bottom rung fails, and accounts the time lost as rebuffering
+	// — a hostile network hurts QoE, it does not kill the session.
+	FailFast bool
 	// OnChunk, when set, observes each download.
 	OnChunk func(index int, rung video.Rung, pace units.BitsPerSecond, res FetchResult)
 }
@@ -41,6 +47,12 @@ type SessionReport struct {
 	AvgBitrate      units.BitsPerSecond
 	ChunkThroughput units.BitsPerSecond // download-time weighted
 	PacedChunks     int
+
+	// Resilience accounting.
+	Retries        int // HTTP attempts beyond the first, across all chunks
+	Resumes        int // mid-body Range resumes
+	RungDowngrades int // ladder steps taken below the ABR decision after failures
+	FailedChunks   int // chunks skipped because every rung failed
 }
 
 // StreamSession plays cfg.Title through the HTTP server, making a joint
@@ -102,12 +114,58 @@ func StreamSession(ctx context.Context, cfg SessionConfig) (SessionReport, error
 		}
 		dec := cfg.Controller.Decide(dctx)
 		prevRung = dec.Rung
-		chunk := cfg.Title.ChunkAt(i, dec.Rung)
+		rung := dec.Rung
+		chunk := cfg.Title.ChunkAt(i, rung)
 
+		chunkStart := time.Now()
 		res, err := cfg.Client.FetchChunk(ctx, chunk.Size, dec.PaceRate)
-		if err != nil {
-			return report, fmt.Errorf("cdn: chunk %d: %w", i, err)
+		report.Retries += res.Retries
+		report.Resumes += res.Resumes
+		for err != nil && !cfg.FailFast && ctx.Err() == nil && rung > 0 {
+			// Graceful degradation: the cheapest rendition is the most
+			// likely to squeeze through a faulty path, and a low-quality
+			// chunk beats a frozen screen.
+			from := rung
+			rung--
+			chunk = cfg.Title.ChunkAt(i, rung)
+			report.RungDowngrades++
+			if cm := cfg.Client.Metrics; cm != nil {
+				cm.RungDowngrades.Inc()
+				cm.Recorder.Record("rung_downgrade", "", float64(i), float64(from))
+			}
+			res, err = cfg.Client.FetchChunk(ctx, chunk.Size, dec.PaceRate)
+			report.Retries += res.Retries
+			report.Resumes += res.Resumes
 		}
+		// dl is the wall time this chunk slot consumed, failed higher-rung
+		// tries and retry backoff included — that is what the viewer's
+		// buffer actually drained by.
+		dl := time.Since(chunkStart)
+		if err != nil {
+			if cfg.FailFast {
+				return report, fmt.Errorf("cdn: chunk %d: %w", i, err)
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return report, fmt.Errorf("cdn: session cancelled: %w", cerr)
+			}
+			// The whole ladder failed. Skip the chunk — playback freezes
+			// for the time burned trying and moves on, as a live player
+			// skips a lost segment.
+			report.FailedChunks++
+			if cm := cfg.Client.Metrics; cm != nil {
+				cm.ChunksFailed.Inc()
+			}
+			if playing {
+				buffer -= dl
+				if buffer < 0 {
+					report.Rebuffers++
+					report.RebufferTime += -buffer
+					buffer = 0
+				}
+			}
+			continue
+		}
+		prevRung = rung // the delivered rung feeds the next decision's hysteresis
 		if res.Paced {
 			report.PacedChunks++
 		}
@@ -122,7 +180,7 @@ func StreamSession(ctx context.Context, cfg SessionConfig) (SessionReport, error
 		vmafWeight += chunk.Duration.Seconds() * chunk.Rung.VMAF
 
 		if playing {
-			buffer -= res.Duration
+			buffer -= dl
 			if buffer < 0 {
 				report.Rebuffers++
 				report.RebufferTime += -buffer

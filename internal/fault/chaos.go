@@ -1,0 +1,310 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ChaosConfig parameterizes the HTTP chaos middleware: each request draws
+// from a seeded RNG and at most one fault is injected, in priority order
+// blackout > error > reset > stall > slow-first-byte. Probabilities are per
+// request; a zero config injects nothing.
+type ChaosConfig struct {
+	// Seed drives every injection decision; identical seeds and request
+	// sequences yield identical fault sequences.
+	Seed int64
+
+	// ErrorProb injects an immediate error response (no body).
+	ErrorProb float64
+	// ErrorCode is the injected status; default 503.
+	ErrorCode int
+
+	// ResetProb arms a mid-body connection reset: after ResetAfterBytes of
+	// the response body the connection is aborted, which a client observes
+	// as an unexpected EOF / connection reset.
+	ResetProb float64
+	// ResetAfterBytes is the body offset of the reset; default 32 KB.
+	ResetAfterBytes int64
+
+	// StallProb arms a mid-body stall: after StallAfterBytes the writer
+	// sleeps StallDuration once before continuing.
+	StallProb float64
+	// StallAfterBytes is the body offset of the stall; default 32 KB.
+	StallAfterBytes int64
+	// StallDuration is how long the stall lasts; default 2 s.
+	StallDuration time.Duration
+
+	// SlowStartProb delays the response (headers and first byte) by
+	// SlowStartDelay.
+	SlowStartProb float64
+	// SlowStartDelay is the injected time to first byte; default 300 ms.
+	SlowStartDelay time.Duration
+
+	// Timeline, when set, scripts CDN blackouts on the wall clock measured
+	// from the middleware's construction: requests arriving while the
+	// multiplier is 0 are aborted before headers.
+	Timeline *Timeline
+
+	// MaxInjections caps the total number of injected faults; 0 means
+	// unlimited. A cap turns "error storm" configs into deterministic
+	// storm-then-recovery scripts.
+	MaxInjections int
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.ErrorCode == 0 {
+		c.ErrorCode = http.StatusServiceUnavailable
+	}
+	if c.ResetAfterBytes <= 0 {
+		c.ResetAfterBytes = 32 * 1024
+	}
+	if c.StallAfterBytes <= 0 {
+		c.StallAfterBytes = 32 * 1024
+	}
+	if c.StallDuration <= 0 {
+		c.StallDuration = 2 * time.Second
+	}
+	if c.SlowStartDelay <= 0 {
+		c.SlowStartDelay = 300 * time.Millisecond
+	}
+	return c
+}
+
+func (c ChaosConfig) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"ErrorProb", c.ErrorProb}, {"ResetProb", c.ResetProb},
+		{"StallProb", c.StallProb}, {"SlowStartProb", c.SlowStartProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s = %g out of [0, 1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the config can inject anything.
+func (c ChaosConfig) Enabled() bool {
+	return c.ErrorProb > 0 || c.ResetProb > 0 || c.StallProb > 0 ||
+		c.SlowStartProb > 0 || c.Timeline != nil
+}
+
+// ChaosMetrics counts injected faults by kind. Nil disables instrumentation;
+// obs types no-op on nil fields.
+type ChaosMetrics struct {
+	Injected   *obs.Counter // all injected faults
+	Errors     *obs.Counter // injected 5xx responses
+	Resets     *obs.Counter // armed mid-body connection resets
+	Stalls     *obs.Counter // armed mid-body stalls
+	SlowStarts *obs.Counter // injected slow first bytes
+	Blackouts  *obs.Counter // requests aborted by a timeline blackout
+
+	// Recorder receives one "fault_injected" event per injection
+	// (Subj = kind, V = magnitude: status code, byte offset or delay ms).
+	Recorder *obs.Recorder
+}
+
+// NewChaosMetrics builds chaos metrics on registry r (nil r yields nil).
+func NewChaosMetrics(r *obs.Registry) *ChaosMetrics {
+	if r == nil {
+		return nil
+	}
+	return &ChaosMetrics{
+		Injected:   r.Counter("fault_injected"),
+		Errors:     r.Counter("fault_injected_errors"),
+		Resets:     r.Counter("fault_injected_resets"),
+		Stalls:     r.Counter("fault_injected_stalls"),
+		SlowStarts: r.Counter("fault_injected_slow_starts"),
+		Blackouts:  r.Counter("fault_injected_blackouts"),
+		Recorder:   r.Recorder(),
+	}
+}
+
+// Chaos is the HTTP chaos middleware. Injection decisions are serialized
+// under a mutex so a sequential client sees a deterministic fault sequence
+// for a given seed.
+type Chaos struct {
+	cfg  ChaosConfig
+	next http.Handler
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected int
+	start    time.Time
+
+	// Metrics receives injection telemetry; set by NewChaos from the
+	// process-wide obs registry when one is installed.
+	Metrics *ChaosMetrics
+}
+
+// NewChaos wraps next with fault injection per cfg. When a process-wide obs
+// registry is installed (obs.SetDefault), injection counters attach to it.
+func NewChaos(cfg ChaosConfig, next http.Handler) (*Chaos, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, fmt.Errorf("fault: chaos middleware needs a next handler")
+	}
+	return &Chaos{
+		cfg:     cfg.withDefaults(),
+		next:    next,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		start:   time.Now(),
+		Metrics: NewChaosMetrics(obs.Default()),
+	}, nil
+}
+
+// Injected reports how many faults have been injected so far.
+func (c *Chaos) Injected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// chaosAction is one decided injection.
+type chaosAction int
+
+const (
+	actNone chaosAction = iota
+	actBlackout
+	actError
+	actReset
+	actStall
+	actSlowStart
+)
+
+// decide draws the request's fault. Four floats are always drawn so the RNG
+// stream position — and therefore every later decision — is independent of
+// which fault fires.
+func (c *Chaos) decide() chaosAction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.rng.Float64()
+	r := c.rng.Float64()
+	s := c.rng.Float64()
+	f := c.rng.Float64()
+	if c.cfg.Timeline != nil && c.cfg.Timeline.Multiplier(time.Since(c.start)) == 0 {
+		c.injected++
+		return actBlackout
+	}
+	if c.cfg.MaxInjections > 0 && c.injected >= c.cfg.MaxInjections {
+		return actNone
+	}
+	act := actNone
+	switch {
+	case e < c.cfg.ErrorProb:
+		act = actError
+	case r < c.cfg.ResetProb:
+		act = actReset
+	case s < c.cfg.StallProb:
+		act = actStall
+	case f < c.cfg.SlowStartProb:
+		act = actSlowStart
+	}
+	if act != actNone {
+		c.injected++
+	}
+	return act
+}
+
+func (c *Chaos) record(kind string, v float64, count *obs.Counter) {
+	m := c.Metrics
+	if m == nil {
+		return
+	}
+	m.Injected.Inc()
+	count.Inc()
+	m.Recorder.Record("fault_injected", kind, v, 0)
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Chaos) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch c.decide() {
+	case actBlackout:
+		c.record("blackout", 0, metricsField(c.Metrics, func(m *ChaosMetrics) *obs.Counter { return m.Blackouts }))
+		panic(http.ErrAbortHandler)
+	case actError:
+		c.record("error", float64(c.cfg.ErrorCode), metricsField(c.Metrics, func(m *ChaosMetrics) *obs.Counter { return m.Errors }))
+		http.Error(w, "fault: injected error", c.cfg.ErrorCode)
+		return
+	case actReset:
+		c.record("reset", float64(c.cfg.ResetAfterBytes), metricsField(c.Metrics, func(m *ChaosMetrics) *obs.Counter { return m.Resets }))
+		w = &faultWriter{ResponseWriter: w, trigger: c.cfg.ResetAfterBytes, onTrigger: func() {
+			panic(http.ErrAbortHandler)
+		}}
+	case actStall:
+		c.record("stall", float64(c.cfg.StallDuration.Milliseconds()), metricsField(c.Metrics, func(m *ChaosMetrics) *obs.Counter { return m.Stalls }))
+		w = &faultWriter{ResponseWriter: w, trigger: c.cfg.StallAfterBytes, onTrigger: func() {
+			time.Sleep(c.cfg.StallDuration)
+		}}
+	case actSlowStart:
+		c.record("slow_start", float64(c.cfg.SlowStartDelay.Milliseconds()), metricsField(c.Metrics, func(m *ChaosMetrics) *obs.Counter { return m.SlowStarts }))
+		time.Sleep(c.cfg.SlowStartDelay)
+	}
+	c.next.ServeHTTP(w, r)
+}
+
+// metricsField safely projects a counter out of a possibly-nil metrics
+// struct (nil counters are no-ops downstream).
+func metricsField(m *ChaosMetrics, get func(*ChaosMetrics) *obs.Counter) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return get(m)
+}
+
+// faultWriter counts body bytes and fires onTrigger once when the write
+// offset crosses trigger. It preserves http.Flusher so the paced chunk
+// writer keeps flushing through it.
+type faultWriter struct {
+	http.ResponseWriter
+	trigger int64
+	written int64
+	fired   bool
+
+	onTrigger func()
+}
+
+func (f *faultWriter) Write(b []byte) (int, error) {
+	if !f.fired && f.written+int64(len(b)) >= f.trigger {
+		// Deliver the bytes up to the trigger point first so resumable
+		// clients have a well-defined prefix.
+		keep := f.trigger - f.written
+		if keep > 0 {
+			n, err := f.ResponseWriter.Write(b[:keep])
+			f.written += int64(n)
+			if err != nil {
+				return n, err
+			}
+			if fl, ok := f.ResponseWriter.(http.Flusher); ok {
+				fl.Flush()
+			}
+			b = b[keep:]
+		}
+		f.fired = true
+		f.onTrigger()
+		if len(b) == 0 {
+			return int(keep), nil
+		}
+		n, err := f.ResponseWriter.Write(b)
+		f.written += int64(n)
+		return int(keep) + n, err
+	}
+	n, err := f.ResponseWriter.Write(b)
+	f.written += int64(n)
+	return n, err
+}
+
+func (f *faultWriter) Flush() {
+	if fl, ok := f.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}

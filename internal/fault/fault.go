@@ -1,0 +1,251 @@
+// Package fault is the repo's deterministic fault-injection layer: the
+// network pathologies that production paths exhibit but the clean simulator
+// and loopback HTTP demo do not. It has two halves:
+//
+//   - A scripted fault model for the sim/netmodel substrates: Gilbert-Elliott
+//     two-state burst loss (real loss arrives in bursts, not i.i.d.), timed
+//     link blackouts, and step bandwidth drops, all drawn from explicit seeds
+//     so "flaky path" scenarios reproduce bit-for-bit.
+//   - An HTTP chaos middleware (chaos.go) for the cdn chunk server: injected
+//     5xx responses, slow first bytes, mid-body stalls and connection resets,
+//     again behind a seeded RNG.
+//
+// Both halves are pure configuration plus small deterministic state machines;
+// the consuming layers (sim.FaultyLink, netmodel.Conn, cdn middleware
+// wiring) decide where in their pipelines the faults apply.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// GEConfig parameterizes a Gilbert-Elliott two-state loss chain. The chain
+// sits in a Good or Bad state; each step (one packet, or one TCP segment in
+// the analytic model) may lose the unit with the state's loss probability,
+// then transitions states. The stationary bad-state occupancy is
+// PGoodToBad/(PGoodToBad+PBadToGood) and the mean burst length in steps is
+// 1/PBadToGood.
+type GEConfig struct {
+	// PGoodToBad is the per-step probability of entering the bad state.
+	PGoodToBad float64
+	// PBadToGood is the per-step probability of leaving the bad state.
+	PBadToGood float64
+	// LossGood is the loss probability while in the good state (often 0).
+	LossGood float64
+	// LossBad is the loss probability while in the bad state.
+	LossBad float64
+}
+
+// Enabled reports whether the chain can ever lose anything.
+func (c GEConfig) Enabled() bool {
+	return c.LossBad > 0 || c.LossGood > 0
+}
+
+func (c GEConfig) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PGoodToBad", c.PGoodToBad}, {"PBadToGood", c.PBadToGood},
+		{"LossGood", c.LossGood}, {"LossBad", c.LossBad},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s = %g out of [0, 1]", p.name, p.v)
+		}
+	}
+	if c.Enabled() && c.PGoodToBad > 0 && c.PBadToGood == 0 {
+		return fmt.Errorf("fault: PBadToGood = 0 would trap the chain in the bad state")
+	}
+	return nil
+}
+
+// GilbertElliott is a running instance of the chain. It is not safe for
+// concurrent use; each connection or link owns its own instance so fault
+// sequences stay deterministic per flow.
+type GilbertElliott struct {
+	cfg GEConfig
+	rng *rand.Rand
+	bad bool
+}
+
+// NewGilbertElliott builds a chain starting in the good state. rng must not
+// be nil when the chain is enabled.
+func NewGilbertElliott(cfg GEConfig, rng *rand.Rand) (*GilbertElliott, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Enabled() && rng == nil {
+		return nil, fmt.Errorf("fault: Gilbert-Elliott chain needs an rng")
+	}
+	return &GilbertElliott{cfg: cfg, rng: rng}, nil
+}
+
+// Bad reports whether the chain is currently in the bad state.
+func (g *GilbertElliott) Bad() bool { return g != nil && g.bad }
+
+// Lose advances the chain one step and reports whether that step's unit is
+// lost. A nil chain never loses.
+func (g *GilbertElliott) Lose() bool {
+	if g == nil || !g.cfg.Enabled() {
+		return false
+	}
+	p := g.cfg.LossGood
+	if g.bad {
+		p = g.cfg.LossBad
+	}
+	lost := p > 0 && g.rng.Float64() < p
+	if g.bad {
+		if g.cfg.PBadToGood > 0 && g.rng.Float64() < g.cfg.PBadToGood {
+			g.bad = false
+		}
+	} else if g.cfg.PGoodToBad > 0 && g.rng.Float64() < g.cfg.PGoodToBad {
+		g.bad = true
+	}
+	return lost
+}
+
+// LossRun advances the chain n steps and reports how many units were lost
+// and in how many distinct bursts (maximal runs of consecutive losses). The
+// burst count is what loss-recovery cost models care about: one burst costs
+// roughly one recovery round regardless of its length.
+func (g *GilbertElliott) LossRun(n int64) (lost, bursts int64) {
+	inBurst := false
+	for i := int64(0); i < n; i++ {
+		if g.Lose() {
+			lost++
+			if !inBurst {
+				bursts++
+				inBurst = true
+			}
+		} else {
+			inBurst = false
+		}
+	}
+	return lost, bursts
+}
+
+// Phase is one scripted interval of a Timeline: between Start and
+// Start+Duration the path's capacity is multiplied by Multiplier. A
+// multiplier of 0 is a blackout (nothing gets through); 0 < m < 1 is a step
+// bandwidth drop; values above 1 are rejected (fault injection only takes
+// capacity away).
+type Phase struct {
+	Start      time.Duration
+	Duration   time.Duration
+	Multiplier float64
+}
+
+// End reports when the phase stops applying.
+func (p Phase) End() time.Duration { return p.Start + p.Duration }
+
+// Timeline is a scripted sequence of capacity phases. Outside every phase
+// the multiplier is 1 (the path at its nominal capacity). Timelines are
+// immutable after construction and safe for concurrent readers.
+type Timeline struct {
+	phases []Phase
+}
+
+// NewTimeline validates and sorts the phases. Overlapping phases are
+// rejected: a timeline is a script, and an ambiguous script would make
+// "reproducible scenario" a lie.
+func NewTimeline(phases ...Phase) (*Timeline, error) {
+	ps := make([]Phase, len(phases))
+	copy(ps, phases)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Start < ps[j].Start })
+	for i, p := range ps {
+		if p.Start < 0 {
+			return nil, fmt.Errorf("fault: phase %d starts before time zero", i)
+		}
+		if p.Duration <= 0 {
+			return nil, fmt.Errorf("fault: phase %d needs a positive duration", i)
+		}
+		if p.Multiplier < 0 || p.Multiplier > 1 {
+			return nil, fmt.Errorf("fault: phase %d multiplier %g out of [0, 1]", i, p.Multiplier)
+		}
+		if i > 0 && p.Start < ps[i-1].End() {
+			return nil, fmt.Errorf("fault: phase %d overlaps phase %d", i, i-1)
+		}
+	}
+	return &Timeline{phases: ps}, nil
+}
+
+// MustTimeline is NewTimeline for static scenario tables, panicking on
+// invalid phases (a programming error in the table, not runtime input).
+func MustTimeline(phases ...Phase) *Timeline {
+	t, err := NewTimeline(phases...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Phases returns a copy of the script, sorted by start time.
+func (t *Timeline) Phases() []Phase {
+	if t == nil {
+		return nil
+	}
+	out := make([]Phase, len(t.phases))
+	copy(out, t.phases)
+	return out
+}
+
+// Multiplier reports the capacity multiplier at time at: 1 outside every
+// phase. A nil timeline always reports 1.
+func (t *Timeline) Multiplier(at time.Duration) float64 {
+	if t == nil {
+		return 1
+	}
+	// Phases are sorted and non-overlapping; find the last phase starting
+	// at or before at.
+	i := sort.Search(len(t.phases), func(i int) bool { return t.phases[i].Start > at })
+	if i == 0 {
+		return 1
+	}
+	if p := t.phases[i-1]; at < p.End() {
+		return p.Multiplier
+	}
+	return 1
+}
+
+// NextRecovery reports the earliest time ≥ at when the multiplier becomes
+// nonzero — when a blackout covering at ends. If at is not inside a
+// blackout, it returns at unchanged. Back-to-back blackout phases are
+// traversed.
+func (t *Timeline) NextRecovery(at time.Duration) time.Duration {
+	if t == nil {
+		return at
+	}
+	for t.Multiplier(at) == 0 {
+		i := sort.Search(len(t.phases), func(i int) bool { return t.phases[i].Start > at })
+		// Multiplier(at) == 0 implies phases[i-1] covers at.
+		at = t.phases[i-1].End()
+	}
+	return at
+}
+
+// Profile is the path-fault half of a scenario: a burst-loss chain plus a
+// capacity timeline. A Profile is pure configuration — consuming layers
+// instantiate per-flow chain state from it with their own seeded RNGs — so
+// one Profile is safely shared across a whole simulated population.
+type Profile struct {
+	// Loss is the burst-loss chain; the zero value disables it.
+	Loss GEConfig
+	// Timeline scripts blackouts and bandwidth steps; nil disables it.
+	Timeline *Timeline
+}
+
+// Enabled reports whether the profile injects anything at all.
+func (p *Profile) Enabled() bool {
+	return p != nil && (p.Loss.Enabled() || (p.Timeline != nil && len(p.Timeline.phases) > 0))
+}
+
+// Validate checks the profile's chain parameters.
+func (p *Profile) Validate() error {
+	if p == nil {
+		return nil
+	}
+	return p.Loss.validate()
+}

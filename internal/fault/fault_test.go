@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestGilbertElliottDeterminism(t *testing.T) {
+	// Identical seeds must produce identical loss sequences — the property
+	// every "flaky path" scenario leans on.
+	cfg := GEConfig{PGoodToBad: 0.01, PBadToGood: 0.3, LossBad: 0.5}
+	run := func(seed int64) []bool {
+		ge, err := NewGilbertElliott(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 5000)
+		for i := range out {
+			out[i] = ge.Lose()
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("loss sequences diverge at step %d under the same seed", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 5000-step loss sequences")
+	}
+}
+
+func TestGilbertElliottStationaryLoss(t *testing.T) {
+	// Long-run loss rate ≈ badOccupancy × LossBad (LossGood = 0).
+	cfg := GEConfig{PGoodToBad: 0.02, PBadToGood: 0.2, LossBad: 0.4}
+	ge, err := NewGilbertElliott(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2_000_000
+	lost, bursts := ge.LossRun(n)
+	want := cfg.PGoodToBad / (cfg.PGoodToBad + cfg.PBadToGood) * cfg.LossBad
+	got := float64(lost) / n
+	if math.Abs(got-want) > 0.2*want {
+		t.Errorf("long-run loss rate %.4f, want ≈ %.4f", got, want)
+	}
+	if bursts == 0 || bursts > lost {
+		t.Errorf("bursts = %d with %d losses", bursts, lost)
+	}
+	// Losses must be burstier than i.i.d.: mean burst length > 1 by a margin.
+	if meanBurst := float64(lost) / float64(bursts); meanBurst < 1.2 {
+		t.Errorf("mean burst length %.2f; Gilbert-Elliott should cluster losses", meanBurst)
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	if _, err := NewGilbertElliott(GEConfig{LossBad: 1.5}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+	if _, err := NewGilbertElliott(GEConfig{PGoodToBad: 0.1, LossBad: 0.5}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("absorbing bad state accepted")
+	}
+	if _, err := NewGilbertElliott(GEConfig{LossBad: 0.5, PBadToGood: 0.1}, nil); err == nil {
+		t.Error("enabled chain without rng accepted")
+	}
+	// A nil chain and a disabled chain never lose.
+	var nilGE *GilbertElliott
+	if nilGE.Lose() || nilGE.Bad() {
+		t.Error("nil chain lost a unit")
+	}
+	off, err := NewGilbertElliott(GEConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Lose() {
+		t.Error("disabled chain lost a unit")
+	}
+}
+
+func TestTimelineMultiplier(t *testing.T) {
+	tl, err := NewTimeline(
+		Phase{Start: 10 * time.Second, Duration: 5 * time.Second, Multiplier: 0},
+		Phase{Start: 30 * time.Second, Duration: 10 * time.Second, Multiplier: 0.25},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 1}, {9 * time.Second, 1},
+		{10 * time.Second, 0}, {14 * time.Second, 0},
+		{15 * time.Second, 1}, {29 * time.Second, 1},
+		{30 * time.Second, 0.25}, {39 * time.Second, 0.25},
+		{40 * time.Second, 1}, {time.Hour, 1},
+	}
+	for _, c := range cases {
+		if got := tl.Multiplier(c.at); got != c.want {
+			t.Errorf("Multiplier(%v) = %g, want %g", c.at, got, c.want)
+		}
+	}
+	var nilTL *Timeline
+	if nilTL.Multiplier(time.Second) != 1 {
+		t.Error("nil timeline should report multiplier 1")
+	}
+}
+
+func TestTimelineNextRecovery(t *testing.T) {
+	tl := MustTimeline(
+		Phase{Start: 10 * time.Second, Duration: 5 * time.Second, Multiplier: 0},
+		// Back-to-back blackout: recovery must traverse both.
+		Phase{Start: 15 * time.Second, Duration: 5 * time.Second, Multiplier: 0},
+		Phase{Start: 40 * time.Second, Duration: 5 * time.Second, Multiplier: 0.5},
+	)
+	if got := tl.NextRecovery(12 * time.Second); got != 20*time.Second {
+		t.Errorf("NextRecovery(12s) = %v, want 20s", got)
+	}
+	// Outside a blackout (including inside a mere bandwidth step) time is
+	// unchanged.
+	for _, at := range []time.Duration{0, 25 * time.Second, 42 * time.Second} {
+		if got := tl.NextRecovery(at); got != at {
+			t.Errorf("NextRecovery(%v) = %v, want unchanged", at, got)
+		}
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	if _, err := NewTimeline(
+		Phase{Start: 0, Duration: 10 * time.Second, Multiplier: 0},
+		Phase{Start: 5 * time.Second, Duration: 2 * time.Second, Multiplier: 0.5},
+	); err == nil {
+		t.Error("overlapping phases accepted")
+	}
+	if _, err := NewTimeline(Phase{Start: -time.Second, Duration: time.Second, Multiplier: 0}); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := NewTimeline(Phase{Start: 0, Duration: 0, Multiplier: 0}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := NewTimeline(Phase{Start: 0, Duration: time.Second, Multiplier: 2}); err == nil {
+		t.Error("multiplier above 1 accepted")
+	}
+}
+
+func TestScenarioPresets(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		scn, err := LookupScenario(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if scn.Path != nil {
+			if err := scn.Path.Validate(); err != nil {
+				t.Errorf("%s: invalid path profile: %v", name, err)
+			}
+		}
+		if err := scn.Chaos.validate(); err != nil {
+			t.Errorf("%s: invalid chaos config: %v", name, err)
+		}
+		if scn.Path == nil && !scn.Chaos.Enabled() {
+			t.Errorf("%s: scenario injects nothing", name)
+		}
+	}
+	if _, err := LookupScenario("no-such-scenario"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	off, err := LookupScenario("")
+	if err != nil || off.Path.Enabled() || off.Chaos.Enabled() {
+		t.Errorf("empty scenario name should resolve to an inert scenario (err %v)", err)
+	}
+}

@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Scenario is a named, reproducible hostile-network preset with both halves
+// of the fault model: path faults for the sim/netmodel substrates and HTTP
+// chaos for the cdn server. Either half may be absent.
+type Scenario struct {
+	Name        string
+	Description string
+	// Path is the sim/netmodel fault profile; nil when the scenario is
+	// CDN-only.
+	Path *Profile
+	// Chaos is the HTTP chaos config (Seed left 0; callers stamp their run
+	// seed in). Zero when the scenario is path-only.
+	Chaos ChaosConfig
+}
+
+// scenarios is the preset table. Magnitudes are chosen to sit far from the
+// resilient client's default thresholds (stalls much longer than the stall
+// watchdog, slow starts much shorter than the TTFB deadline) so the
+// recovery behaviour — and therefore every retry/resume/downgrade count —
+// is deterministic for a fixed seed.
+var scenarios = map[string]Scenario{
+	"burst-loss": {
+		Name:        "burst-loss",
+		Description: "Gilbert-Elliott burst loss on the path; 5xx bursts and mid-body resets at the CDN",
+		Path: &Profile{
+			Loss: GEConfig{PGoodToBad: 0.003, PBadToGood: 0.2, LossBad: 0.3},
+		},
+		Chaos: ChaosConfig{
+			ErrorProb:       0.12,
+			ResetProb:       0.10,
+			ResetAfterBytes: 24 * 1024,
+		},
+	},
+	"blackout": {
+		Name:        "blackout",
+		Description: "timed link blackouts (3 s at t=20 s, 5 s at t=60 s); CDN unreachable during them",
+		Path: &Profile{
+			Timeline: MustTimeline(
+				Phase{Start: 20 * time.Second, Duration: 3 * time.Second, Multiplier: 0},
+				Phase{Start: 60 * time.Second, Duration: 5 * time.Second, Multiplier: 0},
+			),
+		},
+		Chaos: ChaosConfig{
+			Timeline: MustTimeline(
+				Phase{Start: 20 * time.Second, Duration: 3 * time.Second, Multiplier: 0},
+				Phase{Start: 60 * time.Second, Duration: 5 * time.Second, Multiplier: 0},
+			),
+		},
+	},
+	"bw-drop": {
+		Name:        "bw-drop",
+		Description: "step bandwidth drops (30% of capacity between t=30 s and t=60 s); slow first bytes at the CDN",
+		Path: &Profile{
+			Timeline: MustTimeline(
+				Phase{Start: 30 * time.Second, Duration: 30 * time.Second, Multiplier: 0.3},
+			),
+		},
+		Chaos: ChaosConfig{
+			SlowStartProb:  0.25,
+			SlowStartDelay: 150 * time.Millisecond,
+		},
+	},
+	"flaky-cdn": {
+		Name:        "flaky-cdn",
+		Description: "CDN-only chaos: 5xx, slow first bytes, mid-body stalls and connection resets",
+		Chaos: ChaosConfig{
+			ErrorProb:       0.15,
+			ResetProb:       0.10,
+			ResetAfterBytes: 24 * 1024,
+			StallProb:       0.08,
+			StallAfterBytes: 24 * 1024,
+			StallDuration:   2 * time.Second,
+			SlowStartProb:   0.10,
+			SlowStartDelay:  150 * time.Millisecond,
+		},
+	},
+	"hostile": {
+		Name:        "hostile",
+		Description: "everything at once: burst loss, a mid-session blackout, a bandwidth step, and a flaky CDN",
+		Path: &Profile{
+			Loss: GEConfig{PGoodToBad: 0.002, PBadToGood: 0.25, LossBad: 0.25},
+			Timeline: MustTimeline(
+				Phase{Start: 25 * time.Second, Duration: 3 * time.Second, Multiplier: 0},
+				Phase{Start: 50 * time.Second, Duration: 20 * time.Second, Multiplier: 0.4},
+			),
+		},
+		Chaos: ChaosConfig{
+			ErrorProb:       0.10,
+			ResetProb:       0.08,
+			ResetAfterBytes: 24 * 1024,
+			StallProb:       0.05,
+			StallAfterBytes: 24 * 1024,
+			StallDuration:   2 * time.Second,
+			SlowStartProb:   0.08,
+			SlowStartDelay:  150 * time.Millisecond,
+		},
+	},
+}
+
+// LookupScenario resolves a preset by name ("off" and "" resolve to the
+// empty scenario).
+func LookupScenario(name string) (Scenario, error) {
+	if name == "" || name == "off" {
+		return Scenario{Name: "off"}, nil
+	}
+	s, ok := scenarios[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("fault: unknown chaos scenario %q (have %s)", name, strings.Join(ScenarioNames(), ", "))
+	}
+	return s, nil
+}
+
+// ScenarioNames lists the presets in sorted order.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/abr"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/player"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -30,6 +31,9 @@ type Topology struct {
 	Class *sim.Classifier
 	Rate  units.BitsPerSecond
 	RTT   time.Duration
+	// Faulty wraps Fwd when the topology was built with a fault profile;
+	// nil on clean topologies. Connections route through it automatically.
+	Faulty *sim.FaultyLink
 }
 
 // Config parameterizes the lab network; zero values take the paper's §6
@@ -38,6 +42,12 @@ type Config struct {
 	Rate      units.BitsPerSecond // default 40 Mbps
 	RTT       time.Duration       // default 5 ms
 	QueueBDPs float64             // queue size in BDPs; default 4
+	// Faults, when set, injects the profile on the bottleneck: burst loss
+	// and blackout drops at the link entrance, step bandwidth drops on its
+	// serialization rate.
+	Faults *fault.Profile
+	// FaultSeed seeds the burst-loss chain; default 1.
+	FaultSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -64,7 +74,28 @@ func NewTopology(cfg Config) *Topology {
 		Delay:      cfg.RTT / 2,
 		QueueLimit: units.Bytes(float64(bdp) * cfg.QueueBDPs),
 	}, class)
-	return &Topology{S: s, Fwd: fwd, Class: class, Rate: cfg.Rate, RTT: cfg.RTT}
+	topo := &Topology{S: s, Fwd: fwd, Class: class, Rate: cfg.Rate, RTT: cfg.RTT}
+	if cfg.Faults.Enabled() {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		faulty, err := sim.NewFaultyLink(fwd, cfg.Faults, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			panic("lab: " + err.Error())
+		}
+		topo.Faulty = faulty
+	}
+	return topo
+}
+
+// bottleneck is the sender every flow transmits into: the faulty wrapper
+// when one is installed, the raw link otherwise.
+func (t *Topology) bottleneck() sim.Sender {
+	if t.Faulty != nil {
+		return t.Faulty
+	}
+	return t.Fwd
 }
 
 // RevCfg is the per-flow reverse path: fast and uncongested.
@@ -74,7 +105,7 @@ func (t *Topology) RevCfg() sim.LinkConfig {
 
 // Conn builds a TCP connection through the bottleneck for flow id.
 func (t *Topology) Conn(id sim.FlowID, cfg tcp.Config) *tcp.Conn {
-	return tcp.NewConn(t.S, id, t.Fwd, t.Class, t.RevCfg(), cfg)
+	return tcp.NewConn(t.S, id, t.bottleneck(), t.Class, t.RevCfg(), cfg)
 }
 
 // VideoSession wires a player over a fresh connection.
@@ -115,12 +146,23 @@ type SingleFlowResult struct {
 	Throughput trace.Series // binned wire throughput, Mbps
 	RTT        trace.Series // SRTT samples, ms
 	Retransmit float64      // session retransmit fraction
+
+	// BurstDrops/BlackoutDrops report injected fault drops when the
+	// topology carried a fault profile (0 otherwise).
+	BurstDrops    int64
+	BlackoutDrops int64
 }
 
 // SingleFlow runs one video session alone on the lab link, tracing
 // throughput in 250 ms bins and sampling SRTT every 100 ms.
 func SingleFlow(ctrl *core.Controller, chunks int, seed int64) SingleFlowResult {
-	topo := NewTopology(Config{})
+	return SingleFlowOn(Config{}, ctrl, chunks, seed)
+}
+
+// SingleFlowOn is SingleFlow on an explicit lab config, which is how the
+// flaky-path scenarios run: pass a Config with a fault profile.
+func SingleFlowOn(cfg Config, ctrl *core.Controller, chunks int, seed int64) SingleFlowResult {
+	topo := NewTopology(cfg)
 	binner := trace.NewThroughputBinner(250 * time.Millisecond)
 	p, conn := topo.VideoSession(1, ctrl, chunks, seed, func(ev player.ChunkEvent) {
 		binner.AddInterval(ev.Start, ev.End, ev.Size)
@@ -140,12 +182,17 @@ func SingleFlow(ctrl *core.Controller, chunks int, seed int64) SingleFlowResult 
 	topo.S.Schedule(100*time.Millisecond, sampleRTT)
 	topo.S.RunUntil(time.Duration(chunks) * 8 * time.Second)
 
-	return SingleFlowResult{
+	res := SingleFlowResult{
 		QoE:        p.QoE(),
 		Throughput: binner.Series("throughput"),
 		RTT:        rttSeries,
 		Retransmit: conn.Stats.RetransmitFraction(),
 	}
+	if topo.Faulty != nil {
+		res.BurstDrops = topo.Faulty.BurstDrops
+		res.BlackoutDrops = topo.Faulty.BlackoutDrops
+	}
+	return res
 }
 
 // --- Fig 8 neighbors -------------------------------------------------------

@@ -1,0 +1,109 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/units"
+)
+
+func faultPath(profile *fault.Profile) Path {
+	return Path{
+		Capacity: 50 * units.Mbps,
+		BaseRTT:  20 * time.Millisecond,
+		Faults:   profile,
+	}
+}
+
+func TestDownloadAtBlackoutStalls(t *testing.T) {
+	profile := &fault.Profile{Timeline: fault.MustTimeline(
+		fault.Phase{Start: 10 * time.Second, Duration: 3 * time.Second, Multiplier: 0},
+	)}
+	clean := NewConn(faultPath(nil), rand.New(rand.NewSource(5)))
+	faulty := NewConn(faultPath(profile), rand.New(rand.NewSource(5)))
+	clean.Connect()
+	faulty.Connect()
+
+	// A download landing 1 s into the blackout waits out the remaining 2 s.
+	cres := clean.DownloadAt(11*time.Second, units.MB, 0)
+	fres := faulty.DownloadAt(11*time.Second, units.MB, 0)
+	if fres.Stalled != 2*time.Second {
+		t.Errorf("Stalled = %v, want the 2s left of the blackout", fres.Stalled)
+	}
+	if fres.FirstByte != cres.FirstByte+2*time.Second {
+		t.Errorf("FirstByte %v should be the clean path's %v plus the stall", fres.FirstByte, cres.FirstByte)
+	}
+	if fres.Duration != cres.Duration+2*time.Second {
+		t.Errorf("Duration %v should be the clean path's %v plus the stall", fres.Duration, cres.Duration)
+	}
+	// Outside the blackout the faulty path behaves exactly like the clean one.
+	cres2 := clean.DownloadAt(20*time.Second, units.MB, 0)
+	fres2 := faulty.DownloadAt(20*time.Second, units.MB, 0)
+	if fres2.Stalled != 0 || fres2.Duration != cres2.Duration {
+		t.Errorf("outside the blackout: stalled %v, duration %v vs clean %v",
+			fres2.Stalled, fres2.Duration, cres2.Duration)
+	}
+}
+
+func TestDownloadAtBandwidthStepSlowsTransfer(t *testing.T) {
+	profile := &fault.Profile{Timeline: fault.MustTimeline(
+		fault.Phase{Start: 30 * time.Second, Duration: 30 * time.Second, Multiplier: 0.2},
+	)}
+	conn := NewConn(faultPath(profile), rand.New(rand.NewSource(9)))
+	conn.Connect()
+	before := conn.DownloadAt(5*time.Second, 2*units.MB, 0)
+	during := conn.DownloadAt(40*time.Second, 2*units.MB, 0)
+	if during.Duration < 3*before.Duration {
+		t.Errorf("a 5x capacity cut should slow the transfer well past 3x: %v vs %v",
+			during.Duration, before.Duration)
+	}
+	if during.Stalled != 0 {
+		t.Errorf("a bandwidth step is not a blackout; Stalled = %v", during.Stalled)
+	}
+}
+
+func TestDownloadBurstLossCostsRetransmits(t *testing.T) {
+	profile := &fault.Profile{
+		Loss: fault.GEConfig{PGoodToBad: 0.02, PBadToGood: 0.2, LossBad: 0.5},
+	}
+	run := func(seed int64, p *fault.Profile) Result {
+		conn := NewConn(faultPath(p), rand.New(rand.NewSource(seed)))
+		conn.Connect()
+		return conn.Download(4*units.MB, 0)
+	}
+	clean := run(3, nil)
+	faulty := run(3, profile)
+	if faulty.RetxBytes <= clean.RetxBytes {
+		t.Errorf("burst loss added no retransmissions: %v vs clean %v",
+			faulty.RetxBytes, clean.RetxBytes)
+	}
+	if faulty.Duration <= clean.Duration {
+		t.Errorf("burst loss added no recovery time: %v vs clean %v",
+			faulty.Duration, clean.Duration)
+	}
+	// Determinism: the same seed reproduces the same faulty result.
+	again := run(3, profile)
+	if again != faulty {
+		t.Errorf("faulty download not reproducible under a fixed seed:\n%+v\n%+v", again, faulty)
+	}
+}
+
+func TestDownloadAdvancesConnectionClock(t *testing.T) {
+	// Download (no explicit start) must chain on the connection clock so
+	// back-to-back chunks see a monotonically advancing fault timeline.
+	profile := &fault.Profile{Timeline: fault.MustTimeline(
+		fault.Phase{Start: 0, Duration: time.Second, Multiplier: 0},
+	)}
+	conn := NewConn(faultPath(profile), rand.New(rand.NewSource(2)))
+	conn.Connect()
+	first := conn.Download(units.MB, 0)
+	if first.Stalled != time.Second {
+		t.Fatalf("first download at t=0 should wait out the 1s blackout, stalled %v", first.Stalled)
+	}
+	second := conn.Download(units.MB, 0)
+	if second.Stalled != 0 {
+		t.Errorf("second download starts after the blackout; stalled %v", second.Stalled)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/units"
 )
 
@@ -68,6 +69,12 @@ type Path struct {
 	// (self-clocking and burst limits absorb the rest). Paced downloads
 	// spread the flight and avoid it entirely. Default 0 (off).
 	OnsetBurstLoss float64
+	// Faults, when set, injects scripted pathologies on top of the analytic
+	// model: a Gilbert-Elliott burst-loss chain (instantiated per connection
+	// from the connection's RNG, replacing the i.i.d.-only BaseLossRate
+	// picture) and a capacity timeline whose blackouts stall downloads and
+	// whose step drops scale available bandwidth. Default nil (off).
+	Faults *fault.Profile
 }
 
 func (p Path) withDefaults() Path {
@@ -94,14 +101,17 @@ func (p Path) withDefaults() Path {
 
 // Result summarizes one chunk download.
 type Result struct {
-	Duration   time.Duration // request to last byte
-	FirstByte  time.Duration // request to first byte
+	Duration   time.Duration // request to last byte (includes Stalled)
+	FirstByte  time.Duration // request to first byte (includes Stalled)
 	Bytes      units.Bytes   // payload bytes (the chunk size)
 	SentBytes  units.Bytes   // payload + retransmissions
 	RetxBytes  units.Bytes   // retransmitted bytes
 	MeanRTT    time.Duration // mean RTT experienced during the download
 	Packets    int64         // data packets carried
 	Throughput units.BitsPerSecond
+	// Stalled is time spent waiting out a scripted blackout before the
+	// transfer could make progress (0 without a fault timeline).
+	Stalled time.Duration
 }
 
 // Conn is a persistent connection over a Path, carrying congestion state
@@ -110,11 +120,13 @@ type Result struct {
 type Conn struct {
 	path Path
 	rng  *rand.Rand
+	ge   *fault.GilbertElliott // per-connection burst-loss chain, nil when off
 
 	cwndSegs    float64 // congestion window, segments
 	ssthresh    float64 // slow-start threshold, segments
 	established bool
-	chunks      int64 // downloads completed on this connection
+	chunks      int64         // downloads completed on this connection
+	clock       time.Duration // connection time, advanced by Download
 }
 
 // NewConn returns a connection over p using rng for stochastic components.
@@ -126,7 +138,15 @@ func NewConn(p Path, rng *rand.Rand) *Conn {
 	if rng == nil {
 		panic("netmodel: rng must not be nil")
 	}
-	return &Conn{path: p.withDefaults(), rng: rng, cwndSegs: 10, ssthresh: 1 << 30}
+	c := &Conn{path: p.withDefaults(), rng: rng, cwndSegs: 10, ssthresh: 1 << 30}
+	if p.Faults != nil {
+		ge, err := fault.NewGilbertElliott(p.Faults.Loss, rng)
+		if err != nil {
+			panic("netmodel: " + err.Error())
+		}
+		c.ge = ge
+	}
+	return c
 }
 
 // baseRTT is the flow's uncongested RTT including ambient cross-traffic
@@ -149,8 +169,21 @@ func (c *Conn) Connect() time.Duration {
 func (c *Conn) Cwnd() float64 { return c.cwndSegs }
 
 // Download models fetching size bytes with an optional pace-rate cap
-// (0 = unpaced). It advances the connection's congestion state.
+// (0 = unpaced). It advances the connection's congestion state. Scripted
+// faults are applied against the connection's own clock (the sum of prior
+// download durations); callers that track session time — which includes off
+// periods — should use DownloadAt.
 func (c *Conn) Download(size units.Bytes, pace units.BitsPerSecond) Result {
+	return c.DownloadAt(c.clock, size, pace)
+}
+
+// DownloadAt models fetching size bytes starting at session time start, with
+// an optional pace-rate cap (0 = unpaced). It advances the connection's
+// congestion state. The start time only matters when the path carries a
+// fault timeline: a request issued during a blackout stalls until the
+// blackout ends (reported in Result.Stalled), and a step bandwidth drop
+// covering start scales the available bandwidth.
+func (c *Conn) DownloadAt(start time.Duration, size units.Bytes, pace units.BitsPerSecond) Result {
 	if size <= 0 {
 		panic("netmodel: download size must be positive")
 	}
@@ -162,10 +195,57 @@ func (c *Conn) Download(size units.Bytes, pace units.BitsPerSecond) Result {
 		avail = units.BitsPerSecond(float64(avail) * p.DropoutFactor)
 	}
 
-	if pace > 0 && float64(pace) < 0.95*float64(avail) {
-		return c.downloadSmooth(size, pace, avail)
+	// Scripted capacity faults: wait out a blackout, then scale by the step
+	// multiplier in effect once the transfer can start.
+	var stall time.Duration
+	if p.Faults != nil && p.Faults.Timeline != nil {
+		tl := p.Faults.Timeline
+		effective := start
+		if tl.Multiplier(effective) == 0 {
+			recovery := tl.NextRecovery(effective)
+			stall = recovery - effective
+			effective = recovery
+		}
+		if m := tl.Multiplier(effective); m > 0 && m < 1 {
+			avail = units.BitsPerSecond(float64(avail) * m)
+		}
 	}
-	return c.downloadCongested(size, avail)
+
+	var res Result
+	if pace > 0 && float64(pace) < 0.95*float64(avail) {
+		res = c.downloadSmooth(size, pace, avail)
+	} else {
+		res = c.downloadCongested(size, avail)
+	}
+
+	// Burst loss from the Gilbert-Elliott chain: each lost segment is
+	// retransmitted, and each distinct burst costs roughly one recovery
+	// round trip on top of the retransmitted bytes themselves.
+	if c.ge != nil && p.Faults.Loss.Enabled() {
+		segs := int64((size + p.MSS - 1) / p.MSS)
+		lost, bursts := c.ge.LossRun(segs)
+		if lost > 0 {
+			retx := units.Bytes(lost) * p.MSS
+			res.RetxBytes += retx
+			res.SentBytes += retx
+			res.Packets += lost
+			res.Duration += secondsToDuration(float64(retx)*8/float64(avail)) +
+				time.Duration(bursts)*c.baseRTT()
+		}
+	}
+
+	if stall > 0 {
+		res.Stalled = stall
+		res.FirstByte += stall
+		res.Duration += stall
+	}
+	transfer := res.Duration - res.FirstByte
+	if transfer <= 0 {
+		transfer = time.Nanosecond
+	}
+	res.Throughput = units.Rate(size, transfer)
+	c.clock = start + res.Duration
+	return res
 }
 
 // downloadSmooth is the paced regime: rate-limited below capacity, empty

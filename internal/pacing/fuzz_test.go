@@ -1,0 +1,68 @@
+package pacing
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// FuzzFromHeader throws arbitrary header contents at the pace-rate parser:
+// it must never panic, never return a negative rate, and must round-trip
+// every rate SetHeader can produce.
+func FuzzFromHeader(f *testing.F) {
+	f.Add("8000000", "")
+	f.Add("", "rtp=8000")
+	f.Add("notanumber", "rtp=notanumber")
+	f.Add("-5", "rtp=-5")
+	f.Add("9223372036854775807", "rtp=9223372036854775807")
+	f.Add("0", "bl=2000,rtp=1234,tb=16800")
+	f.Add("1e9", " rtp = 12 ,,rtp=34")
+	f.Add("\x00", "rtp=\xff")
+	f.Fuzz(func(t *testing.T, native, cmcd string) {
+		h := http.Header{}
+		// Header values with invalid bytes can't be set via Set; assign
+		// directly, as a hostile proxy would put them on the wire.
+		h[Header] = []string{native}
+		h[CMCDHeader] = []string{cmcd}
+		rate := FromHeader(h)
+		if rate < 0 {
+			t.Fatalf("FromHeader(%q, %q) = %v; negative rates must parse as NoPacing",
+				native, cmcd, rate)
+		}
+		// Whatever came out must survive a SetHeader/FromHeader round trip
+		// modulo CMCD's kbps granularity.
+		h2 := http.Header{}
+		SetHeader(h2, rate)
+		back := FromHeader(h2)
+		if rate > 0 && back != rate {
+			t.Fatalf("round trip lost the rate: %v -> %v", rate, back)
+		}
+		if rate == 0 && back != NoPacing {
+			t.Fatalf("zero rate should clear the headers, got %v", back)
+		}
+	})
+}
+
+// FuzzPacerDelay drives the token bucket with arbitrary rates, bursts and
+// send sizes: delays must never be negative and the bucket must never grant
+// more than rate allows over the run.
+func FuzzPacerDelay(f *testing.F) {
+	f.Add(int64(8_000_000), int64(6000), int64(1500), uint8(10))
+	f.Add(int64(1), int64(1), int64(1), uint8(3))
+	f.Fuzz(func(t *testing.T, rate, burst, n int64, steps uint8) {
+		if rate <= 0 || burst <= 0 || n <= 0 || n > 1<<20 || rate > 1<<40 || burst > 1<<30 {
+			t.Skip()
+		}
+		p := NewPacer(units.BitsPerSecond(rate), units.Bytes(burst))
+		var now time.Duration
+		for i := uint8(0); i < steps; i++ {
+			d := p.Delay(now, units.Bytes(n))
+			if d < 0 {
+				t.Fatalf("negative delay %v (rate %d, burst %d, n %d)", d, rate, burst, n)
+			}
+			now += d + time.Nanosecond
+		}
+	})
+}

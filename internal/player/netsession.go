@@ -57,7 +57,9 @@ func Run(cfg Config, path netmodel.Path, rng *rand.Rand, onChunk func(ChunkEvent
 		chunk := cfg.Title.ChunkAt(i, dec.Rung)
 
 		start := now
-		res := conn.Download(chunk.Size, dec.PaceRate)
+		// DownloadAt (not Download) so scripted fault timelines on the path
+		// see true session time, including off-period waits and stalls.
+		res := conn.DownloadAt(now, chunk.Size, dec.PaceRate)
 		now += res.Duration
 
 		observe(cfg, est, res.Throughput, playing)

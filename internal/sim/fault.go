@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/units"
+)
+
+// FaultyLink wraps a Link with a fault.Profile: a Gilbert-Elliott burst-loss
+// chain applied per packet, and timeline blackouts during which nothing gets
+// through. Step bandwidth drops from the same timeline are applied to the
+// link's serialization rate via ApplyTimeline (scheduled rate changes), so a
+// wrapped link models the full "flaky path" scenario.
+type FaultyLink struct {
+	link     *Link
+	ge       *fault.GilbertElliott
+	timeline *fault.Timeline
+
+	// BurstDrops counts packets lost by the burst-loss chain; BlackoutDrops
+	// counts packets that arrived during a blackout.
+	BurstDrops    int64
+	BlackoutDrops int64
+}
+
+// NewFaultyLink wraps link with profile's faults. rng drives the loss chain
+// and must not be nil when the profile has loss enabled. ApplyTimeline is
+// installed automatically for the profile's bandwidth steps.
+func NewFaultyLink(link *Link, profile *fault.Profile, rng *rand.Rand) (*FaultyLink, error) {
+	if link == nil {
+		return nil, fmt.Errorf("sim: faulty link needs an inner link")
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	var ge *fault.GilbertElliott
+	var tl *fault.Timeline
+	if profile != nil {
+		var err error
+		ge, err = fault.NewGilbertElliott(profile.Loss, rng)
+		if err != nil {
+			return nil, err
+		}
+		tl = profile.Timeline
+	}
+	ApplyTimeline(link, tl)
+	return &FaultyLink{link: link, ge: ge, timeline: tl}, nil
+}
+
+// Send forwards p to the wrapped link unless a fault claims it. It reports
+// whether the packet entered the link.
+func (l *FaultyLink) Send(p *Packet) bool {
+	now := l.link.sim.now
+	if l.timeline != nil && l.timeline.Multiplier(now) == 0 {
+		l.BlackoutDrops++
+		l.dropMetrics("blackout_drop", p)
+		return false
+	}
+	if l.ge.Lose() {
+		l.BurstDrops++
+		l.dropMetrics("burst_drop", p)
+		return false
+	}
+	return l.link.Send(p)
+}
+
+func (l *FaultyLink) dropMetrics(kind string, p *Packet) {
+	if m := l.link.sim.metrics; m != nil {
+		m.FaultDropPackets.Inc()
+		m.Recorder.RecordAt(l.link.sim.now, kind, flowName(p.Flow), float64(p.Size), 0)
+	}
+}
+
+// Inner exposes the wrapped link for stats readouts.
+func (l *FaultyLink) Inner() *Link { return l.link }
+
+// QueueBytes reports the inner link's queue occupancy.
+func (l *FaultyLink) QueueBytes() units.Bytes { return l.link.QueueBytes() }
+
+// ApplyTimeline schedules the timeline's step bandwidth changes onto the
+// link: at each phase boundary the serialization rate becomes
+// nominal × multiplier. Blackout phases (multiplier 0) are skipped — a link
+// cannot serialize at rate zero; FaultyLink models them by dropping every
+// packet instead. A nil timeline is a no-op.
+func ApplyTimeline(link *Link, tl *fault.Timeline) {
+	if tl == nil {
+		return
+	}
+	nominal := link.rate
+	for _, ph := range tl.Phases() {
+		ph := ph
+		if ph.Multiplier > 0 && ph.Multiplier < 1 {
+			link.sim.At(ph.Start, func() {
+				link.SetRate(units.BitsPerSecond(float64(nominal) * ph.Multiplier))
+			})
+		}
+		if ph.Multiplier < 1 {
+			link.sim.At(ph.End(), func() { link.SetRate(nominal) })
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/units"
+)
+
+func faultyTestLink(t *testing.T, profile *fault.Profile, seed int64, onPacket func(*Packet)) (*Simulator, *FaultyLink) {
+	t.Helper()
+	s := New()
+	inner := NewLink(s, LinkConfig{Rate: 100 * units.Mbps, Delay: time.Millisecond, QueueLimit: 10 * units.MB},
+		HandlerFunc(onPacket))
+	fl, err := NewFaultyLink(inner, profile, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fl
+}
+
+func TestFaultyLinkBurstLossDeterminism(t *testing.T) {
+	profile := &fault.Profile{Loss: fault.GEConfig{PGoodToBad: 0.01, PBadToGood: 0.2, LossBad: 0.5}}
+	run := func(seed int64) (admitted []bool, drops int64) {
+		_, fl := faultyTestLink(t, profile, seed, nil)
+		admitted = make([]bool, 5000)
+		for i := range admitted {
+			admitted[i] = fl.Send(&Packet{Seq: int64(i), Size: 1500})
+		}
+		return admitted, fl.BurstDrops
+	}
+	a, an := run(3)
+	b, bn := run(3)
+	if an != bn {
+		t.Fatalf("drop counts differ under the same seed: %d vs %d", an, bn)
+	}
+	if an == 0 {
+		t.Fatal("loss chain never fired; test is vacuous")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d fate differs under the same seed", i)
+		}
+	}
+	if _, cn := run(4); cn == an {
+		t.Logf("note: different seed produced the same drop count (%d); sequences may still differ", cn)
+	}
+}
+
+func TestFaultyLinkBlackoutDropsEverything(t *testing.T) {
+	delivered := 0
+	profile := &fault.Profile{Timeline: fault.MustTimeline(
+		fault.Phase{Start: 10 * time.Millisecond, Duration: 20 * time.Millisecond, Multiplier: 0},
+	)}
+	s, fl := faultyTestLink(t, profile, 1, func(*Packet) { delivered++ })
+	// One packet per millisecond for 40 ms: those inside [10ms, 30ms) die.
+	for i := 0; i < 40; i++ {
+		i := i
+		s.At(time.Duration(i)*time.Millisecond, func() {
+			fl.Send(&Packet{Seq: int64(i), Size: 1500})
+		})
+	}
+	s.Run()
+	if fl.BlackoutDrops != 20 {
+		t.Errorf("blackout drops = %d, want the 20 packets inside the phase", fl.BlackoutDrops)
+	}
+	if delivered != 20 {
+		t.Errorf("delivered = %d, want 20", delivered)
+	}
+	if fl.BurstDrops != 0 {
+		t.Errorf("burst drops = %d on a loss-free profile", fl.BurstDrops)
+	}
+}
+
+func TestApplyTimelineStepsLinkRate(t *testing.T) {
+	s := New()
+	link := NewLink(s, LinkConfig{Rate: 40 * units.Mbps, Delay: 0, QueueLimit: 10 * units.MB}, nil)
+	tl := fault.MustTimeline(
+		fault.Phase{Start: 10 * time.Millisecond, Duration: 10 * time.Millisecond, Multiplier: 0.25},
+	)
+	ApplyTimeline(link, tl)
+	var during, after units.BitsPerSecond
+	s.At(15*time.Millisecond, func() { during = link.rate })
+	s.At(25*time.Millisecond, func() { after = link.rate })
+	s.Run()
+	if during != 10*units.Mbps {
+		t.Errorf("rate during the step = %v, want 10 Mbps", during)
+	}
+	if after != 40*units.Mbps {
+		t.Errorf("rate after the step = %v, want the nominal 40 Mbps", after)
+	}
+}
+
+func TestFaultyLinkValidation(t *testing.T) {
+	s := New()
+	inner := NewLink(s, LinkConfig{Rate: units.Mbps}, nil)
+	if _, err := NewFaultyLink(nil, nil, nil); err == nil {
+		t.Error("nil inner link accepted")
+	}
+	if _, err := NewFaultyLink(inner, &fault.Profile{Loss: fault.GEConfig{LossBad: 2}}, nil); err == nil {
+		t.Error("invalid loss config accepted")
+	}
+	if _, err := NewFaultyLink(inner, &fault.Profile{Loss: fault.GEConfig{LossBad: 0.5, PBadToGood: 0.1}}, nil); err == nil {
+		t.Error("enabled loss without an rng accepted")
+	}
+	// A nil profile is a clean passthrough.
+	fl, err := NewFaultyLink(inner, nil, nil)
+	if err != nil {
+		t.Fatalf("nil profile rejected: %v", err)
+	}
+	if !fl.Send(&Packet{Size: 1500}) {
+		t.Error("clean faulty link dropped a packet")
+	}
+}

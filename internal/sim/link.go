@@ -75,6 +75,16 @@ func (l *Link) QueueLimit() units.Bytes { return l.limit }
 // wired after construction.
 func (l *Link) SetDestination(dst Handler) { l.dst = dst }
 
+// SetRate changes the serialization rate, effective from the next packet to
+// start transmitting. Fault timelines use it to script step bandwidth drops.
+// It panics on a non-positive rate, like NewLink.
+func (l *Link) SetRate(rate units.BitsPerSecond) {
+	if rate <= 0 {
+		panic("sim: link rate must be positive")
+	}
+	l.rate = rate
+}
+
 // Send enqueues p for transmission, dropping it if the queue is full.
 // It reports whether the packet was accepted.
 func (l *Link) Send(p *Packet) bool {

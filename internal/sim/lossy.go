@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/units"
@@ -21,15 +22,20 @@ type LossyLink struct {
 }
 
 // NewLossyLink wraps link with loss probability rate per packet, drawn from
-// rng. rate must be in [0, 1) and rng must not be nil when rate > 0.
-func NewLossyLink(link *Link, rate float64, rng *rand.Rand) *LossyLink {
+// rng. rate must be in [0, 1) and rng must not be nil when rate > 0; bad
+// parameters are reported as errors so scenario configs loaded at runtime
+// fail cleanly instead of panicking.
+func NewLossyLink(link *Link, rate float64, rng *rand.Rand) (*LossyLink, error) {
+	if link == nil {
+		return nil, fmt.Errorf("sim: lossy link needs an inner link")
+	}
 	if rate < 0 || rate >= 1 {
-		panic("sim: loss rate must be in [0, 1)")
+		return nil, fmt.Errorf("sim: loss rate %g out of [0, 1)", rate)
 	}
 	if rate > 0 && rng == nil {
-		panic("sim: lossy link needs an rng")
+		return nil, fmt.Errorf("sim: lossy link needs an rng when rate > 0")
 	}
-	return &LossyLink{link: link, rate: rate, rng: rng}
+	return &LossyLink{link: link, rate: rate, rng: rng}, nil
 }
 
 // Send forwards p to the wrapped link unless the random process drops it.

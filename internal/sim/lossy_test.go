@@ -13,7 +13,10 @@ func TestLossyLinkDropsAtConfiguredRate(t *testing.T) {
 	delivered := 0
 	inner := NewLink(s, LinkConfig{Rate: 100 * units.Mbps, Delay: time.Millisecond, QueueLimit: 10 * units.MB},
 		HandlerFunc(func(p *Packet) { delivered++ }))
-	lossy := NewLossyLink(inner, 0.1, rand.New(rand.NewSource(1)))
+	lossy, err := NewLossyLink(inner, 0.1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	const n = 10000
 	sent := 0
@@ -40,7 +43,10 @@ func TestLossyLinkZeroRatePassthrough(t *testing.T) {
 	delivered := 0
 	inner := NewLink(s, LinkConfig{Rate: 10 * units.Mbps, Delay: 0},
 		HandlerFunc(func(p *Packet) { delivered++ }))
-	lossy := NewLossyLink(inner, 0, nil)
+	lossy, err := NewLossyLink(inner, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 100; i++ {
 		lossy.Send(&Packet{Size: 1500})
 	}
@@ -53,18 +59,14 @@ func TestLossyLinkZeroRatePassthrough(t *testing.T) {
 func TestLossyLinkValidation(t *testing.T) {
 	s := New()
 	inner := NewLink(s, LinkConfig{Rate: 1 * units.Mbps}, nil)
-	for name, fn := range map[string]func(){
-		"rate 1":   func() { NewLossyLink(inner, 1, rand.New(rand.NewSource(1))) },
-		"negative": func() { NewLossyLink(inner, -0.1, rand.New(rand.NewSource(1))) },
-		"nil rng":  func() { NewLossyLink(inner, 0.1, nil) },
+	for name, fn := range map[string]func() (*LossyLink, error){
+		"rate 1":   func() (*LossyLink, error) { return NewLossyLink(inner, 1, rand.New(rand.NewSource(1))) },
+		"negative": func() (*LossyLink, error) { return NewLossyLink(inner, -0.1, rand.New(rand.NewSource(1))) },
+		"nil rng":  func() (*LossyLink, error) { return NewLossyLink(inner, 0.1, nil) },
+		"nil link": func() (*LossyLink, error) { return NewLossyLink(nil, 0.1, rand.New(rand.NewSource(1))) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			fn()
-		}()
+		if l, err := fn(); err == nil || l != nil {
+			t.Errorf("%s: expected error, got link=%v err=%v", name, l, err)
+		}
 	}
 }

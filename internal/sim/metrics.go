@@ -24,6 +24,7 @@ type Metrics struct {
 	LinkDroppedBytes     *obs.Counter   // bytes of dropped packets
 	LinkDeliveredPackets *obs.Counter   // packets handed to destinations
 	RandomDropPackets    *obs.Counter   // LossyLink non-congestive drops
+	FaultDropPackets     *obs.Counter   // FaultyLink burst-loss and blackout drops
 	QueueBytes           *obs.Histogram // occupancy sampled at each enqueue
 	PeakQueueBytes       *obs.Gauge     // maximum occupancy seen on any link
 
@@ -54,6 +55,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		LinkDroppedBytes:     r.Counter("sim_link_dropped_bytes"),
 		LinkDeliveredPackets: r.Counter("sim_link_delivered_packets"),
 		RandomDropPackets:    r.Counter("sim_random_dropped_packets"),
+		FaultDropPackets:     r.Counter("sim_fault_dropped_packets"),
 		QueueBytes:           r.Histogram("sim_queue_bytes", obs.ExpBuckets(1500, 2, 16)),
 		PeakQueueBytes:       r.Gauge("sim_peak_queue_bytes"),
 		SimNanos:             r.Counter("sim_time_ns"),

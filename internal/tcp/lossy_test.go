@@ -20,7 +20,10 @@ func lossyNet(rate units.BitsPerSecond, lossRate float64, seed int64) (*sim.Simu
 		Delay:      2500 * time.Microsecond,
 		QueueLimit: 4 * rate.BytesIn(5*time.Millisecond),
 	}, class)
-	lossy := sim.NewLossyLink(inner, lossRate, rand.New(rand.NewSource(seed)))
+	lossy, err := sim.NewLossyLink(inner, lossRate, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		panic(err)
+	}
 	return s, lossy, class
 }
 
