@@ -1,0 +1,116 @@
+package repro
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// This file is the benchmark-regression harness: three suites sized to the
+// event core's layers (bare scheduler, one TCP flow, a reduced-scale
+// Table 2 population run), and an emitter that records them to
+// BENCH_sim.json. CI reruns the emitter and gates merges with
+// cmd/benchcheck against BENCH_baseline.json.
+
+// BenchmarkScheduler measures the bare event loop: schedule-dispatch cycles
+// with a warm event pool. The steady state is allocation-free.
+func BenchmarkScheduler(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	var tick func()
+	count := 0
+	tick = func() {
+		count++
+		if count < b.N {
+			s.Schedule(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.Schedule(0, tick)
+	s.Run()
+}
+
+// singleTCPFlow runs one complete 10 MB transfer over the paper's lab path
+// (40 Mbps bottleneck, 5 ms RTT, 4 BDP drop-tail queue) on simulator s.
+func singleTCPFlow(s *sim.Simulator) {
+	const (
+		rate = 40 * units.Mbps
+		rtt  = 5 * time.Millisecond
+	)
+	class := sim.NewClassifier()
+	bdp := rate.BytesIn(rtt)
+	fwd := sim.NewLink(s, sim.LinkConfig{Rate: rate, Delay: rtt / 2, QueueLimit: 4 * bdp}, class)
+	c := tcp.NewConn(s, 1, fwd, class, sim.LinkConfig{Rate: 1 * units.Gbps, Delay: rtt / 2}, tcp.Config{})
+	c.Fetch(10*units.MB, nil, nil)
+	s.Run()
+}
+
+// BenchmarkSingleTCPFlow measures simulator cost per simulated bulk
+// transfer: every segment and ack crosses the pooled event/packet path.
+func BenchmarkSingleTCPFlow(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		singleTCPFlow(sim.New())
+	}
+}
+
+// measureSimTimeRatio runs the single-flow workload on an instrumented
+// simulator and reads back the obs TimeRatio gauge: simulated seconds
+// advanced per wall-clock second.
+func measureSimTimeRatio() float64 {
+	reg := obs.NewRegistry()
+	s := sim.New()
+	s.SetMetrics(sim.NewMetrics(reg))
+	singleTCPFlow(s)
+	return reg.Gauge("sim_time_ratio").Value()
+}
+
+func toResult(r testing.BenchmarkResult) benchfmt.Result {
+	return benchfmt.Result{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}
+}
+
+// prePR3Baseline is the perf trajectory anchor: the same suites measured on
+// the seed tree immediately before the allocation-free event-core rewrite
+// (PR 3). BenchmarkScheduler/SingleTCPFlow did not exist then; their
+// entries come from the equivalent internal benchmarks
+// (sim.BenchmarkEventLoop, tcp.BenchmarkBulkTransfer).
+var prePR3Baseline = map[string]benchfmt.Result{
+	"Scheduler":          {NsPerOp: 67.7, AllocsPerOp: 1, BytesPerOp: 32},
+	"SingleTCPFlow":      {NsPerOp: 12209399, AllocsPerOp: 69752, BytesPerOp: 3281831},
+	"Table2ProductionAB": {NsPerOp: 320555501, AllocsPerOp: 646820, BytesPerOp: 68948674},
+}
+
+// TestWriteBenchJSON regenerates BENCH_sim.json. Gated behind BENCH_JSON=1
+// because it runs full benchmarks (~10 s); CI runs it and uploads the file
+// as an artifact, and cmd/benchcheck gates allocs/op regressions against
+// BENCH_baseline.json.
+func TestWriteBenchJSON(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 to regenerate BENCH_sim.json")
+	}
+	f := &benchfmt.File{
+		Go:      runtime.Version(),
+		History: map[string]map[string]benchfmt.Result{"pre_pr3": prePR3Baseline},
+		Current: map[string]benchfmt.Result{
+			"Scheduler":          toResult(testing.Benchmark(BenchmarkScheduler)),
+			"SingleTCPFlow":      toResult(testing.Benchmark(BenchmarkSingleTCPFlow)),
+			"Table2ProductionAB": toResult(testing.Benchmark(BenchmarkTable2ProductionAB)),
+		},
+		SimTimeRatio: measureSimTimeRatio(),
+	}
+	if err := f.Write("BENCH_sim.json"); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_sim.json (sim_time_ratio = %.0f sim-s/wall-s)", f.SimTimeRatio)
+}

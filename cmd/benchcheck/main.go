@@ -1,0 +1,75 @@
+// Command benchcheck compares a freshly generated BENCH_sim.json against the
+// checked-in BENCH_baseline.json and exits non-zero if any benchmark's
+// allocs/op regressed by more than 2x. It is the CI gate that keeps the
+// event core allocation-free: ns/op is noisy on shared runners, but
+// allocs/op is deterministic, so a 2x jump always means a real code change
+// (a new escaping closure, a pool bypass) rather than scheduler jitter.
+//
+// Usage: benchcheck [-current BENCH_sim.json] [-baseline BENCH_baseline.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	currentPath := flag.String("current", "BENCH_sim.json", "freshly generated benchmark file")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline file")
+	factor := flag.Float64("factor", 2.0, "allowed allocs/op growth factor over baseline")
+	flag.Parse()
+
+	current, err := benchfmt.Read(*currentPath)
+	if err != nil {
+		fatalf("benchcheck: %v", err)
+	}
+	baseline, err := benchfmt.Read(*baselinePath)
+	if err != nil {
+		fatalf("benchcheck: %v", err)
+	}
+
+	names := make([]string, 0, len(baseline.Current))
+	for name := range baseline.Current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		base := baseline.Current[name]
+		cur, ok := current.Current[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL %s: present in baseline but missing from %s\n", name, *currentPath)
+			failed = true
+			continue
+		}
+		// A zero-alloc baseline can't express a ratio; hold those benchmarks
+		// to an absolute bound instead (a couple of allocs of harness noise).
+		limit := base.AllocsPerOp * *factor
+		if base.AllocsPerOp == 0 {
+			limit = 2
+		}
+		status := "ok  "
+		if cur.AllocsPerOp > limit {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-22s allocs/op %10.0f (baseline %10.0f, limit %10.0f)  ns/op %12.0f (baseline %12.0f)\n",
+			status, name, cur.AllocsPerOp, base.AllocsPerOp, limit, cur.NsPerOp, base.NsPerOp)
+	}
+	if current.SimTimeRatio > 0 {
+		fmt.Printf("     sim_time_ratio %.0f sim-s/wall-s\n", current.SimTimeRatio)
+	}
+	if failed {
+		fatalf("benchcheck: allocs/op regression exceeds %.1fx baseline", *factor)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -146,11 +146,17 @@ func (h HYB) SelectRung(ctx Context) int {
 
 // predictedBufferPositive simulates the buffer over the lookahead at the
 // given rung and discounted throughput, chunk by chunk with real sizes.
+// It iterates Title.SizeAt directly rather than materializing a size slice:
+// this runs once per rung per chunk decision across every simulated session,
+// and was the single largest allocation source in population experiments.
 func predictedBufferPositive(ctx Context, rung, look int, x units.BitsPerSecond) bool {
 	buf := ctx.Buffer
-	sizes := ctx.Title.UpcomingSizes(ctx.ChunkIndex, rung, look)
-	for _, s := range sizes {
-		dl := x.TimeToSend(s)
+	end := ctx.ChunkIndex + look
+	if end > ctx.Title.NumChunks {
+		end = ctx.Title.NumChunks
+	}
+	for i := ctx.ChunkIndex; i < end; i++ {
+		dl := x.TimeToSend(ctx.Title.SizeAt(i, rung))
 		buf -= dl
 		if buf < 0 {
 			return false

@@ -1,10 +1,48 @@
 package abtest
 
 import (
+	"fmt"
+	"hash/fnv"
 	"testing"
 
 	"repro/internal/core"
 )
+
+// goldenABHash is the FNV-1a hash of the fixed-seed A/B population run
+// below, recorded before the allocation-free event-core rewrite (PR 3). It
+// pins byte-identical session records across versions: pooling, scheduler
+// and lookahead optimizations must not move a single bit of any session's
+// QoE. Update only for intentional semantic changes (rerun with
+// -run TestGoldenABTrace -v to print the new value).
+const goldenABHash = "ab825cc6c9dd4eeb"
+
+// TestGoldenABTrace is the cross-version determinism lock for abtest.Run:
+// the full session-record stream of a control-vs-Sammy population at fixed
+// seed must hash to the recorded constant.
+func TestGoldenABTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population experiment")
+	}
+	cfg := Config{
+		Population:       PopulationConfig{Users: 60, Seed: 5},
+		SessionsPerUser:  2,
+		ChunksPerSession: 30,
+	}
+	results := Run(cfg, []Arm{ControlArm(), SammyArm(core.DefaultC0, core.DefaultC1)})
+	h := fnv.New64a()
+	for _, arm := range results {
+		fmt.Fprintf(h, "arm %s\n", arm.Name)
+		for _, s := range arm.Sessions {
+			fmt.Fprintf(h, "%d %v %v\n", s.UserID, s.PreExp, s.QoE)
+		}
+	}
+	got := fmt.Sprintf("%016x", h.Sum64())
+	if got != goldenABHash {
+		t.Errorf("golden A/B trace hash = %s, want %s\n"+
+			"(fixed-seed session records changed: runs are no longer "+
+			"byte-identical across versions)", got, goldenABHash)
+	}
+}
 
 func TestRunDeterministic(t *testing.T) {
 	if testing.Short() {

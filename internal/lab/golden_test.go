@@ -1,0 +1,39 @@
+package lab
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// goldenLabHash is the FNV-1a hash of the fixed-seed lab traces below,
+// recorded before the allocation-free event-core rewrite (PR 3). Any change
+// to event ordering, packet pooling or float arithmetic in the simulator,
+// TCP stack or player shows up here as a hash mismatch. If you change
+// simulation *semantics* on purpose, rerun with -run TestGoldenLabTraces -v
+// and update the constant; performance-only changes must keep it intact.
+const goldenLabHash = "01648e835ab446db"
+
+// TestGoldenLabTraces locks the byte-level determinism of lab.Run-style
+// experiments across refactors: two single-flow sessions (control and
+// Sammy) plus a shared-link UDP-neighbor study, all on fixed seeds.
+func TestGoldenLabTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lab experiment")
+	}
+	h := fnv.New64a()
+	control := SingleFlow(ControlController(), 30, 1)
+	sammy := SingleFlow(SammyController(), 30, 1)
+	udp := UDPNeighbor(20, 2)
+	for _, v := range []any{control.QoE, control.Throughput, control.RTT, control.Retransmit,
+		sammy.QoE, sammy.Throughput, sammy.RTT, sammy.Retransmit,
+		udp.Control, udp.Sammy} {
+		fmt.Fprintf(h, "%v\n", v)
+	}
+	got := fmt.Sprintf("%016x", h.Sum64())
+	if got != goldenLabHash {
+		t.Errorf("golden lab trace hash = %s, want %s\n"+
+			"(fixed-seed traces changed: the simulator is no longer producing "+
+			"byte-identical results — only acceptable for intentional semantic changes)", got, goldenLabHash)
+	}
+}

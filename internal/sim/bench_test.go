@@ -24,13 +24,13 @@ func BenchmarkEventLoop(b *testing.B) {
 }
 
 func BenchmarkScheduleCancel(b *testing.B) {
+	// Cancel removes the event from the heap eagerly, so this workload —
+	// the shape of TCP pace/RTO timers — leaves nothing behind to drain.
 	s := New()
+	fn := func() {}
 	for i := 0; i < b.N; i++ {
-		e := s.Schedule(time.Hour, func() {})
+		e := s.Schedule(time.Hour, fn)
 		e.Cancel()
-		if i%1024 == 0 {
-			s.RunUntil(s.Now()) // drain cancelled events occasionally
-		}
 	}
 }
 
@@ -41,7 +41,9 @@ func BenchmarkLinkTransit(b *testing.B) {
 		HandlerFunc(func(p *Packet) { delivered++ }))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		l.Send(&Packet{Seq: int64(i), Size: 1500})
+		p := s.AllocPacket()
+		p.Seq, p.Size = int64(i), 1500
+		l.Send(p)
 		if i%4096 == 0 {
 			s.Run()
 		}
@@ -57,7 +59,9 @@ func benchSimLoop(b *testing.B, s *Simulator) {
 		HandlerFunc(func(p *Packet) { delivered++ }))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		l.Send(&Packet{Seq: int64(i), Size: 1500})
+		p := s.AllocPacket()
+		p.Seq, p.Size = int64(i), 1500
+		l.Send(p)
 		if i%1024 == 0 {
 			s.Run()
 		}

@@ -49,17 +49,20 @@ func NewFaultyLink(link *Link, profile *fault.Profile, rng *rand.Rand) (*FaultyL
 }
 
 // Send forwards p to the wrapped link unless a fault claims it. It reports
-// whether the packet entered the link.
+// whether the packet entered the link. Like Link.Send, it takes ownership
+// of p: dropped pooled packets are recycled immediately.
 func (l *FaultyLink) Send(p *Packet) bool {
 	now := l.link.sim.now
 	if l.timeline != nil && l.timeline.Multiplier(now) == 0 {
 		l.BlackoutDrops++
 		l.dropMetrics("blackout_drop", p)
+		l.link.sim.FreePacket(p)
 		return false
 	}
 	if l.ge.Lose() {
 		l.BurstDrops++
 		l.dropMetrics("burst_drop", p)
+		l.link.sim.FreePacket(p)
 		return false
 	}
 	return l.link.Send(p)

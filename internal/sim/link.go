@@ -86,7 +86,9 @@ func (l *Link) SetRate(rate units.BitsPerSecond) {
 }
 
 // Send enqueues p for transmission, dropping it if the queue is full.
-// It reports whether the packet was accepted.
+// It reports whether the packet was accepted. Send takes ownership of p:
+// pooled packets are recycled after delivery (or immediately on drop), so
+// the caller must not touch p afterwards.
 func (l *Link) Send(p *Packet) bool {
 	m := l.sim.metrics
 	if l.limit > 0 && l.queuedBytes+p.Size > l.limit {
@@ -98,6 +100,7 @@ func (l *Link) Send(p *Packet) bool {
 			m.Recorder.RecordAt(l.sim.now, "link_drop", flowName(p.Flow),
 				float64(p.Size), float64(l.queuedBytes))
 		}
+		l.sim.FreePacket(p)
 		return false
 	}
 	l.Stats.Sent++
@@ -119,8 +122,8 @@ func (l *Link) Send(p *Packet) bool {
 	return true
 }
 
-// transmitNext pops the head of the queue and models its serialization then
-// propagation.
+// transmitNext pops the head of the queue and models its serialization: a
+// typed, pre-bound event carries the packet (no closures escape per hop).
 func (l *Link) transmitNext() {
 	if len(l.queue) == 0 {
 		l.busy = false
@@ -133,22 +136,30 @@ func (l *Link) transmitNext() {
 	l.queue = l.queue[:len(l.queue)-1]
 	l.queuedBytes -= p.Size
 
-	txTime := l.rate.TimeToSend(p.Size)
-	l.sim.Schedule(txTime, func() {
-		// Serialization finished: the wire is free for the next packet while
-		// this one propagates.
-		l.sim.Schedule(l.delay, func() {
-			l.Stats.Delivered++
-			l.Stats.DeliveredBytes += p.Size
-			if m := l.sim.metrics; m != nil {
-				m.LinkDeliveredPackets.Inc()
-			}
-			if l.dst != nil {
-				l.dst.HandlePacket(p)
-			}
-		})
-		l.transmitNext()
-	})
+	l.sim.scheduleLink(l.rate.TimeToSend(p.Size), evSerialized, l, p)
+}
+
+// onSerialized runs when p's last bit leaves the sender: the wire is free
+// for the next packet while this one propagates. The scheduling order
+// (propagation first, then the next serialization) matches the closure-based
+// implementation event for event, keeping traces byte-identical.
+func (l *Link) onSerialized(p *Packet) {
+	l.sim.scheduleLink(l.delay, evDeliver, l, p)
+	l.transmitNext()
+}
+
+// deliver hands p to the destination, then recycles it. The handler owns p
+// only for the duration of the callback.
+func (l *Link) deliver(p *Packet) {
+	l.Stats.Delivered++
+	l.Stats.DeliveredBytes += p.Size
+	if m := l.sim.metrics; m != nil {
+		m.LinkDeliveredPackets.Inc()
+	}
+	if l.dst != nil {
+		l.dst.HandlePacket(p)
+	}
+	l.sim.FreePacket(p)
 }
 
 // LossRate reports the fraction of offered packets that were dropped.

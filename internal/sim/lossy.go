@@ -39,7 +39,8 @@ func NewLossyLink(link *Link, rate float64, rng *rand.Rand) (*LossyLink, error) 
 }
 
 // Send forwards p to the wrapped link unless the random process drops it.
-// It reports whether the packet entered the link.
+// It reports whether the packet entered the link. Like Link.Send, it takes
+// ownership of p: dropped pooled packets are recycled immediately.
 func (l *LossyLink) Send(p *Packet) bool {
 	if l.rate > 0 && l.rng.Float64() < l.rate {
 		l.RandomDrops++
@@ -48,6 +49,7 @@ func (l *LossyLink) Send(p *Packet) bool {
 			m.Recorder.RecordAt(l.link.sim.now, "random_drop", flowName(p.Flow),
 				float64(p.Size), 0)
 		}
+		l.link.sim.FreePacket(p)
 		return false
 	}
 	return l.link.Send(p)

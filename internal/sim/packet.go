@@ -13,6 +13,12 @@ type FlowID int32
 // Packet is a simulated network packet. Size is the wire size including
 // headers; Seq is protocol-specific (TCP uses packet sequence numbers, UDP
 // uses a send counter).
+//
+// Hot-path producers obtain packets from Simulator.AllocPacket and hand
+// them to a Sender, which owns them from then on: the link recycles the
+// packet after the delivery handler returns (or on drop). Handlers must not
+// retain a delivered packet — copy fields out instead. Hand-built packets
+// (&Packet{...}) opt out of recycling and behave as before.
 type Packet struct {
 	Flow    FlowID
 	Seq     int64
@@ -22,6 +28,8 @@ type Packet struct {
 	SentAt  time.Duration // stamped by the sender for delay measurement
 	Retrans bool          // true for TCP retransmissions
 	Payload any           // opaque per-protocol data
+
+	pooled bool // came from a Simulator pool; recycled by the link layer
 }
 
 // Sender accepts packets for transmission, reporting whether the packet
@@ -43,27 +51,42 @@ type HandlerFunc func(p *Packet)
 func (f HandlerFunc) HandlePacket(p *Packet) { f(p) }
 
 // Classifier routes delivered packets to per-flow handlers, so several flows
-// can share one bottleneck link.
+// can share one bottleneck link. Flow ids index a dense slice — experiments
+// use small consecutive ids — so per-packet dispatch is a bounds check and a
+// load rather than a map lookup.
 type Classifier struct {
-	handlers map[FlowID]Handler
+	handlers []Handler
 }
 
 // NewClassifier returns an empty classifier.
 func NewClassifier() *Classifier {
-	return &Classifier{handlers: make(map[FlowID]Handler)}
+	return &Classifier{}
 }
 
 // Register installs h as the receiver for flow id, replacing any previous
-// registration.
-func (c *Classifier) Register(id FlowID, h Handler) { c.handlers[id] = h }
+// registration. Negative ids panic; ids index a dense table, so sparse
+// gigantic ids would waste memory and are a caller bug.
+func (c *Classifier) Register(id FlowID, h Handler) {
+	if id < 0 {
+		panic("sim: classifier flow ids must be non-negative")
+	}
+	for int(id) >= len(c.handlers) {
+		c.handlers = append(c.handlers, nil)
+	}
+	c.handlers[id] = h
+}
 
 // Unregister removes the handler for flow id.
-func (c *Classifier) Unregister(id FlowID) { delete(c.handlers, id) }
+func (c *Classifier) Unregister(id FlowID) {
+	if int(id) < len(c.handlers) {
+		c.handlers[id] = nil
+	}
+}
 
 // HandlePacket dispatches p to its flow's handler; packets for unknown flows
 // are dropped silently, like a host with no listening socket.
 func (c *Classifier) HandlePacket(p *Packet) {
-	if h, ok := c.handlers[p.Flow]; ok {
-		h.HandlePacket(p)
+	if i := int(p.Flow); i >= 0 && i < len(c.handlers) && c.handlers[i] != nil {
+		c.handlers[i].HandlePacket(p)
 	}
 }

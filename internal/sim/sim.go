@@ -3,59 +3,77 @@
 // It is the substrate for the paper's lab experiments (Figures 4, 7 and 8),
 // standing in for the physical testbed: congestion behaviour — queue
 // build-up, drops, RTT inflation — emerges from the same mechanics.
+//
+// The event core is allocation-free in steady state: events and packets are
+// recycled through per-simulator free lists, the scheduler is a hand-rolled
+// binary heap over concrete types (no container/heap interface dispatch),
+// and link delivery uses typed pre-bound events instead of escaping
+// closures. See DESIGN.md §9 for the ownership rules and why determinism
+// survives pooling.
 package sim
 
 import (
-	"container/heap"
 	"time"
 
 	"repro/internal/obs"
 )
 
-// Event is a scheduled callback. Cancel prevents a pending event from
-// firing; cancelling an already-fired event is a no-op.
+// simEndOfTime is the sentinel deadline meaning "run until the event queue
+// drains". RunUntil never advances the clock to it, so Run leaves the clock
+// at the last event's timestamp.
+const simEndOfTime = time.Duration(1<<63 - 1)
+
+// eventKind discriminates pooled event payloads: a plain callback, or one
+// of the two pre-bound link hops that used to be closures.
+type eventKind uint8
+
+const (
+	evFunc       eventKind = iota // fn()
+	evSerialized                  // link finished serializing pkt: start propagation
+	evDeliver                     // pkt finished propagating: hand to destination
+)
+
+// Event is a scheduled callback, owned by the simulator's event pool. User
+// code never holds an *Event directly — Schedule and At return an EventRef,
+// whose generation counter makes Cancel safe after the event fires and its
+// storage is reused for a later event.
 type Event struct {
 	at    time.Duration
 	seq   uint64
+	gen   uint32
+	index int32 // heap index, -1 once removed
+	kind  eventKind
 	fn    func()
-	index int // heap index, -1 once removed
+	link  *Link
+	pkt   *Packet
+	sim   *Simulator
 }
 
-// Cancel prevents the event from firing if it has not fired yet.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.fn = nil
+// EventRef is a cancellation handle for a scheduled event. The zero value
+// refers to no event; Cancel and Pending on it are no-ops. A ref goes stale
+// the moment its event fires, is cancelled, or is otherwise recycled —
+// stale refs are harmless.
+type EventRef struct {
+	e   *Event
+	gen uint32
+}
+
+// Pending reports whether the referenced event is still scheduled (not yet
+// fired or cancelled).
+func (r EventRef) Pending() bool { return r.e != nil && r.e.gen == r.gen }
+
+// Cancel removes the event from the schedule if it has not fired yet.
+// Unlike lazy cancellation, the event is deleted from the heap immediately:
+// cancel-heavy workloads (pace timers, RTO timers) do not pin memory until
+// their timestamps drain, and Pending() stays accurate.
+func (r EventRef) Cancel() {
+	e := r.e
+	if e == nil || e.gen != r.gen {
+		return // zero ref, already fired, or already cancelled
 	}
-}
-
-// eventHeap orders events by time, breaking ties by scheduling order so the
-// simulation is deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index, h[j].index = i, j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	s := e.sim
+	s.heapRemove(int(e.index))
+	s.releaseEvent(e)
 }
 
 // Simulator is a single-threaded discrete-event scheduler. The zero value is
@@ -63,9 +81,12 @@ func (h *eventHeap) Pop() any {
 // on the calling goroutine inside Run.
 type Simulator struct {
 	now     time.Duration
-	events  eventHeap
+	events  []*Event // binary min-heap on (at, seq)
 	seq     uint64
 	metrics *Metrics // nil = instrumentation off (one branch per event)
+
+	freeEvents []*Event  // event pool
+	freePkts   []*Packet // packet pool
 }
 
 // New returns an empty simulator with the clock at zero. When a process-wide
@@ -84,7 +105,7 @@ func (s *Simulator) Now() time.Duration { return s.now }
 
 // Schedule arranges for fn to run delay after the current simulated time.
 // Negative delays are treated as zero.
-func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+func (s *Simulator) Schedule(delay time.Duration, fn func()) EventRef {
 	if delay < 0 {
 		delay = 0
 	}
@@ -93,21 +114,64 @@ func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
 
 // At arranges for fn to run at absolute simulated time t. Times in the past
 // are clamped to the present.
-func (s *Simulator) At(t time.Duration, fn func()) *Event {
+func (s *Simulator) At(t time.Duration, fn func()) EventRef {
+	e := s.schedule(t)
+	e.kind = evFunc
+	e.fn = fn
+	return EventRef{e: e, gen: e.gen}
+}
+
+// scheduleLink arranges a typed link event: no closure, the link and packet
+// ride on the pooled event itself.
+func (s *Simulator) scheduleLink(delay time.Duration, kind eventKind, l *Link, p *Packet) {
+	e := s.schedule(s.now + delay)
+	e.kind = kind
+	e.link = l
+	e.pkt = p
+}
+
+// schedule allocates a pooled event at absolute time t (clamped to the
+// present) and pushes it onto the heap.
+func (s *Simulator) schedule(t time.Duration) *Event {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.events, e)
+	e := s.allocEvent()
+	e.at = t
+	e.seq = s.seq
+	s.heapPush(e)
 	if s.metrics != nil {
 		s.metrics.EventsScheduled.Inc()
 	}
 	return e
 }
 
+// allocEvent takes an event from the pool, or grows the pool by one.
+func (s *Simulator) allocEvent() *Event {
+	if n := len(s.freeEvents); n > 0 {
+		e := s.freeEvents[n-1]
+		s.freeEvents[n-1] = nil
+		s.freeEvents = s.freeEvents[:n-1]
+		return e
+	}
+	return &Event{sim: s}
+}
+
+// releaseEvent returns e to the pool. Bumping the generation invalidates
+// every outstanding EventRef to this occupancy, which is what makes Cancel
+// after reuse safe.
+func (s *Simulator) releaseEvent(e *Event) {
+	e.gen++
+	e.index = -1
+	e.fn = nil
+	e.link = nil
+	e.pkt = nil
+	s.freeEvents = append(s.freeEvents, e)
+}
+
 // Run executes events until the queue is empty.
-func (s *Simulator) Run() { s.RunUntil(1<<63 - 1) }
+func (s *Simulator) Run() { s.RunUntil(simEndOfTime) }
 
 // RunUntil executes events with timestamps ≤ end, then advances the clock to
 // end (if any event ran past it the clock stays at the last event time).
@@ -124,18 +188,26 @@ func (s *Simulator) RunUntil(end time.Duration) {
 		if e.at > end {
 			break
 		}
-		heap.Pop(&s.events)
+		s.heapPopRoot()
 		s.now = e.at
-		if e.fn != nil {
-			fn := e.fn
-			e.fn = nil
-			if m != nil {
-				m.EventsDispatched.Inc()
-			}
+		// Copy the payload out and recycle the event *before* dispatching:
+		// the callback may schedule and immediately receive this very slot,
+		// and any EventRef to the old occupancy is already stale.
+		kind, fn, link, pkt := e.kind, e.fn, e.link, e.pkt
+		s.releaseEvent(e)
+		if m != nil {
+			m.EventsDispatched.Inc()
+		}
+		switch kind {
+		case evFunc:
 			fn()
+		case evSerialized:
+			link.onSerialized(pkt)
+		case evDeliver:
+			link.deliver(pkt)
 		}
 	}
-	if s.now < end && end < 1<<62 {
+	if s.now < end && end != simEndOfTime {
 		s.now = end
 	}
 	if m != nil {
@@ -149,6 +221,132 @@ func (s *Simulator) RunUntil(end time.Duration) {
 	}
 }
 
-// Pending reports how many events are scheduled (including cancelled ones
-// that have not been drained yet).
+// Pending reports how many events are scheduled. Cancelled events are
+// removed from the heap immediately, so they never count.
 func (s *Simulator) Pending() int { return len(s.events) }
+
+// --- event heap -----------------------------------------------------------
+//
+// A hand-rolled binary min-heap on (at, seq). seq is unique per event, so
+// the order is a strict total order: any correct heap implementation pops
+// events in exactly the same sequence, which is what keeps paired-seed
+// traces byte-identical across scheduler rewrites.
+
+// eventLess orders events by time, breaking ties by scheduling order so the
+// simulation is deterministic.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) heapPush(e *Event) {
+	h := append(s.events, e)
+	e.index = int32(len(h) - 1)
+	s.events = h
+	s.siftUp(len(h) - 1)
+}
+
+// heapPopRoot removes the minimum event. The caller already holds s.events[0].
+func (s *Simulator) heapPopRoot() {
+	h := s.events
+	n := len(h) - 1
+	h[0].index = -1
+	h[0] = h[n]
+	h[0].index = 0
+	h[n] = nil
+	s.events = h[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+}
+
+// heapRemove deletes the event at heap position i (Cancel's eager removal).
+func (s *Simulator) heapRemove(i int) {
+	h := s.events
+	n := len(h) - 1
+	h[i].index = -1
+	if i != n {
+		h[i] = h[n]
+		h[i].index = int32(i)
+	}
+	h[n] = nil
+	s.events = h[:n]
+	if i < n {
+		if !s.siftDown(i) {
+			s.siftUp(i)
+		}
+	}
+}
+
+func (s *Simulator) siftUp(i int) {
+	h := s.events
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h[parent]
+		if !eventLess(e, p) {
+			break
+		}
+		h[i] = p
+		p.index = int32(i)
+		i = parent
+	}
+	h[i] = e
+	e.index = int32(i)
+}
+
+// siftDown restores the heap below i, reporting whether e moved.
+func (s *Simulator) siftDown(i int) bool {
+	h := s.events
+	n := len(h)
+	e := h[i]
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(h[r], h[child]) {
+			child = r
+		}
+		c := h[child]
+		if !eventLess(c, e) {
+			break
+		}
+		h[i] = c
+		c.index = int32(i)
+		i = child
+	}
+	h[i] = e
+	e.index = int32(i)
+	return i > start
+}
+
+// --- packet pool ----------------------------------------------------------
+
+// AllocPacket takes a zeroed packet from the simulator's pool (growing it
+// when empty). Pooled packets are recycled by the link layer: once passed to
+// a Sender the sender must not touch the packet again, and delivery handlers
+// must not retain it past the callback — copy the fields out if needed.
+func (s *Simulator) AllocPacket() *Packet {
+	if n := len(s.freePkts); n > 0 {
+		p := s.freePkts[n-1]
+		s.freePkts[n-1] = nil
+		s.freePkts = s.freePkts[:n-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// FreePacket returns p to the pool, zeroed. Packets that did not come from
+// AllocPacket (hand-built in tests, say) are left alone, so the recycling
+// protocol is opt-in for packet producers.
+func (s *Simulator) FreePacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	*p = Packet{pooled: true}
+	s.freePkts = append(s.freePkts, p)
+}

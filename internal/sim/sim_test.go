@@ -47,8 +47,9 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	var nilEvent *Event
-	nilEvent.Cancel() // must not panic
+	var zeroRef EventRef
+	zeroRef.Cancel() // must not panic
+	e.Cancel()       // double-cancel must be a no-op too
 }
 
 func TestRunUntil(t *testing.T) {

@@ -154,14 +154,16 @@ type Conn struct {
 	recoverSeq int64
 	sentAt     map[int64]time.Duration // send times for RTT sampling (Karn)
 	pacer      *pacing.Pacer
-	paceTimer  *sim.Event
+	paceTimer  sim.EventRef
+	paceCb     func() // pre-bound pace-timer callback (no per-arm closure)
 	cwndCap    float64 // Trickle-style window cap in segments; 0 = off
 	lastSend   time.Duration
 
 	// RTO state.
 	srtt, rttvar time.Duration
 	rto          time.Duration
-	rtoTimer     *sim.Event
+	rtoTimer     sim.EventRef
+	rtoCb        func() // pre-bound onRTO (no per-arm method-value alloc)
 	backoff      int
 
 	// Variant state.
@@ -214,6 +216,11 @@ func NewConn(s *sim.Simulator, flow sim.FlowID, fwd sim.Sender, fwdClass *sim.Cl
 	if r := obs.Default(); r != nil {
 		c.metrics = NewMetrics(r)
 	}
+	c.paceCb = func() {
+		c.paceTimer = sim.EventRef{}
+		c.trySend()
+	}
+	c.rtoCb = c.onRTO
 	c.rev = sim.NewLink(s, revCfg, sim.HandlerFunc(c.handleServerPacket))
 	fwdClass.Register(flow, sim.HandlerFunc(c.handleClientPacket))
 	return c
@@ -277,7 +284,7 @@ func (c *Conn) Fetch(size units.Bytes, onFirst func(time.Duration), onComplete f
 	switch c.state {
 	case stateClosed:
 		c.state = stateSynSent
-		c.rev.Send(&sim.Packet{Flow: c.flow, Size: requestSize, SentAt: c.s.Now(), Payload: synPayload{}})
+		c.sendSyn()
 		// SYN loss is recovered by a simple fixed retry.
 		c.scheduleSynRetry()
 	case stateSynSent:
@@ -292,10 +299,18 @@ type synPayload struct{}
 type synAckPayload struct{}
 type requestPayload struct{ size units.Bytes }
 
+// sendSyn transmits a SYN over the reverse link (pooled, like all packets
+// this connection produces).
+func (c *Conn) sendSyn() {
+	p := c.s.AllocPacket()
+	p.Flow, p.Size, p.SentAt, p.Payload = c.flow, requestSize, c.s.Now(), synPayload{}
+	c.rev.Send(p)
+}
+
 func (c *Conn) scheduleSynRetry() {
 	c.s.Schedule(3*time.Second, func() {
 		if c.state == stateSynSent {
-			c.rev.Send(&sim.Packet{Flow: c.flow, Size: requestSize, SentAt: c.s.Now(), Payload: synPayload{}})
+			c.sendSyn()
 			c.scheduleSynRetry()
 		}
 	})
@@ -303,10 +318,10 @@ func (c *Conn) scheduleSynRetry() {
 
 // sendRequest transmits the request packet for r to the server.
 func (c *Conn) sendRequest(r *request) {
-	c.rev.Send(&sim.Packet{
-		Flow: c.flow, Size: requestSize, SentAt: c.s.Now(),
-		Payload: requestPayload{size: r.size},
-	})
+	p := c.s.AllocPacket()
+	p.Flow, p.Size, p.SentAt = c.flow, requestSize, c.s.Now()
+	p.Payload = requestPayload{size: r.size}
+	c.rev.Send(p)
 }
 
 // OnEstablished registers a callback for handshake completion.
@@ -321,7 +336,9 @@ func (c *Conn) handleServerPacket(p *sim.Packet) {
 	case synPayload:
 		// Reply SYN-ACK through the forward path so the handshake feels
 		// bottleneck congestion like everything else.
-		c.fwd.Send(&sim.Packet{Flow: c.flow, Size: ackSize, SentAt: c.s.Now(), Payload: synAckPayload{}})
+		sa := c.s.AllocPacket()
+		sa.Flow, sa.Size, sa.SentAt, sa.Payload = c.flow, ackSize, c.s.Now(), synAckPayload{}
+		c.fwd.Send(sa)
 	case requestPayload:
 		c.appendResponse(pl.size)
 	default:
@@ -349,7 +366,7 @@ func (c *Conn) appendResponse(size units.Bytes) {
 // trySend transmits as much new data as the window, the application and the
 // pacer allow.
 func (c *Conn) trySend() {
-	if c.paceTimer != nil {
+	if c.paceTimer.Pending() {
 		// A pacing timer is armed; it will call back into trySend.
 		return
 	}
@@ -359,10 +376,7 @@ func (c *Conn) trySend() {
 			if c.metrics != nil {
 				c.metrics.PacerSleep.Observe(d.Seconds() * 1000)
 			}
-			c.paceTimer = c.s.Schedule(d, func() {
-				c.paceTimer = nil
-				c.trySend()
-			})
+			c.paceTimer = c.s.Schedule(d, c.paceCb)
 			return
 		}
 		c.transmit(c.sndNxt, false)
@@ -380,9 +394,11 @@ func (c *Conn) effectiveCwnd() float64 {
 }
 
 // transmit sends segment seq, stamping it for RTT measurement unless it is a
-// retransmission (Karn's algorithm).
+// retransmission (Karn's algorithm). Segments come from the simulator's
+// packet pool; the forward link recycles them after delivery or drop.
 func (c *Conn) transmit(seq int64, retrans bool) {
-	p := &sim.Packet{Flow: c.flow, Seq: seq, Size: c.cfg.MSS, SentAt: c.s.Now(), Retrans: retrans}
+	p := c.s.AllocPacket()
+	p.Flow, p.Seq, p.Size, p.SentAt, p.Retrans = c.flow, seq, c.cfg.MSS, c.s.Now(), retrans
 	c.Stats.SegmentsSent++
 	c.Stats.BytesSent += c.cfg.MSS
 	if m := c.metrics; m != nil {
@@ -508,7 +524,7 @@ func (c *Conn) sampleRTT(rtt time.Duration) {
 
 // armRTO starts the retransmission timer if it is not running.
 func (c *Conn) armRTO() {
-	if c.rtoTimer == nil {
+	if !c.rtoTimer.Pending() {
 		c.armRTOFresh()
 	}
 }
@@ -520,20 +536,18 @@ func (c *Conn) armRTOFresh() {
 	if rto > time.Minute {
 		rto = time.Minute
 	}
-	c.rtoTimer = c.s.Schedule(rto, c.onRTO)
+	c.rtoTimer = c.s.Schedule(rto, c.rtoCb)
 }
 
 func (c *Conn) cancelRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Cancel()
+	c.rtoTimer = sim.EventRef{}
 }
 
 // onRTO handles a retransmission timeout: multiplicative backoff, collapse
 // to one segment and go-back-N from the first unacked segment.
 func (c *Conn) onRTO() {
-	c.rtoTimer = nil
+	c.rtoTimer = sim.EventRef{}
 	if c.sndUna == c.sndNxt {
 		return // everything acked in the meantime
 	}
@@ -595,7 +609,9 @@ func (c *Conn) handleClientPacket(p *sim.Packet) {
 		c.ooo[p.Seq] = true
 	}
 	// Immediate cumulative ack (dupacks arise naturally from gaps).
-	c.rev.Send(&sim.Packet{Flow: c.flow, IsAck: true, Ack: c.rcvNxt, Size: ackSize, SentAt: c.s.Now()})
+	ack := c.s.AllocPacket()
+	ack.Flow, ack.IsAck, ack.Ack, ack.Size, ack.SentAt = c.flow, true, c.rcvNxt, ackSize, c.s.Now()
+	c.rev.Send(ack)
 	c.deliverToApp()
 }
 

@@ -78,7 +78,8 @@ func (u *UDPFlow) sendNext() {
 	if u.stopped {
 		return
 	}
-	p := &sim.Packet{Flow: u.flow, Seq: u.seq, Size: u.size, SentAt: u.s.Now()}
+	p := u.s.AllocPacket()
+	p.Flow, p.Seq, p.Size, p.SentAt = u.flow, u.seq, u.size, u.s.Now()
 	u.seq++
 	u.Sent++
 	u.fwd.Send(p)

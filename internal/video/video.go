@@ -173,6 +173,22 @@ func (t *Title) Duration() time.Duration {
 	return time.Duration(t.NumChunks) * t.ChunkDuration
 }
 
+// SizeAt reports the encoded size of chunk index at rung rungIndex without
+// materializing a Chunk — the allocation-free fast path MPC-style lookahead
+// hammers (one call per rung per upcoming chunk per decision). It computes
+// the size with exactly the same arithmetic as ChunkAt.
+func (t *Title) SizeAt(index, rungIndex int) units.Bytes {
+	if index < 0 || index >= t.NumChunks {
+		panic(fmt.Sprintf("video: chunk index %d out of range [0,%d)", index, t.NumChunks))
+	}
+	nominal := float64(t.Ladder[rungIndex].Bitrate) / 8 * t.ChunkDuration.Seconds()
+	size := units.Bytes(nominal * t.sizeJitter[index])
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
 // ChunkAt materializes chunk index at rung r.
 func (t *Title) ChunkAt(index, rungIndex int) Chunk {
 	if index < 0 || index >= t.NumChunks {
@@ -200,10 +216,12 @@ func (t *Title) ChunkAt(index, rungIndex int) Chunk {
 
 // UpcomingSizes reports the sizes of the next n chunks starting at index if
 // they were all fetched at rungIndex — the lookahead input to MPC-style ABR.
+// Decision loops should prefer iterating SizeAt directly, which allocates
+// nothing.
 func (t *Title) UpcomingSizes(index, rungIndex, n int) []units.Bytes {
 	sizes := make([]units.Bytes, 0, n)
 	for i := index; i < index+n && i < t.NumChunks; i++ {
-		sizes = append(sizes, t.ChunkAt(i, rungIndex).Size)
+		sizes = append(sizes, t.SizeAt(i, rungIndex))
 	}
 	return sizes
 }
