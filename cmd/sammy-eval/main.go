@@ -19,6 +19,8 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/abr"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/lab"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/player"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -73,7 +76,7 @@ func main() {
 	chaosName := flag.String("chaos", "", "fault scenario ("+strings.Join(fault.ScenarioNames(), ", ")+
 		"): population experiments get the scenario's path faults, and the chaos experiment streams through its HTTP chaos")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sammy-eval [flags] <table2|table3|baseline|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|approaches|abandon|chaos|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: sammy-eval [flags] <table2|table3|baseline|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|approaches|abandon|chaos|storm|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -113,6 +116,7 @@ func main() {
 
 	experiments := map[string]func(){
 		"chaos":      func() { runChaos(scenario, *seed, *chunks) },
+		"storm":      func() { runStorm(scenario, *seed) },
 		"table2":     func() { runTable2(cfg, *seed) },
 		"table3":     func() { runTable3(cfg, *seed) },
 		"baseline":   func() { runBaseline(cfg, *seed) },
@@ -444,7 +448,13 @@ func runChaos(scn fault.Scenario, seed int64, chunks int) {
 		fmt.Fprintf(os.Stderr, "sammy-eval: listen: %v\n", err)
 		os.Exit(1)
 	}
-	hs := &http.Server{Handler: chaos}
+	hs := &http.Server{
+		Handler:           chaos,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second, // chunks are ≤ a few seconds each, even stalled
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	go hs.Serve(ln)
 	defer hs.Close()
 
@@ -478,4 +488,91 @@ func runChaos(scn fault.Scenario, seed int64, chunks int) {
 			rep.Retries, rep.Resumes, rep.RungDowngrades, rep.FailedChunks)
 	}
 	fmt.Printf("faults injected by the chaos middleware: %d\n", chaos.Injected())
+}
+
+// runStorm throws the scenario's load-storm at a paced chunk server
+// protected by the overload layer: Fetchers concurrent clients against a
+// MaxInFlight-deep admission window with a MaxQueue-deep FIFO behind it.
+// The overload pipeline sheds the excess with 503 + Retry-After, clients
+// honour the hint, and the storm drains — the run prints the admission
+// ledger (admitted/queued/shed/peak in-flight) and the client-side retry
+// work it took.
+func runStorm(scn fault.Scenario, seed int64) {
+	if !scn.Storm.Enabled() {
+		// Default to the canonical preset so `sammy-eval storm` works bare.
+		scn, _ = fault.LookupScenario("load-storm")
+	}
+	st := scn.Storm
+
+	reg := obs.Default()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ctrl := overload.New(overload.Config{
+		MaxInFlight:  st.MaxInFlight,
+		MaxQueue:     st.MaxQueue,
+		QueueTimeout: st.QueueTimeout,
+		RetryAfter:   st.RetryAfter,
+	}, overload.NewMetrics(reg))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sammy-eval: listen: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{
+		Handler:           ctrl.Middleware(&cdn.Server{Metrics: cdn.NewMetrics(reg)}),
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	client := cdn.NewClient("http://" + ln.Addr().String())
+	client.Seed = seed
+	client.Metrics = cdn.NewClientMetrics(reg)
+	client.Retry = cdn.RetryPolicy{
+		MaxAttempts: st.MaxAttempts,
+		MaxBackoff:  2 * st.RetryAfter,
+	}
+
+	fmt.Printf("load-storm %q: %d fetchers vs max-inflight %d, queue %d (seed %d)\n",
+		scn.Name, st.Fetchers, st.MaxInFlight, st.MaxQueue, seed)
+	fmt.Printf("  %s\n", scn.Description)
+
+	var wg sync.WaitGroup
+	var completed, failed atomic.Int64
+	start := time.Now()
+	for i := 0; i < st.Fetchers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := client.FetchChunk(context.Background(),
+				units.Bytes(st.ChunkBytes), units.BitsPerSecond(st.PaceRateBps))
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			completed.Add(1)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	m := ctrl.Metrics
+	fmt.Printf("  completed %d/%d fetches in %v (%d failed)\n",
+		completed.Load(), st.Fetchers, elapsed.Round(time.Millisecond), failed.Load())
+	fmt.Printf("  admission: admitted %d, queued %d, shed %d (queue-full %d, queue-timeout %d), peak in-flight %.0f/%d\n",
+		m.Admitted.Value(), m.Queued.Value(), m.Shed.Value(),
+		m.ShedQueueFull.Value(), m.ShedQueueTimeout.Value(),
+		m.InFlightPeak.Value(), st.MaxInFlight)
+	fmt.Printf("  client recovery: attempts %d, retries %d, Retry-After honoured %d\n",
+		client.Metrics.FetchAttempts.Value(), client.Metrics.FetchRetries.Value(),
+		client.Metrics.RetryAfterHonored.Value())
+	if peak := int(m.InFlightPeak.Value()); peak > st.MaxInFlight {
+		fmt.Printf("  WARNING: peak in-flight %d exceeded the admission limit %d\n", peak, st.MaxInFlight)
+	} else {
+		fmt.Printf("  in-flight never exceeded the admission limit; shed load spread out via Retry-After\n")
+	}
 }

@@ -4,43 +4,76 @@
 // its sending rate accordingly, like a Fastly/Akamai edge honouring the
 // paper's header-driven pacing.
 //
+// Because pacing deliberately holds connections open (per-request residency
+// grows with the pace budget), the server protects itself under load: an
+// admission controller caps concurrent streams (-max-inflight) with a
+// bounded FIFO wait queue (-queue, -queue-timeout), excess load is shed
+// with 503 + Retry-After, a per-client token bucket (-per-client-rps)
+// contains greedy clients, and a per-write stall watchdog (-stall-timeout)
+// kills streams whose receiver stopped reading. On SIGINT/SIGTERM the
+// server stops accepting, /readyz flips to "draining", in-flight paced
+// streams get up to -drain-timeout to finish, and whatever remains is
+// hard-cancelled.
+//
 // The server is fully instrumented: live counters and histograms (request
-// counts, pace-rate distribution, pacer sleeps, bytes served) are exposed
-// at /debug/vars via expvar under the "sammy" key, profiling endpoints are
-// mounted at /debug/pprof/, and a periodic log line summarizes the
-// registry.
+// counts, pace-rate distribution, pacer sleeps, bytes served, admission
+// and shed decisions) are exposed at /debug/vars via expvar under the
+// "sammy" key, profiling endpoints are mounted at /debug/pprof/, and a
+// periodic log line summarizes the registry.
 //
 // Usage:
 //
-//	sammy-server [-addr :8404] [-burst 4] [-metrics-interval 30s]
+//	sammy-server [-addr :8404] [-burst 4] [-max-inflight 256] [-queue 64]
+//	             [-queue-timeout 5s] [-drain-timeout 30s] [-per-client-rps 0]
+//	             [-stall-timeout 30s] [-metrics-interval 30s]
 //
-// Inspect live metrics:
+// Inspect live state:
 //
 //	curl localhost:8404/debug/vars | python3 -m json.tool
+//	curl -i localhost:8404/readyz
 //	go tool pprof localhost:8404/debug/pprof/profile
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/cdn"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/units"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	addr := flag.String("addr", ":8404", "listen address")
 	burst := flag.Int("burst", 4, "pacing burst in 1500-byte packets")
 	kernel := flag.Bool("kernel", false, "enforce pacing with SO_MAX_PACING_RATE (Linux; falls back to user space)")
 	interval := flag.Duration("metrics-interval", 30*time.Second, "period between metrics log lines (0 disables)")
 	events := flag.Int("events", 4096, "event recorder ring size (0 disables event tracing)")
+	maxInflight := flag.Int("max-inflight", overload.DefaultMaxInFlight, "max concurrent admitted streams")
+	queueDepth := flag.Int("queue", overload.DefaultMaxQueue, "admission wait-queue depth (negative disables queueing)")
+	queueTimeout := flag.Duration("queue-timeout", overload.DefaultQueueTimeout, "per-request admission queue deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight streams after SIGINT/SIGTERM before hard-cancel")
+	perClientRPS := flag.Float64("per-client-rps", 0, "per-client request rate limit (0 disables)")
+	stallTimeout := flag.Duration("stall-timeout", 30*time.Second, "per-write progress deadline killing stalled readers (0 disables)")
+	retryAfter := flag.Duration("retry-after", overload.DefaultRetryAfter, "Retry-After hint sent with shed responses")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -50,13 +83,24 @@ func main() {
 	reg.Publish("sammy")
 	metrics := cdn.NewMetrics(reg)
 
+	ctrl := overload.New(overload.Config{
+		MaxInFlight:  *maxInflight,
+		MaxQueue:     *queueDepth,
+		QueueTimeout: *queueTimeout,
+		RetryAfter:   *retryAfter,
+		PerClientRPS: *perClientRPS,
+		StallTimeout: *stallTimeout,
+	}, overload.NewMetrics(reg))
+
 	handler := &cdn.Server{
 		Burst:        units.Bytes(*burst) * 1500,
 		KernelPacing: *kernel,
 		Metrics:      metrics,
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/", handler)
+	mux.Handle("/", ctrl.Middleware(handler))
+	mux.HandleFunc("/healthz", ctrl.Healthz)
+	mux.HandleFunc("/readyz", ctrl.Readyz)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -64,22 +108,58 @@ func main() {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	// baseCtx parents every request context; cancelling it is the
+	// hard-cancel that aborts paced streams still running when the drain
+	// grace expires.
+	baseCtx, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+
+	// WriteTimeout would kill a long paced stream mid-body, so the paced
+	// path is exempted by the overload stall watchdog instead: it pushes
+	// the write deadline out on every write that makes progress, turning
+	// the whole-response deadline into a per-write one. With the watchdog
+	// disabled there is no exemption mechanism, so no server deadline
+	// either — the pacer would be capped at WriteTimeout per response.
+	writeTimeout := 2 * *stallTimeout
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
 		ConnContext:       cdn.ConnContext,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
 	}
 
+	// Periodic metrics logging on a stoppable ticker (time.Tick would leak
+	// the goroutine past shutdown).
+	logDone := make(chan struct{})
+	var logWG sync.WaitGroup
 	if *interval > 0 {
+		ticker := time.NewTicker(*interval)
+		logWG.Add(1)
 		go func() {
-			for range time.Tick(*interval) {
-				log.Printf("metrics: requests=%d paced=%d failed=%d bytes=%d pace_p50=%.1fMbps sleep_p95=%.2fms",
-					metrics.Requests.Value(), metrics.PacedRequests.Value(),
-					metrics.RequestsFailed.Value(), metrics.BytesServed.Value(),
-					metrics.PaceRateMbps.Quantile(0.5), metrics.PacerSleepMs.Quantile(0.95))
+			defer logWG.Done()
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					log.Printf("metrics: requests=%d paced=%d failed=%d bytes=%d inflight=%d shed=%d pace_p50=%.1fMbps sleep_p95=%.2fms",
+						metrics.Requests.Value(), metrics.PacedRequests.Value(),
+						metrics.RequestsFailed.Value(), metrics.BytesServed.Value(),
+						ctrl.InFlight(), ctrl.Metrics.Shed.Value(),
+						metrics.PaceRateMbps.Quantile(0.5), metrics.PacerSleepMs.Quantile(0.95))
+				case <-logDone:
+					return
+				}
 			}
 		}()
+	}
+	stopLogging := func() {
+		close(logDone)
+		logWG.Wait()
 	}
 
 	mode := "user-space token bucket"
@@ -90,8 +170,48 @@ func main() {
 	if strings.HasPrefix(hostport, ":") {
 		hostport = "localhost" + hostport
 	}
-	fmt.Printf("sammy-server listening on %s (pacing burst %d packets, %s)\n", *addr, *burst, mode)
+	fmt.Printf("sammy-server listening on %s (pacing burst %d packets, %s, max-inflight %d, queue %d)\n",
+		*addr, *burst, mode, *maxInflight, *queueDepth)
 	fmt.Printf("try: curl -H 'X-Sammy-Pace-Rate-Bps: 8000000' 'http://%s/chunk?size=4000000' -o /dev/null\n", hostport)
-	fmt.Printf("metrics: curl %[1]s/debug/vars   profiling: go tool pprof %[1]s/debug/pprof/profile\n", hostport)
-	log.Fatal(srv.ListenAndServe())
+	fmt.Printf("metrics: curl %[1]s/debug/vars   readiness: curl %[1]s/readyz   profiling: go tool pprof %[1]s/debug/pprof/profile\n", hostport)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died before any signal: a real startup/serve error
+		// (port in use, permission denied). This is the only path that
+		// exits non-zero.
+		stopLogging()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("sammy-server: listen and serve: %v", err)
+			return 1
+		}
+		return 0
+	case <-sigCtx.Done():
+		stop() // restore default signal behaviour: a second ^C kills immediately
+	}
+
+	// Graceful drain: stop accepting, advertise draining via /readyz, shed
+	// queued work, and give in-flight paced streams the grace period.
+	log.Printf("sammy-server: signal received, draining up to %v (in-flight %d)", *drainTimeout, ctrl.InFlight())
+	ctrl.StartDraining()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Grace expired with streams still in flight: hard-cancel their
+		// request contexts (the paced writer aborts at its next burst) and
+		// close their connections.
+		log.Printf("sammy-server: drain timeout (%v), hard-cancelling %d in-flight stream(s)", *drainTimeout, ctrl.InFlight())
+		hardCancel()
+		srv.Close()
+	}
+	<-serveErr // ListenAndServe has returned http.ErrServerClosed
+	stopLogging()
+	log.Printf("sammy-server: drained, bye")
+	return 0
 }

@@ -28,7 +28,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("httpdemo: listen: %v", err)
 	}
-	srv := &http.Server{Handler: &cdn.Server{}, ReadHeaderTimeout: 5 * time.Second}
+	// WriteTimeout bounds each response; the demo's paced chunks are ~1 s
+	// each, far inside it.
+	srv := &http.Server{
+		Handler:           &cdn.Server{},
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	go func() {
 		if err := srv.Serve(ln); err != http.ErrServerClosed {
 			log.Printf("httpdemo: server: %v", err)

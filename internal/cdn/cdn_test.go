@@ -23,9 +23,31 @@ func newTestServer(t *testing.T) (*httptest.Server, *Client) {
 
 func newTestServerWith(t *testing.T, handler *Server) (*httptest.Server, *Client) {
 	t.Helper()
-	srv := httptest.NewServer(handler)
+	srv := hardenedServer(handler)
 	t.Cleanup(srv.Close)
 	return srv, &Client{HTTP: srv.Client(), BaseURL: srv.URL}
+}
+
+// hardenedServer starts an httptest server with the production http.Server
+// hardening applied (callers own Close).
+func hardenedServer(h http.Handler) *httptest.Server {
+	srv := httptest.NewUnstartedServer(h)
+	configureTestServer(srv)
+	srv.Start()
+	return srv
+}
+
+// configureTestServer applies the production http.Server hardening to a
+// test server before it starts: every server the repo constructs carries
+// header/write/idle bounds so a wedged peer cannot pin it. The write
+// timeout is generous — test streams pace for at most a few seconds — and
+// the paced path re-arms per write via the overload stall watchdog when
+// one is installed.
+func configureTestServer(srv *httptest.Server) {
+	srv.Config.ReadHeaderTimeout = 5 * time.Second
+	srv.Config.WriteTimeout = 60 * time.Second
+	srv.Config.IdleTimeout = 60 * time.Second
+	srv.Config.MaxHeaderBytes = 1 << 20
 }
 
 func TestUnpacedFetch(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -101,7 +102,10 @@ type FetchResult struct {
 // in the pacing headers. It survives a hostile path: transient 5xx,
 // connection resets, slow first bytes and mid-body stalls are retried with
 // capped exponential backoff, and partially delivered bodies are resumed
-// byte-exactly with HTTP Range requests instead of being refetched.
+// byte-exactly with HTTP Range requests instead of being refetched. When
+// an overloaded server sheds with 503/429 + Retry-After, the client
+// honours the hint (clamped to MaxBackoff) instead of its own schedule, so
+// shed load spreads out rather than retry-storming.
 //
 // A Client is safe for concurrent use.
 type Client struct {
@@ -196,7 +200,17 @@ func (c *Client) FetchChunkTo(ctx context.Context, w io.Writer, size units.Bytes
 			m.FetchRetries.Inc()
 			m.Recorder.Record("fetch_retry", err.Error(), float64(attempt), float64(got))
 		}
-		if berr := c.backoff(ctx, pol, attempt); berr != nil {
+		var berr error
+		if ar.hasRetryAfter {
+			if m != nil {
+				m.RetryAfterHonored.Inc()
+				m.Recorder.Record("fetch_retry_after", c.BaseURL, ar.retryAfter.Seconds(), float64(attempt))
+			}
+			berr = sleepCtx(ctx, ar.retryAfter)
+		} else {
+			berr = c.backoff(ctx, pol, attempt)
+		}
+		if berr != nil {
 			lastErr = berr
 			break
 		}
@@ -230,6 +244,11 @@ type attemptResult struct {
 	bodyTime  time.Duration // first body byte to end of the attempt
 	paced     bool
 	resumed   bool // the server honoured a Range resume with a 206
+	// retryAfter is the server's Retry-After hint on a 503/429, already
+	// clamped to [0, MaxBackoff]. hasRetryAfter distinguishes an explicit
+	// "retry immediately" (0) from no hint at all.
+	retryAfter    time.Duration
+	hasRetryAfter bool
 }
 
 // fetchOnce runs a single HTTP attempt for bytes [offset, size) under the
@@ -279,6 +298,15 @@ func (c *Client) fetchOnce(ctx context.Context, w io.Writer, size, offset units.
 		// Fresh body.
 	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+		// An overloaded (or draining) server sheds with Retry-After; honour
+		// it so retries spread out instead of storming, clamped so a
+		// hostile or confused server cannot park the client forever.
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			if d > pol.MaxBackoff {
+				d = pol.MaxBackoff
+			}
+			ar.retryAfter, ar.hasRetryAfter = d, true
+		}
 		return ar, false, fmt.Errorf("cdn: fetch chunk: status %d", resp.StatusCode)
 	case offset > 0 && resp.StatusCode == http.StatusOK:
 		// The server ignored the Range header; the fresh body cannot be
@@ -364,6 +392,17 @@ func (c *Client) backoff(ctx context.Context, pol RetryPolicy, attempt int) erro
 		c.mu.Unlock()
 		d = time.Duration(float64(d) * (1 - pol.JitterFrac*f))
 	}
+	return sleepCtx(ctx, d)
+}
+
+// sleepCtx waits d, honouring ctx. d <= 0 returns immediately.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cdn: cancelled during retry backoff: %w", err)
+		}
+		return nil
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -372,4 +411,33 @@ func (c *Client) backoff(ctx context.Context, pol RetryPolicy, attempt int) erro
 	case <-t.C:
 		return nil
 	}
+}
+
+// parseRetryAfter interprets a Retry-After header per RFC 9110: either a
+// non-negative integer delay in seconds or an HTTP-date (a date in the
+// past means "retry now", reported as 0). Malformed values are rejected so
+// the caller falls back to its own backoff schedule.
+func parseRetryAfter(header string, now time.Time) (time.Duration, bool) {
+	header = strings.TrimSpace(header)
+	if header == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseInt(header, 10, 64); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		const maxSecs = int64(24 * 60 * 60) // a day; beyond that treat as garbage
+		if secs > maxSecs {
+			secs = maxSecs
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(header); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }

@@ -25,6 +25,9 @@ func startKernelPacingServer(t *testing.T) *Client {
 		Handler:           &Server{KernelPacing: true},
 		ConnContext:       ConnContext,
 		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       60 * time.Second,
+		MaxHeaderBytes:    1 << 20,
 	}
 	go srv.Serve(ln)
 	t.Cleanup(func() { srv.Close() })

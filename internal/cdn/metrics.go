@@ -32,16 +32,18 @@ type Metrics struct {
 // ClientMetrics holds the fetch client's resilience telemetry. Nil (the
 // default) keeps the client uninstrumented.
 type ClientMetrics struct {
-	FetchAttempts  *obs.Counter // HTTP attempts, retries included
-	FetchRetries   *obs.Counter // failed attempts that were retried
-	FetchResumes   *obs.Counter // mid-body Range resumes the server honoured
-	FetchFailures  *obs.Counter // fetches that exhausted the retry budget
-	RungDowngrades *obs.Counter // session ladder downgrades after failed fetches
-	ChunksFailed   *obs.Counter // chunks skipped after the whole ladder failed
+	FetchAttempts     *obs.Counter // HTTP attempts, retries included
+	FetchRetries      *obs.Counter // failed attempts that were retried
+	FetchResumes      *obs.Counter // mid-body Range resumes the server honoured
+	FetchFailures     *obs.Counter // fetches that exhausted the retry budget
+	RetryAfterHonored *obs.Counter // retries delayed by a server Retry-After hint
+	RungDowngrades    *obs.Counter // session ladder downgrades after failed fetches
+	ChunksFailed      *obs.Counter // chunks skipped after the whole ladder failed
 
 	// Recorder receives "fetch_retry" (Label = error, V = attempt, Aux =
-	// bytes so far), "fetch_resume" (V = resume offset, Aux = chunk size)
-	// and "rung_downgrade" (V = chunk index, Aux = rung degraded from)
+	// bytes so far), "fetch_resume" (V = resume offset, Aux = chunk size),
+	// "fetch_retry_after" (V = honoured delay seconds, Aux = attempt) and
+	// "rung_downgrade" (V = chunk index, Aux = rung degraded from)
 	// events. Nil skips events.
 	Recorder *obs.Recorder
 }
@@ -53,13 +55,14 @@ func NewClientMetrics(r *obs.Registry) *ClientMetrics {
 		return nil
 	}
 	return &ClientMetrics{
-		FetchAttempts:  r.Counter("cdn_fetch_attempts"),
-		FetchRetries:   r.Counter("cdn_fetch_retries"),
-		FetchResumes:   r.Counter("cdn_fetch_resumes"),
-		FetchFailures:  r.Counter("cdn_fetch_failures"),
-		RungDowngrades: r.Counter("cdn_rung_downgrades"),
-		ChunksFailed:   r.Counter("cdn_chunks_failed"),
-		Recorder:       r.Recorder(),
+		FetchAttempts:     r.Counter("cdn_fetch_attempts"),
+		FetchRetries:      r.Counter("cdn_fetch_retries"),
+		FetchResumes:      r.Counter("cdn_fetch_resumes"),
+		FetchFailures:     r.Counter("cdn_fetch_failures"),
+		RetryAfterHonored: r.Counter("cdn_fetch_retry_after_honored"),
+		RungDowngrades:    r.Counter("cdn_rung_downgrades"),
+		ChunksFailed:      r.Counter("cdn_chunks_failed"),
+		Recorder:          r.Recorder(),
 	}
 }
 

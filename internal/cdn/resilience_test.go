@@ -18,11 +18,11 @@ import (
 
 // fastRetry keeps retry tests quick: real backoff shape, millisecond scale.
 var fastRetry = RetryPolicy{
-	MaxAttempts: 4,
-	TTFBTimeout: 2 * time.Second,
+	MaxAttempts:  4,
+	TTFBTimeout:  2 * time.Second,
 	StallTimeout: time.Second,
-	BaseBackoff: time.Millisecond,
-	MaxBackoff:  5 * time.Millisecond,
+	BaseBackoff:  time.Millisecond,
+	MaxBackoff:   5 * time.Millisecond,
 }
 
 // newChaosServer wraps a cdn.Server in the chaos middleware and returns a
@@ -33,7 +33,7 @@ func newChaosServer(t *testing.T, cfg fault.ChaosConfig) (*httptest.Server, *Cli
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(chaos)
+	srv := hardenedServer(chaos)
 	t.Cleanup(srv.Close)
 	return srv, &Client{HTTP: srv.Client(), BaseURL: srv.URL, Retry: fastRetry, Seed: 1}
 }
@@ -80,7 +80,7 @@ func TestFetchTerminalOn4xx(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(chaos)
+	srv := hardenedServer(chaos)
 	t.Cleanup(srv.Close)
 	client := &Client{HTTP: srv.Client(), BaseURL: srv.URL, Retry: fastRetry}
 	res, err := client.FetchChunk(context.Background(), units.MB, pacing.NoPacing)
@@ -159,7 +159,7 @@ func TestFirstByteDeadline(t *testing.T) {
 		}
 		inner.ServeHTTP(w, r)
 	})
-	srv := httptest.NewServer(mux)
+	srv := hardenedServer(mux)
 	t.Cleanup(srv.Close)
 	client := &Client{HTTP: srv.Client(), BaseURL: srv.URL, Retry: fastRetry}
 	client.Retry.TTFBTimeout = 100 * time.Millisecond
@@ -206,7 +206,7 @@ func TestSessionDegradesThroughPermanentBlackout(t *testing.T) {
 		}
 		inner.ServeHTTP(w, r)
 	})
-	srv := httptest.NewServer(mux)
+	srv := hardenedServer(mux)
 	t.Cleanup(srv.Close)
 	client := &Client{HTTP: srv.Client(), BaseURL: srv.URL, Seed: 1, Retry: RetryPolicy{
 		MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
@@ -239,7 +239,7 @@ func TestSessionDegradesThroughPermanentBlackout(t *testing.T) {
 }
 
 func TestSessionFailFastPreservesOldBehaviour(t *testing.T) {
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	srv := hardenedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "down", http.StatusServiceUnavailable)
 	}))
 	t.Cleanup(srv.Close)
@@ -267,7 +267,7 @@ func TestChaosSessionDeterministicAcrossRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv := httptest.NewServer(chaos)
+		srv := hardenedServer(chaos)
 		defer srv.Close()
 		client := &Client{HTTP: srv.Client(), BaseURL: srv.URL, Retry: fastRetry, Seed: 3}
 		report, err := StreamSession(context.Background(), SessionConfig{

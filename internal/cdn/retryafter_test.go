@@ -1,0 +1,114 @@
+package cdn
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pacing"
+	"repro/internal/units"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		header string
+		want   time.Duration
+		ok     bool
+	}{
+		{"", 0, false},
+		{"3", 3 * time.Second, true},
+		{"  7  ", 7 * time.Second, true},
+		{"0", 0, true},
+		{"-1", 0, false},
+		{"999999999", 24 * time.Hour, true}, // absurd delays capped at a day
+		{"soon", 0, false},
+		{"1.5", 0, false}, // RFC 9110 allows integers only
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true}, // past date: retry now
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.header, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.header, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// retryAfterServer sheds the first `sheds` requests with 503 and the given
+// Retry-After header, then serves normally.
+func retryAfterServer(t *testing.T, sheds int64, retryAfter string) *Client {
+	t.Helper()
+	var n atomic.Int64
+	inner := &Server{}
+	srv := hardenedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= sheds {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return &Client{HTTP: srv.Client(), BaseURL: srv.URL, Seed: 1, Retry: RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  80 * time.Millisecond,
+	}}
+}
+
+func TestFetchHonoursRetryAfter(t *testing.T) {
+	// The server asks for a 1 s pause; the client's MaxBackoff (80 ms)
+	// clamps it, so the fetch succeeds after a bounded wait.
+	client := retryAfterServer(t, 1, "1")
+	start := time.Now()
+	res, err := client.FetchChunk(context.Background(), 100*units.KB, pacing.NoPacing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if res.Retries != 1 {
+		t.Errorf("retries = %d, want 1", res.Retries)
+	}
+	// The honoured (clamped) hint is 80 ms — far above the jittered
+	// exponential schedule this attempt count would produce (≤ 2 ms).
+	if elapsed < 75*time.Millisecond {
+		t.Errorf("fetch finished in %v; the Retry-After hint was not honoured", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("fetch took %v; the 1 s hint should have been clamped to MaxBackoff", elapsed)
+	}
+}
+
+func TestFetchRetryAfterHTTPDate(t *testing.T) {
+	// An HTTP-date a minute out also clamps to MaxBackoff.
+	client := retryAfterServer(t, 1, time.Now().Add(time.Minute).UTC().Format(http.TimeFormat))
+	start := time.Now()
+	if _, err := client.FetchChunk(context.Background(), 50*units.KB, pacing.NoPacing); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 75*time.Millisecond || elapsed > 5*time.Second {
+		t.Errorf("elapsed %v, want ≈ the 80 ms MaxBackoff clamp", elapsed)
+	}
+}
+
+func TestFetchMalformedRetryAfterFallsBack(t *testing.T) {
+	// Garbage hints are ignored: the jittered exponential backoff (≈ 1 ms
+	// base) runs instead, so recovery is fast.
+	client := retryAfterServer(t, 2, "whenever")
+	start := time.Now()
+	res, err := client.FetchChunk(context.Background(), 50*units.KB, pacing.NoPacing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 2 {
+		t.Errorf("retries = %d, want 2", res.Retries)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("fallback backoff took %v; malformed Retry-After should not stall the client", elapsed)
+	}
+}

@@ -11,6 +11,7 @@
 package cdn
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -146,7 +147,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		pw.metrics = m
 		out = pw
 	}
-	written, err := writeFiller(out, body, offset, w)
+	written, err := writeFiller(r.Context(), out, body, offset, w)
 	if m != nil {
 		m.BytesServed.Add(int64(written))
 		if err != nil {
@@ -171,8 +172,11 @@ func FillerByte(off int64) byte {
 // out, flushing as it goes so pacing is visible on the wire. It reports how
 // many bytes were written and the first write error — typically the client
 // disconnecting mid-body — mapping a stalled short write (n written, no
-// error) to io.ErrShortWrite rather than looping forever.
-func writeFiller(out io.Writer, n units.Bytes, offset units.Bytes, rw http.ResponseWriter) (units.Bytes, error) {
+// error) to io.ErrShortWrite rather than looping forever. The context is
+// checked between writes so a draining server's hard-cancel (request
+// contexts cancelled via the http.Server BaseContext) aborts a paced
+// stream at the next burst boundary instead of pacing to completion.
+func writeFiller(ctx context.Context, out io.Writer, n units.Bytes, offset units.Bytes, rw http.ResponseWriter) (units.Bytes, error) {
 	flusher, _ := rw.(http.Flusher)
 	// The buffer length is a multiple of the filler period, so reusing it
 	// for consecutive full writes keeps the offset alignment.
@@ -183,6 +187,9 @@ func writeFiller(out io.Writer, n units.Bytes, offset units.Bytes, rw http.Respo
 	var written int64
 	remaining := int64(n)
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return units.Bytes(written), fmt.Errorf("cdn: write chunk body: %w", err)
+		}
 		chunk := int64(len(buf))
 		if chunk > remaining {
 			chunk = remaining

@@ -168,8 +168,20 @@ func TestScenarioPresets(t *testing.T) {
 		if err := scn.Chaos.validate(); err != nil {
 			t.Errorf("%s: invalid chaos config: %v", name, err)
 		}
-		if scn.Path == nil && !scn.Chaos.Enabled() {
+		if scn.Path == nil && !scn.Chaos.Enabled() && !scn.Storm.Enabled() {
 			t.Errorf("%s: scenario injects nothing", name)
+		}
+		if scn.Storm != nil {
+			st := scn.Storm
+			if !st.Enabled() {
+				t.Errorf("%s: storm config present but not runnable", name)
+			}
+			if st.Fetchers <= st.MaxInFlight {
+				t.Errorf("%s: %d fetchers cannot overload a %d-deep window", name, st.Fetchers, st.MaxInFlight)
+			}
+			if st.MaxAttempts < 2 {
+				t.Errorf("%s: storm clients need a retry budget to drain the shed load", name)
+			}
 		}
 	}
 	if _, err := LookupScenario("no-such-scenario"); err == nil {

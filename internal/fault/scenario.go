@@ -19,6 +19,9 @@ type Scenario struct {
 	// Chaos is the HTTP chaos config (Seed left 0; callers stamp their run
 	// seed in). Zero when the scenario is path-only.
 	Chaos ChaosConfig
+	// Storm, when set, scripts a load-storm against a small admission
+	// window (see StormConfig); nil for scenarios without one.
+	Storm *StormConfig
 }
 
 // scenarios is the preset table. Magnitudes are chosen to sit far from the
@@ -80,6 +83,20 @@ var scenarios = map[string]Scenario{
 			StallDuration:   2 * time.Second,
 			SlowStartProb:   0.10,
 			SlowStartDelay:  150 * time.Millisecond,
+		},
+	},
+	"load-storm": {
+		Name:        "load-storm",
+		Description: "64 concurrent fetchers against an 8-deep admission window with an 8-deep queue; excess sheds with Retry-After",
+		Storm: &StormConfig{
+			Fetchers:     64,
+			MaxInFlight:  8,
+			MaxQueue:     8,
+			QueueTimeout: 2 * time.Second,
+			ChunkBytes:   256_000,
+			PaceRateBps:  20_000_000, // ~100 ms residency per admitted stream
+			RetryAfter:   1 * time.Second,
+			MaxAttempts:  12,
 		},
 	},
 	"hostile": {

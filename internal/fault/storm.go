@@ -1,0 +1,37 @@
+package fault
+
+import (
+	"time"
+)
+
+// StormConfig scripts a load-storm: many concurrent fetchers thrown at a
+// server whose admission window is deliberately small, so the overload
+// pipeline (admit → queue → shed with Retry-After) is exercised end to
+// end. The fault package only describes the storm; drivers live next to
+// the HTTP client (cmd/sammy-eval's storm experiment and the cdn overload
+// tests) because fault must not import cdn.
+type StormConfig struct {
+	// Fetchers is the number of concurrent clients.
+	Fetchers int
+	// MaxInFlight and MaxQueue size the admission window under test —
+	// much smaller than Fetchers, or there is no storm.
+	MaxInFlight int
+	MaxQueue    int
+	// QueueTimeout is the per-request admission queue deadline.
+	QueueTimeout time.Duration
+	// ChunkBytes is the size of each fetched chunk.
+	ChunkBytes int64
+	// PaceRateBps paces each admitted stream (0 = unpaced), giving
+	// admitted requests real residency so the window actually fills.
+	PaceRateBps int64
+	// RetryAfter is the shed hint the server advertises.
+	RetryAfter time.Duration
+	// MaxAttempts bounds each fetcher's retry budget; it must cover a few
+	// shed-and-retry rounds or the storm cannot drain.
+	MaxAttempts int
+}
+
+// Enabled reports whether the config describes a runnable storm.
+func (s *StormConfig) Enabled() bool {
+	return s != nil && s.Fetchers > 0 && s.MaxInFlight > 0
+}

@@ -1,0 +1,106 @@
+// Package leakcheck is a zero-dependency goroutine-leak assertion for
+// server test suites: snapshot the goroutine population at the start of a
+// test, and fail — with full stacks — if extra goroutines survive the
+// test's cleanup.
+//
+// Call it FIRST in a test, before starting servers or clients:
+//
+//	func TestServer(t *testing.T) {
+//	    leakcheck.Check(t)
+//	    ...
+//	}
+//
+// t.Cleanup functions run last-registered-first, so registering the check
+// before the server's own cleanups means it observes the world after the
+// server shut down. Goroutines legitimately take a moment to unwind
+// (connection readers draining, timers firing), so the check polls with a
+// grace period before declaring a leak.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check registers a cleanup that fails t if the test leaves goroutines
+// behind. The comparison ignores goroutines that already existed when
+// Check was called and the runtime/testing housekeeping goroutines that
+// come and go on their own.
+func Check(t testing.TB) {
+	t.Helper()
+	before := interesting()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range interesting() {
+				if _, ok := before[id]; !ok {
+					leaked = append(leaked, stack)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s",
+			len(leaked), strings.Join(leaked, "\n"))
+	})
+}
+
+// interesting snapshots the current goroutines as id → stack, filtering
+// out ones no test can be blamed for.
+func interesting() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" || boring(g) {
+			continue
+		}
+		// First line: "goroutine 123 [chan receive]:" — the id is stable
+		// for the goroutine's lifetime, so it keys the before/after diff.
+		id := g
+		if i := strings.Index(g, " ["); i > 0 {
+			id = g[:i]
+		}
+		out[id] = g
+	}
+	return out
+}
+
+// boring reports whether the stack belongs to runtime/testing plumbing or
+// to this package's own polling.
+func boring(stack string) bool {
+	for _, marker := range []string{
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.RunTests",
+		"testing.tRunner",
+		"runtime.goexit0",
+		"created by runtime.gc",
+		"runtime.MHeap_Scavenger",
+		"signal.signal_recv",
+		"runtime.ensureSigM",
+		"leakcheck.interesting",
+		"os/signal.loop",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckToleratesTransientGoroutines(t *testing.T) {
+	Check(t)
+	// A goroutine that exits shortly after the test body: the checker's
+	// grace window must absorb it instead of reporting a leak.
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+}
+
+func TestBoringFiltersRuntimeGoroutines(t *testing.T) {
+	cases := []struct {
+		stack string
+		want  bool
+	}{
+		{"goroutine 1 [running]:\ntesting.(*T).Run(...)", true},
+		{"goroutine 7 [syscall]:\nos/signal.signal_recv(...)", true},
+		{"goroutine 12 [select]:\nrepro/internal/cdn.(*Client).FetchChunk(...)", false},
+	}
+	for _, tc := range cases {
+		if got := boring(tc.stack); got != tc.want {
+			head, _, _ := strings.Cut(tc.stack, "\n")
+			t.Errorf("boring(%q...) = %v, want %v", head, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package overload
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics holds the overload layer's observability hooks. A nil *Metrics
+// (the default) keeps the layer uninstrumented; obs types no-op on nil
+// fields, so a partially populated struct is safe too.
+type Metrics struct {
+	Admitted *obs.Counter // requests granted an admission slot (queued or not)
+	Queued   *obs.Counter // requests that had to wait in the FIFO queue
+	Shed     *obs.Counter // all rejections (by-reason counters below)
+
+	ShedQueueFull    *obs.Counter // rejected because the wait queue was full
+	ShedQueueTimeout *obs.Counter // shed after their queue deadline fired
+	ShedDraining     *obs.Counter // rejected (or flushed from the queue) during drain
+	RateLimited      *obs.Counter // rejected by the per-client token bucket (429)
+	StallKills       *obs.Counter // streams killed by the per-write stall watchdog
+
+	InFlight     *obs.Gauge // currently admitted requests
+	InFlightPeak *obs.Gauge // high-water mark of InFlight
+	QueueDepth   *obs.Gauge // currently queued requests
+
+	QueueWaitMs *obs.Histogram // admission queue wait per admitted request
+
+	// Recorder receives "overload_shed" (Subj = reason, V = Retry-After
+	// seconds), "overload_rate_limited" (Subj = client key, V = wait
+	// seconds), "overload_stall_kill" (Subj = remote addr, V = bytes
+	// written before the kill) and "overload_drain_start" (V = queued
+	// requests flushed) events. Nil skips events.
+	Recorder *obs.Recorder
+}
+
+// NewMetrics builds overload metrics wired to registry r (nil r yields
+// nil, keeping instrumentation off).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Admitted:         r.Counter("overload_admitted"),
+		Queued:           r.Counter("overload_queued"),
+		Shed:             r.Counter("overload_shed"),
+		ShedQueueFull:    r.Counter("overload_shed_queue_full"),
+		ShedQueueTimeout: r.Counter("overload_shed_queue_timeout"),
+		ShedDraining:     r.Counter("overload_shed_draining"),
+		RateLimited:      r.Counter("overload_rate_limited"),
+		StallKills:       r.Counter("overload_stall_kills"),
+		InFlight:         r.Gauge("overload_inflight"),
+		InFlightPeak:     r.Gauge("overload_inflight_peak"),
+		QueueDepth:       r.Gauge("overload_queue_depth"),
+		// Queue waits: 1 ms … ~30 s.
+		QueueWaitMs: r.Histogram("overload_queue_wait_ms", obs.ExpBuckets(1, 1.7, 20)),
+		Recorder:    r.Recorder(),
+	}
+}

@@ -1,0 +1,113 @@
+package overload
+
+import (
+	"errors"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ClientIDHeader lets a fronting proxy (or a test) pin the rate-limit key
+// explicitly; without it the key is the request's remote IP.
+const ClientIDHeader = "X-Sammy-Client-Id"
+
+// clientKey derives the per-client rate-limit key for r.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get(ClientIDHeader); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds renders d as a Retry-After header value: integer
+// seconds, rounded up, at least 1 (RFC 9110 allows 0 but a 0 invites an
+// immediate retry storm, the thing shedding exists to prevent).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// writeShed sends the rejection response for e with its Retry-After hint.
+func writeShed(w http.ResponseWriter, e *ShedError) {
+	status := http.StatusServiceUnavailable
+	if e.Reason == ReasonRateLimited {
+		status = http.StatusTooManyRequests
+	}
+	w.Header().Set("Retry-After", retryAfterSeconds(e.RetryAfter))
+	w.Header().Set("X-Sammy-Shed", e.Reason)
+	http.Error(w, "overload: "+e.Reason, status)
+}
+
+// Middleware wraps next with the full protection pipeline: per-client rate
+// limiting (429), admission control with FIFO queueing (503 + Retry-After
+// on shed), and the per-write stall watchdog on admitted responses.
+// Draining controllers shed everything, which together with the Readyz
+// handler implements graceful shutdown.
+func (c *Controller) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := c.Metrics
+		if c.limiter != nil {
+			key := clientKey(r)
+			if ok, wait := c.limiter.Allow(key); !ok {
+				if m != nil {
+					m.RateLimited.Inc()
+					m.Shed.Inc()
+					m.Recorder.Record("overload_rate_limited", key, wait.Seconds(), 0)
+				}
+				writeShed(w, &ShedError{Reason: ReasonRateLimited, RetryAfter: wait})
+				return
+			}
+		}
+		release, err := c.Acquire(r.Context())
+		if err != nil {
+			var serr *ShedError
+			if !errors.As(err, &serr) {
+				// Client went away while queued; nothing useful to write.
+				serr = &ShedError{Reason: ReasonQueueTimeout, RetryAfter: c.cfg.RetryAfter}
+			}
+			writeShed(w, serr)
+			return
+		}
+		defer release()
+		if c.cfg.StallTimeout > 0 {
+			w = newStallWriter(w, c.cfg.StallTimeout, func(written int64) {
+				if m != nil {
+					m.StallKills.Inc()
+					m.Recorder.Record("overload_stall_kill", r.RemoteAddr, float64(written), 0)
+				}
+			})
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Healthz is the liveness endpoint: 200 as long as the process serves
+// requests at all, draining included (drain is a healthy state).
+func (c *Controller) Healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// Readyz is the readiness endpoint: 200 "ok" while accepting work, 503
+// "draining" once StartDraining has been called, so load balancers stop
+// routing new sessions while in-flight paced streams finish.
+func (c *Controller) Readyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if c.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,180 @@
+package overload
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+)
+
+func TestMiddlewareShedsWithRetryAfter(t *testing.T) {
+	leakcheck.Check(t)
+	c, m, _ := newTestController(t, Config{MaxInFlight: 1, MaxQueue: -1, RetryAfter: 3 * time.Second})
+
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	handler := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-unblock
+		w.WriteHeader(http.StatusOK)
+	}))
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := srv.Client().Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	// Admission window full, queueing disabled: this request sheds.
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", got)
+	}
+	if got := resp.Header.Get("X-Sammy-Shed"); got != ReasonQueueFull {
+		t.Errorf("X-Sammy-Shed = %q, want %q", got, ReasonQueueFull)
+	}
+	if m.ShedQueueFull.Value() != 1 {
+		t.Errorf("queue-full sheds = %d, want 1", m.ShedQueueFull.Value())
+	}
+	close(unblock)
+	wg.Wait()
+}
+
+func TestMiddlewareRateLimits(t *testing.T) {
+	leakcheck.Check(t)
+	c, m, _ := newTestController(t, Config{MaxInFlight: 8, PerClientRPS: 0.001, PerClientBurst: 2})
+	srv := httptest.NewServer(c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	t.Cleanup(srv.Close)
+
+	get := func(id string) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(ClientIDHeader, id)
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	for i := 0; i < 2; i++ {
+		if resp := get("greedy"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := get("greedy")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+	// A different client is untouched by the greedy one's bucket.
+	if resp := get("polite"); resp.StatusCode != http.StatusOK {
+		t.Errorf("independent client got %d", resp.StatusCode)
+	}
+	if m.RateLimited.Value() != 1 {
+		t.Errorf("rate-limited = %d, want 1", m.RateLimited.Value())
+	}
+}
+
+func TestMiddlewareDrainingSheds(t *testing.T) {
+	leakcheck.Check(t)
+	c, _, _ := newTestController(t, Config{MaxInFlight: 4})
+	srv := httptest.NewServer(c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	t.Cleanup(srv.Close)
+
+	c.StartDraining()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status during drain = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Sammy-Shed"); got != ReasonDraining {
+		t.Errorf("X-Sammy-Shed = %q, want %q", got, ReasonDraining)
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	c, _, _ := newTestController(t, Config{})
+	check := func(h http.HandlerFunc, want int, wantBody string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+		if rec.Code != want {
+			t.Errorf("status = %d, want %d", rec.Code, want)
+		}
+		if rec.Body.String() != wantBody {
+			t.Errorf("body = %q, want %q", rec.Body.String(), wantBody)
+		}
+	}
+	check(c.Healthz, http.StatusOK, "ok\n")
+	check(c.Readyz, http.StatusOK, "ok\n")
+	c.StartDraining()
+	check(c.Healthz, http.StatusOK, "ok\n") // liveness survives drain
+	check(c.Readyz, http.StatusServiceUnavailable, "draining\n")
+}
+
+func TestStallWriterFallsBackWithoutDeadlineSupport(t *testing.T) {
+	// httptest.ResponseRecorder has no underlying conn, so SetWriteDeadline
+	// fails; the watchdog must disable itself, not break the response.
+	rec := httptest.NewRecorder()
+	stalls := 0
+	sw := newStallWriter(rec, 50*time.Millisecond, func(int64) { stalls++ })
+	if _, err := sw.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if !sw.disabled {
+		t.Error("watchdog should disable itself on unsupported writers")
+	}
+	if rec.Body.String() != "hello" || stalls != 0 {
+		t.Errorf("body = %q, stalls = %d", rec.Body.String(), stalls)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{200 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1100 * time.Millisecond, "2"},
+		{5 * time.Second, "5"},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+// Package overload is the pacing edge server's self-protection layer.
+//
+// Sammy deliberately holds connections open longer than serving at line
+// rate would — the server honours an application-chosen pace rate, so
+// per-request residency grows with the pace budget, and concurrent-stream
+// pressure grows with load. Without back-pressure an overloaded edge
+// degrades for everyone at once (the "Probe and Adapt" failure mode at a
+// shared bottleneck). This package bounds the damage with four mechanisms,
+// applied in order on every request:
+//
+//  1. A per-client token-bucket rate limiter (keyed by client IP or ID,
+//     LRU-evicted) turns one greedy client into a 429, not a global slowdown.
+//  2. An admission controller caps concurrent paced streams and parks the
+//     next arrivals in a bounded FIFO queue, each with its own queue
+//     deadline.
+//  3. Load shedding rejects with 503 + Retry-After once the queue is full
+//     (or the deadline fires), so excess load spreads out in time instead
+//     of retry-storming.
+//  4. A per-write stall watchdog (http.ResponseController write deadlines)
+//     kills streams whose receiver stops reading, so a slow reader cannot
+//     pin an admitted slot forever. Re-arming the deadline on every write
+//     is what lets a long paced stream coexist with a finite
+//     http.Server.WriteTimeout: progress extends the deadline, stalls
+//     don't.
+//
+// The Controller also owns lifecycle state: StartDraining flips /readyz to
+// draining and sheds all new and queued work while in-flight streams
+// finish, which is how the edge binary implements graceful shutdown.
+//
+// Everything is zero-dependency and instrumented through internal/obs; a
+// nil *Metrics keeps the hot path at one pointer comparison per decision.
+package overload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Default limits. They are deliberately generous: the point of defaults is
+// to bound pathology, not to tune capacity — deployments size MaxInFlight
+// to their pace budget (aggregate pace rate × residency).
+const (
+	DefaultMaxInFlight  = 256
+	DefaultMaxQueue     = 64
+	DefaultQueueTimeout = 5 * time.Second
+	DefaultRetryAfter   = 1 * time.Second
+	DefaultMaxClients   = 1024
+)
+
+// Config parameterizes a Controller. The zero value takes every default;
+// PerClientRPS is opt-in (0 disables the rate limiter).
+type Config struct {
+	// MaxInFlight caps concurrently admitted requests. Default 256.
+	MaxInFlight int
+	// MaxQueue caps requests waiting for an admission slot beyond
+	// MaxInFlight. Negative disables queueing (arrivals beyond the limit
+	// shed immediately); 0 takes the default 64.
+	MaxQueue int
+	// QueueTimeout is the per-request queue deadline: a request still
+	// queued after this long is shed. Default 5 s.
+	QueueTimeout time.Duration
+	// RetryAfter is the hint sent with shed responses. It is a baseline:
+	// queue-full sheds scale it by queue pressure so a deeper backlog
+	// pushes retries further out. Default 1 s.
+	RetryAfter time.Duration
+	// PerClientRPS enables the per-client token bucket at this sustained
+	// request rate. 0 (the default) disables per-client limiting.
+	PerClientRPS float64
+	// PerClientBurst is the bucket depth; default max(1, 2×PerClientRPS).
+	PerClientBurst float64
+	// MaxClients bounds the rate limiter's client table; the least
+	// recently seen client is evicted at the cap. Default 1024.
+	MaxClients int
+	// StallTimeout is the per-write progress deadline applied to admitted
+	// responses: a write that cannot complete within it kills the stream.
+	// 0 disables the watchdog.
+	StallTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	switch {
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	case c.MaxQueue == 0:
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = DefaultQueueTimeout
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	if c.PerClientBurst <= 0 {
+		c.PerClientBurst = 2 * c.PerClientRPS
+		if c.PerClientBurst < 1 {
+			c.PerClientBurst = 1
+		}
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = DefaultMaxClients
+	}
+	return c
+}
+
+// Shed reasons, also used as the Subj of "overload_shed" events.
+const (
+	ReasonQueueFull    = "queue-full"
+	ReasonQueueTimeout = "queue-timeout"
+	ReasonDraining     = "draining"
+	ReasonRateLimited  = "rate-limited"
+)
+
+// ShedError reports a rejected request together with the retry hint the
+// server should advertise.
+type ShedError struct {
+	Reason     string        // one of the Reason* constants
+	RetryAfter time.Duration // suggested client wait before retrying
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("overload: shed (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// ErrDraining is the ShedError unwrap target for drain rejections.
+var ErrDraining = errors.New("overload: draining")
+
+func (e *ShedError) Unwrap() error {
+	if e.Reason == ReasonDraining {
+		return ErrDraining
+	}
+	return nil
+}
+
+// waiter is one queued admission request. Its fate is decided exactly once
+// under the controller mutex: granted a slot, shed, or cancelled by its
+// own deadline/context.
+type waiter struct {
+	ready   chan *ShedError // buffered 1; nil value = slot granted
+	decided bool
+	granted bool
+}
+
+// Controller is the admission controller: at most MaxInFlight requests run
+// concurrently, up to MaxQueue more wait FIFO, the rest shed. It is safe
+// for concurrent use. The zero value is not usable; construct with New.
+type Controller struct {
+	cfg     Config
+	limiter *RateLimiter
+
+	// Metrics receives admission telemetry; nil disables instrumentation.
+	Metrics *Metrics
+
+	mu       sync.Mutex
+	inflight int
+	queued   int
+	queue    []*waiter
+	head     int
+	draining bool
+}
+
+// New builds a Controller from cfg (zero fields take the documented
+// defaults) with metrics m (nil disables instrumentation).
+func New(cfg Config, m *Metrics) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{cfg: cfg, Metrics: m}
+	if cfg.PerClientRPS > 0 {
+		c.limiter = NewRateLimiter(cfg.PerClientRPS, cfg.PerClientBurst, cfg.MaxClients)
+	}
+	return c
+}
+
+func (c *Controller) lock()   { c.mu.Lock() }
+func (c *Controller) unlock() { c.mu.Unlock() }
+
+// Config reports the controller's effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// InFlight reports the number of currently admitted requests.
+func (c *Controller) InFlight() int {
+	c.lock()
+	defer c.unlock()
+	return c.inflight
+}
+
+// Queued reports the number of requests currently waiting for admission.
+func (c *Controller) Queued() int {
+	c.lock()
+	defer c.unlock()
+	return c.queued
+}
+
+// Draining reports whether StartDraining has been called.
+func (c *Controller) Draining() bool {
+	c.lock()
+	defer c.unlock()
+	return c.draining
+}
+
+// StartDraining flips the controller into drain mode: every queued request
+// is shed immediately and all future Acquire calls are rejected with
+// ReasonDraining, while already-admitted requests keep their slots until
+// they Release. It is idempotent.
+func (c *Controller) StartDraining() {
+	c.lock()
+	if c.draining {
+		c.unlock()
+		return
+	}
+	c.draining = true
+	shed := 0
+	for {
+		w := c.pop()
+		if w == nil {
+			break
+		}
+		w.decided = true
+		c.queued--
+		shed++
+		w.ready <- &ShedError{Reason: ReasonDraining, RetryAfter: c.cfg.RetryAfter}
+	}
+	m := c.Metrics
+	c.gauges()
+	c.unlock()
+	if m != nil {
+		m.ShedDraining.Add(int64(shed))
+		m.Shed.Add(int64(shed))
+		m.Recorder.Record("overload_drain_start", "", float64(shed), 0)
+	}
+}
+
+// Acquire admits the request, waiting in the FIFO queue if the controller
+// is at capacity. On success it returns a release function that MUST be
+// called exactly once when the request finishes. On rejection it returns a
+// *ShedError carrying the reason and retry hint. ctx cancellation while
+// queued counts as a queue timeout for accounting purposes but reports
+// ctx.Err-flavoured shedding so callers can tell the difference.
+func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
+	m := c.Metrics
+	c.lock()
+	if c.draining {
+		c.unlock()
+		return nil, c.shed(ReasonDraining, c.cfg.RetryAfter)
+	}
+	if c.inflight < c.cfg.MaxInFlight {
+		c.inflight++
+		c.gauges()
+		c.unlock()
+		if m != nil {
+			m.Admitted.Inc()
+			m.QueueWaitMs.Observe(0)
+		}
+		return c.release, nil
+	}
+	if c.queued >= c.cfg.MaxQueue {
+		// Scale the hint by backlog: a full queue behind a full admission
+		// window means roughly one "service generation" per queue refill.
+		hint := c.cfg.RetryAfter
+		c.unlock()
+		return nil, c.shed(ReasonQueueFull, hint)
+	}
+	w := &waiter{ready: make(chan *ShedError, 1)}
+	c.push(w)
+	c.queued++
+	c.gauges()
+	c.unlock()
+	if m != nil {
+		m.Queued.Inc()
+	}
+
+	enqueued := time.Now()
+	timer := time.NewTimer(c.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case serr := <-w.ready:
+		if serr != nil {
+			// Shed while queued (drain); already counted by StartDraining.
+			return nil, serr
+		}
+		if m != nil {
+			m.Admitted.Inc()
+			m.QueueWaitMs.Observe(float64(time.Since(enqueued).Milliseconds()))
+		}
+		return c.release, nil
+	case <-timer.C:
+		if serr, granted := c.abandon(w); !granted {
+			if serr != nil { // drain raced the deadline; already counted
+				return nil, serr
+			}
+			return nil, c.shed(ReasonQueueTimeout, c.cfg.RetryAfter)
+		}
+		// The slot was granted between the timer firing and our lock:
+		// admission won the race, use it.
+		if m != nil {
+			m.Admitted.Inc()
+			m.QueueWaitMs.Observe(float64(time.Since(enqueued).Milliseconds()))
+		}
+		return c.release, nil
+	case <-ctx.Done():
+		if serr, granted := c.abandon(w); granted {
+			// We own a slot but the caller is gone; hand it back.
+			c.release()
+		} else if serr != nil { // drain raced the cancellation
+			return nil, serr
+		}
+		return nil, fmt.Errorf("overload: cancelled while queued: %w", ctx.Err())
+	}
+}
+
+// abandon marks a queued waiter as no longer waiting. It reports whether a
+// slot had already been granted (the caller now owns it), or the shed
+// decision that raced the abandonment, if any.
+func (c *Controller) abandon(w *waiter) (*ShedError, bool) {
+	c.lock()
+	defer c.unlock()
+	if w.decided {
+		// The other side already delivered a verdict into the buffered
+		// channel; collect it without blocking.
+		select {
+		case serr := <-w.ready:
+			if serr != nil {
+				return serr, false
+			}
+			return nil, true
+		default:
+			// decided but nothing in the channel: we already consumed the
+			// grant in the select; treat as granted.
+			return nil, w.granted
+		}
+	}
+	w.decided = true
+	c.queued--
+	c.gauges()
+	return nil, false
+}
+
+// release returns an admission slot, handing it to the oldest live waiter
+// if one exists.
+func (c *Controller) release() {
+	c.lock()
+	for {
+		w := c.pop()
+		if w == nil {
+			c.inflight--
+			break
+		}
+		if w.decided { // cancelled or shed while queued; skip
+			continue
+		}
+		w.decided = true
+		w.granted = true
+		c.queued--
+		w.ready <- nil // slot transferred, inflight unchanged
+		break
+	}
+	c.gauges()
+	c.unlock()
+}
+
+// shed counts and wraps a rejection.
+func (c *Controller) shed(reason string, retryAfter time.Duration) error {
+	return c.shedErr(&ShedError{Reason: reason, RetryAfter: retryAfter})
+}
+
+func (c *Controller) shedErr(e *ShedError) error {
+	if m := c.Metrics; m != nil {
+		m.Shed.Inc()
+		switch e.Reason {
+		case ReasonQueueFull:
+			m.ShedQueueFull.Inc()
+		case ReasonQueueTimeout:
+			m.ShedQueueTimeout.Inc()
+		case ReasonDraining:
+			m.ShedDraining.Inc()
+		}
+		m.Recorder.Record("overload_shed", e.Reason, e.RetryAfter.Seconds(), 0)
+	}
+	return e
+}
+
+// gauges refreshes the in-flight/queue gauges; callers hold the lock.
+func (c *Controller) gauges() {
+	if m := c.Metrics; m != nil {
+		m.InFlight.Set(float64(c.inflight))
+		m.InFlightPeak.SetMax(float64(c.inflight))
+		m.QueueDepth.Set(float64(c.queued))
+	}
+}
+
+// push appends w to the FIFO.
+func (c *Controller) push(w *waiter) {
+	c.queue = append(c.queue, w)
+}
+
+// pop removes and returns the oldest waiter, nil when empty. The backing
+// slice is compacted once the dead prefix dominates.
+func (c *Controller) pop() *waiter {
+	if c.head == len(c.queue) {
+		if c.head > 0 {
+			c.queue = c.queue[:0]
+			c.head = 0
+		}
+		return nil
+	}
+	w := c.queue[c.head]
+	c.queue[c.head] = nil
+	c.head++
+	if c.head > 32 && c.head*2 >= len(c.queue) {
+		n := copy(c.queue, c.queue[c.head:])
+		c.queue = c.queue[:n]
+		c.head = 0
+	}
+	return w
+}

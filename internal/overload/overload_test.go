@@ -1,0 +1,294 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/internal/obs"
+)
+
+func newTestController(t *testing.T, cfg Config) (*Controller, *Metrics, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.SetRecorder(obs.NewRecorder(256))
+	m := NewMetrics(reg)
+	return New(cfg, m), m, reg
+}
+
+func TestAcquireWithinLimit(t *testing.T) {
+	c, m, _ := newTestController(t, Config{MaxInFlight: 2})
+	r1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.InFlight(); got != 2 {
+		t.Errorf("InFlight = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := c.InFlight(); got != 0 {
+		t.Errorf("InFlight after release = %d, want 0", got)
+	}
+	if got := m.Admitted.Value(); got != 2 {
+		t.Errorf("admitted = %d, want 2", got)
+	}
+	if got := m.InFlightPeak.Value(); got != 2 {
+		t.Errorf("inflight peak = %v, want 2", got)
+	}
+}
+
+func TestQueueGrantsFIFO(t *testing.T) {
+	leakcheck.Check(t)
+	c, _, _ := newTestController(t, Config{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 5 * time.Second})
+	hold, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue two waiters in a known order; starts are sequenced so A is in
+	// the FIFO before B arrives.
+	var order []string
+	var mu sync.Mutex
+	done := make(chan struct{}, 2)
+	enqueue := func(name string) {
+		go func() {
+			rel, err := c.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				done <- struct{}{}
+				return
+			}
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			rel()
+			done <- struct{}{}
+		}()
+	}
+	enqueue("A")
+	waitFor(t, func() bool { return c.Queued() == 1 })
+	enqueue("B")
+	waitFor(t, func() bool { return c.Queued() == 2 })
+
+	hold() // hands the slot to A; A's release hands it to B
+	<-done
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "A" || order[1] != "B" {
+		t.Errorf("grant order = %v, want [A B]", order)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	leakcheck.Check(t)
+	c, m, _ := newTestController(t, Config{MaxInFlight: 1, MaxQueue: 1, QueueTimeout: 5 * time.Second, RetryAfter: 2 * time.Second})
+	hold, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queued := make(chan error, 1)
+	go func() {
+		rel, err := c.Acquire(ctx)
+		if rel != nil {
+			rel()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { return c.Queued() == 1 })
+
+	_, err = c.Acquire(context.Background())
+	var serr *ShedError
+	if !errors.As(err, &serr) {
+		t.Fatalf("err = %v, want *ShedError", err)
+	}
+	if serr.Reason != ReasonQueueFull {
+		t.Errorf("reason = %q, want %q", serr.Reason, ReasonQueueFull)
+	}
+	if serr.RetryAfter != 2*time.Second {
+		t.Errorf("retry after = %v, want 2s", serr.RetryAfter)
+	}
+	if m.ShedQueueFull.Value() != 1 || m.Shed.Value() != 1 {
+		t.Errorf("shed counters = %d/%d, want 1/1", m.ShedQueueFull.Value(), m.Shed.Value())
+	}
+	cancel()
+	if err := <-queued; err == nil {
+		t.Error("cancelled queued acquire should error")
+	}
+}
+
+func TestQueueTimeoutSheds(t *testing.T) {
+	leakcheck.Check(t)
+	c, m, _ := newTestController(t, Config{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 30 * time.Millisecond})
+	hold, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+
+	start := time.Now()
+	_, err = c.Acquire(context.Background())
+	var serr *ShedError
+	if !errors.As(err, &serr) || serr.Reason != ReasonQueueTimeout {
+		t.Fatalf("err = %v, want queue-timeout shed", err)
+	}
+	if waited := time.Since(start); waited < 25*time.Millisecond {
+		t.Errorf("shed after %v, before the queue deadline", waited)
+	}
+	if m.ShedQueueTimeout.Value() != 1 {
+		t.Errorf("queue-timeout sheds = %d, want 1", m.ShedQueueTimeout.Value())
+	}
+	if got := c.Queued(); got != 0 {
+		t.Errorf("Queued after timeout = %d, want 0", got)
+	}
+}
+
+func TestDrainingShedsNewAndQueued(t *testing.T) {
+	leakcheck.Check(t)
+	c, m, _ := newTestController(t, Config{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 5 * time.Second})
+	hold, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queued := make(chan error, 1)
+	go func() {
+		rel, err := c.Acquire(context.Background())
+		if rel != nil {
+			rel()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { return c.Queued() == 1 })
+
+	c.StartDraining()
+	c.StartDraining() // idempotent
+	if !c.Draining() {
+		t.Fatal("Draining() = false after StartDraining")
+	}
+
+	// The queued waiter is flushed with a drain shed...
+	err = <-queued
+	var serr *ShedError
+	if !errors.As(err, &serr) || serr.Reason != ReasonDraining {
+		t.Fatalf("queued err = %v, want draining shed", err)
+	}
+	if !errors.Is(err, ErrDraining) {
+		t.Error("drain shed should unwrap to ErrDraining")
+	}
+	// ...new arrivals are rejected outright...
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Errorf("new acquire during drain = %v, want ErrDraining", err)
+	}
+	// ...and the in-flight holder keeps its slot until it releases.
+	if got := c.InFlight(); got != 1 {
+		t.Errorf("InFlight during drain = %d, want 1", got)
+	}
+	hold()
+	if got := c.InFlight(); got != 0 {
+		t.Errorf("InFlight after drain release = %d, want 0", got)
+	}
+	if got := m.ShedDraining.Value(); got != 2 {
+		t.Errorf("draining sheds = %d, want 2", got)
+	}
+}
+
+func TestAcquireStorm(t *testing.T) {
+	// A storm of goroutines against a small window: in-flight must never
+	// exceed the limit and accounting must balance exactly.
+	leakcheck.Check(t)
+	const limit, workers = 4, 64
+	c, m, _ := newTestController(t, Config{MaxInFlight: limit, MaxQueue: 8, QueueTimeout: 50 * time.Millisecond})
+
+	var (
+		cur, peak, admitted, shed atomic.Int64
+		wg                        sync.WaitGroup
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := c.Acquire(context.Background())
+			if err != nil {
+				shed.Add(1)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			admitted.Add(1)
+			rel()
+		}()
+	}
+	wg.Wait()
+
+	if p := peak.Load(); p > limit {
+		t.Errorf("observed %d concurrent admissions, limit %d", p, limit)
+	}
+	if a, s := admitted.Load(), shed.Load(); a+s != workers {
+		t.Errorf("admitted %d + shed %d != %d workers", a, s, workers)
+	}
+	if got := c.InFlight(); got != 0 {
+		t.Errorf("InFlight after storm = %d, want 0", got)
+	}
+	if got := c.Queued(); got != 0 {
+		t.Errorf("Queued after storm = %d, want 0", got)
+	}
+	if m.Admitted.Value()+m.Shed.Value() != workers {
+		t.Errorf("metrics admitted %d + shed %d != %d",
+			m.Admitted.Value(), m.Shed.Value(), workers)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MaxInFlight != DefaultMaxInFlight || cfg.MaxQueue != DefaultMaxQueue ||
+		cfg.QueueTimeout != DefaultQueueTimeout || cfg.RetryAfter != DefaultRetryAfter {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.PerClientBurst != 1 {
+		t.Errorf("PerClientBurst default = %v, want 1", cfg.PerClientBurst)
+	}
+	if got := (Config{MaxQueue: -1}).withDefaults().MaxQueue; got != 0 {
+		t.Errorf("MaxQueue -1 → %d, want 0 (queueing disabled)", got)
+	}
+}
+
+func TestShedErrorMessage(t *testing.T) {
+	e := &ShedError{Reason: ReasonQueueFull, RetryAfter: time.Second}
+	want := fmt.Sprintf("overload: shed (%s), retry after 1s", ReasonQueueFull)
+	if e.Error() != want {
+		t.Errorf("Error() = %q, want %q", e.Error(), want)
+	}
+}

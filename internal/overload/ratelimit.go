@@ -1,0 +1,92 @@
+package overload
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-client token-bucket limiter with an LRU-bounded
+// client table. Each key gets an independent bucket refilled at rate
+// tokens/second up to burst; when the table exceeds maxClients the least
+// recently seen client is evicted (a returning evicted client starts with
+// a full bucket — the limiter bounds sustained abuse, not total history).
+//
+// It is safe for concurrent use.
+type RateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	max   int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	now     func() time.Time
+}
+
+// bucket is one client's token state.
+type bucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter allowing rate requests/second with the
+// given burst per client, tracking at most maxClients clients.
+func NewRateLimiter(rate, burst float64, maxClients int) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if maxClients <= 0 {
+		maxClients = DefaultMaxClients
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   burst,
+		max:     maxClients,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		now:     time.Now,
+	}
+}
+
+// Allow consumes one token from key's bucket. It reports whether the
+// request may proceed; when denied, wait is how long until a token accrues
+// (the Retry-After hint).
+func (l *RateLimiter) Allow(key string) (allowed bool, wait time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+
+	el, ok := l.entries[key]
+	if !ok {
+		for l.lru.Len() >= l.max {
+			oldest := l.lru.Back()
+			l.lru.Remove(oldest)
+			delete(l.entries, oldest.Value.(*bucket).key)
+		}
+		el = l.lru.PushFront(&bucket{key: key, tokens: l.burst, last: now})
+		l.entries[key] = el
+	} else {
+		l.lru.MoveToFront(el)
+	}
+
+	b := el.Value.(*bucket)
+	b.tokens += l.rate * now.Sub(b.last).Seconds()
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// Clients reports how many client buckets are currently tracked.
+func (l *RateLimiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lru.Len()
+}

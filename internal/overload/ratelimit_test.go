@@ -1,0 +1,81 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock gives the limiter a deterministic time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+func withClock(l *RateLimiter, c *fakeClock) { l.now = c.now }
+
+func TestRateLimiterBurstThenRefill(t *testing.T) {
+	clock := newFakeClock()
+	l := NewRateLimiter(2, 2, 16) // 2 rps, burst 2
+	withClock(l, clock)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, wait := l.Allow("a")
+	if ok {
+		t.Fatal("third immediate request should be denied")
+	}
+	if wait <= 0 || wait > 500*time.Millisecond {
+		t.Errorf("wait hint = %v, want (0, 500ms] at 2 rps", wait)
+	}
+
+	clock.advance(500 * time.Millisecond) // one token accrues
+	if ok, _ := l.Allow("a"); !ok {
+		t.Error("request after refill denied")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Error("bucket should be empty again")
+	}
+}
+
+func TestRateLimiterKeysAreIndependent(t *testing.T) {
+	clock := newFakeClock()
+	l := NewRateLimiter(1, 1, 16)
+	withClock(l, clock)
+
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("a's first request denied")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("a's second request allowed")
+	}
+	if ok, _ := l.Allow("b"); !ok {
+		t.Error("b should have its own bucket")
+	}
+}
+
+func TestRateLimiterLRUEviction(t *testing.T) {
+	clock := newFakeClock()
+	l := NewRateLimiter(0.001, 1, 2) // near-zero refill: buckets stay empty once used
+	withClock(l, clock)
+
+	l.Allow("a")
+	l.Allow("b")
+	if ok, _ := l.Allow("a"); ok { // a's bucket is empty; also makes a most-recent
+		t.Fatal("a's second request should be denied")
+	}
+	l.Allow("c") // table full: evicts b (least recently seen)
+	if got := l.Clients(); got != 2 {
+		t.Fatalf("Clients = %d, want 2", got)
+	}
+	// b was evicted, so it returns with a fresh bucket...
+	if ok, _ := l.Allow("b"); !ok {
+		t.Error("evicted client should restart with a full bucket")
+	}
+	// ...which in turn evicted a (c is more recent than a after the c insert).
+	if ok, _ := l.Allow("a"); !ok {
+		t.Error("a should have been evicted and refreshed too")
+	}
+}

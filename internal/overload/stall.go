@@ -1,0 +1,91 @@
+package overload
+
+import (
+	"errors"
+	"net/http"
+	"os"
+	"time"
+)
+
+// stallWriter arms a per-write progress deadline on the underlying
+// connection: before a write it pushes the write deadline out to
+// now+timeout, so a receiver that keeps reading keeps the stream alive
+// indefinitely while a stalled receiver kills it within one timeout. This
+// is what lets a long paced stream coexist with a finite server
+// WriteTimeout — progress re-arms the deadline, a whole-response deadline
+// cannot tell a slow paced stream from a dead one.
+//
+// Re-arming is throttled to once per quarter-timeout so high-rate streams
+// do not pay a SetWriteDeadline syscall per burst.
+type stallWriter struct {
+	http.ResponseWriter
+	rc      *http.ResponseController
+	timeout time.Duration
+
+	armed     bool // deadline support confirmed
+	disabled  bool // SetWriteDeadline unsupported; watchdog off
+	lastArm   time.Time
+	killed    bool
+	written   int64
+	onStalled func(written int64)
+}
+
+// newStallWriter wraps w with the per-write watchdog. onStalled (may be
+// nil) fires once when a write deadline kills the stream.
+func newStallWriter(w http.ResponseWriter, timeout time.Duration, onStalled func(written int64)) *stallWriter {
+	return &stallWriter{
+		ResponseWriter: w,
+		rc:             http.NewResponseController(w),
+		timeout:        timeout,
+		onStalled:      onStalled,
+	}
+}
+
+// arm pushes the write deadline out by the stall timeout.
+func (s *stallWriter) arm() {
+	if s.disabled {
+		return
+	}
+	now := time.Now()
+	if s.armed && now.Sub(s.lastArm) < s.timeout/4 {
+		return
+	}
+	if err := s.rc.SetWriteDeadline(now.Add(s.timeout)); err != nil {
+		// The ResponseWriter chain does not support write deadlines
+		// (recorders, exotic middleware). Degrade to no watchdog rather
+		// than failing every request.
+		s.disabled = true
+		return
+	}
+	s.armed = true
+	s.lastArm = now
+}
+
+func (s *stallWriter) Write(b []byte) (int, error) {
+	s.arm()
+	n, err := s.ResponseWriter.Write(b)
+	s.written += int64(n)
+	if err != nil && !s.killed && isDeadlineErr(err) {
+		s.killed = true
+		if s.onStalled != nil {
+			s.onStalled(s.written)
+		}
+	}
+	return n, err
+}
+
+// Flush keeps http.Flusher working through the wrapper so paced responses
+// stay visible on the wire.
+func (s *stallWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets nested http.ResponseControllers reach the underlying writer.
+func (s *stallWriter) Unwrap() http.ResponseWriter { return s.ResponseWriter }
+
+// isDeadlineErr reports whether err is a write-deadline expiry.
+func isDeadlineErr(err error) bool {
+	return errors.Is(err, os.ErrDeadlineExceeded)
+}
