@@ -5,16 +5,19 @@
 // allocs/op is deterministic, so a 2x jump always means a real code change
 // (a new escaping closure, a pool bypass) rather than scheduler jitter.
 //
+// Exit codes follow the internal/citools convention shared with
+// cmd/sammy-vet: 0 clean, 1 regression found, 2 tool error (unreadable
+// input files).
+//
 // Usage: benchcheck [-current BENCH_sim.json] [-baseline BENCH_baseline.json]
 package main
 
 import (
 	"flag"
-	"fmt"
-	"os"
 	"sort"
 
 	"repro/internal/benchfmt"
+	"repro/internal/citools"
 )
 
 func main() {
@@ -23,13 +26,18 @@ func main() {
 	factor := flag.Float64("factor", 2.0, "allowed allocs/op growth factor over baseline")
 	flag.Parse()
 
+	rep := citools.New("benchcheck")
+	defer rep.Exit()
+
 	current, err := benchfmt.Read(*currentPath)
 	if err != nil {
-		fatalf("benchcheck: %v", err)
+		rep.Errorf("%v", err)
+		return
 	}
 	baseline, err := benchfmt.Read(*baselinePath)
 	if err != nil {
-		fatalf("benchcheck: %v", err)
+		rep.Errorf("%v", err)
+		return
 	}
 
 	names := make([]string, 0, len(baseline.Current))
@@ -38,13 +46,12 @@ func main() {
 	}
 	sort.Strings(names)
 
-	failed := false
+	regressed := false
 	for _, name := range names {
 		base := baseline.Current[name]
 		cur, ok := current.Current[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "FAIL %s: present in baseline but missing from %s\n", name, *currentPath)
-			failed = true
+			rep.Findingf("FAIL %s: present in baseline but missing from %s", name, *currentPath)
 			continue
 		}
 		// A zero-alloc baseline can't express a ratio; hold those benchmarks
@@ -56,20 +63,15 @@ func main() {
 		status := "ok  "
 		if cur.AllocsPerOp > limit {
 			status = "FAIL"
-			failed = true
+			regressed = true
 		}
-		fmt.Printf("%s %-22s allocs/op %10.0f (baseline %10.0f, limit %10.0f)  ns/op %12.0f (baseline %12.0f)\n",
+		rep.Infof("%s %-22s allocs/op %10.0f (baseline %10.0f, limit %10.0f)  ns/op %12.0f (baseline %12.0f)",
 			status, name, cur.AllocsPerOp, base.AllocsPerOp, limit, cur.NsPerOp, base.NsPerOp)
 	}
 	if current.SimTimeRatio > 0 {
-		fmt.Printf("     sim_time_ratio %.0f sim-s/wall-s\n", current.SimTimeRatio)
+		rep.Infof("     sim_time_ratio %.0f sim-s/wall-s", current.SimTimeRatio)
 	}
-	if failed {
-		fatalf("benchcheck: allocs/op regression exceeds %.1fx baseline", *factor)
+	if regressed {
+		rep.Findingf("benchcheck: allocs/op regression exceeds %.1fx baseline", *factor)
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
 }

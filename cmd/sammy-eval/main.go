@@ -560,19 +560,24 @@ func runStorm(scn fault.Scenario, seed int64) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	m := ctrl.Metrics
 	fmt.Printf("  completed %d/%d fetches in %v (%d failed)\n",
 		completed.Load(), st.Fetchers, elapsed.Round(time.Millisecond), failed.Load())
-	fmt.Printf("  admission: admitted %d, queued %d, shed %d (queue-full %d, queue-timeout %d), peak in-flight %.0f/%d\n",
-		m.Admitted.Value(), m.Queued.Value(), m.Shed.Value(),
-		m.ShedQueueFull.Value(), m.ShedQueueTimeout.Value(),
-		m.InFlightPeak.Value(), st.MaxInFlight)
-	fmt.Printf("  client recovery: attempts %d, retries %d, Retry-After honoured %d\n",
-		client.Metrics.FetchAttempts.Value(), client.Metrics.FetchRetries.Value(),
-		client.Metrics.RetryAfterHonored.Value())
-	if peak := int(m.InFlightPeak.Value()); peak > st.MaxInFlight {
-		fmt.Printf("  WARNING: peak in-flight %d exceeded the admission limit %d\n", peak, st.MaxInFlight)
-	} else {
-		fmt.Printf("  in-flight never exceeded the admission limit; shed load spread out via Retry-After\n")
+	if m := ctrl.Metrics; m != nil {
+		fmt.Printf("  admission: admitted %d, queued %d, shed %d (queue-full %d, queue-timeout %d), peak in-flight %.0f/%d\n",
+			m.Admitted.Value(), m.Queued.Value(), m.Shed.Value(),
+			m.ShedQueueFull.Value(), m.ShedQueueTimeout.Value(),
+			m.InFlightPeak.Value(), st.MaxInFlight)
+	}
+	if cm := client.Metrics; cm != nil {
+		fmt.Printf("  client recovery: attempts %d, retries %d, Retry-After honoured %d\n",
+			cm.FetchAttempts.Value(), cm.FetchRetries.Value(),
+			cm.RetryAfterHonored.Value())
+	}
+	if m := ctrl.Metrics; m != nil {
+		if peak := int(m.InFlightPeak.Value()); peak > st.MaxInFlight {
+			fmt.Printf("  WARNING: peak in-flight %d exceeded the admission limit %d\n", peak, st.MaxInFlight)
+		} else {
+			fmt.Printf("  in-flight never exceeded the admission limit; shed load spread out via Retry-After\n")
+		}
 	}
 }

@@ -146,11 +146,13 @@ func run() int {
 			for {
 				select {
 				case <-ticker.C:
-					log.Printf("metrics: requests=%d paced=%d failed=%d bytes=%d inflight=%d shed=%d pace_p50=%.1fMbps sleep_p95=%.2fms",
-						metrics.Requests.Value(), metrics.PacedRequests.Value(),
-						metrics.RequestsFailed.Value(), metrics.BytesServed.Value(),
-						ctrl.InFlight(), ctrl.Metrics.Shed.Value(),
-						metrics.PaceRateMbps.Quantile(0.5), metrics.PacerSleepMs.Quantile(0.95))
+					if m, om := metrics, ctrl.Metrics; m != nil && om != nil {
+						log.Printf("metrics: requests=%d paced=%d failed=%d bytes=%d inflight=%d shed=%d pace_p50=%.1fMbps sleep_p95=%.2fms",
+							m.Requests.Value(), m.PacedRequests.Value(),
+							m.RequestsFailed.Value(), m.BytesServed.Value(),
+							ctrl.InFlight(), om.Shed.Value(),
+							m.PaceRateMbps.Quantile(0.5), m.PacerSleepMs.Quantile(0.95))
+					}
 				case <-logDone:
 					return
 				}

@@ -1,0 +1,145 @@
+// Command sammy-vet runs the repo's custom go/analysis-style suite
+// (internal/analysis/...): simdeterminism, packetownership,
+// hardenedserver, obsguard, and eventref. It operates in two modes:
+//
+// Standalone, for developers and the CI lint step:
+//
+//	go run ./cmd/sammy-vet ./...
+//
+// loads non-test packages with the stdlib-only loader, applies every
+// analyzer, and (unless -stock=false) also shells out to the toolchain's
+// `go vet` so stock passes run in the same gate.
+//
+// Vettool, driven by cmd/go so _test.go files are covered too:
+//
+//	go build -o sammy-vet ./cmd/sammy-vet
+//	go vet -vettool=./sammy-vet ./...
+//
+// Exit codes follow the internal/citools convention: 0 clean, 1 findings,
+// 2 tool error.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/suite"
+	"repro/internal/analysis/unit"
+	"repro/internal/citools"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// The cmd/go handshake flags must win over everything else: go vet
+	// probes the tool with `-V=full` (build-ID for its result cache) and
+	// `-flags` (JSON flag inventory) before sending any unit of work.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full" || a == "-V" || a == "--V":
+			printVersion()
+			return
+		case a == "-flags" || a == "--flags":
+			// No tool-specific flags are exposed through `go vet`.
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	// A single argument ending in .cfg is a vet unit from cmd/go.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		rep := citools.New("sammy-vet")
+		unit.Run(rep, args[0])
+		rep.Exit()
+	}
+
+	standalone(args)
+}
+
+// printVersion implements the `-V=full` handshake. cmd/go parses the line
+// as fields, requires fields[1] == "version", and — because fields[2] is
+// "devel" — takes the content ID from the trailing buildID=<hex> field.
+// Hashing the executable itself means rebuilding sammy-vet with new or
+// changed analyzers invalidates cmd/go's cached vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("sammy-vet version devel buildID=%x\n", h.Sum(nil))
+}
+
+func standalone(args []string) {
+	fs := flag.NewFlagSet("sammy-vet", flag.ExitOnError)
+	stock := fs.Bool("stock", true, "also run the toolchain's stock `go vet` passes")
+	verbose := fs.Bool("v", false, "print a summary of packages, findings, and honored suppressions")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: sammy-vet [-stock=false] [-v] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Analyzers:\n")
+		for _, a := range suite.All() {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(fs.Output(), "  %-16s %s (suppress: //sammy:%s)\n", a.Name, doc, a.SuppressKey)
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	rep := citools.New("sammy-vet")
+	results, err := suite.Run(".", patterns)
+	if err != nil {
+		rep.Errorf("%v", err)
+		rep.Exit()
+	}
+
+	wd, _ := os.Getwd()
+	suppressed := 0
+	for _, res := range results {
+		for _, terr := range res.Pkg.TypeErrors {
+			rep.Errorf("%s: %v", res.Pkg.ImportPath, terr)
+		}
+		suppressed += len(res.Suppressed)
+		for _, d := range res.Diagnostics {
+			pos := res.Pkg.Fset.Position(d.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			rep.Findingf("%s:%d:%d: [%s] %s", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if *verbose {
+		rep.Infof("sammy-vet: %d packages, %d findings, %d suppressed sites",
+			len(results), rep.Findings(), suppressed)
+	}
+
+	if *stock {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if _, ok := err.(*exec.ExitError); ok {
+				rep.Findingf("sammy-vet: stock `go vet` reported findings (above)")
+			} else {
+				rep.Errorf("running stock go vet: %v", err)
+			}
+		}
+	}
+	rep.Exit()
+}

@@ -1,0 +1,77 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles sammy-vet into a temp dir once per test run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sammy-vet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building sammy-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolHandshake locks the two probe responses cmd/go sends before
+// any unit of work: `-V=full` must print a build-ID line it can parse, and
+// `-flags` must print a JSON flag inventory.
+func TestVettoolHandshake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool binary")
+	}
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	// cmd/go requires fields[1] == "version" and, because fields[2] is
+	// "devel", a trailing buildID=<hex> (see toolID in
+	// cmd/go/internal/work/buildid.go).
+	line := strings.TrimSpace(string(out))
+	if !regexp.MustCompile(`^sammy-vet version devel buildID=[0-9a-f]{64}$`).MatchString(line) {
+		t.Errorf("-V=full output %q does not match the cmd/go handshake format", line)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Errorf("-flags printed %q, want empty JSON array", got)
+	}
+}
+
+// TestVettoolRunsCleanOnPackages drives the full vet-config protocol the
+// way CI does, over two representative packages (one deterministic, one
+// with _test.go http.Server literals). ./... level coverage lives in the
+// CI step and internal/analysis/suite.TestRepoIsClean.
+func TestVettoolRunsCleanOnPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool binary and invokes go vet")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin,
+		"repro/internal/fault", "repro/internal/tcp")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // cmd/sammy-vet -> repo root
+}

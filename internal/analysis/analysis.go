@@ -1,0 +1,199 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that the sammy-vet suite needs.
+// The container this repo builds in has no module proxy access, so the
+// x/tools framework cannot be vendored; the subset here — Analyzer, Pass,
+// Diagnostic, line-based suppression comments — is API-shaped like the
+// original so the analyzers port mechanically if x/tools ever becomes
+// available.
+//
+// The design center is mechanical enforcement of repo invariants that are
+// otherwise upheld only by convention: fixed-seed byte-identical traces
+// (the golden FNV-64a tests), linear AllocPacket/FreePacket ownership in
+// the allocation-free event core, hardened http.Server construction, and
+// the nil-guarded obs idiom. See DESIGN.md §11 "Enforced invariants".
+//
+// # Suppression comments
+//
+// Every analyzer carries a SuppressKey. A diagnostic is suppressed when the
+// flagged line — or the line immediately above it — bears a comment of the
+// form
+//
+//	//sammy:<key>            (e.g. //sammy:nondeterministic-ok)
+//	//sammy:<key>: reason    (a justification is strongly encouraged)
+//
+// Suppressed diagnostics are still collected (with Suppressed = true) so
+// drivers can count honored suppressions, but they do not fail the build.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker. Unlike x/tools there is no
+// fact or result plumbing — the suite's analyzers are all independent.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags; it must be a
+	// valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description shown by `sammy-vet -help`.
+	Doc string
+
+	// SuppressKey is the token accepted in //sammy:<key> suppression
+	// comments for this analyzer's diagnostics. Empty disables
+	// suppression.
+	SuppressKey string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos        token.Pos
+	Message    string
+	Analyzer   string
+	Suppressed bool // an in-source //sammy:<key> comment covers this site
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Diagnostics accumulates everything reported through Reportf,
+	// suppressed findings included.
+	Diagnostics []Diagnostic
+
+	// suppressLines maps filename -> set of lines bearing this analyzer's
+	// suppression comment. Built lazily on first report.
+	suppressLines map[string]map[int]bool
+}
+
+// Reportf records a finding at pos. Findings on (or immediately below) a
+// line carrying the analyzer's //sammy:<key> comment are marked suppressed.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	d := Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	}
+	if p.Analyzer.SuppressKey != "" {
+		if p.suppressLines == nil {
+			p.buildSuppressIndex()
+		}
+		position := p.Fset.Position(pos)
+		if lines := p.suppressLines[position.Filename]; lines != nil {
+			if lines[position.Line] || lines[position.Line-1] {
+				d.Suppressed = true
+			}
+		}
+	}
+	p.Diagnostics = append(p.Diagnostics, d)
+}
+
+// buildSuppressIndex scans every comment in the package for
+// //sammy:<SuppressKey> markers and records their file:line coordinates.
+func (p *Pass) buildSuppressIndex() {
+	p.suppressLines = make(map[string]map[int]bool)
+	key := "sammy:" + p.Analyzer.SuppressKey
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if text != key && !strings.HasPrefix(text, key+":") && !strings.HasPrefix(text, key+" ") {
+					continue
+				}
+				position := p.Fset.Position(c.Pos())
+				lines := p.suppressLines[position.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					p.suppressLines[position.Filename] = lines
+				}
+				lines[position.Line] = true
+			}
+		}
+	}
+}
+
+// --- shared type-query helpers used by several analyzers -------------------
+
+// IsTestFile reports whether f was parsed from a _test.go file. Analyzers
+// whose invariant is about production behavior (e.g. obsguard) skip test
+// files; determinism and ownership checks deliberately do not.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// PathBase returns the last element of an import path ("repro/internal/sim"
+// -> "sim"). Analyzers match packages by base so that analysistest fixtures
+// (whose stub packages live under synthetic paths like "a/sim") exercise
+// the same code paths as the real tree.
+func PathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// ObjPkgBase returns the base of obj's defining package path, or "" for
+// universe/builtin objects.
+func ObjPkgBase(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return PathBase(obj.Pkg().Path())
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil for
+// calls through function-typed variables, builtins and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call invokes the package-level function or
+// method pkgBase.name, where pkgBase is matched against the base of the
+// defining package's import path.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgBase, name string) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.Name() == name && ObjPkgBase(fn) == pkgBase
+}
+
+// NamedType unwraps t (through pointers and aliases) to its *types.Named,
+// or nil.
+func NamedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t is (a pointer to) the named type pkgBase.name.
+func IsNamed(t types.Type, pkgBase, name string) bool {
+	n := NamedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && ObjPkgBase(obj) == pkgBase
+}

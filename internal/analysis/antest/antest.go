@@ -1,0 +1,238 @@
+// Package antest is an analysistest-style fixture harness for the
+// sammy-vet analyzers. Fixture packages live under
+// testdata/src/<importpath> next to the analyzer's test file; imports are
+// resolved from testdata/src first (so fixtures can stub repo packages
+// like "a/sim" or "a/obs") and from the real build's export data
+// otherwise.
+//
+// Expected findings are declared in the fixture source with analysistest's
+// comment syntax:
+//
+//	rng := rand.Intn(6) // want `math/rand global`
+//
+// where the quoted text is a regular expression matched against the
+// diagnostic message. A line carrying the analyzer's //sammy:<key>
+// suppression comment must have no want comment: the harness verifies the
+// suppression is honored (no failing diagnostic) and Run returns every
+// diagnostic — suppressed ones included — so tests can additionally assert
+// the site was seen at all.
+package antest
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// sharedExports resolves stdlib/module export data once per test process.
+var (
+	exportsOnce sync.Once
+	exports     *load.Exports
+)
+
+func sharedExports() *load.Exports {
+	exportsOnce.Do(func() {
+		wd, _ := os.Getwd()
+		exports = load.NewExports(load.ModuleRoot(wd))
+	})
+	return exports
+}
+
+// Run loads testdata/src/<pkgpath> for each pkgpath, applies the analyzer,
+// and checks its diagnostics against the fixtures' want comments. It
+// returns all diagnostics (suppressed included) for extra assertions.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) []analysis.Diagnostic {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := &srcImporter{
+		fset:    fset,
+		srcRoot: filepath.Join(wd, "testdata", "src"),
+		gc:      sharedExports().Importer(fset),
+		memo:    make(map[string]*srcResult),
+	}
+
+	var all []analysis.Diagnostic
+	for _, pkgpath := range pkgpaths {
+		pkg, err := imp.loadSource(pkgpath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgpath, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", pkgpath, terr)
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer failed: %v", pkgpath, err)
+		}
+		check(t, a, pkg, pass.Diagnostics)
+		all = append(all, pass.Diagnostics...)
+	}
+	return all
+}
+
+// srcImporter loads packages from testdata/src by source, with gc export
+// data as the fallback for real (stdlib) imports.
+type srcImporter struct {
+	fset    *token.FileSet
+	srcRoot string
+	gc      types.Importer
+	memo    map[string]*srcResult
+}
+
+type srcResult struct {
+	pkg *load.Package
+	err error
+}
+
+// Import implements types.Importer for fixture dependency resolution.
+func (si *srcImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(si.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := si.loadSource(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("fixture dependency %s: %v", path, pkg.TypeErrors[0])
+		}
+		return pkg.Types, nil
+	}
+	return si.gc.Import(path)
+}
+
+// loadSource parses and type-checks testdata/src/<path>, memoized.
+func (si *srcImporter) loadSource(path string) (*load.Package, error) {
+	if r, ok := si.memo[path]; ok {
+		return r.pkg, r.err
+	}
+	// Break import cycles in broken fixtures rather than recursing forever.
+	si.memo[path] = &srcResult{err: fmt.Errorf("import cycle through %s", path)}
+	dir := filepath.Join(si.srcRoot, filepath.FromSlash(path))
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err == nil && len(files) == 0 {
+		err = fmt.Errorf("no .go files in %s", dir)
+	}
+	var pkg *load.Package
+	if err == nil {
+		sort.Strings(files)
+		pkg, err = load.Check(si.fset, si, path, files)
+	}
+	si.memo[path] = &srcResult{pkg: pkg, err: err}
+	return pkg, err
+}
+
+// want is one expected-diagnostic comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// check compares diagnostics against // want comments.
+func check(t *testing.T, a *analysis.Analyzer, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue // honored suppression: must not match a want
+		}
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, a.Name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitQuoted parses the payload of a want comment: a sequence of
+// double-quoted or backquoted regular expressions.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", pos, s)
+			}
+			q, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", pos, s[:end+1], err)
+			}
+			out = append(out, q)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want raw string: %s", pos, s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: malformed want comment near %q (expected quoted regexp)", pos, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package eventref polices how sim.EventRef handles are held outside
+// package sim. An EventRef is a generation-checked handle to a pooled
+// event slot: the blessed pattern is one live ref per timer, held in a
+// local or a single struct field and overwritten on every reschedule
+// (tcp.Conn.paceTimer, rtoTimer). Collections of refs defeat that model —
+// stale refs accumulate while the underlying slots are recycled, and
+// Pending/Cancel driven off an old collection entry silently targets
+// whatever event reuses the slot after the 32-bit generation wraps.
+//
+// Outside package sim the analyzer flags:
+//
+//   - declaring container types over EventRef: []EventRef, [N]EventRef,
+//     map[...]EventRef (key or value), chan EventRef, *EventRef;
+//   - storing a ref dynamically: append(..., ref), m[k] = ref, ch <- ref;
+//   - taking a ref's address (&ref), which creates a shared mutable
+//     handle.
+//
+// Audited exceptions carry //sammy:eventref-ok with a justification.
+package eventref
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the eventref pass.
+var Analyzer = &analysis.Analyzer{
+	Name:        "eventref",
+	Doc:         "forbid collections of sim.EventRef outside the generation-checked single-field pattern",
+	SuppressKey: "eventref-ok",
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathBase(pass.Pkg.Path()) == "sim" {
+		return nil // the pool's own machinery
+	}
+	info := pass.TypesInfo
+	isRef := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && analysis.IsNamed(tv.Type, "sim", "EventRef") &&
+			!isPointer(tv.Type)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ArrayType:
+				if typeIsRef(info, n.Elt) {
+					pass.Reportf(n.Pos(), "slice/array of sim.EventRef: stale refs accumulate while event slots are recycled (hold one ref per timer and overwrite it)")
+				}
+			case *ast.MapType:
+				if typeIsRef(info, n.Key) || typeIsRef(info, n.Value) {
+					pass.Reportf(n.Pos(), "map over sim.EventRef: stale refs accumulate while event slots are recycled (hold one ref per timer and overwrite it)")
+				}
+			case *ast.ChanType:
+				if typeIsRef(info, n.Value) {
+					pass.Reportf(n.Pos(), "channel of sim.EventRef: refs crossing goroutines defeat the single-owner timer pattern")
+				}
+			case *ast.StarExpr:
+				// *EventRef in type position (field, param, var decl).
+				if tv, ok := info.Types[n]; ok && tv.IsType() && typeIsRef(info, n.X) {
+					pass.Reportf(n.Pos(), "pointer to sim.EventRef: a shared mutable handle defeats the value-semantics generation check")
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() == "&" && isRef(n.X) {
+					pass.Reportf(n.Pos(), "address of sim.EventRef taken: a shared mutable handle defeats the value-semantics generation check")
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+						for _, arg := range n.Args[min(1, len(n.Args)):] {
+							if isRef(arg) {
+								pass.Reportf(arg.Pos(), "sim.EventRef appended to a slice: stale refs accumulate while event slots are recycled")
+							}
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if isRef(n.Value) {
+					pass.Reportf(n.Value.Pos(), "sim.EventRef sent on a channel: refs crossing goroutines defeat the single-owner timer pattern")
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+					if !ok || i >= len(n.Rhs) {
+						continue
+					}
+					if isRef(n.Rhs[i]) && isMapOrSlice(info, ix.X) {
+						pass.Reportf(n.Rhs[i].Pos(), "sim.EventRef stored into a container: stale refs accumulate while event slots are recycled")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// typeIsRef reports whether the type expression e denotes sim.EventRef.
+func typeIsRef(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsType() && analysis.IsNamed(tv.Type, "sim", "EventRef") && !isPointer(tv.Type)
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := types.Unalias(t).(*types.Pointer)
+	return ok
+}
+
+func isMapOrSlice(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map, *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}

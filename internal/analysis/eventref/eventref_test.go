@@ -1,0 +1,21 @@
+package eventref_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/eventref"
+)
+
+func TestEventRef(t *testing.T) {
+	diags := antest.Run(t, eventref.Analyzer, "er/a")
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Error("expected the //sammy:eventref-ok fixture sites to be seen and suppressed")
+	}
+}

@@ -1,0 +1,45 @@
+// Package a exercises the eventref analyzer: containers and shared
+// pointers over sim.EventRef versus the single-field overwrite pattern.
+package a
+
+import "er/sim"
+
+type timers struct {
+	pace sim.EventRef   // single struct field: the blessed pattern
+	all  []sim.EventRef // want `slice/array of sim\.EventRef`
+}
+
+var byName map[string]sim.EventRef // want `map over sim\.EventRef`
+
+func collect(s *sim.Simulator) {
+	var pending []sim.EventRef // want `slice/array of sim\.EventRef`
+	r := s.Schedule(func() {})
+	pending = append(pending, r) // want `appended to a slice`
+	_ = pending
+
+	ch := make(chan sim.EventRef, 1) // want `channel of sim\.EventRef`
+	ch <- r                          // want `sent on a channel`
+
+	ptr := &r // want `address of sim\.EventRef taken`
+	_ = ptr
+
+	byName["pace"] = r // want `stored into a container`
+}
+
+func ptrParam(r *sim.EventRef) {} // want `pointer to sim\.EventRef`
+
+func overwrite(s *sim.Simulator) {
+	var t timers
+	t.pace.Cancel()
+	t.pace = s.Schedule(func() {}) // overwrite-in-place: fine
+	if t.pace.Pending() {
+		t.pace.Cancel()
+	}
+	t.pace = sim.EventRef{} // clearing to the zero ref: fine
+}
+
+func audited(s *sim.Simulator) {
+	var snapshot []sim.EventRef //sammy:eventref-ok: bounded debug snapshot, never cancelled from
+	snapshot = append(snapshot, s.Schedule(func() {})) //sammy:eventref-ok: see above
+	_ = snapshot
+}

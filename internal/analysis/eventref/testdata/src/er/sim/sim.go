@@ -1,0 +1,17 @@
+// Package sim is a structural stub of repro/internal/sim for the eventref
+// fixtures.
+package sim
+
+type Event struct{}
+
+type EventRef struct {
+	e   *Event
+	gen uint32
+}
+
+func (r EventRef) Pending() bool { return r.e != nil }
+func (r EventRef) Cancel()       {}
+
+type Simulator struct{}
+
+func (s *Simulator) Schedule(fn func()) EventRef { return EventRef{} }

@@ -1,0 +1,107 @@
+// Package hardenedserver enforces the repo's HTTP hardening rule
+// (DESIGN.md §10): every http.Server the repo constructs must bound a
+// wedged or malicious peer with ReadHeaderTimeout, WriteTimeout and
+// IdleTimeout. An http.Server composite literal missing any of the three
+// is reported, as is any call to http.ListenAndServe /
+// http.ListenAndServeTLS (which run the zero-valued, unbounded server).
+//
+// Servers configured field-by-field after construction (the
+// configureTestServer idiom) should set the fields on the literal instead,
+// or carry //sammy:server-ok with a justification — for instance a
+// paced-streaming server whose WriteTimeout is deliberately managed per
+// write by the overload stall watchdog.
+package hardenedserver
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hardenedserver pass.
+var Analyzer = &analysis.Analyzer{
+	Name:        "hardenedserver",
+	Doc:         "require ReadHeaderTimeout/WriteTimeout/IdleTimeout on every http.Server literal; forbid http.ListenAndServe",
+	SuppressKey: "server-ok",
+	Run:         run,
+}
+
+// requiredFields are the http.Server timeouts every construction must set.
+var requiredFields = []string{"ReadHeaderTimeout", "WriteTimeout", "IdleTimeout"}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkLiteral(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLiteral flags http.Server{...} literals missing required timeouts.
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isHTTPServer(tv.Type) {
+		return
+	}
+	missing := map[string]bool{}
+	for _, f := range requiredFields {
+		missing[f] = true
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			delete(missing, key.Name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	names := make([]string, 0, len(missing))
+	for f := range missing {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	pass.Reportf(lit.Pos(),
+		"http.Server literal missing %s: unhardened servers let a wedged peer pin connections forever (set all of ReadHeaderTimeout, WriteTimeout, IdleTimeout)",
+		strings.Join(names, ", "))
+}
+
+// checkCall flags http.ListenAndServe / http.ListenAndServeTLS, which
+// construct an unbounded zero-value server internally.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return // (*http.Server).ListenAndServe on a hardened literal is fine
+	}
+	if fn.Name() == "ListenAndServe" || fn.Name() == "ListenAndServeTLS" {
+		pass.Reportf(call.Pos(),
+			"http.%s runs an unhardened zero-value http.Server (build a literal with ReadHeaderTimeout/WriteTimeout/IdleTimeout and call its ListenAndServe method)",
+			fn.Name())
+	}
+}
+
+// isHTTPServer reports whether t is (a pointer to) net/http.Server.
+func isHTTPServer(t types.Type) bool {
+	n := analysis.NamedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Server" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}

@@ -1,0 +1,21 @@
+package hardenedserver_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/hardenedserver"
+)
+
+func TestHardenedServer(t *testing.T) {
+	diags := antest.Run(t, hardenedserver.Analyzer, "hs/a")
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Error("expected the //sammy:server-ok fixture site to be seen and suppressed")
+	}
+}

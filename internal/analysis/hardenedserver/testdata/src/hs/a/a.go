@@ -1,0 +1,52 @@
+// Package a exercises the hardenedserver analyzer: unhardened http.Server
+// literals, the ListenAndServe shortcuts, and the hardened pattern.
+package a
+
+import (
+	"net/http"
+	"time"
+)
+
+func bare() *http.Server {
+	return &http.Server{ // want `missing IdleTimeout, ReadHeaderTimeout, WriteTimeout`
+		Addr: ":8080",
+	}
+}
+
+func partial() *http.Server {
+	return &http.Server{ // want `missing IdleTimeout`
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      10 * time.Second,
+	}
+}
+
+func hardened(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+func shortcut(addr string, h http.Handler) error {
+	return http.ListenAndServe(addr, h) // want `http\.ListenAndServe runs an unhardened`
+}
+
+func shortcutTLS(addr string, h http.Handler) error {
+	return http.ListenAndServeTLS(addr, "c", "k", h) // want `http\.ListenAndServeTLS runs an unhardened`
+}
+
+func methodOK(h http.Handler) error {
+	srv := hardened(h)
+	return srv.ListenAndServe() // the method on a hardened literal is fine
+}
+
+func audited() *http.Server {
+	//sammy:server-ok: write deadline is re-armed per paced write by the stall watchdog
+	return &http.Server{
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}

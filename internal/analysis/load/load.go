@@ -1,0 +1,245 @@
+// Package load type-checks Go packages for the sammy-vet analyzers using
+// only the standard library: package metadata and export data come from
+// `go list -e -export -json -deps`, sources are parsed with go/parser, and
+// dependencies are imported through go/importer's gc importer pointed at
+// the build cache's export files. This replaces golang.org/x/tools/go/
+// packages, which is unavailable in the proxy-less build container.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked root package (a package matched by the load
+// patterns, as opposed to a dependency, which is only imported from export
+// data).
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// TypeErrors collects soft type-checking failures. Analyzers still run
+	// on partially checked packages; drivers decide whether to surface
+	// the errors.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Exports resolves import paths to build-cache export data files, shelling
+// out to `go list -export` for paths it has not seen. It is safe for
+// concurrent use and shared process-wide so repeated analysistest loads do
+// not re-list the standard library.
+type Exports struct {
+	mu    sync.Mutex
+	dir   string // directory to run `go list` in
+	files map[string]string
+}
+
+// NewExports returns a resolver running `go list` in dir ("" = cwd).
+func NewExports(dir string) *Exports {
+	return &Exports{dir: dir, files: make(map[string]string)}
+}
+
+// File returns the export data file for path, listing it (and, as a side
+// effect, its whole dependency cone) on a miss.
+func (e *Exports) File(path string) (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if f, ok := e.files[path]; ok {
+		if f == "" {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return f, nil
+	}
+	pkgs, err := runList(e.dir, []string{"-deps", "--", path})
+	if err != nil {
+		return "", err
+	}
+	for _, p := range pkgs {
+		if _, ok := e.files[p.ImportPath]; !ok {
+			e.files[p.ImportPath] = p.Export
+		}
+	}
+	f := e.files[path]
+	if f == "" {
+		e.files[path] = "" // negative-cache
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	return f, nil
+}
+
+// add seeds the resolver from an already-performed list.
+func (e *Exports) add(pkgs []listedPackage) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			e.files[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// Importer returns a types.Importer that reads gc export data through the
+// resolver. fset must be the FileSet used for type-checking.
+func (e *Exports) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, err := e.File(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	})
+}
+
+// runList executes `go list -e -export -json=<fields>` with extra args and
+// decodes the JSON stream.
+func runList(dir string, extra []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,DepOnly,Incomplete,Error",
+	}, extra...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Packages loads and type-checks the root packages matched by patterns
+// (e.g. "./..."), resolving their dependencies from export data. Test
+// files are not included — `go vet -vettool=sammy-vet` covers those using
+// the toolchain's own loader.
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	listed, err := runList(dir, append([]string{"-deps", "--"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := NewExports(dir)
+	exports.add(listed)
+
+	fset := token.NewFileSet()
+	imp := exports.Importer(fset)
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var files []string
+		for _, f := range lp.GoFiles {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(lp.Dir, f)
+			}
+			files = append(files, f)
+		}
+		pkg, err := Check(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		pkg.Dir = lp.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Check parses and type-checks one package from explicit file paths using
+// the given importer. Hard parse failures abort; type errors are soft and
+// collected on the returned Package.
+func Check(fset *token.FileSet, imp types.Importer, importPath string, files []string) (*Package, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      asts,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Ignore the returned error: it is the first entry of TypeErrors, and
+	// partially checked packages are still analyzable.
+	pkg.Types, _ = conf.Check(importPath, fset, asts, pkg.Info)
+	return pkg, nil
+}
+
+// ModuleRoot locates the enclosing module root of dir (the directory
+// containing go.mod), falling back to dir itself.
+func ModuleRoot(dir string) string {
+	d := dir
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+// IsTestFile reports whether filename is a _test.go file.
+func IsTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}

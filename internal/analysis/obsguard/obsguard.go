@@ -1,0 +1,348 @@
+// Package obsguard enforces the nil-guard idiom for obs metrics structs
+// (DESIGN.md §7): instrumented code holds a possibly-nil pointer to a
+// struct of obs handles (*sim.Metrics, *tcp.Metrics, *fault.ChaosMetrics,
+// ...) — nil means instrumentation is off — and must check the pointer
+// before touching its fields:
+//
+//	if m := c.metrics; m != nil {
+//		m.SegmentsSent.Inc()
+//	}
+//
+// The individual obs types (*obs.Counter, *obs.Gauge, ...) are nil-safe,
+// but the enclosing struct pointer is not: m.SegmentsSent panics when m is
+// nil. The analyzer flags field accesses on a metrics-struct pointer that
+// are not dominated by a nil guard of the same expression (or of the local
+// it was copied into). Function parameters and method receivers are
+// exempt — guarding is the caller's contract, as in the metricsField
+// helper. Audited exceptions carry //sammy:obsguard-ok.
+package obsguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the obsguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name:        "obsguard",
+	Doc:         "require nil guards before field access on possibly-nil obs metrics structs",
+	SuppressKey: "obsguard-ok",
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathBase(pass.Pkg.Path()) == "obs" {
+		return nil // the obs package owns its internals
+	}
+	for _, f := range pass.Files {
+		// Test code builds its metrics from a registry it just created, so
+		// the structs are provably non-nil and a miss would fail the test
+		// loudly anyway; guarding there is pure ceremony.
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, exempt: map[types.Object]bool{}}
+			c.addFieldListObjs(fd.Recv)
+			c.addFieldListObjs(fd.Type.Params)
+			c.stmts(fd.Body.List, guards{})
+		}
+	}
+	return nil
+}
+
+// guards is the set of expressions (rendered with types.ExprString) proven
+// non-nil on the current path.
+type guards map[string]bool
+
+func (g guards) clone() guards {
+	out := make(guards, len(g))
+	for k := range g {
+		out[k] = true
+	}
+	return out
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	exempt map[types.Object]bool // params and receivers: caller-guarded
+}
+
+// addFieldListObjs marks every object declared in fl (receiver or
+// parameter list) as caller-guarded.
+func (c *checker) addFieldListObjs(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		for _, name := range field.Names {
+			if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+				c.exempt[obj] = true
+			}
+		}
+	}
+}
+
+// stmts walks a statement list, accumulating early-return guards:
+// after `if m == nil { return }`, m is non-nil for the rest of the list.
+func (c *checker) stmts(list []ast.Stmt, g guards) {
+	g = g.clone()
+	for _, stmt := range list {
+		c.stmt(stmt, g)
+		if expr := earlyReturnGuard(stmt); expr != nil {
+			g[types.ExprString(expr)] = true
+		}
+	}
+}
+
+// stmt dispatches one statement, threading guard knowledge through if/else
+// structure and checking every embedded expression.
+func (c *checker) stmt(s ast.Stmt, g guards) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, g)
+		}
+		c.exprs(s.Cond, g)
+		then := g.clone()
+		for _, e := range nonNilConjuncts(s.Cond) {
+			then[types.ExprString(e)] = true
+		}
+		c.stmts(s.Body.List, then)
+		if s.Else != nil {
+			els := g.clone()
+			if e := isNilCompare(s.Cond); e != nil {
+				els[types.ExprString(e)] = true // if x == nil {...} else { x is non-nil }
+			}
+			c.stmt(s.Else, els)
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, g)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, g)
+		}
+		if s.Cond != nil {
+			c.exprs(s.Cond, g)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post, g)
+		}
+		c.stmts(s.Body.List, g)
+	case *ast.RangeStmt:
+		c.exprs(s.X, g)
+		c.stmts(s.Body.List, g)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, g)
+		}
+		if s.Tag != nil {
+			c.exprs(s.Tag, g)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					c.exprs(e, g)
+				}
+				c.stmts(cc.Body, g)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, g)
+		}
+		c.stmt(s.Assign, g)
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, g)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, g)
+				}
+				c.stmts(cc.Body, g)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, g)
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				sub := &checker{pass: c.pass, exempt: c.exempt}
+				sub.addFieldListObjs(n.Type.Params)
+				sub.stmts(n.Body.List, g)
+				return false
+			case ast.Expr:
+				c.checkSelector(n, g)
+			}
+			return true
+		})
+	}
+}
+
+// exprs checks every selector in an expression tree (used for conditions
+// and other expressions embedded in control statements).
+func (c *checker) exprs(e ast.Expr, g guards) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			sub := &checker{pass: c.pass, exempt: c.exempt}
+			sub.addFieldListObjs(fl.Type.Params)
+			sub.stmts(fl.Body.List, g)
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok {
+			c.checkSelector(expr, g)
+		}
+		return true
+	})
+}
+
+// checkSelector flags sel.F when sel is a possibly-nil metrics-struct
+// pointer not covered by a guard.
+func (c *checker) checkSelector(e ast.Expr, g guards) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	info := c.pass.TypesInfo
+	// Method values/calls are the callee's contract (nil-safe receivers).
+	if s, ok := info.Selections[sel]; ok && s.Kind() != types.FieldVal {
+		return
+	}
+	baseTV, ok := info.Types[sel.X]
+	if !ok || !isMetricsPtr(baseTV.Type) {
+		return
+	}
+	if g[types.ExprString(sel.X)] {
+		return
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil && c.exempt[obj] {
+			return
+		}
+	}
+	// A call in the base (helper-returned handle) is out of scope.
+	if containsCall(sel.X) {
+		return
+	}
+	n := analysis.NamedType(baseTV.Type)
+	c.pass.Reportf(sel.Sel.Pos(),
+		"field %s accessed on possibly-nil *%s without a nil guard (metrics structs are nil when instrumentation is off; use `if m := %s; m != nil { ... }`)",
+		sel.Sel.Name, n.Obj().Name(), types.ExprString(sel.X))
+}
+
+// isMetricsPtr reports whether t is a pointer to a named struct holding at
+// least one obs handle field (the shape of every metrics struct in the
+// repo).
+func isMetricsPtr(t types.Type) bool {
+	if _, ok := types.Unalias(t).(*types.Pointer); !ok {
+		return false
+	}
+	n := analysis.NamedType(t)
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fn := analysis.NamedType(st.Field(i).Type())
+		if fn != nil && analysis.ObjPkgBase(fn.Obj()) == "obs" {
+			return true
+		}
+	}
+	return false
+}
+
+// nonNilConjuncts extracts the expressions proven non-nil when cond is
+// true: `x != nil`, possibly joined by &&.
+func nonNilConjuncts(cond ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			switch e.Op.String() {
+			case "&&":
+				walk(e.X)
+				walk(e.Y)
+			case "!=":
+				if isNilIdent(e.Y) {
+					out = append(out, e.X)
+				} else if isNilIdent(e.X) {
+					out = append(out, e.Y)
+				}
+			}
+		}
+	}
+	walk(cond)
+	return out
+}
+
+// isNilCompare returns x when cond is exactly `x == nil` (or `nil == x`).
+func isNilCompare(cond ast.Expr) ast.Expr {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "==" {
+		return nil
+	}
+	if isNilIdent(be.Y) {
+		return be.X
+	}
+	if isNilIdent(be.X) {
+		return be.Y
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// earlyReturnGuard recognizes `if x == nil { return/panic/continue/break }`
+// (no else): x is non-nil for the remainder of the enclosing block.
+func earlyReturnGuard(s ast.Stmt) ast.Expr {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || len(ifs.Body.List) == 0 {
+		return nil
+	}
+	expr := isNilCompare(ifs.Cond)
+	if expr == nil {
+		return nil
+	}
+	last := ifs.Body.List[len(ifs.Body.List)-1]
+	switch last := last.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return expr
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return expr
+			}
+		}
+	}
+	return nil
+}
+
+// containsCall reports whether e contains any call expression.
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

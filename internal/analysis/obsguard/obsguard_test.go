@@ -1,0 +1,21 @@
+package obsguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/obsguard"
+)
+
+func TestObsGuard(t *testing.T) {
+	diags := antest.Run(t, obsguard.Analyzer, "og/a")
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Error("expected the //sammy:obsguard-ok fixture site to be seen and suppressed")
+	}
+}

@@ -1,0 +1,86 @@
+// Package a exercises the obsguard analyzer: unguarded field access on
+// possibly-nil metrics structs versus the blessed nil-guard idioms.
+package a
+
+import "og/obs"
+
+type Metrics struct {
+	Sent    *obs.Counter
+	Dropped *obs.Counter
+	Depth   *obs.Gauge
+	Rec     *obs.Recorder
+}
+
+type Conn struct {
+	metrics *Metrics
+}
+
+func (c *Conn) unguarded() {
+	c.metrics.Sent.Inc() // want `field Sent accessed on possibly-nil \*Metrics`
+}
+
+func (c *Conn) aliasUnguarded() {
+	m := c.metrics
+	m.Sent.Inc() // want `field Sent accessed on possibly-nil \*Metrics`
+}
+
+func (c *Conn) guardedIf() {
+	if m := c.metrics; m != nil {
+		m.Sent.Inc()
+		m.Rec.Record("x")
+	}
+}
+
+func (c *Conn) guardedEarlyReturn() {
+	m := c.metrics
+	if m == nil {
+		return
+	}
+	m.Dropped.Inc()
+	for i := 0; i < 3; i++ {
+		m.Depth.Set(float64(i))
+	}
+}
+
+func (c *Conn) guardedDirect() {
+	if c.metrics != nil {
+		c.metrics.Sent.Inc()
+	}
+}
+
+func (c *Conn) guardedElse() {
+	if c.metrics == nil {
+		noop()
+	} else {
+		c.metrics.Sent.Inc()
+	}
+}
+
+func (c *Conn) guardedClosure() {
+	if m := c.metrics; m != nil {
+		func() { m.Dropped.Inc() }()
+	}
+}
+
+func (c *Conn) halfGuarded() {
+	if c.metrics != nil {
+		c.metrics.Sent.Inc()
+	}
+	c.metrics.Dropped.Inc() // want `field Dropped accessed on possibly-nil \*Metrics`
+}
+
+// param: callers guard, as with the metricsField helper in internal/fault.
+func param(m *Metrics) {
+	m.Sent.Inc()
+}
+
+// method on the metrics struct itself: receiver is caller-guarded.
+func (m *Metrics) bump() {
+	m.Sent.Inc()
+}
+
+func (c *Conn) audited() {
+	c.metrics.Sent.Inc() //sammy:obsguard-ok: constructor always installs metrics in this fixture
+}
+
+func noop() {}

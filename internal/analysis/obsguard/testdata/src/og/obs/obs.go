@@ -1,0 +1,30 @@
+// Package obs is a structural stub of repro/internal/obs for the obsguard
+// fixtures: nil-safe handle types that metrics structs point at.
+package obs
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+type Gauge struct{ v float64 }
+
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+type Recorder struct{ n int }
+
+func (r *Recorder) Record(typ string) {
+	if r == nil {
+		return
+	}
+	r.n++
+}

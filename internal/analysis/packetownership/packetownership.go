@@ -1,0 +1,281 @@
+// Package packetownership enforces the linear ownership protocol of the
+// allocation-free event core's packet pool (DESIGN.md §9): every packet
+// obtained from Simulator.AllocPacket must be handed to a Sender.Send or
+// returned via Simulator.FreePacket, and must not be touched after either
+// transfer — the link layer recycles it, so a retained pointer aliases a
+// future packet.
+//
+// The analyzer is function-local and syntactic:
+//
+//   - an AllocPacket result that is discarded, or never reaches a
+//     Send/FreePacket call (nor escapes into another call, return value,
+//     field, container or channel), is reported as a pool leak;
+//   - within a statement block, any use of the packet variable after the
+//     Send/FreePacket that transferred it away is reported as
+//     use-after-release.
+//
+// Package sim itself — the pool and link internals, which legitimately
+// own packets across these boundaries — is exempt. Audited exceptions
+// elsewhere carry //sammy:packet-ok with a justification.
+package packetownership
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the packetownership pass.
+var Analyzer = &analysis.Analyzer{
+	Name:        "packetownership",
+	Doc:         "enforce linear Send/FreePacket ownership of Simulator.AllocPacket results",
+	SuppressKey: "packet-ok",
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathBase(pass.Pkg.Path()) == "sim" {
+		return nil // pool and link internals own packets by design
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAllocCall reports whether call is (*sim.Simulator).AllocPacket.
+func isAllocCall(info *types.Info, call *ast.CallExpr) bool {
+	return analysis.IsPkgFunc(info, call, "sim", "AllocPacket")
+}
+
+// releasedObj returns the packet variable transferred away by call:
+// the argument of Simulator.FreePacket or of a Send method taking a
+// *sim.Packet. The second result names the releasing call.
+func releasedObj(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || len(call.Args) != 1 {
+		return nil, ""
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	obj := info.Uses[arg]
+	if obj == nil {
+		return nil, ""
+	}
+	switch {
+	case fn.Name() == "FreePacket" && analysis.ObjPkgBase(fn) == "sim":
+		return obj, "FreePacket"
+	case fn.Name() == "Send" && analysis.IsNamed(obj.Type(), "sim", "Packet"):
+		return obj, "Send"
+	}
+	return nil, ""
+}
+
+// checkFunc runs both ownership checks over one function body. Nested
+// function literals are analyzed separately by run's outer walk, but their
+// statements still count as uses/consumers for the enclosing function's
+// packets (a closure may legitimately free a captured packet later).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// --- leak check: every AllocPacket result must be consumed ----------
+	type allocVar struct {
+		obj types.Object
+		pos ast.Expr // the alloc call, for reporting
+	}
+	var allocs []allocVar
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isAllocCall(info, call) {
+				pass.Reportf(call.Pos(), "result of AllocPacket discarded: the packet leaks from the pool (Send or FreePacket it)")
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 || len(n.Lhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isAllocCall(info, call) {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "result of AllocPacket discarded: the packet leaks from the pool (Send or FreePacket it)")
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				allocs = append(allocs, allocVar{obj: obj, pos: call})
+			}
+		}
+		return true
+	})
+	for _, a := range allocs {
+		if !consumed(info, body, a.obj) {
+			pass.Reportf(a.pos.Pos(),
+				"packet %s from AllocPacket never reaches Send or FreePacket in this function and does not escape: it leaks from the pool",
+				a.obj.Name())
+		}
+	}
+
+	// --- use-after-release: straight-line order within each block -------
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		released := map[types.Object]string{}
+		for _, stmt := range block.List {
+			// A use of a previously released packet in this statement?
+			for obj, how := range released {
+				if rebinds(info, stmt, obj) {
+					delete(released, obj)
+					continue
+				}
+				if pos, used := usePos(info, stmt, obj); used {
+					pass.Reportf(pos,
+						"use of %s after %s released it back to the pool (the link layer may already have recycled it)",
+						obj.Name(), how)
+				}
+			}
+			// Does this statement release a packet?
+			ast.Inspect(stmt, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if obj, how := releasedObj(info, call); obj != nil {
+						released[obj] = how
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// consumed reports whether obj (a packet variable) is transferred away
+// anywhere in body: passed to any call, returned, stored into a field,
+// container or channel, or aliased by assignment.
+func consumed(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	usesObj := func(e ast.Expr) bool {
+		hit := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				// Only a use of the pointer value itself counts; p.Field
+				// on the left of a selector is still just p's value, so
+				// any appearance qualifies here — the caller restricts
+				// the contexts that reach us.
+				hit = true
+			}
+			return !hit
+		})
+		return hit
+	}
+	isBare := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == obj
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if usesObj(arg) {
+					found = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if usesObj(r) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(n.Value) {
+				found = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if usesObj(el) {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			// p aliased or stored: q := p, x.f = p, m[k] = p.
+			for i, rhs := range n.Rhs {
+				if !isBare(rhs) {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rebinds reports whether stmt assigns a fresh value to obj (p = ... or
+// p := ...), which ends the released state of the old value.
+func rebinds(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
+	re := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if info.Uses[id] == obj || info.Defs[id] == obj {
+					re = true
+				}
+			}
+		}
+		return !re
+	})
+	return re
+}
+
+// usePos finds a use of obj inside stmt.
+func usePos(info *types.Info, stmt ast.Stmt, obj types.Object) (pos token.Pos, used bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			pos, used = id.Pos(), true
+		}
+		return !used
+	})
+	return pos, used
+}

@@ -1,0 +1,21 @@
+package packetownership_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/packetownership"
+)
+
+func TestPacketOwnership(t *testing.T) {
+	diags := antest.Run(t, packetownership.Analyzer, "pkt/a")
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Error("expected the //sammy:packet-ok fixture site to be seen and suppressed")
+	}
+}

@@ -1,0 +1,78 @@
+// Package a exercises the packetownership analyzer: pool leaks,
+// use-after-release, and the blessed alloc-fill-send pattern.
+package a
+
+import "pkt/sim"
+
+var stash *sim.Packet
+
+func leak(s *sim.Simulator) {
+	p := s.AllocPacket() // want `never reaches Send or FreePacket`
+	p.Flow = 1
+}
+
+func discard(s *sim.Simulator) {
+	s.AllocPacket() // want `result of AllocPacket discarded`
+}
+
+func blank(s *sim.Simulator) {
+	_ = s.AllocPacket() // want `result of AllocPacket discarded`
+}
+
+func sendOK(s *sim.Simulator, l *sim.Link) {
+	p := s.AllocPacket()
+	p.Flow = 2
+	l.Send(p)
+}
+
+func senderIfaceOK(s *sim.Simulator, snd sim.Sender) {
+	p := s.AllocPacket()
+	snd.Send(p)
+}
+
+func freeOK(s *sim.Simulator) {
+	p := s.AllocPacket()
+	s.FreePacket(p)
+}
+
+func helperOK(s *sim.Simulator) {
+	p := s.AllocPacket()
+	forward(p) // ownership transferred to the callee
+}
+
+func forward(p *sim.Packet) {}
+
+func escapeOK(s *sim.Simulator) {
+	p := s.AllocPacket()
+	stash = p // escapes; lifetime is the store's responsibility
+}
+
+func useAfterFree(s *sim.Simulator) int {
+	p := s.AllocPacket()
+	s.FreePacket(p)
+	return p.Flow // want `use of p after FreePacket`
+}
+
+func useAfterSend(s *sim.Simulator, l *sim.Link) int {
+	p := s.AllocPacket()
+	l.Send(p)
+	return p.Flow // want `use of p after Send`
+}
+
+func doubleFree(s *sim.Simulator) {
+	p := s.AllocPacket()
+	s.FreePacket(p)
+	s.FreePacket(p) // want `use of p after FreePacket`
+}
+
+func rebindOK(s *sim.Simulator, l *sim.Link) {
+	p := s.AllocPacket()
+	l.Send(p)
+	p = s.AllocPacket() // fresh packet: released state ends
+	l.Send(p)
+}
+
+func auditedLeak(s *sim.Simulator) {
+	p := s.AllocPacket() //sammy:packet-ok: fixture demonstrating an audited exception
+	_ = p.Flow
+}

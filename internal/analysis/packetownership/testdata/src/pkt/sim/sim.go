@@ -1,0 +1,21 @@
+// Package sim is a structural stub of repro/internal/sim for the
+// packetownership fixtures: the analyzer matches by package-path base and
+// type names, so these shapes exercise the same code paths as the real
+// tree.
+package sim
+
+type Packet struct {
+	Flow int
+	Size int
+}
+
+type Simulator struct{ free []*Packet }
+
+func (s *Simulator) AllocPacket() *Packet { return &Packet{} }
+func (s *Simulator) FreePacket(p *Packet) {}
+
+type Sender interface{ Send(p *Packet) bool }
+
+type Link struct{}
+
+func (l *Link) Send(p *Packet) bool { return true }

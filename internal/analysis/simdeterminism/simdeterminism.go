@@ -1,0 +1,193 @@
+// Package simdeterminism forbids wall-clock and global-RNG nondeterminism
+// inside the repo's deterministic packages. The paper reproduction's
+// credibility rests on fixed-seed byte-identical traces (the golden
+// FNV-64a tests in lab and abtest): one stray time.Now or math/rand
+// global in the simulation stack silently changes every figure.
+//
+// Inside a deterministic package the analyzer flags:
+//
+//   - calls to time.Now and time.Since (simulated time comes from
+//     Simulator.Now / injected clocks);
+//   - any use of a math/rand or math/rand/v2 package-level function
+//     (Int, Float64, Shuffle, Seed, ...) — randomness must flow through
+//     an injected, seeded *rand.Rand (rand.New(rand.NewSource(seed)));
+//   - trace-ordered writes driven by map iteration order: append to a
+//     variable declared outside a range-over-map loop (unless the result
+//     is sorted afterwards in the same function), and formatted output /
+//     event-recording calls inside such a loop.
+//
+// Audited exceptions carry a //sammy:nondeterministic-ok comment with a
+// justification on (or immediately above) the flagged line.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// DeterministicPkgs names the packages (by import-path base) whose
+// behaviour must be a pure function of their seeds. It mirrors the list in
+// DESIGN.md §11.
+var DeterministicPkgs = map[string]bool{
+	"sim": true, "tcp": true, "abr": true, "bwest": true,
+	"player": true, "pacing": true, "video": true, "traffic": true,
+	"netmodel": true, "fault": true, "abtest": true, "lab": true,
+	"stats": true, "core": true,
+}
+
+// Analyzer is the simdeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name:        "simdeterminism",
+	Doc:         "forbid wall-clock, global math/rand and map-iteration-order nondeterminism in deterministic packages",
+	SuppressKey: "nondeterministic-ok",
+	Run:         run,
+}
+
+// rngConstructors are the math/rand package-level functions that build
+// seeded generators rather than consuming the global one.
+var rngConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// emitFuncs are callee names treated as ordered trace emission when they
+// appear inside a range-over-map body.
+var emitFuncs = map[string]bool{
+	"Record": true, "RecordAt": true, "Emit": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true,
+	"Log": true, "Logf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !DeterministicPkgs[analysis.PathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkClockAndRand(pass, f)
+		checkMapRanges(pass, f)
+	}
+	return nil
+}
+
+// checkClockAndRand flags time.Now/time.Since calls and global math/rand
+// references.
+func checkClockAndRand(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock in deterministic package %s (use the simulator clock or an injected clock)",
+					fn.Name(), pass.Pkg.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			// Methods on *rand.Rand are fine; only package-level
+			// functions consume the shared global generator.
+			if fn.Type().(*types.Signature).Recv() == nil && !rngConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"math/rand global %s in deterministic package %s (route randomness through an injected seeded *rand.Rand)",
+					fn.Name(), pass.Pkg.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags trace-ordered side effects inside range-over-map
+// loops: appends to outer variables (unless sorted afterwards) and
+// formatted-output / event-recording calls.
+func checkMapRanges(pass *analysis.Pass, f *ast.File) {
+	info := pass.TypesInfo
+
+	// sortedAfter reports whether obj is passed to a sort.*/slices.Sort*
+	// call positioned after pos (the collect-then-sort idiom).
+	sortedAfter := func(obj types.Object, pos token.Pos) bool {
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < pos {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			if base := analysis.ObjPkgBase(fn); base != "sort" && base != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		return found
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// append to a variable declared outside the loop.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+					tgt, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := info.Uses[tgt]
+					if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()) {
+						return true // loop-local accumulator
+					}
+					if sortedAfter(obj, rs.End()) {
+						return true // collect-then-sort idiom
+					}
+					pass.Reportf(call.Pos(),
+						"append to %s inside range over map: element order depends on map iteration (sort the result, or iterate sorted keys)",
+						tgt.Name)
+					return true
+				}
+			}
+			if fn := analysis.CalleeFunc(info, call); fn != nil && emitFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"%s inside range over map emits in map iteration order (iterate sorted keys)",
+					fn.Name())
+			}
+			return true
+		})
+		return true
+	})
+}

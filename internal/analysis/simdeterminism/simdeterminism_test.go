@@ -1,0 +1,21 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/simdeterminism"
+)
+
+func TestSimDeterminism(t *testing.T) {
+	diags := antest.Run(t, simdeterminism.Analyzer, "det/sim", "det/free")
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Error("expected the //sammy:nondeterministic-ok fixture site to be seen and suppressed")
+	}
+}

@@ -1,0 +1,17 @@
+// Package free is a simdeterminism fixture outside the deterministic set:
+// wall-clock and global-RNG use here must NOT be flagged.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Uptime(start time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(start)
+}
+
+func Jitter() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,71 @@
+// Package sim is a simdeterminism fixture: its import-path base ("sim") is
+// in the deterministic set, so every nondeterminism idiom below must be
+// flagged — except the audited suppressions and the blessed idioms.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks(start time.Time) time.Duration {
+	_ = time.Now()           // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func wallAudited() time.Time {
+	//sammy:nondeterministic-ok: feeds only the sim-speed gauge, never simulation state
+	return time.Now()
+}
+
+func globals(seeded *rand.Rand) int {
+	n := rand.Intn(6)                  // want `math/rand global Intn`
+	rand.Shuffle(n, func(i, j int) {}) // want `math/rand global Shuffle`
+	_ = rand.Float64()                 // want `math/rand global Float64`
+	return seeded.Intn(6)              // methods on an injected *rand.Rand are fine
+}
+
+func seededOK(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors are fine
+}
+
+func names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map`
+	}
+	return out
+}
+
+func namesSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // collect-then-sort: blessed idiom
+	}
+	sort.Strings(out)
+	return out
+}
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `Println inside range over map`
+	}
+}
+
+func sums(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // commutative accumulation: fine
+	}
+	return total
+}
+
+func keyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2 // keyed writes are order-independent: fine
+	}
+	return out
+}

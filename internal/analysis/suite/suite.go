@@ -1,0 +1,95 @@
+// Package suite enumerates the sammy-vet analyzers and provides the
+// standalone driver shared by cmd/sammy-vet and the repo self-check test.
+package suite
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/eventref"
+	"repro/internal/analysis/hardenedserver"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/obsguard"
+	"repro/internal/analysis/packetownership"
+	"repro/internal/analysis/simdeterminism"
+)
+
+// All returns the sammy-vet analyzer suite in stable (alphabetical) order.
+// Each analyzer self-filters by package, so it is safe to run every one of
+// them over every package.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		eventref.Analyzer,
+		hardenedserver.Analyzer,
+		obsguard.Analyzer,
+		packetownership.Analyzer,
+		simdeterminism.Analyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// PkgResult is the outcome of running the suite over one package.
+type PkgResult struct {
+	Pkg         *load.Package
+	Diagnostics []analysis.Diagnostic // failing findings, position-sorted
+	Suppressed  []analysis.Diagnostic // sites covered by //sammy:<key> comments
+}
+
+// RunPackage applies every analyzer in analyzers to one loaded package and
+// splits the results into failing and suppressed diagnostics.
+func RunPackage(pkg *load.Package, analyzers []*analysis.Analyzer) (PkgResult, error) {
+	res := PkgResult{Pkg: pkg}
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return res, err
+		}
+		for _, d := range pass.Diagnostics {
+			if d.Suppressed {
+				res.Suppressed = append(res.Suppressed, d)
+			} else {
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		return res.Diagnostics[i].Pos < res.Diagnostics[j].Pos
+	})
+	return res, nil
+}
+
+// Run loads the packages matched by patterns (relative to dir) and applies
+// the full suite to each. Type errors in loaded packages are reported on
+// the PkgResult's Pkg (load.Package.TypeErrors); drivers decide whether to
+// surface them.
+func Run(dir string, patterns []string) ([]PkgResult, error) {
+	pkgs, err := load.Packages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	analyzers := All()
+	results := make([]PkgResult, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		res, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -1,0 +1,75 @@
+package suite_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+// TestRepoIsClean is the self-check gate: the full analyzer suite over the
+// whole module must produce zero failing findings. It is the in-process
+// equivalent of `go run ./cmd/sammy-vet -stock=false ./...` exiting 0, so a
+// change that violates an enforced invariant fails `go test ./...` even
+// before CI runs the vet step.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := load.ModuleRoot(wd)
+
+	results, err := suite.Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("running suite over %s: %v", root, err)
+	}
+	if len(results) == 0 {
+		t.Fatal("suite loaded zero packages")
+	}
+
+	suppressed := 0
+	for _, res := range results {
+		for _, terr := range res.Pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", res.Pkg.ImportPath, terr)
+		}
+		for _, d := range res.Diagnostics {
+			t.Errorf("%s: [%s] %s", res.Pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		suppressed += len(res.Suppressed)
+	}
+	// The tree carries a handful of justified //sammy:<key> comments (the
+	// sim wall-clock gauges, the chaos default clock). If this drops to
+	// zero the suppression plumbing itself has probably broken.
+	if suppressed == 0 {
+		t.Error("expected at least one honored suppression in the tree, found none")
+	}
+	t.Logf("analyzed %d packages, %d honored suppressions", len(results), suppressed)
+}
+
+// TestSuiteInventory pins the analyzer roster: CI docs (DESIGN.md §11) and
+// the README name exactly these five.
+func TestSuiteInventory(t *testing.T) {
+	want := []string{"eventref", "hardenedserver", "obsguard", "packetownership", "simdeterminism"}
+	all := suite.All()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.SuppressKey == "" {
+			t.Errorf("analyzer %s has no suppression key", a.Name)
+		}
+		if suite.ByName(a.Name) != a {
+			t.Errorf("ByName(%s) did not return the analyzer", a.Name)
+		}
+	}
+	if suite.ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}

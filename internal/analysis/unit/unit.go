@@ -1,0 +1,125 @@
+// Package unit implements the driver side of the (unpublished) `go vet
+// -vettool` protocol for the sammy-vet suite.
+//
+// When cmd/go vets a package it invokes the tool three ways:
+//
+//  1. `tool -V=full` — a build-ID handshake used to key vet's result cache
+//  2. `tool -flags` — a JSON description of the tool's flags
+//  3. `tool <flags> <objdir>/vet.cfg` — the actual unit of work: a JSON
+//     config naming one package's files and the export data of its
+//     dependency cone
+//
+// Steps 1 and 2 are handled in cmd/sammy-vet; this package handles step 3.
+// Because cmd/go drives it package-by-package with test variants included,
+// vettool mode is the only mode that analyzes _test.go files — the
+// standalone loader (internal/analysis/load) deliberately skips them.
+package unit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+	"repro/internal/citools"
+)
+
+// Config mirrors the vet-config JSON emitted by cmd/go (see vetConfig in
+// cmd/go/internal/work/exec.go). Unknown fields are ignored on decode.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string // import path in source -> canonical package path
+	PackageFile map[string]string // canonical package path -> export data file
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Run executes one vet unit described by the config file at cfgPath,
+// recording findings and tool errors on rep. The caller exits with
+// rep.ExitCode(): cmd/go treats any non-zero exit as a vet failure and
+// relays the tool's stderr.
+func Run(rep *citools.Reporter, cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		rep.Errorf("reading vet config: %v", err)
+		return
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		rep.Errorf("parsing vet config %s: %v", cfgPath, err)
+		return
+	}
+
+	// The suite has no cross-package facts, so the "vetx" output is always
+	// empty — but it must exist for cmd/go's result caching to work.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			rep.Errorf("writing vetx output: %v", err)
+			return
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency package: cmd/go only wants facts, and we have none.
+		return
+	}
+	if len(cfg.GoFiles) == 0 {
+		return
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		canonical := path
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			canonical = mapped
+		}
+		file := cfg.PackageFile[canonical]
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	pkg, err := load.Check(fset, imp, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		if !cfg.SucceedOnTypecheckFailure {
+			rep.Errorf("%v", err)
+		}
+		return
+	}
+	if len(pkg.TypeErrors) > 0 {
+		// A package that does not type-check cannot be analyzed soundly.
+		// cmd/go sets SucceedOnTypecheckFailure when the compiler is
+		// expected to report the same errors itself.
+		if !cfg.SucceedOnTypecheckFailure {
+			for _, terr := range pkg.TypeErrors {
+				rep.Errorf("%v", terr)
+			}
+		}
+		return
+	}
+
+	res, err := suite.RunPackage(pkg, suite.All())
+	if err != nil {
+		rep.Errorf("%s: %v", cfg.ImportPath, err)
+		return
+	}
+	for _, d := range res.Diagnostics {
+		rep.Findingf("%s: [%s] %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

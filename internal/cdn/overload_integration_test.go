@@ -36,6 +36,7 @@ func startOverloadServer(t *testing.T, cfg overload.Config, inner http.Handler) 
 	if err != nil {
 		t.Fatal(err)
 	}
+	//sammy:server-ok: stall-injection test; WriteTimeout would kill the deliberately slow responses under test
 	srv := &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,

@@ -1,0 +1,82 @@
+// Package citools carries the exit-code and reporting conventions shared by
+// the repo's CI gate binaries (cmd/benchcheck, cmd/sammy-vet).
+//
+// The convention, encoded in Reporter.ExitCode:
+//
+//	0 — clean: the gate ran and found nothing
+//	1 — findings: the gate ran and the tree violates it (fail the build)
+//	2 — tool error: the gate itself could not run (also fails the build,
+//	    but distinguishably, so CI logs point at the tool, not the tree)
+package citools
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Exit codes for CI gate binaries.
+const (
+	ExitClean    = 0
+	ExitFindings = 1
+	ExitError    = 2
+)
+
+// Reporter accumulates findings and tool errors for one gate run and maps
+// them onto the shared exit-code convention. Informational output goes to
+// Out; findings and errors go to Err so CI log scrapers see them on stderr.
+type Reporter struct {
+	name     string
+	Out      io.Writer
+	Err      io.Writer
+	findings int
+	errors   int
+}
+
+// New returns a Reporter writing to os.Stdout/os.Stderr. name prefixes
+// tool-error messages ("benchcheck: ...").
+func New(name string) *Reporter {
+	return &Reporter{name: name, Out: os.Stdout, Err: os.Stderr}
+}
+
+// Infof prints informational output; it does not affect the exit code.
+func (r *Reporter) Infof(format string, args ...any) {
+	fmt.Fprintf(r.Out, format+"\n", args...)
+}
+
+// Findingf records one gate finding and prints it to Err.
+func (r *Reporter) Findingf(format string, args ...any) {
+	r.findings++
+	fmt.Fprintf(r.Err, format+"\n", args...)
+}
+
+// Errorf records a tool failure — the gate could not do its job — and
+// prints it to Err with the tool-name prefix.
+func (r *Reporter) Errorf(format string, args ...any) {
+	r.errors++
+	fmt.Fprintf(r.Err, r.name+": "+format+"\n", args...)
+}
+
+// Findings returns the number of findings recorded so far.
+func (r *Reporter) Findings() int { return r.findings }
+
+// Errors returns the number of tool errors recorded so far.
+func (r *Reporter) Errors() int { return r.errors }
+
+// ExitCode maps the run's outcome onto the convention: tool errors trump
+// findings, findings trump clean.
+func (r *Reporter) ExitCode() int {
+	switch {
+	case r.errors > 0:
+		return ExitError
+	case r.findings > 0:
+		return ExitFindings
+	default:
+		return ExitClean
+	}
+}
+
+// Exit terminates the process with ExitCode.
+func (r *Reporter) Exit() {
+	os.Exit(r.ExitCode())
+}

@@ -1,0 +1,52 @@
+package citools
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func newTestReporter() (*Reporter, *bytes.Buffer, *bytes.Buffer) {
+	out, errOut := new(bytes.Buffer), new(bytes.Buffer)
+	r := New("gate")
+	r.Out, r.Err = out, errOut
+	return r, out, errOut
+}
+
+func TestExitCodeConvention(t *testing.T) {
+	r, _, _ := newTestReporter()
+	if got := r.ExitCode(); got != ExitClean {
+		t.Errorf("fresh reporter: ExitCode = %d, want %d", got, ExitClean)
+	}
+
+	r.Findingf("something regressed")
+	if got := r.ExitCode(); got != ExitFindings {
+		t.Errorf("after finding: ExitCode = %d, want %d", got, ExitFindings)
+	}
+
+	// A tool error trumps findings: CI must know the gate itself broke.
+	r.Errorf("cannot open baseline: %v", "missing")
+	if got := r.ExitCode(); got != ExitError {
+		t.Errorf("after error: ExitCode = %d, want %d", got, ExitError)
+	}
+}
+
+func TestStreamsAndPrefixes(t *testing.T) {
+	r, out, errOut := newTestReporter()
+	r.Infof("ok   benchmark %d", 1)
+	r.Findingf("FAIL benchmark %d", 2)
+	r.Errorf("broken: %s", "reason")
+
+	if got := out.String(); got != "ok   benchmark 1\n" {
+		t.Errorf("Out = %q, want info line only", got)
+	}
+	if !strings.Contains(errOut.String(), "FAIL benchmark 2\n") {
+		t.Errorf("Err missing finding line: %q", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "gate: broken: reason\n") {
+		t.Errorf("Err missing name-prefixed error line: %q", errOut.String())
+	}
+	if r.Findings() != 1 || r.Errors() != 1 {
+		t.Errorf("counts = (%d findings, %d errors), want (1, 1)", r.Findings(), r.Errors())
+	}
+}

@@ -45,10 +45,16 @@ type ChaosConfig struct {
 	// SlowStartDelay is the injected time to first byte; default 300 ms.
 	SlowStartDelay time.Duration
 
-	// Timeline, when set, scripts CDN blackouts on the wall clock measured
-	// from the middleware's construction: requests arriving while the
+	// Timeline, when set, scripts CDN blackouts on the clock measured from
+	// the middleware's construction: requests arriving while the
 	// multiplier is 0 are aborted before headers.
 	Timeline *Timeline
+
+	// Elapsed positions the Timeline: it reports how long the middleware
+	// has been running. Nil defaults to the wall clock, which is fine for
+	// live servers but nondeterministic; deterministic harnesses inject a
+	// virtual clock here so identical seeds replay identical blackouts.
+	Elapsed func() time.Duration
 
 	// MaxInjections caps the total number of injected faults; 0 means
 	// unlimited. A cap turns "error storm" configs into deterministic
@@ -137,7 +143,7 @@ type Chaos struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	injected int
-	start    time.Time
+	elapsed  func() time.Duration
 
 	// Metrics receives injection telemetry; set by NewChaos from the
 	// process-wide obs registry when one is installed.
@@ -153,13 +159,28 @@ func NewChaos(cfg ChaosConfig, next http.Handler) (*Chaos, error) {
 	if next == nil {
 		return nil, fmt.Errorf("fault: chaos middleware needs a next handler")
 	}
+	elapsed := cfg.Elapsed
+	if elapsed == nil {
+		elapsed = wallElapsed()
+	}
 	return &Chaos{
 		cfg:     cfg.withDefaults(),
 		next:    next,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		start:   time.Now(),
+		elapsed: elapsed,
 		Metrics: NewChaosMetrics(obs.Default()),
 	}, nil
+}
+
+// wallElapsed is the default Elapsed hook for live servers: time since the
+// middleware was constructed. Deterministic harnesses must inject
+// ChaosConfig.Elapsed instead; this is the one sanctioned wall-clock read
+// in the package.
+func wallElapsed() func() time.Duration {
+	start := time.Now() //sammy:nondeterministic-ok: default live-server clock; deterministic runs inject ChaosConfig.Elapsed
+	return func() time.Duration {
+		return time.Since(start) //sammy:nondeterministic-ok: see wallElapsed
+	}
 }
 
 // Injected reports how many faults have been injected so far.
@@ -191,7 +212,7 @@ func (c *Chaos) decide() chaosAction {
 	r := c.rng.Float64()
 	s := c.rng.Float64()
 	f := c.rng.Float64()
-	if c.cfg.Timeline != nil && c.cfg.Timeline.Multiplier(time.Since(c.start)) == 0 {
+	if c.cfg.Timeline != nil && c.cfg.Timeline.Multiplier(c.elapsed()) == 0 {
 		c.injected++
 		return actBlackout
 	}

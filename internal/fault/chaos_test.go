@@ -148,6 +148,46 @@ func TestChaosTimelineBlackout(t *testing.T) {
 	}
 }
 
+func TestChaosInjectedElapsedClock(t *testing.T) {
+	// A blackout scripted for virtual t=10s..20s. With ChaosConfig.Elapsed
+	// injected, the virtual clock — not the wall clock — decides which
+	// requests the blackout swallows, so two runs with the same seed and
+	// the same clock script classify identically however long the real
+	// requests take.
+	ticks := []time.Duration{
+		0, 5 * time.Second, // before the blackout
+		10 * time.Second, 15 * time.Second, // inside [10s, 20s)
+		20 * time.Second, 25 * time.Second, // after it ends
+	}
+	run := func() []string {
+		var now time.Duration
+		chaos, err := NewChaos(ChaosConfig{
+			Seed:     7,
+			Timeline: MustTimeline(Phase{Start: 10 * time.Second, Duration: 10 * time.Second, Multiplier: 0}),
+			Elapsed:  func() time.Duration { return now },
+		}, chaosBody)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(chaos)
+		defer srv.Close()
+		var out []string
+		for _, tick := range ticks {
+			now = tick
+			out = append(out, chaosOutcomes(t, srv.URL, 1)...)
+		}
+		return out
+	}
+	first, second := run(), run()
+	want := []string{"ok", "ok", "connect-error", "connect-error", "ok", "ok"}
+	if strings.Join(first, ",") != strings.Join(want, ",") {
+		t.Errorf("outcomes with injected clock = %v, want %v", first, want)
+	}
+	if strings.Join(first, ",") != strings.Join(second, ",") {
+		t.Errorf("identical seed+clock runs diverged: %v vs %v", first, second)
+	}
+}
+
 func TestChaosValidation(t *testing.T) {
 	if _, err := NewChaos(ChaosConfig{ErrorProb: 1.5}, chaosBody); err == nil {
 		t.Error("out-of-range probability accepted")

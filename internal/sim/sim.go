@@ -180,7 +180,7 @@ func (s *Simulator) RunUntil(end time.Duration) {
 	var wallStart time.Time
 	var simStart time.Duration
 	if m != nil {
-		wallStart = time.Now()
+		wallStart = time.Now() //sammy:nondeterministic-ok: wall clock feeds only the obs TimeRatio/WallNanos gauges, never simulation state
 		simStart = s.now
 	}
 	for len(s.events) > 0 {
@@ -211,7 +211,7 @@ func (s *Simulator) RunUntil(end time.Duration) {
 		s.now = end
 	}
 	if m != nil {
-		wall := time.Since(wallStart)
+		wall := time.Since(wallStart) //sammy:nondeterministic-ok: wall clock feeds only the obs TimeRatio/WallNanos gauges, never simulation state
 		simAdvance := s.now - simStart
 		m.WallNanos.Add(wall.Nanoseconds())
 		m.SimNanos.Add(simAdvance.Nanoseconds())

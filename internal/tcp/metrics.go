@@ -66,9 +66,12 @@ func NewMetrics(r *obs.Registry) *Metrics {
 // SetMetrics attaches m to the connection (nil detaches).
 func (c *Conn) SetMetrics(m *Metrics) { c.metrics = m }
 
-// setWindowMetrics refreshes the window gauges; callers guard on
-// c.metrics != nil.
+// setWindowMetrics refreshes the window gauges.
 func (c *Conn) setWindowMetrics() {
-	c.metrics.Cwnd.Set(c.cwnd)
-	c.metrics.Ssthresh.Set(c.ssthresh)
+	m := c.metrics
+	if m == nil {
+		return
+	}
+	m.Cwnd.Set(c.cwnd)
+	m.Ssthresh.Set(c.ssthresh)
 }
