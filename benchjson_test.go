@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/benchfmt"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/units"
@@ -61,6 +62,26 @@ func BenchmarkSingleTCPFlow(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOffSpans measures the disabled-tracing hot path: the exact
+// span-call shape the player makes per chunk (session/chunk/fetch spans,
+// attributes, an annotation) against a nil Trace, which is what every
+// instrumented call site sees when no tracer is installed. The contract is
+// zero allocations per op — tracing must be free when off — and benchcheck
+// gates it against BENCH_baseline.json like the other zero-alloc suites.
+func BenchmarkTraceOffSpans(b *testing.B) {
+	b.ReportAllocs()
+	var tr *otrace.Trace
+	for i := 0; i < b.N; i++ {
+		sess := tr.StartAt(0, "player.session", "bench")
+		ch := sess.StartChildAt(0, "player.chunk", "").SetAttr("index", float64(i))
+		fetch := ch.StartChildAt(0, "tcp.fetch", "")
+		fetch.AnnotateAt(0, "pace_rate_mbps", 12)
+		fetch.SetAttr("bytes", 1e6).EndAt(time.Second)
+		ch.EndAt(time.Second)
+		sess.EndAt(2 * time.Second)
+	}
+}
+
 // measureSimTimeRatio runs the single-flow workload on an instrumented
 // simulator and reads back the obs TimeRatio gauge: simulated seconds
 // advanced per wall-clock second.
@@ -106,6 +127,7 @@ func TestWriteBenchJSON(t *testing.T) {
 			"Scheduler":          toResult(testing.Benchmark(BenchmarkScheduler)),
 			"SingleTCPFlow":      toResult(testing.Benchmark(BenchmarkSingleTCPFlow)),
 			"Table2ProductionAB": toResult(testing.Benchmark(BenchmarkTable2ProductionAB)),
+			"TraceOffSpans":      toResult(testing.Benchmark(BenchmarkTraceOffSpans)),
 		},
 		SimTimeRatio: measureSimTimeRatio(),
 	}

@@ -12,8 +12,10 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/lab"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/overload"
 	"repro/internal/player"
 	"repro/internal/trace"
@@ -75,6 +78,8 @@ func main() {
 	eventCap := flag.Int("events", 65536, "event recorder ring size used with -metrics")
 	chaosName := flag.String("chaos", "", "fault scenario ("+strings.Join(fault.ScenarioNames(), ", ")+
 		"): population experiments get the scenario's path faults, and the chaos experiment streams through its HTTP chaos")
+	tracePath := flag.String("trace", "", "install the span tracer and write a Chrome trace-event JSON (Perfetto-loadable) to this path, plus a .jsonl twin")
+	debugAddr := flag.String("debug-addr", "", "serve the live trace inspector at /debug/sammy (plus /debug/vars) on this address for the duration of the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sammy-eval [flags] <table2|table3|baseline|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|approaches|abandon|chaos|storm|all>\n")
 		flag.PrintDefaults()
@@ -106,6 +111,28 @@ func main() {
 		}
 		obs.SetDefault(reg)
 		defer reportMetrics(reg, *csvDir)
+	}
+
+	// With -trace (or -debug-addr), install the process-wide span tracer so
+	// every player session, ABR decision, fetch and pacing computation
+	// records spans, and export them when the experiment finishes. Sim-path
+	// spans are stamped with the simulation clock, so fixed-seed traces are
+	// byte-identical across runs.
+	var tracer *otrace.Tracer
+	if *tracePath != "" || *debugAddr != "" {
+		tracer = otrace.New()
+		otrace.SetDefault(tracer)
+	}
+	if *tracePath != "" {
+		defer exportTraces(tracer, *tracePath)
+	}
+	if *debugAddr != "" {
+		closeDebug, derr := serveDebug(*debugAddr, tracer)
+		if derr != nil {
+			fmt.Fprintf(os.Stderr, "sammy-eval: %v\n", derr)
+			os.Exit(2)
+		}
+		defer closeDebug()
 	}
 
 	cfg := abtest.Config{
@@ -304,6 +331,54 @@ func runPairings(seed int64) {
 	}
 }
 
+// exportTraces writes the run's spans as Chrome trace-event JSON at path
+// (loadable in Perfetto / chrome://tracing) and as canonical JSONL next to
+// it, the input format for sammy-trace.
+func exportTraces(t *otrace.Tracer, path string) {
+	writeFile := func(p string, write func(io.Writer) error) {
+		f, err := os.Create(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sammy-eval: create %s: %v\n", p, err)
+			return
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sammy-eval: write %s: %v\n", p, err)
+			return
+		}
+		fmt.Printf("wrote %s\n", p)
+	}
+	writeFile(path, t.WriteChromeTrace)
+	writeFile(strings.TrimSuffix(path, ".json")+".jsonl", t.WriteJSONL)
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "sammy-eval: trace backlog overflowed, %d spans dropped\n", d)
+	}
+}
+
+// serveDebug mounts the live run inspector for long evaluations:
+// /debug/sammy renders the tracer's sessions and most recent spans,
+// /debug/vars the expvar metrics (populated with -metrics).
+func serveDebug(addr string, t *otrace.Tracer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/sammy", &otrace.Inspector{Tracer: t})
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	go srv.Serve(ln)
+	fmt.Printf("debug inspector: http://%s/debug/sammy\n", ln.Addr())
+	return func() { srv.Close() }, nil
+}
+
 // renameSeries relabels a series for CSV column headers.
 func renameSeries(s trace.Series, name string) trace.Series {
 	s.Name = name
@@ -438,7 +513,7 @@ func runChaos(scn fault.Scenario, seed int64, chunks int) {
 	}
 	ccfg := scn.Chaos
 	ccfg.Seed = seed
-	chaos, err := fault.NewChaos(ccfg, &cdn.Server{Metrics: cdn.NewMetrics(obs.Default())})
+	chaos, err := fault.NewChaos(ccfg, &cdn.Server{Metrics: cdn.NewMetrics(obs.Default()), Tracer: otrace.Default()})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sammy-eval: chaos: %v\n", err)
 		os.Exit(1)
@@ -514,13 +589,14 @@ func runStorm(scn fault.Scenario, seed int64) {
 		QueueTimeout: st.QueueTimeout,
 		RetryAfter:   st.RetryAfter,
 	}, overload.NewMetrics(reg))
+	ctrl.Tracer = otrace.Default()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sammy-eval: listen: %v\n", err)
 		os.Exit(1)
 	}
 	hs := &http.Server{
-		Handler:           ctrl.Middleware(&cdn.Server{Metrics: cdn.NewMetrics(reg)}),
+		Handler:           ctrl.Middleware(&cdn.Server{Metrics: cdn.NewMetrics(reg), Tracer: otrace.Default()}),
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,

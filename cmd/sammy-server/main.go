@@ -18,18 +18,26 @@
 // The server is fully instrumented: live counters and histograms (request
 // counts, pace-rate distribution, pacer sleeps, bytes served, admission
 // and shed decisions) are exposed at /debug/vars via expvar under the
-// "sammy" key, profiling endpoints are mounted at /debug/pprof/, and a
-// periodic log line summarizes the registry.
+// "sammy" key and in Prometheus text exposition format at /metrics,
+// profiling endpoints are mounted at /debug/pprof/, and a periodic log
+// line summarizes the registry. With -trace-out the server records a span
+// per request — admission/queueing and the paced body write, joined to
+// the client's trace when the request carries an X-Sammy-Trace header —
+// streaming them to the file as JSONL; /debug/sammy renders the live
+// trace inspector either way.
 //
 // Usage:
 //
 //	sammy-server [-addr :8404] [-burst 4] [-max-inflight 256] [-queue 64]
 //	             [-queue-timeout 5s] [-drain-timeout 30s] [-per-client-rps 0]
 //	             [-stall-timeout 30s] [-metrics-interval 30s]
+//	             [-trace-out spans.jsonl]
 //
 // Inspect live state:
 //
+//	curl localhost:8404/metrics
 //	curl localhost:8404/debug/vars | python3 -m json.tool
+//	curl localhost:8404/debug/sammy
 //	curl -i localhost:8404/readyz
 //	go tool pprof localhost:8404/debug/pprof/profile
 package main
@@ -46,6 +54,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -53,6 +62,7 @@ import (
 
 	"repro/internal/cdn"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/overload"
 	"repro/internal/units"
 )
@@ -74,6 +84,8 @@ func run() int {
 	perClientRPS := flag.Float64("per-client-rps", 0, "per-client request rate limit (0 disables)")
 	stallTimeout := flag.Duration("stall-timeout", 30*time.Second, "per-write progress deadline killing stalled readers (0 disables)")
 	retryAfter := flag.Duration("retry-after", overload.DefaultRetryAfter, "Retry-After hint sent with shed responses")
+	traceOut := flag.String("trace-out", "", "record request spans and stream them to this file as JSONL (\"-\" for stdout); also feeds /debug/sammy")
+	traceFlush := flag.Duration("trace-flush", time.Second, "span flush period for -trace-out")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -83,6 +95,35 @@ func run() int {
 	reg.Publish("sammy")
 	metrics := cdn.NewMetrics(reg)
 
+	// With -trace-out, record a span per request (admission, serve, paced
+	// write) and stream completed spans to the sink; the live inspector at
+	// /debug/sammy reads the same tracer. Without it the tracer stays nil
+	// and every span call is a no-op.
+	var tracer *otrace.Tracer
+	var flusher *otrace.Flusher
+	if *traceOut != "" {
+		tracer = otrace.New()
+		sink := os.Stdout
+		if *traceOut != "-" {
+			f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Printf("sammy-server: trace output: %v", err)
+				return 1
+			}
+			defer f.Close()
+			sink = f
+		}
+		flusher = otrace.NewFlusher(tracer, sink, *traceFlush)
+	}
+	stopFlusher := func() {
+		if flusher == nil {
+			return
+		}
+		if err := flusher.Stop(); err != nil {
+			log.Printf("sammy-server: trace flush: %v", err)
+		}
+	}
+
 	ctrl := overload.New(overload.Config{
 		MaxInFlight:  *maxInflight,
 		MaxQueue:     *queueDepth,
@@ -91,17 +132,37 @@ func run() int {
 		PerClientRPS: *perClientRPS,
 		StallTimeout: *stallTimeout,
 	}, overload.NewMetrics(reg))
+	ctrl.Tracer = tracer
 
 	handler := &cdn.Server{
 		Burst:        units.Bytes(*burst) * 1500,
 		KernelPacing: *kernel,
 		Metrics:      metrics,
+		Tracer:       tracer,
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", ctrl.Middleware(handler))
 	mux.HandleFunc("/healthz", ctrl.Healthz)
 	mux.HandleFunc("/readyz", ctrl.Readyz)
+	mux.Handle("/metrics", obs.PrometheusHandler(reg))
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/sammy", &otrace.Inspector{
+		Tracer: tracer,
+		Vars: func() map[string]string {
+			v := map[string]string{
+				"in_flight": strconv.Itoa(ctrl.InFlight()),
+				"draining":  strconv.FormatBool(ctrl.Draining()),
+			}
+			if m := metrics; m != nil {
+				v["requests"] = strconv.FormatInt(m.Requests.Value(), 10)
+				v["bytes_served"] = strconv.FormatInt(m.BytesServed.Value(), 10)
+			}
+			if om := ctrl.Metrics; om != nil {
+				v["shed"] = strconv.FormatInt(om.Shed.Value(), 10)
+			}
+			return v
+		},
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -175,7 +236,7 @@ func run() int {
 	fmt.Printf("sammy-server listening on %s (pacing burst %d packets, %s, max-inflight %d, queue %d)\n",
 		*addr, *burst, mode, *maxInflight, *queueDepth)
 	fmt.Printf("try: curl -H 'X-Sammy-Pace-Rate-Bps: 8000000' 'http://%s/chunk?size=4000000' -o /dev/null\n", hostport)
-	fmt.Printf("metrics: curl %[1]s/debug/vars   readiness: curl %[1]s/readyz   profiling: go tool pprof %[1]s/debug/pprof/profile\n", hostport)
+	fmt.Printf("metrics: curl %[1]s/metrics (or /debug/vars)   traces: curl %[1]s/debug/sammy   readiness: curl %[1]s/readyz\n", hostport)
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -189,6 +250,7 @@ func run() int {
 		// (port in use, permission denied). This is the only path that
 		// exits non-zero.
 		stopLogging()
+		stopFlusher()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("sammy-server: listen and serve: %v", err)
 			return 1
@@ -214,6 +276,7 @@ func run() int {
 	}
 	<-serveErr // ListenAndServe has returned http.ErrServerClosed
 	stopLogging()
+	stopFlusher()
 	log.Printf("sammy-server: drained, bye")
 	return 0
 }

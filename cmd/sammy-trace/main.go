@@ -1,0 +1,137 @@
+// Command sammy-trace post-processes span traces written by sammy-eval
+// -trace, sammy-server -trace-out, or any trace.Tracer exporter. It reads
+// one or more JSONL trace files (merging them when several are given) and
+// renders them as per-session reports, Chrome trace-event JSON, or merged
+// canonical JSONL.
+//
+// Usage:
+//
+//	sammy-trace [flags] <report|sessions|chrome|merge> file.jsonl...
+//
+// Subcommands:
+//
+//	report    per-session timelines with time-in-state attribution: how
+//	          much of each session went to deciding (ABR/pacing/bandwidth
+//	          estimation), queued (server admission), fetching, paced-idle
+//	          (intentional off periods) and stalled (rebuffering, the QoE
+//	          harm) — the smoothing-vs-harm ledger of the paper's §5.
+//	sessions  one line per trace: span counts, chunk counts, duration.
+//	chrome    convert to a Chrome trace-event JSON array, loadable in
+//	          Perfetto (ui.perfetto.dev) or chrome://tracing.
+//	merge     canonical sorted JSONL (stable across input file order).
+//
+// Flags filter before any subcommand runs: -trace keeps only sessions
+// whose id contains the substring, -kind keeps only spans whose kind
+// matches. -timeline adds the full span tree to report output. -o writes
+// to a file instead of stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	trace "repro/internal/obs/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sammy-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	traceFilter := fs.String("trace", "", "keep only sessions whose trace id contains this substring")
+	kindFilter := fs.String("kind", "", "keep only spans whose kind contains this substring")
+	timeline := fs.Bool("timeline", false, "report: include the full indented span tree per session")
+	out := fs.String("o", "", "write output to this file instead of stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sammy-trace [flags] <report|sessions|chrome|merge> file.jsonl...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 2 {
+		fs.Usage()
+		return 2
+	}
+	cmd, paths := fs.Arg(0), fs.Args()[1:]
+
+	recs, err := loadRecords(paths)
+	if err != nil {
+		fmt.Fprintf(stderr, "sammy-trace: %v\n", err)
+		return 2
+	}
+	recs = filterRecords(recs, *traceFilter, *kindFilter)
+
+	w := stdout
+	if *out != "" {
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			fmt.Fprintf(stderr, "sammy-trace: %v\n", cerr)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch cmd {
+	case "report":
+		err = writeReport(w, recs, *timeline)
+	case "sessions":
+		err = writeSessions(w, recs)
+	case "chrome":
+		err = trace.WriteChromeRecords(w, recs)
+	case "merge":
+		trace.SortRecords(recs)
+		err = trace.WriteJSONLRecords(w, recs)
+	default:
+		fmt.Fprintf(stderr, "sammy-trace: unknown subcommand %q\n", cmd)
+		fs.Usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "sammy-trace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// loadRecords reads and concatenates every JSONL input file.
+func loadRecords(paths []string) ([]trace.Record, error) {
+	var recs []trace.Record
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		got, err := trace.ReadRecords(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		recs = append(recs, got...)
+	}
+	return recs, nil
+}
+
+// filterRecords applies the -trace and -kind substring filters.
+func filterRecords(recs []trace.Record, traceSub, kindSub string) []trace.Record {
+	if traceSub == "" && kindSub == "" {
+		return recs
+	}
+	out := recs[:0]
+	for _, r := range recs {
+		if traceSub != "" && !strings.Contains(r.TraceID, traceSub) {
+			continue
+		}
+		if kindSub != "" && !strings.Contains(r.Kind, kindSub) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

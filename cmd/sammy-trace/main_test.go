@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	trace "repro/internal/obs/trace"
+)
+
+// sampleTrace builds a two-session trace with known state durations:
+// flow1 plays one chunk (decide 2ms, fetch 500ms), idles 300ms and stalls
+// 100ms inside a 2s session; flow2 is a bare 1s session.
+func sampleTrace(t *testing.T) string {
+	t.Helper()
+	tr := trace.New()
+
+	f1 := tr.Session("flow1")
+	sess := f1.StartAt(0, "player.session", "sammy")
+	ch := sess.StartChildAt(100*time.Millisecond, "player.chunk", "").SetAttr("index", 0)
+	dec := ch.StartChildAt(100*time.Millisecond, "abr.decide", "")
+	dec.EndAt(102 * time.Millisecond)
+	fetch := ch.StartChildAt(102*time.Millisecond, "tcp.fetch", "")
+	fetch.AnnotateAt(110*time.Millisecond, "tcp.pace_rate", 8e6)
+	fetch.SetAttr("bytes", 1<<20).EndAt(602 * time.Millisecond)
+	ch.SetAttr("rung", 2).EndAt(602 * time.Millisecond)
+	idle := sess.StartChildAt(700*time.Millisecond, "player.idle", "")
+	idle.EndAt(1000 * time.Millisecond)
+	stall := sess.StartChildAt(1200*time.Millisecond, "player.stall", "")
+	stall.EndAt(1300 * time.Millisecond)
+	sess.EndAt(2 * time.Second)
+
+	f2 := tr.Session("flow2")
+	s2 := f2.StartAt(0, "player.session", "control")
+	s2.EndAt(1 * time.Second)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCmd(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestStateOf(t *testing.T) {
+	cases := map[string]string{
+		"abr.decide":         "deciding",
+		"pacing.rate":        "deciding",
+		"bwest.estimate":     "deciding",
+		"overload.admission": "queued",
+		"tcp.fetch":          "fetching",
+		"cdn.fetch":          "fetching",
+		"netmodel.download":  "fetching",
+		"player.idle":        "paced-idle",
+		"player.stall":       "stalled",
+		"player.session":     "",
+		"player.chunk":       "",
+		"cdn.attempt":        "", // nested inside cdn.fetch: not double-charged
+	}
+	for kind, want := range cases {
+		if got := stateOf(kind); got != want {
+			t.Errorf("stateOf(%q) = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	path := sampleTrace(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadRecords(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := summarize(recs)
+	if len(sums) != 2 {
+		t.Fatalf("got %d sessions, want 2", len(sums))
+	}
+	s := sums[0]
+	if s.ID != "flow1" {
+		t.Fatalf("first session %q, want flow1 (sorted order)", s.ID)
+	}
+	if s.Chunks != 1 || s.Stalls != 1 {
+		t.Errorf("chunks=%d stalls=%d, want 1/1", s.Chunks, s.Stalls)
+	}
+	if s.Duration != 2*time.Second {
+		t.Errorf("duration %v, want 2s (player.session extent)", s.Duration)
+	}
+	want := map[string]time.Duration{
+		"deciding":   2 * time.Millisecond,
+		"fetching":   500 * time.Millisecond,
+		"paced-idle": 300 * time.Millisecond,
+		"stalled":    100 * time.Millisecond,
+		"queued":     0,
+	}
+	for st, d := range want {
+		if got := s.States[st]; got != d {
+			t.Errorf("state %s = %v, want %v", st, got, d)
+		}
+	}
+	if sums[1].ID != "flow2" || sums[1].Spans != 1 {
+		t.Errorf("second session = %+v, want flow2 with 1 span", sums[1])
+	}
+}
+
+func TestReportCommand(t *testing.T) {
+	path := sampleTrace(t)
+	out, errOut, code := runCmd(t, "report", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"session flow1: 2.000s, 1 chunks",
+		fmt.Sprintf("  %-12s %12s  %6s", "fetching", "0.500s", "25.0%"),
+		fmt.Sprintf("  %-12s %12s  %6s", "paced-idle", "0.300s", "15.0%"),
+		fmt.Sprintf("  %-12s %12s  %6s", "stalled", "0.100s", "5.0%"),
+		fmt.Sprintf("  %-12s %12s  %6s", "deciding", "0.002s", "0.1%"),
+		"session flow2: 1.000s",
+		"total: 2 sessions, 1 chunks, 3.000s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportTimeline(t *testing.T) {
+	path := sampleTrace(t)
+	out, _, code := runCmd(t, "-timeline", "report", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"player.session(sammy)",
+		"    [0.100s +0.502s] player.chunk index=0 rung=2",
+		"      [0.100s +0.002s] abr.decide",
+		"! tcp.pace_rate v=8e+06",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSessionsCommand(t *testing.T) {
+	path := sampleTrace(t)
+	out, _, code := runCmd(t, "sessions", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "flow1") || !strings.Contains(out, "flow2") {
+		t.Errorf("sessions output missing flows:\n%s", out)
+	}
+}
+
+func TestChromeCommand(t *testing.T) {
+	path := sampleTrace(t)
+	out, _, code := runCmd(t, "chrome", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, "[\n") || !strings.HasSuffix(out, "]\n") {
+		t.Errorf("chrome output not a JSON array:\n%s", out)
+	}
+	if !strings.Contains(out, `"thread_name"`) || !strings.Contains(out, `"ph":"X"`) {
+		t.Errorf("chrome output missing events:\n%s", out)
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	path := sampleTrace(t)
+	// Merging the same file twice in either order yields identical bytes.
+	a, _, code := runCmd(t, "merge", path, path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	b, _, _ := runCmd(t, "merge", path, path)
+	if a != b {
+		t.Error("merge output not deterministic")
+	}
+	if lines := strings.Count(a, "\n"); lines != 16 {
+		t.Errorf("merged line count %d, want 16 (8 records x2)", lines)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	path := sampleTrace(t)
+	out, _, code := runCmd(t, "-trace", "flow2", "sessions", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "flow1") {
+		t.Errorf("-trace filter leaked flow1:\n%s", out)
+	}
+	out, _, _ = runCmd(t, "-kind", "player.stall", "merge", path)
+	if strings.Count(out, "\n") != 1 || !strings.Contains(out, "player.stall") {
+		t.Errorf("-kind filter wrong:\n%s", out)
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	if _, _, code := runCmd(t, "report"); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	if _, _, code := runCmd(t, "bogus", "x.jsonl"); code != 2 {
+		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+}

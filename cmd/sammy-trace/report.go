@@ -1,0 +1,281 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	trace "repro/internal/obs/trace"
+)
+
+// The harm/QoE attribution buckets. Every span kind maps to at most one
+// state; the report charges each session's wall clock to them:
+//
+//	deciding    control-plane work: ABR decision, pace-rate computation,
+//	            bandwidth estimation (instants — typically ~0 time).
+//	queued      server-side admission and FIFO queueing (overload.*) —
+//	            time the paced edge made the client wait.
+//	fetching    bytes on the wire: simulated TCP fetches, analytic
+//	            downloads, real HTTP chunk fetches.
+//	paced-idle  intentional off periods while the buffer is full — the
+//	            smoothing the paper buys; harmless by design.
+//	stalled     rebuffering — the QoE harm smoothing must not cause.
+var states = []string{"deciding", "queued", "fetching", "paced-idle", "stalled"}
+
+// stateOf maps a span kind to its attribution state ("" = unattributed;
+// structural spans like player.session and player.chunk contain the others
+// and are not charged themselves).
+func stateOf(kind string) string {
+	switch {
+	case strings.HasPrefix(kind, "abr.") || strings.HasPrefix(kind, "pacing.") ||
+		strings.HasPrefix(kind, "bwest."):
+		return "deciding"
+	case strings.HasPrefix(kind, "overload."):
+		return "queued"
+	case kind == "tcp.fetch" || kind == "cdn.fetch" || kind == "netmodel.download":
+		return "fetching"
+	case kind == "player.idle":
+		return "paced-idle"
+	case kind == "player.stall":
+		return "stalled"
+	}
+	return ""
+}
+
+// sessionStats is one trace's summary.
+type sessionStats struct {
+	ID       string
+	Spans    int
+	Chunks   int
+	Stalls   int
+	Errors   int
+	Duration time.Duration // the player.session span, else the record extent
+	States   map[string]time.Duration
+}
+
+// summarize groups records by trace id and computes per-session stats,
+// returned in sorted trace-id order.
+func summarize(recs []trace.Record) []sessionStats {
+	byID := make(map[string]*sessionStats)
+	var order []string
+	ends := make(map[string]time.Duration)
+	starts := make(map[string]time.Duration)
+	rooted := make(map[string]bool)
+	for _, r := range recs {
+		s := byID[r.TraceID]
+		if s == nil {
+			s = &sessionStats{ID: r.TraceID, States: make(map[string]time.Duration)}
+			byID[r.TraceID] = s
+			order = append(order, r.TraceID)
+			starts[r.TraceID] = r.Start
+		}
+		s.Spans++
+		if r.Start < starts[r.TraceID] {
+			starts[r.TraceID] = r.Start
+		}
+		if end := r.Start + r.Dur; end > ends[r.TraceID] {
+			ends[r.TraceID] = end
+		}
+		switch r.Kind {
+		case "player.session":
+			// The root span's extent beats the min/max fallback: it includes
+			// trailing playback the child spans do not cover.
+			if !rooted[r.TraceID] || r.Dur > s.Duration {
+				s.Duration = r.Dur
+				rooted[r.TraceID] = true
+			}
+		case "player.chunk":
+			s.Chunks++
+		case "player.stall":
+			s.Stalls++
+		}
+		if st := stateOf(r.Kind); st != "" && !r.Instant {
+			s.States[st] += r.Dur
+		}
+		for _, a := range r.Attrs {
+			if a.Key == "error" {
+				s.Errors++
+				break
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]sessionStats, 0, len(order))
+	for _, id := range order {
+		s := byID[id]
+		if !rooted[id] {
+			s.Duration = ends[id] - starts[id]
+		}
+		out = append(out, *s)
+	}
+	return out
+}
+
+// fmtDur renders a duration deterministically as seconds with millisecond
+// precision.
+func fmtDur(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 3, 64) + "s"
+}
+
+// pct renders part/whole as a fixed-point percentage ("0.0%" when whole
+// is zero).
+func pct(part, whole time.Duration) string {
+	if whole <= 0 {
+		return "0.0%"
+	}
+	return strconv.FormatFloat(100*float64(part)/float64(whole), 'f', 1, 64) + "%"
+}
+
+// writeSessions prints the one-line-per-trace listing.
+func writeSessions(w io.Writer, recs []trace.Record) error {
+	sums := summarize(recs)
+	if len(sums) == 0 {
+		_, err := fmt.Fprintln(w, "no sessions")
+		return err
+	}
+	for _, s := range sums {
+		if _, err := fmt.Fprintf(w, "%-24s %4d spans  %3d chunks  %2d stalls  %s\n",
+			s.ID, s.Spans, s.Chunks, s.Stalls, fmtDur(s.Duration)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeReport prints the per-session time-in-state attribution and, with
+// timeline, the full span tree.
+func writeReport(w io.Writer, recs []trace.Record, timeline bool) error {
+	sums := summarize(recs)
+	if len(sums) == 0 {
+		_, err := fmt.Fprintln(w, "no sessions")
+		return err
+	}
+	trace.SortRecords(recs)
+	totals := make(map[string]time.Duration)
+	var totalDur time.Duration
+	var totalStalls, totalChunks int
+	for _, s := range sums {
+		if _, err := fmt.Fprintf(w, "session %s: %s, %d chunks, %d spans, %d stalls",
+			s.ID, fmtDur(s.Duration), s.Chunks, s.Spans, s.Stalls); err != nil {
+			return err
+		}
+		if s.Errors > 0 {
+			if _, err := fmt.Fprintf(w, ", %d errors", s.Errors); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		var attributed time.Duration
+		for _, st := range states {
+			d := s.States[st]
+			attributed += d
+			totals[st] += d
+			if _, err := fmt.Fprintf(w, "  %-12s %12s  %6s\n", st, fmtDur(d), pct(d, s.Duration)); err != nil {
+				return err
+			}
+		}
+		if other := s.Duration - attributed; other > 0 {
+			if _, err := fmt.Fprintf(w, "  %-12s %12s  %6s\n", "(other)", fmtDur(other), pct(other, s.Duration)); err != nil {
+				return err
+			}
+		}
+		totalDur += s.Duration
+		totalStalls += s.Stalls
+		totalChunks += s.Chunks
+		if timeline {
+			if err := writeTimeline(w, recs, s.ID); err != nil {
+				return err
+			}
+		}
+	}
+	// The harm ledger: stalled time is the QoE cost, paced-idle the
+	// smoothing benefit bought at that cost.
+	if _, err := fmt.Fprintf(w, "total: %d sessions, %d chunks, %s; harm %s stalled (%d stalls), smoothing %s paced-idle\n",
+		len(sums), totalChunks, fmtDur(totalDur),
+		pct(totals["stalled"], totalDur), totalStalls,
+		pct(totals["paced-idle"], totalDur)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeTimeline prints the indented span tree for one trace. recs must be
+// sorted (SortRecords); children print in span-id (creation) order.
+func writeTimeline(w io.Writer, recs []trace.Record, traceID string) error {
+	children := make(map[uint64][]trace.Record)
+	present := make(map[uint64]bool)
+	var mine []trace.Record
+	for _, r := range recs {
+		if r.TraceID != traceID {
+			continue
+		}
+		mine = append(mine, r)
+		present[r.SpanID] = true
+	}
+	var roots []trace.Record
+	for _, r := range mine {
+		if r.Parent != 0 && present[r.Parent] {
+			children[r.Parent] = append(children[r.Parent], r)
+		} else {
+			// Orphans (e.g. a filtered-out parent, or a server-side span
+			// joined from another file) print as roots.
+			roots = append(roots, r)
+		}
+	}
+	var emit func(r trace.Record, depth int) error
+	emit = func(r trace.Record, depth int) error {
+		marker := ""
+		if r.Instant {
+			marker = " !"
+		}
+		if _, err := fmt.Fprintf(w, "  %s[%s +%s]%s %s%s\n",
+			strings.Repeat("  ", depth), fmtDur(r.Start), fmtDur(r.Dur), marker,
+			spanLabel(r), attrSuffix(r.Attrs)); err != nil {
+			return err
+		}
+		for _, c := range children[r.SpanID] {
+			if err := emit(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := emit(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanLabel is "kind" or "kind(name)" when the name adds information.
+func spanLabel(r trace.Record) string {
+	if r.Name != "" && r.Name != r.Kind {
+		return r.Kind + "(" + r.Name + ")"
+	}
+	return r.Kind
+}
+
+// attrSuffix renders attrs as " k=v k=v" in stored order.
+func attrSuffix(attrs []trace.Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		if a.IsStr {
+			b.WriteString(strconv.Quote(a.Str))
+		} else {
+			b.WriteString(strconv.FormatFloat(a.Val, 'g', -1, 64))
+		}
+	}
+	return b.String()
+}

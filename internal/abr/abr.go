@@ -13,6 +13,7 @@ package abr
 import (
 	"time"
 
+	trace "repro/internal/obs/trace"
 	"repro/internal/units"
 	"repro/internal/video"
 )
@@ -35,6 +36,22 @@ type Context struct {
 	// PrevRung is the rung of the previous chunk, or -1 for the first. Used
 	// by algorithms with switching hysteresis.
 	PrevRung int
+}
+
+// SpanAttrs copies the decision inputs onto sp as span attributes, so a
+// traced ABR decision records what the algorithm saw. Nil-safe (a nil span
+// is tracing off).
+func (c Context) SpanAttrs(sp *trace.Span) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("chunk", float64(c.ChunkIndex)).
+		SetAttr("buffer_s", c.Buffer.Seconds()).
+		SetAttr("tput_bps", float64(c.Throughput)).
+		SetAttr("prev_rung", float64(c.PrevRung))
+	if !c.Playing {
+		sp.SetAttr("initial_est_bps", float64(c.InitialEstimate))
+	}
 }
 
 // effectiveThroughput is the estimate an algorithm should rely on: session

@@ -1,6 +1,7 @@
 package abtest
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/abr"
 	"repro/internal/core"
+	trace "repro/internal/obs/trace"
 	"repro/internal/player"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -221,10 +223,18 @@ func runArm(cfg Config, arm Arm, users []*User) ArmResult {
 		var recs []SessionRecord
 		for s := 0; s < cfg.SessionsPerUser; s++ {
 			title := video.NewTitle(cfg.Ladder.CapAt(u.TopBitrate), cfg.ChunkDuration, cfg.ChunksPerSession, rng)
+			// Trace IDs are only materialized when a process tracer is
+			// installed (sammy-eval -trace): the fmt.Sprintf would otherwise
+			// add a per-session allocation to the hot benchmark path.
+			var traceID string
+			if trace.Default() != nil {
+				traceID = fmt.Sprintf("%s/u%03d/s%d", arm.Name, u.ID, s)
+			}
 			q := player.Run(player.Config{
 				Controller: ctrl,
 				Title:      title,
 				History:    hist,
+				TraceID:    traceID,
 			}, u.Path, rng, nil)
 			if s >= cfg.WarmupSessions {
 				recs = append(recs, SessionRecord{UserID: u.ID, PreExp: u.PreExpThroughput, QoE: q})

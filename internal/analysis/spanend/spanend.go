@@ -1,0 +1,291 @@
+// Package spanend enforces the span lifecycle of internal/obs/trace: every
+// span opened with Start/StartAt/StartChild/StartChildAt/StartRemote/
+// StartRemoteAt must be closed with End or EndAt, or handed off to an
+// owner that closes it. A span that is never ended silently vanishes from
+// the trace (records are emitted at End), so a forgotten End turns into a
+// hole in the timeline rather than an error — exactly the kind of drift a
+// vet pass catches earlier than a human reading Perfetto output.
+//
+// The check is flow-insensitive and object-based: for each span-creating
+// call in a function, the analyzer accepts
+//
+//   - a chained end: tr.Start("k", "").SetAttr("a", 1).End();
+//   - assignment to a variable on which End/EndAt is called anywhere in
+//     the enclosing function, closures and defers included;
+//   - any escape — stored into a field, passed as an argument, returned,
+//     sent, or otherwise used as a value — since ownership then moves to
+//     code the analyzer cannot see.
+//
+// What it flags is a span result that is discarded (a bare expression
+// statement or blank assign) or parked in a local that is only ever used
+// as a receiver without an End. Test files are skipped: they routinely
+// build half-open spans on purpose. Audited exceptions carry
+// //sammy:spanend-ok.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the spanend pass.
+var Analyzer = &analysis.Analyzer{
+	Name:        "spanend",
+	Doc:         "require every obs/trace span Start* to reach End/EndAt or escape to an owner",
+	SuppressKey: "spanend-ok",
+	Run:         run,
+}
+
+// spanStarters are the *Span-producing methods of obs/trace.
+var spanStarters = map[string]bool{
+	"Start": true, "StartAt": true,
+	"StartChild": true, "StartChildAt": true,
+	"StartRemote": true, "StartRemoteAt": true,
+}
+
+// chainable are the *Span methods that return their receiver, so an End at
+// the end of the chain closes the span the chain began with.
+var chainable = map[string]bool{"SetAttr": true, "SetStr": true}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "obs/trace") {
+		return nil // the tracer's own machinery
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isSpanStart reports whether call creates a span.
+func isSpanStart(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || !spanStarters[fn.Name()] || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "obs/trace")
+}
+
+// use classifies how a span-creating call's result is consumed.
+type use int
+
+const (
+	useDiscarded use = iota // bare statement or blank assign: never ended
+	useEnded                // chained .End()/.EndAt()
+	useVar                  // bound to a local; needs an End or escape later
+	useEscaped              // argument, field, return, ...: owner elsewhere
+)
+
+// checkFunc applies the invariant to one function declaration.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Pass 1: classify every span-start call by its syntactic context,
+	// collecting the variables that hold pending spans.
+	type pending struct {
+		call *ast.CallExpr
+		obj  types.Object // nil for discarded results
+	}
+	var open []pending
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSpanStart(info, call) {
+			return true
+		}
+		switch u, obj := classify(info, stack); u {
+		case useDiscarded:
+			open = append(open, pending{call: call})
+		case useVar:
+			open = append(open, pending{call: call, obj: obj})
+		}
+		return true
+	})
+	if len(open) == 0 {
+		return
+	}
+
+	// Pass 2: find, anywhere in the function (closures and defers
+	// included), the variables that are ended or escape.
+	ended := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+	tracked := map[types.Object]bool{}
+	for _, p := range open {
+		if p.obj != nil {
+			tracked[p.obj] = true
+		}
+	}
+	stack = stack[:0]
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !tracked[obj] {
+			return true
+		}
+		switch identUse(info, stack) {
+		case useEnded:
+			ended[obj] = true
+		case useEscaped:
+			escaped[obj] = true
+		}
+		return true
+	})
+
+	for _, p := range open {
+		if p.obj != nil && (ended[p.obj] || escaped[p.obj]) {
+			continue
+		}
+		what := "discarded and"
+		if p.obj != nil {
+			what = "held in " + p.obj.Name() + " but"
+		}
+		pass.Reportf(p.call.Pos(),
+			"span started here is %s never ended: call End/EndAt on every path, or hand the span off to an owner that does",
+			what)
+	}
+}
+
+// classify walks outward from the span-start call at the top of stack,
+// following SetAttr/SetStr chains, and reports how the result is used.
+func classify(info *types.Info, stack []ast.Node) (use, types.Object) {
+	cur := stack[len(stack)-1].(ast.Node)
+	i := len(stack) - 2
+	for i >= 0 {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+			i--
+		case *ast.SelectorExpr:
+			// cur is the receiver of a method call: chain or end?
+			if i > 0 {
+				if gp, ok := stack[i-1].(*ast.CallExpr); ok && gp.Fun == p {
+					switch {
+					case p.Sel.Name == "End" || p.Sel.Name == "EndAt":
+						return useEnded, nil
+					case chainable[p.Sel.Name]:
+						cur = gp
+						i -= 2
+						continue
+					}
+				}
+			}
+			// Some other method or field on the result: conservatively an
+			// escape (the result is being used as a value).
+			return useEscaped, nil
+		case *ast.AssignStmt:
+			return classifyAssign(info, p, cur)
+		case *ast.ValueSpec:
+			for j, v := range p.Values {
+				if v == cur && j < len(p.Names) {
+					if p.Names[j].Name == "_" {
+						return useDiscarded, nil
+					}
+					return useVar, info.Defs[p.Names[j]]
+				}
+			}
+			return useEscaped, nil
+		case *ast.ExprStmt:
+			return useDiscarded, nil
+		default:
+			// Argument, return value, composite literal, send, index,
+			// comparison, ...: the span escapes to other code.
+			return useEscaped, nil
+		}
+	}
+	return useEscaped, nil
+}
+
+// classifyAssign resolves which side of an assignment cur feeds.
+func classifyAssign(info *types.Info, as *ast.AssignStmt, cur ast.Node) (use, types.Object) {
+	for j, r := range as.Rhs {
+		if r != cur {
+			continue
+		}
+		if len(as.Lhs) != len(as.Rhs) {
+			return useEscaped, nil
+		}
+		id, ok := ast.Unparen(as.Lhs[j]).(*ast.Ident)
+		if !ok {
+			return useEscaped, nil // field or index store: owner elsewhere
+		}
+		if id.Name == "_" {
+			return useDiscarded, nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return useVar, obj
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return useVar, obj
+		}
+	}
+	return useEscaped, nil
+}
+
+// identUse classifies one use of a tracked span variable: the receiver of
+// an End (directly or through a SetAttr/SetStr chain) ends it; any use as
+// a value other than a plain method-receiver position is an escape.
+func identUse(info *types.Info, stack []ast.Node) use {
+	cur := stack[len(stack)-1].(ast.Node)
+	i := len(stack) - 2
+	for i >= 0 {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+			i--
+		case *ast.SelectorExpr:
+			if p.X != cur {
+				return useVar // the ident is the field name, not the receiver
+			}
+			if i > 0 {
+				if gp, ok := stack[i-1].(*ast.CallExpr); ok && gp.Fun == p {
+					switch {
+					case p.Sel.Name == "End" || p.Sel.Name == "EndAt":
+						return useEnded
+					case chainable[p.Sel.Name]:
+						cur = gp
+						i -= 2
+						continue
+					}
+				}
+			}
+			return useVar // other method call on the span: neither ends nor escapes
+		case *ast.ExprStmt:
+			return useVar // chain result discarded: a plain use, not an escape
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == cur {
+					return useVar // (re)definition, not a use
+				}
+			}
+			return useEscaped // span assigned onward: owner elsewhere
+		default:
+			return useEscaped
+		}
+	}
+	return useEscaped
+}

@@ -1,0 +1,21 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	diags := antest.Run(t, spanend.Analyzer, "se/a")
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Error("expected the //sammy:spanend-ok fixture site to be seen and suppressed")
+	}
+}

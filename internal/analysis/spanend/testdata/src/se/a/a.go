@@ -1,0 +1,66 @@
+// Package a exercises the spanend analyzer: every accepted span
+// lifecycle shape, the flagged ones, and a suppression site.
+package a
+
+import (
+	"time"
+
+	trace "se/obs/trace"
+)
+
+type holder struct{ sp *trace.Span }
+
+func sink(*trace.Span) {}
+
+// fine runs through every lifecycle shape the analyzer accepts.
+func fine(tr *trace.Trace, h *holder) *trace.Span {
+	s := tr.Start("player.session", "u1")
+	defer s.End()
+
+	c := s.StartChild("player.chunk", "")
+	c.SetAttr("index", 3).End()
+
+	// Chained end straight off the start call.
+	tr.StartAt(time.Second, "abr.decide", "").SetStr("arm", "sammy").EndAt(2 * time.Second)
+
+	// Plain (non-:=) assignment into a declared local.
+	var d *trace.Span
+	d = s.StartChildAt(time.Second, "player.idle", "")
+	d.EndAt(3 * time.Second)
+
+	h.sp = tr.Start("cdn.serve", "")    // field store: owner elsewhere
+	sink(tr.Start("cdn.fetch", ""))     // argument: owner elsewhere
+	e := tr.Start("cdn.attempt", "")
+	sink(e)                             // local escapes via argument
+	return tr.Start("overload.admission", "") // returned: the caller ends it
+}
+
+// branchy ends on one branch only: the check is flow-insensitive, an
+// End/EndAt anywhere in the function satisfies it.
+func branchy(tr *trace.Trace, ok bool) {
+	s := tr.Start("tcp.fetch", "")
+	if ok {
+		s.End()
+	} else {
+		s.EndAt(time.Second)
+	}
+}
+
+// closure ends the span from a scheduled callback, the simulator's
+// normal shape for paced-idle and stall spans.
+func closure(tr *trace.Trace, schedule func(func())) {
+	s := tr.Start("netmodel.download", "")
+	schedule(func() { s.EndAt(4 * time.Second) })
+}
+
+func bad(t *trace.Tracer, tr *trace.Trace) {
+	tr.Start("player.stall", "")      // want `span started here is discarded and never ended`
+	s := tr.Start("bwest.sample", "") // want `span started here is held in s but never ended`
+	s.SetAttr("mbps", 12)
+	_ = t.StartRemote("sess", 7, "cdn.serve", "") // want `discarded and never ended`
+}
+
+func suppressed(tr *trace.Trace) *trace.Trace {
+	tr.Start("player.session", "eternal") //sammy:spanend-ok: span deliberately left open for the process lifetime
+	return tr
+}

@@ -1,0 +1,53 @@
+// Package trace is a stub of repro/internal/obs/trace for the spanend
+// fixtures: same method names and shapes, no behavior. The analyzer
+// matches the defining package by the "obs/trace" import-path suffix, so
+// this stub (path "se/obs/trace") exercises the same code path as the
+// real tree.
+package trace
+
+import "time"
+
+// Tracer is the stub collector.
+type Tracer struct{}
+
+// Trace is one stub session timeline.
+type Trace struct{}
+
+// Span is one stub span.
+type Span struct{}
+
+// New returns a stub tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Session returns the stub trace for id.
+func (t *Tracer) Session(id string) *Trace { return &Trace{} }
+
+// StartRemote opens a span parented in another process's trace.
+func (t *Tracer) StartRemote(id string, parent uint64, kind, name string) *Span { return &Span{} }
+
+// Start opens a root span at wall-clock now.
+func (tr *Trace) Start(kind, name string) *Span { return &Span{} }
+
+// StartAt opens a root span at a sim-clock instant.
+func (tr *Trace) StartAt(at time.Duration, kind, name string) *Span { return &Span{} }
+
+// StartChild opens a child span at wall-clock now.
+func (s *Span) StartChild(kind, name string) *Span { return &Span{} }
+
+// StartChildAt opens a child span at a sim-clock instant.
+func (s *Span) StartChildAt(at time.Duration, kind, name string) *Span { return &Span{} }
+
+// SetAttr attaches a numeric attribute, returning the receiver.
+func (s *Span) SetAttr(key string, v float64) *Span { return s }
+
+// SetStr attaches a string attribute, returning the receiver.
+func (s *Span) SetStr(key, val string) *Span { return s }
+
+// AnnotateAt records an instant event inside the span.
+func (s *Span) AnnotateAt(at time.Duration, name string, v float64) {}
+
+// End closes the span at wall-clock now.
+func (s *Span) End() {}
+
+// EndAt closes the span at a sim-clock instant.
+func (s *Span) EndAt(at time.Duration) {}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/analysis/obsguard"
 	"repro/internal/analysis/packetownership"
 	"repro/internal/analysis/simdeterminism"
+	"repro/internal/analysis/spanend"
 )
 
 // All returns the sammy-vet analyzer suite in stable (alphabetical) order.
@@ -24,6 +25,7 @@ func All() []*analysis.Analyzer {
 		obsguard.Analyzer,
 		packetownership.Analyzer,
 		simdeterminism.Analyzer,
+		spanend.Analyzer,
 	}
 }
 

@@ -51,9 +51,9 @@ func TestRepoIsClean(t *testing.T) {
 }
 
 // TestSuiteInventory pins the analyzer roster: CI docs (DESIGN.md §11) and
-// the README name exactly these five.
+// the README name exactly these six.
 func TestSuiteInventory(t *testing.T) {
-	want := []string{"eventref", "hardenedserver", "obsguard", "packetownership", "simdeterminism"}
+	want := []string{"eventref", "hardenedserver", "obsguard", "packetownership", "simdeterminism", "spanend"}
 	all := suite.All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

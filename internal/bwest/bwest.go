@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	trace "repro/internal/obs/trace"
 	"repro/internal/units"
 )
 
@@ -83,12 +84,18 @@ func (e *Estimator) Estimate() units.BitsPerSecond {
 // sender burst form pairs. The video client can tag the first packets of
 // each pacing burst this way.
 type PairTracker struct {
-	est *Estimator
+	est  *Estimator
+	span *trace.Span // nil = tracing off
 
 	haveLast  bool
 	lastAt    time.Duration
 	lastBurst int64
 }
+
+// SetSpan attaches a span to the tracker: each completed pair sample is
+// annotated on it as a "bwest.pair" instant (value = the pair's rate
+// estimate, bits/s) stamped with the arrival time. Nil detaches.
+func (t *PairTracker) SetSpan(sp *trace.Span) { t.span = sp }
 
 // NewPairTracker wraps an estimator.
 func NewPairTracker(est *Estimator) *PairTracker {
@@ -102,7 +109,11 @@ func NewPairTracker(est *Estimator) *PairTracker {
 // burst the packet belongs to; only packets within one burst pair up.
 func (t *PairTracker) Arrival(at time.Duration, size units.Bytes, burstID int64) {
 	if t.haveLast && burstID == t.lastBurst {
-		t.est.Observe(Sample{Gap: at - t.lastAt, Size: size})
+		s := Sample{Gap: at - t.lastAt, Size: size}
+		t.est.Observe(s)
+		if t.span != nil {
+			t.span.AnnotateAt(at, "bwest.pair", float64(s.Rate()))
+		}
 	}
 	t.haveLast = true
 	t.lastAt = at

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	trace "repro/internal/obs/trace"
 	"repro/internal/pacing"
 	"repro/internal/units"
 )
@@ -158,6 +159,10 @@ func (c *Client) FetchChunkTo(ctx context.Context, w io.Writer, size units.Bytes
 	}
 	pol := c.Retry.withDefaults()
 	m := c.Metrics
+	// The fetch span nests under whatever span the caller put in ctx (the
+	// chunk span on a traced session); untraced contexts make fsp nil and
+	// every span call below a no-op.
+	fsp := trace.SpanFromContext(ctx).StartChild("cdn.fetch", "")
 	var (
 		res      FetchResult
 		got      units.Bytes   // verified bytes delivered so far
@@ -171,7 +176,12 @@ func (c *Client) FetchChunkTo(ctx context.Context, w io.Writer, size units.Bytes
 			m.FetchAttempts.Inc()
 		}
 		attemptStart := time.Now()
-		ar, terminal, err := c.fetchOnce(ctx, w, size, got, rate, pol)
+		asp := fsp.StartChild("cdn.attempt", "")
+		ar, terminal, err := c.fetchOnce(ctx, w, size, got, rate, pol, asp)
+		if err != nil {
+			asp.SetStr("error", err.Error())
+		}
+		asp.SetAttr("bytes", float64(ar.n)).End()
 		if ar.resumed {
 			res.Resumes++
 			if m != nil {
@@ -228,12 +238,16 @@ func (c *Client) FetchChunkTo(ctx context.Context, w io.Writer, size units.Bytes
 		}
 		res.Throughput = units.Rate(got, transfer)
 	}
+	fsp.SetAttr("bytes", float64(got)).SetAttr("attempts", float64(res.Attempts)).
+		SetAttr("retries", float64(res.Retries)).SetAttr("resumes", float64(res.Resumes))
 	if lastErr != nil {
 		if m != nil {
 			m.FetchFailures.Inc()
 		}
+		fsp.SetStr("error", lastErr.Error()).End()
 		return res, lastErr
 	}
+	fsp.End()
 	return res, nil
 }
 
@@ -256,7 +270,7 @@ type attemptResult struct {
 // the error is worth retrying: 4xx responses, parent-context cancellation
 // and protocol violations are terminal; 5xx, 429, transport errors, stalls
 // and short bodies are transient.
-func (c *Client) fetchOnce(ctx context.Context, w io.Writer, size, offset units.Bytes, rate units.BitsPerSecond, pol RetryPolicy) (attemptResult, bool, error) {
+func (c *Client) fetchOnce(ctx context.Context, w io.Writer, size, offset units.Bytes, rate units.BitsPerSecond, pol RetryPolicy, asp *trace.Span) (attemptResult, bool, error) {
 	var ar attemptResult
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -272,6 +286,9 @@ func (c *Client) fetchOnce(ctx context.Context, w io.Writer, size, offset units.
 		return ar, true, fmt.Errorf("cdn: build request: %w", err)
 	}
 	pacing.SetHeader(req.Header, rate)
+	// Propagate trace context so the server's serving span joins this
+	// attempt in the merged timeline.
+	trace.SetHeader(req.Header, asp)
 	if offset > 0 {
 		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", int64(offset)))
 	}

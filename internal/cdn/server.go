@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	trace "repro/internal/obs/trace"
 	"repro/internal/pacing"
 	"repro/internal/units"
 )
@@ -46,6 +47,11 @@ type Server struct {
 	// pacer-sleep histograms, bytes served). Nil (the default) disables
 	// instrumentation.
 	Metrics *Metrics
+	// Tracer, when set, records a "cdn.serve" span per chunk request
+	// (joined to the client's trace via X-Sammy-Trace) with a
+	// "cdn.paced_write" child around the user-space paced body write. Nil
+	// (the default) disables tracing.
+	Tracer *trace.Tracer
 }
 
 // ServeHTTP implements http.Handler.
@@ -92,6 +98,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	burst := s.Burst
 	if burst <= 0 {
 		burst = DefaultBurstBytes
+	}
+	// The serving span joins the client's trace when the request carries
+	// trace context (nesting under its cdn.attempt span in the merged
+	// timeline), else it lands in the server's own "server" trace.
+	var ssp *trace.Span
+	if s.Tracer != nil {
+		if id, parent, ok := trace.ParseHeader(r.Header.Get(trace.Header)); ok {
+			ssp = s.Tracer.StartRemote(id, parent, "cdn.serve", "")
+		} else {
+			ssp = s.Tracer.Session("server").Start("cdn.serve", "")
+		}
+		ssp.SetAttr("size", float64(size)).SetAttr("offset", float64(offset)).
+			SetAttr("pace_bps", float64(rate))
 	}
 	if m != nil {
 		m.Requests.Inc()
@@ -142,12 +161,27 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var out io.Writer = w
+	var pw *PacedWriter
+	var wsp *trace.Span
 	if rate > 0 && !kernelPaced {
-		pw := NewPacedWriter(w, rate, burst)
+		pw = NewPacedWriter(w, rate, burst)
 		pw.metrics = m
 		out = pw
+		wsp = ssp.StartChild("cdn.paced_write", "")
 	}
 	written, err := writeFiller(r.Context(), out, body, offset, w)
+	if wsp != nil {
+		wsp.SetAttr("bytes", float64(written)).
+			SetAttr("sleep_ms", pw.Slept().Seconds()*1000)
+		wsp.End()
+	}
+	if ssp != nil {
+		ssp.SetAttr("bytes", float64(written))
+		if err != nil {
+			ssp.SetStr("error", "client disconnect")
+		}
+		ssp.End()
+	}
 	if m != nil {
 		m.BytesServed.Add(int64(written))
 		if err != nil {
@@ -245,7 +279,8 @@ type PacedWriter struct {
 	// virtual clock advances consistently with mocked sleeps.
 	now     func() time.Duration
 	sleep   func(time.Duration)
-	metrics *Metrics // sleep histogram; nil = off
+	metrics *Metrics      // sleep histogram; nil = off
+	slept   time.Duration // cumulative pacing sleep, for span attribution
 }
 
 // NewPacedWriter wraps w so that sustained throughput does not exceed rate,
@@ -264,6 +299,10 @@ func NewPacedWriter(w io.Writer, rate units.BitsPerSecond, burst units.Bytes) *P
 	}
 }
 
+// Slept reports the cumulative pacing delay taken so far — the "paced
+// idle" time the rate limit injected into the response.
+func (p *PacedWriter) Slept() time.Duration { return p.slept }
+
 // Write implements io.Writer, sleeping as needed to respect the pace rate.
 func (p *PacedWriter) Write(b []byte) (int, error) {
 	total := 0
@@ -276,6 +315,7 @@ func (p *PacedWriter) Write(b []byte) (int, error) {
 			if p.metrics != nil {
 				p.metrics.PacerSleepMs.Observe(d.Seconds() * 1000)
 			}
+			p.slept += d
 			p.sleep(d)
 		}
 		n, err := p.w.Write(piece)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/abr"
 	"repro/internal/core"
+	trace "repro/internal/obs/trace"
 	"repro/internal/units"
 	"repro/internal/video"
 )
@@ -35,6 +36,10 @@ type SessionConfig struct {
 	FailFast bool
 	// OnChunk, when set, observes each download.
 	OnChunk func(index int, rung video.Rung, pace units.BitsPerSecond, res FetchResult)
+	// TraceID names this session's trace in the process-wide tracer
+	// (trace.Default()). Default "session". Tracing is off unless a default
+	// tracer is installed.
+	TraceID string
 }
 
 // SessionReport is the QoE summary of a real-HTTP session.
@@ -68,6 +73,14 @@ func StreamSession(ctx context.Context, cfg SessionConfig) (SessionReport, error
 	if cfg.StartThreshold <= 0 {
 		cfg.StartThreshold = 2 * cfg.Title.ChunkDuration
 	}
+	if cfg.TraceID == "" {
+		cfg.TraceID = "session"
+	}
+	// Real-HTTP path: spans run on the tracer's wall clock, shared with the
+	// server-side spans when both ends use the same process tracer.
+	tr := trace.Default().Session(cfg.TraceID)
+	sess := tr.Start("player.session", cfg.Controller.Name())
+	defer sess.End()
 
 	est := abr.NewEstimator(5)
 	hist := &core.History{}
@@ -93,11 +106,13 @@ func StreamSession(ctx context.Context, cfg SessionConfig) (SessionReport, error
 		if playing {
 			if room := cfg.MaxBuffer - buffer; room < cfg.Title.ChunkDuration {
 				wait := cfg.Title.ChunkDuration - room
+				isp := sess.StartChild("player.idle", "")
 				if cfg.Realtime {
 					time.Sleep(wait)
 				} else {
 					virtual += wait
 				}
+				isp.SetAttr("wait_s", wait.Seconds()).End()
 				buffer -= wait
 			}
 		}
@@ -112,13 +127,17 @@ func StreamSession(ctx context.Context, cfg SessionConfig) (SessionReport, error
 			InitialEstimate: hist.Estimate(cfg.Controller.HistorySource()),
 			PrevRung:        prevRung,
 		}
-		dec := cfg.Controller.Decide(dctx)
+		ch := sess.StartChild("player.chunk", "").SetAttr("index", float64(i))
+		dec := cfg.Controller.DecideTraced(dctx, ch, tr.Now())
 		prevRung = dec.Rung
 		rung := dec.Rung
 		chunk := cfg.Title.ChunkAt(i, rung)
 
+		// Fetches below carry the chunk span in ctx, so cdn.fetch spans
+		// (and the server's joined cdn.serve spans) nest under it.
+		fctx := trace.ContextWithSpan(ctx, ch)
 		chunkStart := time.Now()
-		res, err := cfg.Client.FetchChunk(ctx, chunk.Size, dec.PaceRate)
+		res, err := cfg.Client.FetchChunk(fctx, chunk.Size, dec.PaceRate)
 		report.Retries += res.Retries
 		report.Resumes += res.Resumes
 		for err != nil && !cfg.FailFast && ctx.Err() == nil && rung > 0 {
@@ -133,7 +152,7 @@ func StreamSession(ctx context.Context, cfg SessionConfig) (SessionReport, error
 				cm.RungDowngrades.Inc()
 				cm.Recorder.Record("rung_downgrade", "", float64(i), float64(from))
 			}
-			res, err = cfg.Client.FetchChunk(ctx, chunk.Size, dec.PaceRate)
+			res, err = cfg.Client.FetchChunk(fctx, chunk.Size, dec.PaceRate)
 			report.Retries += res.Retries
 			report.Resumes += res.Resumes
 		}
@@ -142,10 +161,13 @@ func StreamSession(ctx context.Context, cfg SessionConfig) (SessionReport, error
 		// buffer actually drained by.
 		dl := time.Since(chunkStart)
 		if err != nil {
+			ch.SetStr("error", err.Error())
 			if cfg.FailFast {
+				ch.End()
 				return report, fmt.Errorf("cdn: chunk %d: %w", i, err)
 			}
 			if cerr := ctx.Err(); cerr != nil {
+				ch.End()
 				return report, fmt.Errorf("cdn: session cancelled: %w", cerr)
 			}
 			// The whole ladder failed. Skip the chunk — playback freezes
@@ -163,6 +185,7 @@ func StreamSession(ctx context.Context, cfg SessionConfig) (SessionReport, error
 					buffer = 0
 				}
 			}
+			ch.End()
 			continue
 		}
 		prevRung = rung // the delivered rung feeds the next decision's hysteresis
@@ -198,6 +221,7 @@ func StreamSession(ctx context.Context, cfg SessionConfig) (SessionReport, error
 			buffer = cfg.MaxBuffer
 		}
 		report.Chunks++
+		ch.SetAttr("rung", float64(rung)).SetAttr("buffer_s", buffer.Seconds()).End()
 		if cfg.OnChunk != nil {
 			cfg.OnChunk(i, chunk.Rung, dec.PaceRate, res)
 		}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/abr"
+	trace "repro/internal/obs/trace"
 	"repro/internal/pacing"
 	"repro/internal/units"
 )
@@ -165,7 +166,32 @@ func (c *Controller) HistorySource() HistorySource { return c.cfg.History }
 // ABR picks the rung, then the pace rate is derived from the buffer level
 // and the ladder's highest bitrate.
 func (c *Controller) Decide(ctx abr.Context) Decision {
+	return c.paceDecision(ctx, c.cfg.ABR.SelectRung(ctx))
+}
+
+// DecideTraced is Decide with span emission: the rung selection becomes an
+// "abr.decide" child and the pace computation a "pacing.rate" child under
+// parent, both stamped at sim/session time at (decisions are instantaneous
+// in model time, so the spans have zero duration but carry the decision
+// inputs and outputs as attributes). A nil parent is exactly Decide.
+func (c *Controller) DecideTraced(ctx abr.Context, parent *trace.Span, at time.Duration) Decision {
+	if parent == nil {
+		return c.Decide(ctx)
+	}
+	asp := parent.StartChildAt(at, "abr.decide", c.cfg.ABR.Name())
+	ctx.SpanAttrs(asp)
 	rung := c.cfg.ABR.SelectRung(ctx)
+	asp.SetAttr("rung", float64(rung)).EndAt(at)
+
+	psp := parent.StartChildAt(at, "pacing.rate", c.name)
+	d := c.paceDecision(ctx, rung)
+	psp.SetAttr("pace_bps", float64(d.PaceRate)).SetAttr("burst", float64(d.Burst)).EndAt(at)
+	return d
+}
+
+// paceDecision derives the pace rate for an already-selected rung — the
+// second half of Algorithm 1.
+func (c *Controller) paceDecision(ctx abr.Context, rung int) Decision {
 	d := Decision{Rung: rung, PaceRate: pacing.NoPacing, Burst: c.cfg.Burst}
 	if c.cfg.DisablePacing {
 		return d

@@ -10,11 +10,14 @@ package lab
 
 import (
 	"math/rand"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/abr"
 	"repro/internal/core"
 	"repro/internal/fault"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/player"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -23,6 +26,11 @@ import (
 	"repro/internal/units"
 	"repro/internal/video"
 )
+
+// runCounter numbers topologies so every lab run's sessions land in their
+// own trace ("run3/flow1"): experiments that build one topology per arm
+// would otherwise merge both arms' spans under the same flow id.
+var runCounter atomic.Uint64
 
 // Topology is one instantiated lab network.
 type Topology struct {
@@ -34,6 +42,8 @@ type Topology struct {
 	// Faulty wraps Fwd when the topology was built with a fault profile;
 	// nil on clean topologies. Connections route through it automatically.
 	Faulty *sim.FaultyLink
+
+	run uint64 // process-wide topology number, for trace ids
 }
 
 // Config parameterizes the lab network; zero values take the paper's §6
@@ -74,7 +84,8 @@ func NewTopology(cfg Config) *Topology {
 		Delay:      cfg.RTT / 2,
 		QueueLimit: units.Bytes(float64(bdp) * cfg.QueueBDPs),
 	}, class)
-	topo := &Topology{S: s, Fwd: fwd, Class: class, Rate: cfg.Rate, RTT: cfg.RTT}
+	topo := &Topology{S: s, Fwd: fwd, Class: class, Rate: cfg.Rate, RTT: cfg.RTT,
+		run: runCounter.Add(1)}
 	if cfg.Faults.Enabled() {
 		seed := cfg.FaultSeed
 		if seed == 0 {
@@ -121,6 +132,12 @@ func (t *Topology) VideoSession(id sim.FlowID, ctrl *core.Controller, chunks int
 		// TV clients hold minutes of buffer; the long prebuffer phase is
 		// what congests the link in the paper's Fig 7/8 traces.
 		MaxBuffer: 4 * time.Minute,
+	}
+	// Spans land in a per-run, per-flow trace when a process-wide tracer is
+	// installed (sammy-eval -trace). The id string is only built then, so
+	// the benchmarked hot path stays allocation-free with tracing off.
+	if otrace.Default() != nil {
+		cfg.TraceID = "run" + strconv.Itoa(int(t.run)) + "/flow" + strconv.Itoa(int(id))
 	}
 	return player.NewSimPlayer(t.S, conn, cfg, onChunk, nil), conn
 }

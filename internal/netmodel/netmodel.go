@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	trace "repro/internal/obs/trace"
 	"repro/internal/units"
 )
 
@@ -112,6 +113,22 @@ type Result struct {
 	// Stalled is time spent waiting out a scripted blackout before the
 	// transfer could make progress (0 without a fault timeline).
 	Stalled time.Duration
+}
+
+// TraceAttrs copies the download's summary onto sp as span attributes for
+// the "netmodel.download" span. Nil-safe.
+func (r Result) TraceAttrs(sp *trace.Span) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("bytes", float64(r.Bytes)).
+		SetAttr("sent_bytes", float64(r.SentBytes)).
+		SetAttr("retx_bytes", float64(r.RetxBytes)).
+		SetAttr("mean_rtt_ms", r.MeanRTT.Seconds()*1000).
+		SetAttr("tput_bps", float64(r.Throughput))
+	if r.Stalled > 0 {
+		sp.SetAttr("stalled_s", r.Stalled.Seconds())
+	}
 }
 
 // Conn is a persistent connection over a Path, carrying congestion state

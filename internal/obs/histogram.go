@@ -188,11 +188,43 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return max
 }
 
-// HistogramSummary is a point-in-time digest of a histogram.
+// BucketCount is one cumulative histogram bucket: the number of
+// observations at or below UpperBound. The last bucket's bound is +Inf and
+// its count equals the total observation count, Prometheus-style.
+type BucketCount struct {
+	UpperBound float64
+	Count      int64
+}
+
+// Buckets reports the cumulative bucket counts, one per configured bound
+// plus the +Inf overflow bucket. Nil for a nil histogram.
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil {
+		return nil
+	}
+	out := make([]BucketCount, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		out[i] = BucketCount{UpperBound: bound, Count: cum}
+	}
+	return out
+}
+
+// HistogramSummary is a point-in-time digest of a histogram. Alongside the
+// original quantile fields it carries the exact Sum and the cumulative
+// bucket layout, so exporters that need the raw distribution (Prometheus
+// text exposition) do not have to reconstruct it from quantiles.
 type HistogramSummary struct {
 	Count          int64
+	Sum            float64
 	Mean, Min, Max float64
 	P50, P95, P99  float64
+	Buckets        []BucketCount
 }
 
 // Summary reports the histogram's digest in one consistent-enough read.
@@ -201,12 +233,14 @@ func (h *Histogram) Summary() HistogramSummary {
 		return HistogramSummary{}
 	}
 	return HistogramSummary{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Mean:    h.Mean(),
+		Min:     h.Min(),
+		Max:     h.Max(),
+		P50:     h.Quantile(0.50),
+		P95:     h.Quantile(0.95),
+		P99:     h.Quantile(0.99),
+		Buckets: h.Buckets(),
 	}
 }

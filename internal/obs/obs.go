@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -242,8 +243,11 @@ func (r *Registry) Snapshot() string {
 }
 
 // Export renders the registry as a JSON-encodable map: counters as int64,
-// gauges as float64, histograms as {count, mean, min, p50, p95, p99, max}.
-// This is the shape published through expvar.
+// gauges as float64, histograms as {count, sum, mean, min, p50, p95, p99,
+// max, buckets}. This is the shape published through expvar; the sum and
+// cumulative buckets keys are additions consumers of the original quantile
+// keys can ignore. Bucket bounds are rendered as strings ("+Inf" for the
+// overflow bucket) because JSON has no infinity.
 func (r *Registry) Export() map[string]any {
 	out := make(map[string]any)
 	r.Each(func(name string, metric any) {
@@ -254,13 +258,26 @@ func (r *Registry) Export() map[string]any {
 			out[name] = m.Value()
 		case *Histogram:
 			s := m.Summary()
+			buckets := make([]map[string]any, len(s.Buckets))
+			for i, b := range s.Buckets {
+				buckets[i] = map[string]any{"le": formatLe(b.UpperBound), "count": b.Count}
+			}
 			out[name] = map[string]any{
-				"count": s.Count, "mean": s.Mean, "min": s.Min,
+				"count": s.Count, "sum": s.Sum, "mean": s.Mean, "min": s.Min,
 				"p50": s.P50, "p95": s.P95, "p99": s.P99, "max": s.Max,
+				"buckets": buckets,
 			}
 		}
 	})
 	return out
+}
+
+// formatLe renders a bucket upper bound as a Prometheus le label value.
+func formatLe(bound float64) string {
+	if math.IsInf(bound, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(bound, 'g', -1, 64)
 }
 
 // defaultRegistry is the process-wide registry, nil until SetDefault.

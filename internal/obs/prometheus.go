@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// This file renders a Registry in the Prometheus text exposition format
+// (version 0.0.4), so the paced edge server's /metrics endpoint can be
+// scraped by any Prometheus-compatible collector without adding a client
+// library dependency. Counters and gauges map directly; histograms emit
+// the standard cumulative _bucket/_sum/_count triple from the exact
+// per-bucket counts (not the interpolated quantiles).
+
+// WritePrometheus writes every metric in r to w in sorted name order.
+// A nil registry writes nothing.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	var werr error
+	write := func(s string) {
+		if werr == nil {
+			_, werr = bw.WriteString(s)
+		}
+	}
+	r.Each(func(name string, metric any) {
+		n := sanitizeMetricName(name)
+		switch m := metric.(type) {
+		case *Counter:
+			write("# TYPE " + n + " counter\n")
+			write(n + " " + strconv.FormatInt(m.Value(), 10) + "\n")
+		case *Gauge:
+			write("# TYPE " + n + " gauge\n")
+			write(n + " " + formatPromFloat(m.Value()) + "\n")
+		case *Histogram:
+			write("# TYPE " + n + " histogram\n")
+			for _, b := range m.Buckets() {
+				write(n + `_bucket{le="` + formatLe(b.UpperBound) + `"} ` +
+					strconv.FormatInt(b.Count, 10) + "\n")
+			}
+			write(n + "_sum " + formatPromFloat(m.Sum()) + "\n")
+			write(n + "_count " + strconv.FormatInt(m.Count(), 10) + "\n")
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// PrometheusHandler serves r at a /metrics-style endpoint. The registry
+// may be nil (the endpoint then serves an empty exposition).
+func PrometheusHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r)
+	})
+}
+
+// formatPromFloat renders a float sample value.
+func formatPromFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric name
+// alphabet [a-zA-Z0-9_:], replacing anything else with '_' (and prefixing
+// '_' if the name would start with a digit). Registry names are already
+// snake_case, so this is usually the identity.
+func sanitizeMetricName(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		if !isPromNameByte(name[i], i == 0) {
+			ok = false
+			break
+		}
+	}
+	if ok && name != "" {
+		return name
+	}
+	b := make([]byte, 0, len(name)+1)
+	if name == "" {
+		return "_"
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if isPromNameByte(c, len(b) == 0) {
+			b = append(b, c)
+		} else if c >= '0' && c <= '9' && len(b) == 0 {
+			b = append(b, '_', c)
+		} else {
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// isPromNameByte reports whether c is legal in a Prometheus metric name
+// (first bytes must not be digits).
+func isPromNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"net/http/httptest"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.7, 4, 100} {
+		h.Observe(v)
+	}
+	got := h.Buckets()
+	want := []BucketCount{
+		{UpperBound: 1, Count: 1},
+		{UpperBound: 2, Count: 3},
+		{UpperBound: 5, Count: 4},
+		{UpperBound: math.Inf(1), Count: 5},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got[len(got)-1].Count != h.Count() {
+		t.Error("+Inf bucket count != total count")
+	}
+	var nilH *Histogram
+	if nilH.Buckets() != nil {
+		t.Error("nil histogram Buckets != nil")
+	}
+}
+
+func TestSummaryCarriesSumAndBuckets(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	h.Observe(3)
+	h.Observe(4)
+	s := h.Summary()
+	if s.Sum != 7 {
+		t.Errorf("Sum = %g, want 7", s.Sum)
+	}
+	if len(s.Buckets) != 2 || s.Buckets[0].Count != 2 {
+		t.Errorf("Buckets = %+v", s.Buckets)
+	}
+	// The original digest fields keep working (backward compatibility).
+	if s.Count != 2 || s.Mean != 3.5 || s.Min != 3 || s.Max != 4 {
+		t.Errorf("digest fields changed: %+v", s)
+	}
+}
+
+func TestExportBackwardCompatible(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	m, ok := r.Export()["h"].(map[string]any)
+	if !ok {
+		t.Fatal("histogram export not a map")
+	}
+	for _, key := range []string{"count", "mean", "min", "p50", "p95", "p99", "max", "sum", "buckets"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("export missing key %q", key)
+		}
+	}
+	buckets := m["buckets"].([]map[string]any)
+	if len(buckets) != 2 || buckets[1]["le"] != "+Inf" {
+		t.Errorf("buckets = %+v", buckets)
+	}
+}
+
+// parseProm reads the exposition text back into sample maps, checking
+// TYPE lines as it goes.
+func parseProm(t *testing.T, text string) (samples map[string]float64, types map[string]string) {
+	t.Helper()
+	samples = make(map[string]float64)
+	types = make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		samples[line[:idx]] = v
+	}
+	return samples, types
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cdn_requests_total").Add(17)
+	r.Gauge("inflight").Set(3.5)
+	h := r.Histogram("pace_mbps", []float64{1, 8, 64})
+	for _, v := range []float64{0.5, 4, 4, 32, 500} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseProm(t, sb.String())
+
+	if types["cdn_requests_total"] != "counter" || samples["cdn_requests_total"] != 17 {
+		t.Errorf("counter round-trip: type=%q value=%g", types["cdn_requests_total"], samples["cdn_requests_total"])
+	}
+	if types["inflight"] != "gauge" || samples["inflight"] != 3.5 {
+		t.Errorf("gauge round-trip: type=%q value=%g", types["inflight"], samples["inflight"])
+	}
+	if types["pace_mbps"] != "histogram" {
+		t.Errorf("histogram type = %q", types["pace_mbps"])
+	}
+	wantBuckets := map[string]float64{
+		`pace_mbps_bucket{le="1"}`:    1,
+		`pace_mbps_bucket{le="8"}`:    3,
+		`pace_mbps_bucket{le="64"}`:   4,
+		`pace_mbps_bucket{le="+Inf"}`: 5,
+	}
+	for k, want := range wantBuckets {
+		if samples[k] != want {
+			t.Errorf("%s = %g, want %g", k, samples[k], want)
+		}
+	}
+	if samples["pace_mbps_count"] != 5 {
+		t.Errorf("count = %g, want 5", samples["pace_mbps_count"])
+	}
+	if samples["pace_mbps_sum"] != 540.5 {
+		t.Errorf("sum = %g, want 540.5", samples["pace_mbps_sum"])
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	rec := httptest.NewRecorder()
+	PrometheusHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+
+	// A nil registry serves an empty exposition rather than panicking.
+	rec = httptest.NewRecorder()
+	PrometheusHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Body.Len() != 0 {
+		t.Errorf("nil registry body = %q", rec.Body.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"cdn_requests_total": "cdn_requests_total",
+		"pace.rate-mbps":     "pace_rate_mbps",
+		"9lives":             "_9lives",
+		"":                   "_",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

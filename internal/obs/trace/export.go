@@ -1,0 +1,312 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// This file renders records to the two wire formats — streaming JSONL and
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) — and
+// parses JSONL back. All rendering is hand-built with strconv so field
+// order and float formatting are fixed: byte-identical traces from
+// fixed-seed runs are a test invariant, and encoding/json map iteration
+// would break it.
+
+// appendFloat renders v deterministically; non-finite values (which no
+// producer should emit) degrade to 0 to keep the output valid JSON.
+func appendFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, '0')
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendAttrs renders an attrs object in stored order.
+func appendAttrs(b []byte, attrs []Attr) []byte {
+	b = append(b, '{')
+	for i, a := range attrs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, a.Key)
+		b = append(b, ':')
+		if a.IsStr {
+			b = strconv.AppendQuote(b, a.Str)
+		} else {
+			b = appendFloat(b, a.Val)
+		}
+	}
+	return append(b, '}')
+}
+
+// appendRecordJSON renders one JSONL record (no trailing newline).
+func appendRecordJSON(b []byte, r Record) []byte {
+	b = append(b, `{"trace":`...)
+	b = strconv.AppendQuote(b, r.TraceID)
+	b = append(b, `,"span":`...)
+	b = strconv.AppendUint(b, r.SpanID, 10)
+	if r.Parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, r.Parent, 10)
+	}
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendQuote(b, r.Kind)
+	if r.Name != "" && r.Name != r.Kind {
+		b = append(b, `,"name":`...)
+		b = strconv.AppendQuote(b, r.Name)
+	}
+	b = append(b, `,"start_ns":`...)
+	b = strconv.AppendInt(b, int64(r.Start), 10)
+	if r.Instant {
+		b = append(b, `,"instant":true`...)
+	} else {
+		b = append(b, `,"dur_ns":`...)
+		b = strconv.AppendInt(b, int64(r.Dur), 10)
+	}
+	if len(r.Attrs) > 0 {
+		b = append(b, `,"attrs":`...)
+		b = appendAttrs(b, r.Attrs)
+	}
+	return append(b, '}')
+}
+
+// WriteJSONLRecords writes recs as one JSON object per line, in the order
+// given. Callers wanting the canonical deterministic order sort with
+// SortRecords first (Tracer.WriteJSONL does).
+func WriteJSONLRecords(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, r := range recs {
+		buf = appendRecordJSON(buf[:0], r)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("trace: write jsonl: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes every retained record as sorted JSONL without
+// draining the backlog (so a Chrome export can follow from the same
+// tracer).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return WriteJSONLRecords(w, t.Records())
+}
+
+// Flush drains the completed-record backlog to w as JSONL in completion
+// order. This is the streaming form the server's Flusher uses; completion
+// order is wall-clock order there, not the canonical sorted order.
+func (t *Tracer) Flush(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	recs := t.done
+	t.done = nil
+	t.mu.Unlock()
+	return WriteJSONLRecords(w, recs)
+}
+
+// appendChromeEvent renders one trace-event object. ts/dur are in
+// microseconds per the trace-event spec; fractional microseconds keep the
+// nanosecond clocks exact.
+func appendChromeEvent(b []byte, r Record, tid int) []byte {
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, r.Kind)
+	b = append(b, `,"cat":`...)
+	b = strconv.AppendQuote(b, kindCategory(r.Kind))
+	if r.Instant {
+		b = append(b, `,"ph":"i","s":"t"`...)
+	} else {
+		b = append(b, `,"ph":"X"`...)
+	}
+	b = append(b, `,"ts":`...)
+	b = appendMicros(b, r.Start)
+	if !r.Instant {
+		b = append(b, `,"dur":`...)
+		b = appendMicros(b, r.Dur)
+	}
+	b = append(b, `,"pid":1,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{"span":`...)
+	b = strconv.AppendUint(b, r.SpanID, 10)
+	if r.Parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, r.Parent, 10)
+	}
+	if r.Name != "" && r.Name != r.Kind {
+		b = append(b, `,"name":`...)
+		b = strconv.AppendQuote(b, r.Name)
+	}
+	for _, a := range r.Attrs {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, a.Key)
+		b = append(b, ':')
+		if a.IsStr {
+			b = strconv.AppendQuote(b, a.Str)
+		} else {
+			b = appendFloat(b, a.Val)
+		}
+	}
+	return append(b, `}}`...)
+}
+
+// appendMicros renders a duration as decimal microseconds with nanosecond
+// precision ("812345.678").
+func appendMicros(b []byte, d time.Duration) []byte {
+	us := d / time.Microsecond
+	ns := d % time.Microsecond
+	b = strconv.AppendInt(b, int64(us), 10)
+	if ns != 0 {
+		b = append(b, '.')
+		s := strconv.FormatInt(int64(ns)+1000, 10) // "1xyz": zero-padded tail
+		b = append(b, s[1:]...)
+	}
+	return b
+}
+
+// kindCategory is the span kind's layer prefix ("player.chunk" →
+// "player"), used as the trace-event category.
+func kindCategory(kind string) string {
+	for i := 0; i < len(kind); i++ {
+		if kind[i] == '.' {
+			return kind[:i]
+		}
+	}
+	return kind
+}
+
+// WriteChromeRecords writes recs as a Chrome trace-event JSON array. Each
+// trace id becomes one named thread (pid 1), so Perfetto lays sessions
+// out as parallel tracks. Records are sorted into canonical order first.
+func WriteChromeRecords(w io.Writer, recs []Record) error {
+	sorted := make([]Record, len(recs))
+	copy(sorted, recs)
+	SortRecords(sorted)
+
+	tids := make(map[string]int)
+	var order []string
+	for _, r := range sorted {
+		if _, ok := tids[r.TraceID]; !ok {
+			tids[r.TraceID] = len(order) + 1
+			order = append(order, r.TraceID)
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return fmt.Errorf("trace: write chrome trace: %w", err)
+	}
+	var buf []byte
+	first := true
+	emit := func(line []byte) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.Write(line)
+		return err
+	}
+	for _, id := range order {
+		buf = append(buf[:0], `{"name":"thread_name","ph":"M","pid":1,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(tids[id]), 10)
+		buf = append(buf, `,"args":{"name":`...)
+		buf = strconv.AppendQuote(buf, id)
+		buf = append(buf, `}}`...)
+		if err := emit(buf); err != nil {
+			return fmt.Errorf("trace: write chrome trace: %w", err)
+		}
+	}
+	for _, r := range sorted {
+		buf = appendChromeEvent(buf[:0], r, tids[r.TraceID])
+		if err := emit(buf); err != nil {
+			return fmt.Errorf("trace: write chrome trace: %w", err)
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return fmt.Errorf("trace: write chrome trace: %w", err)
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace writes every retained record as a Chrome trace-event
+// JSON array, without draining the backlog.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeRecords(w, t.Records())
+}
+
+// jsonRecord is the JSONL wire shape for parsing.
+type jsonRecord struct {
+	Trace   string         `json:"trace"`
+	Span    uint64         `json:"span"`
+	Parent  uint64         `json:"parent"`
+	Kind    string         `json:"kind"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Instant bool           `json:"instant"`
+	Attrs   map[string]any `json:"attrs"`
+}
+
+// ReadRecords parses JSONL trace output (the Flush/WriteJSONL format)
+// back into records. Attribute order is not preserved by JSON maps, so
+// parsed attrs come back sorted by key — still deterministic, which is
+// all the consumers need.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var jr jsonRecord
+		if err := json.Unmarshal(text, &jr); err != nil {
+			return out, fmt.Errorf("trace: parse jsonl line %d: %w", line, err)
+		}
+		rec := Record{
+			TraceID: jr.Trace,
+			SpanID:  jr.Span,
+			Parent:  jr.Parent,
+			Kind:    jr.Kind,
+			Name:    jr.Name,
+			Start:   time.Duration(jr.StartNS),
+			Dur:     time.Duration(jr.DurNS),
+			Instant: jr.Instant,
+		}
+		if rec.Name == "" {
+			rec.Name = rec.Kind
+		}
+		if len(jr.Attrs) > 0 {
+			keys := make([]string, 0, len(jr.Attrs))
+			for k := range jr.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				switch v := jr.Attrs[k].(type) {
+				case string:
+					rec.Attrs = append(rec.Attrs, Attr{Key: k, Str: v, IsStr: true})
+				case float64:
+					rec.Attrs = append(rec.Attrs, Attr{Key: k, Val: v})
+				}
+			}
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("trace: read jsonl: %w", err)
+	}
+	return out, nil
+}

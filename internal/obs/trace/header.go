@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Header is the HTTP request header carrying trace context from the
+// client's fetch span to the server, in the form "<traceID>;<spanID>".
+// The span id is parsed from the *last* semicolon, so trace ids may
+// contain any character but a trailing ";<digits>".
+const Header = "X-Sammy-Trace"
+
+// HeaderValue renders the propagation header for span s ("" for nil).
+func HeaderValue(s *Span) string {
+	if s == nil {
+		return ""
+	}
+	id, span := s.Context()
+	return id + ";" + strconv.FormatUint(span, 10)
+}
+
+// SetHeader writes the trace context of s onto an outgoing request. A nil
+// span leaves the headers untouched (requests from untraced sessions carry
+// no trace header at all).
+func SetHeader(h http.Header, s *Span) {
+	if s == nil {
+		return
+	}
+	h.Set(Header, HeaderValue(s))
+}
+
+// ParseHeader parses an X-Sammy-Trace value into its trace id and parent
+// span id. ok is false for an absent or malformed value.
+func ParseHeader(v string) (traceID string, spanID uint64, ok bool) {
+	i := strings.LastIndexByte(v, ';')
+	if i <= 0 || i == len(v)-1 {
+		return "", 0, false
+	}
+	span, err := strconv.ParseUint(v[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return v[:i], span, true
+}
+
+// ctxKey is the context key for span propagation.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s, for handing trace context down
+// call chains that already take a context (the cdn client). A nil span
+// returns ctx unchanged, so the untraced path allocates nothing.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

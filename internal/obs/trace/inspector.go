@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Inspector serves the live /debug/sammy page: sessions in flight, the
+// most recent spans, and whatever extra state the host process exposes
+// through Vars (the server wires its overload controller here). It holds
+// no goroutines and no state beyond the pointers it reads at request
+// time, so it is leak-free by construction.
+type Inspector struct {
+	Tracer *Tracer
+	// Vars supplies extra key/value rows (overload state, build info).
+	// Nil means no extra section.
+	Vars func() map[string]string
+}
+
+type inspectorVar struct{ Key, Val string }
+
+type inspectorData struct {
+	Enabled  bool
+	Sessions []SessionInfo
+	Recent   []Record
+	Retained int
+	Dropped  uint64
+	Vars     []inspectorVar
+}
+
+var inspectorTmpl = template.Must(template.New("sammy").Funcs(template.FuncMap{
+	"dur": func(d time.Duration) string { return d.Round(time.Microsecond).String() },
+	"attrs": func(attrs []Attr) string {
+		out := ""
+		for i, a := range attrs {
+			if i > 0 {
+				out += " "
+			}
+			if a.IsStr {
+				out += a.Key + "=" + a.Str
+			} else {
+				out += fmt.Sprintf("%s=%g", a.Key, a.Val)
+			}
+		}
+		return out
+	},
+}).Parse(`<!DOCTYPE html>
+<html><head><title>sammy inspector</title>
+<style>
+body { font-family: monospace; margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; margin-top: 1.5em; }
+table { border-collapse: collapse; }
+th, td { text-align: left; padding: 2px 10px; border-bottom: 1px solid #ddd; }
+th { background: #eee; }
+.num { text-align: right; }
+.off { color: #a00; }
+</style></head><body>
+<h1>sammy run inspector</h1>
+{{if not .Enabled}}<p class="off">tracing disabled — start the process with tracing on to populate this page</p>{{else}}
+<p>{{.Retained}} records retained{{if .Dropped}}, {{.Dropped}} dropped at cap{{end}}</p>
+<h2>sessions ({{len .Sessions}})</h2>
+<table><tr><th>trace</th><th class="num">open spans</th><th class="num">spans issued</th></tr>
+{{range .Sessions}}<tr><td>{{.ID}}</td><td class="num">{{.Open}}</td><td class="num">{{.Spans}}</td></tr>
+{{end}}</table>
+<h2>recent spans (newest first)</h2>
+<table><tr><th>trace</th><th class="num">span</th><th class="num">parent</th><th>kind</th><th>name</th><th class="num">start</th><th class="num">dur</th><th>attrs</th></tr>
+{{range .Recent}}<tr><td>{{.TraceID}}</td><td class="num">{{.SpanID}}</td><td class="num">{{if .Parent}}{{.Parent}}{{end}}</td><td>{{.Kind}}</td><td>{{if ne .Name .Kind}}{{.Name}}{{end}}</td><td class="num">{{dur .Start}}</td><td class="num">{{if .Instant}}·{{else}}{{dur .Dur}}{{end}}</td><td>{{attrs .Attrs}}</td></tr>
+{{end}}</table>
+{{end}}
+{{if .Vars}}<h2>state</h2>
+<table>{{range .Vars}}<tr><th>{{.Key}}</th><td>{{.Val}}</td></tr>
+{{end}}</table>{{end}}
+</body></html>
+`))
+
+// ServeHTTP renders the inspector page from a point-in-time snapshot of
+// the tracer.
+func (in *Inspector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d := inspectorData{
+		Enabled:  in.Tracer != nil,
+		Sessions: in.Tracer.Sessions(),
+		Recent:   in.Tracer.Recent(64),
+		Retained: in.Tracer.Len(),
+		Dropped:  in.Tracer.Dropped(),
+	}
+	if in.Vars != nil {
+		m := in.Vars()
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			d.Vars = append(d.Vars, inspectorVar{Key: k, Val: m[k]})
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := inspectorTmpl.Execute(w, d); err != nil {
+		// Header already sent; nothing useful to do beyond dropping the
+		// response.
+		_ = err
+	}
+}

@@ -1,0 +1,449 @@
+// Package trace is a zero-dependency, deterministic span tracer for the
+// chunk lifecycle (DESIGN.md §12). A span records one interval of work —
+// a session, a chunk, an ABR decision, a fetch — with a trace id (the
+// session), a parent span id, numeric/string attributes and timestamps.
+//
+// Determinism is the design constraint: timestamps are *caller-supplied*
+// on the simulated paths (the StartAt/EndAt/AnnotateAt forms, stamped with
+// the sim clock from internal/sim or the session-time accumulator in
+// internal/netmodel), so fixed-seed runs produce byte-identical traces.
+// The clock-reading forms (Start/End/Annotate) read wall time and are
+// reserved for the real HTTP path (cdn, overload, the server binaries).
+// Span ids are sequential per trace, and the exporters sort records by
+// (trace id, span id), so even traces recorded from parallel goroutines
+// (the A/B harness) export identically run to run.
+//
+// Like the rest of internal/obs, tracing is nil-guarded: a nil *Tracer,
+// *Trace or *Span is "tracing off", and every method on them is a no-op
+// that allocates nothing — the disabled hot path costs one pointer
+// comparison, enforced by AllocsPerRun tests and the benchcheck gate.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// recentCap bounds the ring of recent records kept for the live
+	// inspector.
+	recentCap = 256
+	// DefaultMaxRecords bounds the completed-record backlog of a Tracer
+	// that is never flushed. When the cap is hit new records are dropped
+	// (and counted); long-running servers drain with a Flusher instead.
+	DefaultMaxRecords = 1 << 20
+	// pruneTraces is the trace-table size at which Session garbage-collects
+	// traces with no open spans, bounding server-side memory. A pruned
+	// trace id that reappears restarts its span-id sequence; exporters key
+	// on (trace, span) pairs that remain unique because pruning requires
+	// all spans closed and flushed ids are already recorded.
+	pruneTraces = 4096
+)
+
+// Attr is one span attribute: a key with either a numeric or a string
+// value (IsStr selects).
+type Attr struct {
+	Key   string
+	Str   string
+	Val   float64
+	IsStr bool
+}
+
+// Record is one completed span or instant annotation, the unit the
+// exporters and cmd/sammy-trace consume.
+type Record struct {
+	TraceID string
+	SpanID  uint64
+	Parent  uint64 // 0 = root span of its trace
+	Kind    string // span taxonomy entry, e.g. "player.chunk", "abr.decide"
+	Name    string // free-form detail, e.g. the ABR algorithm name
+	Start   time.Duration
+	Dur     time.Duration
+	Instant bool // an annotation: a point event parented under a span
+	Attrs   []Attr
+}
+
+// Tracer owns the traces of one process (or one experiment run): a table
+// of per-session Traces, the backlog of completed records, and a small
+// ring of recent records for the live inspector. Safe for concurrent use.
+type Tracer struct {
+	start time.Time
+
+	mu      sync.Mutex
+	traces  map[string]*Trace
+	done    []Record
+	recent  [recentCap]Record
+	recentN uint64
+	dropped uint64
+	max     int
+}
+
+// New returns an empty Tracer whose wall clock starts now.
+func New() *Tracer {
+	return &Tracer{
+		start:  time.Now(),
+		traces: make(map[string]*Trace),
+		max:    DefaultMaxRecords,
+	}
+}
+
+// defaultTracer is the process-wide tracer, nil (off) by default.
+var defaultTracer atomic.Pointer[Tracer]
+
+// Default returns the process-wide tracer installed with SetDefault, or
+// nil when tracing is off.
+func Default() *Tracer { return defaultTracer.Load() }
+
+// SetDefault installs t as the process-wide tracer (nil turns tracing
+// off). Call it once at startup, before sessions begin.
+func SetDefault(t *Tracer) { defaultTracer.Store(t) }
+
+// Session returns the trace named id, creating it on first use. The new
+// trace's clock is the tracer's wall clock (time since New); simulated
+// sessions either bind a clock with SetClock or use the *At forms
+// exclusively. Nil-safe: a nil Tracer returns a nil Trace.
+func (t *Tracer) Session(id string) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tr := t.traces[id]
+	if tr == nil {
+		if len(t.traces) >= pruneTraces {
+			t.pruneLocked()
+		}
+		tr = &Trace{t: t, id: id}
+		t.traces[id] = tr
+	}
+	t.mu.Unlock()
+	return tr
+}
+
+// pruneLocked drops traces with no open spans; callers hold t.mu.
+func (t *Tracer) pruneLocked() {
+	for id, tr := range t.traces {
+		if tr.open.Load() == 0 {
+			delete(t.traces, id)
+		}
+	}
+}
+
+// StartRemote opens a span in trace traceID under the remote parent span
+// id carried in an X-Sammy-Trace header, stamped with the tracer's wall
+// clock. This is the server-side join: the serving span nests under the
+// client's fetch attempt in the merged timeline.
+func (t *Tracer) StartRemote(traceID string, parent uint64, kind, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	tr := t.Session(traceID)
+	return tr.startSpan(parent, tr.now(), kind, name)
+}
+
+// record appends a completed record to the backlog and the recent ring.
+func (t *Tracer) record(r Record) {
+	t.mu.Lock()
+	if t.max > 0 && len(t.done) >= t.max {
+		t.dropped++
+	} else {
+		t.done = append(t.done, r)
+	}
+	t.recent[t.recentN%recentCap] = r
+	t.recentN++
+	t.mu.Unlock()
+}
+
+// Dropped reports how many records were discarded at the retention cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len reports the number of completed records currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.done)
+}
+
+// Records returns a copy of the completed records in canonical export
+// order: sorted by (TraceID, SpanID). Sorting is what makes exports
+// deterministic even when sessions recorded from parallel goroutines
+// interleaved arbitrarily in completion order.
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Record, len(t.done))
+	copy(out, t.done)
+	t.mu.Unlock()
+	SortRecords(out)
+	return out
+}
+
+// SortRecords sorts records into the canonical (TraceID, SpanID) export
+// order.
+func SortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].TraceID != recs[j].TraceID {
+			return recs[i].TraceID < recs[j].TraceID
+		}
+		return recs[i].SpanID < recs[j].SpanID
+	})
+}
+
+// Recent returns up to n of the most recently completed records, newest
+// first — the inspector's live view.
+func (t *Tracer) Recent(n int) []Record {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := int(t.recentN)
+	if have > recentCap {
+		have = recentCap
+	}
+	if n > have {
+		n = have
+	}
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, t.recent[(t.recentN-1-uint64(i))%recentCap])
+	}
+	return out
+}
+
+// SessionInfo summarizes one trace for the inspector.
+type SessionInfo struct {
+	ID    string
+	Open  int64  // spans started but not yet ended
+	Spans uint64 // span ids issued so far
+}
+
+// Sessions lists the tracer's traces sorted by id.
+func (t *Tracer) Sessions() []SessionInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SessionInfo, 0, len(t.traces))
+	for id, tr := range t.traces {
+		out = append(out, SessionInfo{ID: id, Open: tr.open.Load(), Spans: tr.next.Load()})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Trace is one session's span sequence. Span ids are issued sequentially
+// from 1; sessions are single-threaded, so a fixed-seed session produces
+// the same id sequence every run. A nil *Trace is "tracing off".
+type Trace struct {
+	t     *Tracer
+	id    string
+	clock func() time.Duration
+	next  atomic.Uint64
+	open  atomic.Int64
+}
+
+// ID reports the trace id ("" for nil).
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// SetClock binds the trace's clock, used by the non-At span forms. Bind
+// the simulator's Now for sim-side sessions that want Start/End without
+// threading explicit times; the default is the tracer's wall clock. Not
+// safe to change while spans are in flight. Returns tr for chaining.
+func (tr *Trace) SetClock(fn func() time.Duration) *Trace {
+	if tr != nil {
+		tr.clock = fn
+	}
+	return tr
+}
+
+func (tr *Trace) now() time.Duration {
+	if tr.clock != nil {
+		return tr.clock()
+	}
+	return time.Since(tr.t.start)
+}
+
+// Now reads the trace clock (0 for nil) — for callers on the real-HTTP
+// path that need a timestamp consistent with the trace's Start/End forms
+// to hand to an *At API.
+func (tr *Trace) Now() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	return tr.now()
+}
+
+// StartAt opens a root span at caller time at. The *At forms are the
+// deterministic path: sim and netmodel code must use them, stamped with
+// simulated/session time.
+func (tr *Trace) StartAt(at time.Duration, kind, name string) *Span {
+	return tr.startSpan(0, at, kind, name)
+}
+
+// Start opens a root span stamped with the trace clock (wall unless
+// SetClock rebound it). Real-HTTP path only.
+func (tr *Trace) Start(kind, name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.startSpan(0, tr.now(), kind, name)
+}
+
+// StartRemoteAt opens a span under a parent span id received from another
+// process (the X-Sammy-Trace header), at caller time at.
+func (tr *Trace) StartRemoteAt(parent uint64, at time.Duration, kind, name string) *Span {
+	return tr.startSpan(parent, at, kind, name)
+}
+
+func (tr *Trace) startSpan(parent uint64, at time.Duration, kind, name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	tr.open.Add(1)
+	return &Span{
+		tr:     tr,
+		id:     tr.next.Add(1),
+		parent: parent,
+		kind:   kind,
+		name:   name,
+		start:  at,
+	}
+}
+
+// Span is one open interval of work. Spans are owned by one goroutine at
+// a time (hand-off through a fetch callback is fine); End/EndAt emits the
+// Record. A nil *Span is "tracing off": every method no-ops.
+type Span struct {
+	tr     *Trace
+	id     uint64
+	parent uint64
+	kind   string
+	name   string
+	start  time.Duration
+	attrs  []Attr
+	ended  bool
+}
+
+// Context reports the span's wire identity for header propagation.
+func (s *Span) Context() (traceID string, spanID uint64) {
+	if s == nil {
+		return "", 0
+	}
+	return s.tr.id, s.id
+}
+
+// SetAttr records a numeric attribute; returns s for chaining.
+func (s *Span) SetAttr(key string, v float64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+	return s
+}
+
+// SetStr records a string attribute; returns s for chaining.
+func (s *Span) SetStr(key, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Str: v, IsStr: true})
+	return s
+}
+
+// StartChildAt opens a child span at caller time at (the deterministic
+// form).
+func (s *Span) StartChildAt(at time.Duration, kind, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.startSpan(s.id, at, kind, name)
+}
+
+// StartChild opens a child span stamped with the trace clock (real-HTTP
+// path only).
+func (s *Span) StartChild(kind, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.startSpan(s.id, s.tr.now(), kind, name)
+}
+
+// AnnotateAt emits an instant annotation parented under s at caller time
+// at: a point event such as a TCP fast retransmit, with one numeric
+// value. The annotation takes its own span id from the trace sequence.
+func (s *Span) AnnotateAt(at time.Duration, name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.tr.t.record(Record{
+		TraceID: s.tr.id,
+		SpanID:  s.tr.next.Add(1),
+		Parent:  s.id,
+		Kind:    name,
+		Name:    name,
+		Start:   at,
+		Instant: true,
+		Attrs:   []Attr{{Key: "v", Val: v}},
+	})
+}
+
+// Annotate is AnnotateAt on the trace clock (real-HTTP path only).
+func (s *Span) Annotate(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.AnnotateAt(s.tr.now(), name, v)
+}
+
+// EndAt closes the span at caller time at and emits its Record. Ending a
+// span twice is a no-op (the first End wins); a negative duration is
+// clamped to zero.
+func (s *Span) EndAt(at time.Duration) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.tr.open.Add(-1)
+	dur := at - s.start
+	if dur < 0 {
+		dur = 0
+	}
+	s.tr.t.record(Record{
+		TraceID: s.tr.id,
+		SpanID:  s.id,
+		Parent:  s.parent,
+		Kind:    s.kind,
+		Name:    s.name,
+		Start:   s.start,
+		Dur:     dur,
+		Attrs:   s.attrs,
+	})
+}
+
+// End closes the span at the trace clock (real-HTTP path only).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.tr.now())
+}

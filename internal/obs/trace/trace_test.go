@@ -1,0 +1,500 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+)
+
+// buildSample records a small but representative trace tree: a session
+// with one chunk, an ABR child, an instant annotation, and a second
+// session, using the deterministic *At forms throughout.
+func buildSample(t *Tracer) {
+	tr := t.Session("flow1")
+	sess := tr.StartAt(0, "player.session", "flow1").SetStr("algo", "sammy")
+	chunk := sess.StartChildAt(10*time.Millisecond, "player.chunk", "c0").SetAttr("rung", 3)
+	abr := chunk.StartChildAt(10*time.Millisecond, "abr.decide", "sammy")
+	abr.SetAttr("buffer_s", 2.5).EndAt(11 * time.Millisecond)
+	chunk.AnnotateAt(12*time.Millisecond, "tcp.fast_retx", 4096)
+	chunk.EndAt(50 * time.Millisecond)
+	sess.EndAt(60 * time.Millisecond)
+
+	tr2 := t.Session("flow2")
+	s2 := tr2.StartAt(5*time.Millisecond, "player.session", "flow2")
+	s2.EndAt(20 * time.Millisecond)
+}
+
+func TestSpanTreeRecords(t *testing.T) {
+	tc := New()
+	buildSample(tc)
+	recs := tc.Records()
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	// Canonical order: flow1 spans by id, then flow2.
+	wantKinds := []string{"player.session", "player.chunk", "abr.decide", "tcp.fast_retx", "player.session"}
+	for i, r := range recs {
+		if r.Kind != wantKinds[i] {
+			t.Fatalf("record %d kind = %q, want %q", i, r.Kind, wantKinds[i])
+		}
+	}
+	if recs[0].TraceID != "flow1" || recs[4].TraceID != "flow2" {
+		t.Fatalf("trace order wrong: %q ... %q", recs[0].TraceID, recs[4].TraceID)
+	}
+	// Parentage: chunk under session, abr under chunk, instant under chunk.
+	if recs[1].Parent != recs[0].SpanID {
+		t.Errorf("chunk parent = %d, want session span %d", recs[1].Parent, recs[0].SpanID)
+	}
+	if recs[2].Parent != recs[1].SpanID || recs[3].Parent != recs[1].SpanID {
+		t.Errorf("abr/instant parents = %d/%d, want chunk span %d", recs[2].Parent, recs[3].Parent, recs[1].SpanID)
+	}
+	if !recs[3].Instant {
+		t.Error("annotation not marked instant")
+	}
+	if recs[1].Dur != 40*time.Millisecond {
+		t.Errorf("chunk dur = %v, want 40ms", recs[1].Dur)
+	}
+	if got := recs[0].Attrs; len(got) != 1 || !got[0].IsStr || got[0].Str != "sammy" {
+		t.Errorf("session attrs = %+v", got)
+	}
+}
+
+func TestDoubleEndAndClamp(t *testing.T) {
+	tc := New()
+	tr := tc.Session("s")
+	sp := tr.StartAt(100*time.Millisecond, "k", "n")
+	sp.EndAt(90 * time.Millisecond) // before start: clamped
+	sp.EndAt(200 * time.Millisecond)
+	recs := tc.Records()
+	if len(recs) != 1 {
+		t.Fatalf("double End emitted %d records, want 1", len(recs))
+	}
+	if recs[0].Dur != 0 {
+		t.Errorf("negative duration not clamped: %v", recs[0].Dur)
+	}
+	if n := tc.Sessions()[0].Open; n != 0 {
+		t.Errorf("open spans after End = %d, want 0", n)
+	}
+}
+
+func TestSessionReuseAndPrune(t *testing.T) {
+	tc := New()
+	if tc.Session("a") != tc.Session("a") {
+		t.Error("Session not idempotent for same id")
+	}
+	// Fill past the prune threshold with closed traces; table must shrink.
+	for i := 0; i < pruneTraces+10; i++ {
+		tc.Session(strings.Repeat("x", 1) + string(rune('0'+i%10)) + itoa(i))
+	}
+	tc.mu.Lock()
+	n := len(tc.traces)
+	tc.mu.Unlock()
+	if n > pruneTraces+1 {
+		t.Errorf("trace table not pruned: %d entries", n)
+	}
+}
+
+func itoa(i int) string {
+	var b [8]byte
+	p := len(b)
+	for {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+		if i == 0 {
+			return string(b[p:])
+		}
+	}
+}
+
+func TestDropAtCap(t *testing.T) {
+	tc := New()
+	tc.max = 3
+	tr := tc.Session("s")
+	for i := 0; i < 5; i++ {
+		tr.StartAt(0, "k", "").EndAt(time.Millisecond)
+	}
+	if tc.Len() != 3 {
+		t.Errorf("retained %d, want 3", tc.Len())
+	}
+	if tc.Dropped() != 2 {
+		t.Errorf("dropped %d, want 2", tc.Dropped())
+	}
+}
+
+func TestRecent(t *testing.T) {
+	tc := New()
+	tr := tc.Session("s")
+	for i := 0; i < 10; i++ {
+		tr.StartAt(time.Duration(i), "k", "").EndAt(time.Duration(i) + 1)
+	}
+	got := tc.Recent(3)
+	if len(got) != 3 {
+		t.Fatalf("Recent(3) returned %d", len(got))
+	}
+	if got[0].SpanID != 10 || got[2].SpanID != 8 {
+		t.Errorf("Recent order wrong: %d, %d", got[0].SpanID, got[2].SpanID)
+	}
+	if got := tc.Recent(1000); len(got) != 10 {
+		t.Errorf("Recent(1000) = %d records, want 10", len(got))
+	}
+}
+
+func TestStartRemoteJoins(t *testing.T) {
+	tc := New()
+	sp := tc.StartRemote("flow9", 42, "cdn.serve", "GET")
+	sp.EndAt(time.Millisecond)
+	recs := tc.Records()
+	if len(recs) != 1 || recs[0].TraceID != "flow9" || recs[0].Parent != 42 {
+		t.Fatalf("remote join wrong: %+v", recs)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	tc := New()
+	sp := tc.Session("u01/s3").StartAt(0, "cdn.fetch", "")
+	h := make(http.Header)
+	SetHeader(h, sp)
+	id, span, ok := ParseHeader(h.Get(Header))
+	if !ok || id != "u01/s3" || span != 1 {
+		t.Fatalf("round trip: id=%q span=%d ok=%v", id, span, ok)
+	}
+	// Trace ids containing ';' still parse: split on last.
+	id, span, ok = ParseHeader("a;b;7")
+	if !ok || id != "a;b" || span != 7 {
+		t.Fatalf("semicolon id: id=%q span=%d ok=%v", id, span, ok)
+	}
+	for _, bad := range []string{"", ";", "x;", ";5", "x;notanum", "justtext"} {
+		if _, _, ok := ParseHeader(bad); ok {
+			t.Errorf("ParseHeader(%q) ok, want reject", bad)
+		}
+	}
+	h2 := make(http.Header)
+	SetHeader(h2, nil)
+	if len(h2) != 0 {
+		t.Error("SetHeader(nil span) touched headers")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if ContextWithSpan(ctx, nil) != ctx {
+		t.Error("ContextWithSpan(nil) did not return ctx unchanged")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Error("SpanFromContext on empty ctx non-nil")
+	}
+	tc := New()
+	sp := tc.Session("s").StartAt(0, "k", "")
+	if got := SpanFromContext(ContextWithSpan(ctx, sp)); got != sp {
+		t.Error("span did not round-trip through context")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tc *Tracer
+	tr := tc.Session("x")
+	if tr != nil {
+		t.Fatal("nil tracer returned non-nil trace")
+	}
+	sp := tr.StartAt(0, "k", "n")
+	sp = sp.SetAttr("a", 1).SetStr("b", "c")
+	child := sp.StartChildAt(0, "k2", "")
+	child.AnnotateAt(0, "e", 1)
+	child.EndAt(0)
+	sp.End()
+	tr.SetClock(func() time.Duration { return 0 })
+	if tc.Records() != nil || tc.Recent(5) != nil || tc.Sessions() != nil {
+		t.Error("nil tracer leaked records")
+	}
+	if tc.Len() != 0 || tc.Dropped() != 0 {
+		t.Error("nil tracer counters non-zero")
+	}
+	if err := tc.Flush(nil); err != nil {
+		t.Errorf("nil tracer Flush: %v", err)
+	}
+	if id, span := sp.Context(); id != "" || span != 0 {
+		t.Error("nil span Context non-zero")
+	}
+	if tr.ID() != "" {
+		t.Error("nil trace ID non-empty")
+	}
+	if tc.StartRemote("a", 1, "k", "") != nil {
+		t.Error("nil tracer StartRemote non-nil")
+	}
+}
+
+// TestDisabledZeroAlloc is the hot-path contract: with tracing off (nil
+// receivers all the way down), the full per-chunk span choreography must
+// not allocate.
+func TestDisabledZeroAlloc(t *testing.T) {
+	var tc *Tracer
+	ctx := context.Background()
+	h := make(http.Header)
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := tc.Session("flow1")
+		sess := tr.StartAt(0, "player.session", "x")
+		chunk := sess.StartChildAt(0, "player.chunk", "")
+		chunk.SetAttr("rung", 3)
+		chunk.AnnotateAt(0, "tcp.rto", 1)
+		SetHeader(h, chunk)
+		_ = ContextWithSpan(ctx, chunk)
+		chunk.EndAt(0)
+		sess.EndAt(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tc := New()
+	buildSample(tc)
+	var buf bytes.Buffer
+	if err := tc.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("invalid JSON line: %s", line)
+		}
+	}
+	got, err := ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tc.Records()
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.TraceID != w.TraceID || g.SpanID != w.SpanID || g.Parent != w.Parent ||
+			g.Kind != w.Kind || g.Start != w.Start || g.Dur != w.Dur || g.Instant != w.Instant {
+			t.Errorf("record %d: got %+v want %+v", i, g, w)
+		}
+		if len(g.Attrs) != len(w.Attrs) {
+			t.Errorf("record %d: %d attrs, want %d", i, len(g.Attrs), len(w.Attrs))
+		}
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	tc := New()
+	buildSample(tc)
+	var buf bytes.Buffer
+	if err := tc.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace not a JSON array: %v\n%s", err, buf.String())
+	}
+	// 2 thread_name metadata + 5 records.
+	if len(events) != 7 {
+		t.Fatalf("got %d events, want 7", len(events))
+	}
+	if events[0]["ph"] != "M" || events[0]["name"] != "thread_name" {
+		t.Errorf("first event not thread metadata: %v", events[0])
+	}
+	var sawInstant, sawComplete bool
+	for _, e := range events {
+		switch e["ph"] {
+		case "i":
+			sawInstant = true
+		case "X":
+			sawComplete = true
+			if _, ok := e["dur"]; !ok {
+				t.Errorf("complete event without dur: %v", e)
+			}
+		}
+	}
+	if !sawInstant || !sawComplete {
+		t.Errorf("missing phases: instant=%v complete=%v", sawInstant, sawComplete)
+	}
+}
+
+func TestAppendMicros(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0"},
+		{time.Microsecond, "1"},
+		{1500 * time.Nanosecond, "1.500"},
+		{time.Millisecond + 7*time.Nanosecond, "1000.007"},
+		{time.Second, "1000000"},
+	}
+	for _, c := range cases {
+		if got := string(appendMicros(nil, c.d)); got != c.want {
+			t.Errorf("appendMicros(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// TestExportDeterminism records the same span choreography twice into
+// fresh tracers and requires byte-identical exporter output.
+func TestExportDeterminism(t *testing.T) {
+	render := func() (string, string) {
+		tc := New()
+		buildSample(tc)
+		var j, c bytes.Buffer
+		if err := tc.WriteJSONL(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := tc.WriteChromeTrace(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := render()
+	j2, c2 := render()
+	if j1 != j2 {
+		t.Error("JSONL output differs between identical runs")
+	}
+	if c1 != c2 {
+		t.Error("Chrome output differs between identical runs")
+	}
+}
+
+func TestFlushDrains(t *testing.T) {
+	tc := New()
+	buildSample(tc)
+	var buf bytes.Buffer
+	if err := tc.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tc.Len() != 0 {
+		t.Errorf("Flush left %d records", tc.Len())
+	}
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Errorf("flushed %d records, want 5", len(recs))
+	}
+}
+
+func TestFlusherLifecycle(t *testing.T) {
+	leakcheck.Check(t)
+	tc := New()
+	var buf bytes.Buffer
+	f := NewFlusher(tc, &buf, time.Hour) // interval never fires; Stop drains
+	buildSample(tc)
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stop(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Errorf("flusher drained %d records, want 5", len(recs))
+	}
+	if tc.Len() != 0 {
+		t.Errorf("backlog not drained: %d", tc.Len())
+	}
+}
+
+func TestFlusherPeriodic(t *testing.T) {
+	leakcheck.Check(t)
+	tc := New()
+	var mu syncBuffer
+	f := NewFlusher(tc, &mu, time.Millisecond)
+	tc.Session("s").StartAt(0, "k", "").EndAt(time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for tc.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if tc.Len() != 0 {
+		t.Error("periodic flusher never drained")
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for the concurrent flusher
+// test.
+type syncBuffer struct {
+	mu  chan struct{}
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	if b.mu == nil {
+		b.mu = make(chan struct{}, 1)
+	}
+	b.mu <- struct{}{}
+	defer func() { <-b.mu }()
+	return b.buf.Write(p)
+}
+
+func TestInspectorHandler(t *testing.T) {
+	leakcheck.Check(t)
+	tc := New()
+	buildSample(tc)
+	// Leave one span open so the sessions table shows it in flight.
+	open := tc.Session("flow3").StartAt(0, "player.session", "flow3")
+	in := &Inspector{
+		Tracer: tc,
+		Vars:   func() map[string]string { return map[string]string{"overload_inflight": "2"} },
+	}
+	rr := httptest.NewRecorder()
+	in.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/sammy", nil))
+	body := rr.Body.String()
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+	for _, want := range []string{"flow1", "flow3", "player.chunk", "overload_inflight", "records retained"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("inspector page missing %q", want)
+		}
+	}
+	open.EndAt(time.Second)
+
+	// Disabled tracer renders the off notice, not a panic.
+	rr = httptest.NewRecorder()
+	(&Inspector{}).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/sammy", nil))
+	if !strings.Contains(rr.Body.String(), "tracing disabled") {
+		t.Error("nil-tracer inspector missing disabled notice")
+	}
+}
+
+func TestDefaultTracer(t *testing.T) {
+	old := Default()
+	defer SetDefault(old)
+	SetDefault(nil)
+	if Default() != nil {
+		t.Fatal("Default not nil after SetDefault(nil)")
+	}
+	tc := New()
+	SetDefault(tc)
+	if Default() != tc {
+		t.Fatal("SetDefault did not install tracer")
+	}
+}
+
+func TestSetClock(t *testing.T) {
+	tc := New()
+	var now time.Duration = 5 * time.Second
+	tr := tc.Session("s").SetClock(func() time.Duration { return now })
+	sp := tr.Start("k", "")
+	now = 7 * time.Second
+	sp.End()
+	recs := tc.Records()
+	if recs[0].Start != 5*time.Second || recs[0].Dur != 2*time.Second {
+		t.Errorf("clock-bound span = start %v dur %v", recs[0].Start, recs[0].Dur)
+	}
+}

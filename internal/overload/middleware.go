@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	trace "repro/internal/obs/trace"
 )
 
 // ClientIDHeader lets a fronting proxy (or a test) pin the rate-limit key
@@ -55,6 +57,10 @@ func writeShed(w http.ResponseWriter, e *ShedError) {
 func (c *Controller) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m := c.Metrics
+		// The admission span covers rate limiting plus queueing inside
+		// Acquire — the "queued" state in harm attribution. It joins the
+		// client's trace when the request carries an X-Sammy-Trace header.
+		adm := c.admissionSpan(r)
 		if c.limiter != nil {
 			key := clientKey(r)
 			if ok, wait := c.limiter.Allow(key); !ok {
@@ -63,6 +69,7 @@ func (c *Controller) Middleware(next http.Handler) http.Handler {
 					m.Shed.Inc()
 					m.Recorder.Record("overload_rate_limited", key, wait.Seconds(), 0)
 				}
+				adm.SetStr("shed", ReasonRateLimited).End()
 				writeShed(w, &ShedError{Reason: ReasonRateLimited, RetryAfter: wait})
 				return
 			}
@@ -74,9 +81,11 @@ func (c *Controller) Middleware(next http.Handler) http.Handler {
 				// Client went away while queued; nothing useful to write.
 				serr = &ShedError{Reason: ReasonQueueTimeout, RetryAfter: c.cfg.RetryAfter}
 			}
+			adm.SetStr("shed", serr.Reason).End()
 			writeShed(w, serr)
 			return
 		}
+		adm.End()
 		defer release()
 		if c.cfg.StallTimeout > 0 {
 			w = newStallWriter(w, c.cfg.StallTimeout, func(written int64) {
@@ -88,6 +97,19 @@ func (c *Controller) Middleware(next http.Handler) http.Handler {
 		}
 		next.ServeHTTP(w, r)
 	})
+}
+
+// admissionSpan opens the per-request "overload.admission" span, joined to
+// the client's trace when the request carries trace context, else recorded
+// under the server's own "server" trace. Nil tracer → nil span (off).
+func (c *Controller) admissionSpan(r *http.Request) *trace.Span {
+	if c.Tracer == nil {
+		return nil
+	}
+	if id, parent, ok := trace.ParseHeader(r.Header.Get(trace.Header)); ok {
+		return c.Tracer.StartRemote(id, parent, "overload.admission", "")
+	}
+	return c.Tracer.Session("server").Start("overload.admission", "")
 }
 
 // Healthz is the liveness endpoint: 200 as long as the process serves

@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	trace "repro/internal/obs/trace"
 )
 
 // Default limits. They are deliberately generous: the point of defaults is
@@ -155,6 +157,10 @@ type Controller struct {
 
 	// Metrics receives admission telemetry; nil disables instrumentation.
 	Metrics *Metrics
+	// Tracer, when set, records an "overload.admission" span per request in
+	// Middleware covering rate-limit and queueing time, joined to the
+	// client's trace via the X-Sammy-Trace header. Nil disables tracing.
+	Tracer *trace.Tracer
 
 	mu       sync.Mutex
 	inflight int

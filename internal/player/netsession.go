@@ -19,6 +19,10 @@ func Run(cfg Config, path netmodel.Path, rng *rand.Rand, onChunk func(ChunkEvent
 	acct := newAccounting(cfg)
 	est := abr.NewEstimator(cfg.EstimatorWindow)
 
+	// All spans in this driver are stamped with session time (the *At
+	// forms), so fixed-seed runs export byte-identical traces.
+	sess := cfg.Trace.StartAt(0, "player.session", cfg.Controller.Name())
+
 	conn := netmodel.NewConn(path, rng)
 	now := conn.Connect() // handshake counts toward play delay
 
@@ -46,21 +50,27 @@ func Run(cfg Config, path netmodel.Path, rng *rand.Rand, onChunk func(ChunkEvent
 		if playing {
 			if room := cfg.MaxBuffer - buffer; room < cfg.Title.ChunkDuration {
 				wait := cfg.Title.ChunkDuration - room
+				sess.StartChildAt(now, "player.idle", "").EndAt(now + wait)
 				now += wait
 				buffer -= wait
 			}
 		}
 
 		ctx := decisionContext(cfg, i, buffer, playing, est, prevRung)
-		dec := cfg.Controller.Decide(ctx)
+		chSpan := sess.StartChildAt(now, "player.chunk", "").SetAttr("index", float64(i))
+		chSpan.AnnotateAt(now, "bwest.estimate", float64(ctx.Throughput))
+		dec := cfg.Controller.DecideTraced(ctx, chSpan, now)
 		prevRung = dec.Rung
 		chunk := cfg.Title.ChunkAt(i, dec.Rung)
 
 		start := now
+		dl := chSpan.StartChildAt(now, "netmodel.download", "")
 		// DownloadAt (not Download) so scripted fault timelines on the path
 		// see true session time, including off-period waits and stalls.
 		res := conn.DownloadAt(now, chunk.Size, dec.PaceRate)
 		now += res.Duration
+		res.TraceAttrs(dl)
+		dl.EndAt(now)
 
 		observe(cfg, est, res.Throughput, playing)
 		acct.chunkDone(chunk, res.SentBytes, res.RetxBytes, res.Duration, res.MeanRTT, res.Packets)
@@ -71,6 +81,7 @@ func Run(cfg Config, path netmodel.Path, rng *rand.Rand, onChunk func(ChunkEvent
 			buffer -= res.Duration
 			if buffer < 0 {
 				acct.rebuffer(-buffer)
+				sess.StartChildAt(now, "player.stall", "").EndAt(now + -buffer)
 				now += -buffer // the stall extends wall-clock time
 				buffer = 0
 			}
@@ -87,6 +98,7 @@ func Run(cfg Config, path netmodel.Path, rng *rand.Rand, onChunk func(ChunkEvent
 		}
 
 		contentDownloaded += chunk.Duration
+		chSpan.SetAttr("rung", float64(dec.Rung)).SetAttr("buffer_s", buffer.Seconds()).EndAt(now)
 		if m := cfg.Metrics; m != nil {
 			m.BufferSeconds.Set(buffer.Seconds())
 		}
@@ -104,6 +116,8 @@ func Run(cfg Config, path netmodel.Path, rng *rand.Rand, onChunk func(ChunkEvent
 		// whole session as play delay.
 		playDelay = now
 	}
+	sess.SetAttr("chunks", float64(acct.qoe.Chunks)).
+		SetAttr("rebuffer_s", acct.qoe.RebufferTime.Seconds()).EndAt(now)
 	q := acct.finish(playDelay)
 	if abandoned {
 		q.Abandoned = true

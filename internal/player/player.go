@@ -15,6 +15,7 @@ import (
 	"repro/internal/abr"
 	"repro/internal/core"
 	"repro/internal/obs"
+	trace "repro/internal/obs/trace"
 	"repro/internal/tdigest"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -50,6 +51,14 @@ type Config struct {
 	// rebuffers). Defaults to metrics on the process-wide obs registry when
 	// one is installed, else nil (off).
 	Metrics *Metrics
+	// Trace is the session's trace for span emission (DESIGN.md §12); nil
+	// means tracing off. When nil and TraceID is set, setDefaults resolves
+	// a session trace from the process-wide tracer (trace.Default()), which
+	// keeps tracing off when no tracer is installed.
+	Trace *trace.Trace
+	// TraceID names the session in the process-wide tracer when Trace is
+	// unset.
+	TraceID string
 }
 
 func (c *Config) setDefaults() {
@@ -73,6 +82,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.Metrics == nil {
 		c.Metrics = NewMetrics(obs.Default())
+	}
+	if c.Trace == nil && c.TraceID != "" {
+		c.Trace = trace.Default().Session(c.TraceID)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/abr"
+	trace "repro/internal/obs/trace"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/units"
@@ -36,6 +37,10 @@ type SimPlayer struct {
 	bufAtUpdate time.Duration
 	lastUpdate  time.Duration
 
+	// sess is the session span; nil when tracing is off. All spans are
+	// stamped with absolute sim time via the *At forms.
+	sess *trace.Span
+
 	onChunk func(ChunkEvent)
 	onDone  func(QoE)
 }
@@ -59,6 +64,7 @@ func NewSimPlayer(s *sim.Simulator, conn *tcp.Conn, cfg Config, onChunk func(Chu
 func (p *SimPlayer) Start() {
 	p.started = p.s.Now()
 	p.lastUpdate = p.s.Now()
+	p.sess = p.cfg.Trace.StartAt(p.s.Now(), "player.session", p.cfg.Controller.Name())
 	p.requestNext()
 }
 
@@ -95,6 +101,10 @@ func (p *SimPlayer) syncBuffer() {
 			if m := p.cfg.Metrics; m != nil && stall > 0 {
 				m.Recorder.RecordAt(now, "player_rebuffer", "", stall.Seconds()*1000, 0)
 			}
+			if p.sess != nil && stall > 0 {
+				// The stall interval is [buffer exhaustion, now].
+				p.sess.StartChildAt(now-stall, "player.stall", "").EndAt(now)
+			}
 			p.bufAtUpdate = 0
 		} else {
 			p.bufAtUpdate -= elapsed
@@ -111,6 +121,8 @@ func (p *SimPlayer) requestNext() {
 		if !p.playing {
 			p.playDelay = p.s.Now() - p.started
 		}
+		p.sess.SetAttr("chunks", float64(p.acct.qoe.Chunks)).
+			SetAttr("rebuffer_s", p.acct.qoe.RebufferTime.Seconds()).EndAt(p.s.Now())
 		if p.onDone != nil {
 			p.onDone(p.QoE())
 		}
@@ -120,7 +132,14 @@ func (p *SimPlayer) requestNext() {
 	if p.playing {
 		if room := p.cfg.MaxBuffer - p.bufAtUpdate; room < p.cfg.Title.ChunkDuration {
 			wait := p.cfg.Title.ChunkDuration - room
-			p.s.Schedule(wait, p.requestNext)
+			if idle := p.sess.StartChildAt(p.s.Now(), "player.idle", ""); idle != nil {
+				p.s.Schedule(wait, func() {
+					idle.EndAt(p.s.Now())
+					p.requestNext()
+				})
+			} else {
+				p.s.Schedule(wait, p.requestNext)
+			}
 			return
 		}
 	}
@@ -128,7 +147,9 @@ func (p *SimPlayer) requestNext() {
 	i := p.nextChunk
 	p.nextChunk++
 	ctx := decisionContext(p.cfg, i, p.bufAtUpdate, p.playing, p.est, p.prevRung)
-	dec := p.cfg.Controller.Decide(ctx)
+	chSpan := p.sess.StartChildAt(p.s.Now(), "player.chunk", "").SetAttr("index", float64(i))
+	chSpan.AnnotateAt(p.s.Now(), "bwest.estimate", float64(ctx.Throughput))
+	dec := p.cfg.Controller.DecideTraced(ctx, chSpan, p.s.Now())
 	if m := p.cfg.Metrics; m != nil && p.prevRung >= 0 && dec.Rung != p.prevRung {
 		m.Recorder.RecordAt(p.s.Now(), "player_bitrate_switch", "",
 			float64(p.cfg.Title.Ladder[dec.Rung].Bitrate),
@@ -137,6 +158,8 @@ func (p *SimPlayer) requestNext() {
 	p.prevRung = dec.Rung
 	chunk := p.cfg.Title.ChunkAt(i, dec.Rung)
 
+	fsp := chSpan.StartChildAt(p.s.Now(), "tcp.fetch", "")
+	p.conn.SetSpan(fsp)
 	p.conn.SetPacingRate(dec.PaceRate)
 	if dec.PaceRate > 0 {
 		p.conn.SetPacerBurst(dec.Burst)
@@ -145,6 +168,7 @@ func (p *SimPlayer) requestNext() {
 	statsBefore := p.conn.Stats
 
 	p.conn.Fetch(chunk.Size, nil, func(r tcp.FetchResult) {
+		p.conn.SetSpan(nil)
 		p.syncBuffer()
 		wasPlaying := p.playing
 		tput := r.Throughput()
@@ -156,6 +180,8 @@ func (p *SimPlayer) requestNext() {
 		srtt := p.conn.SRTT()
 		pkts := statsAfter.SegmentsSent - statsBefore.SegmentsSent
 		p.acct.chunkDone(chunk, sent, retx, r.DoneAt-r.RequestedAt, srtt, pkts)
+		fsp.SetAttr("bytes", float64(chunk.Size)).SetAttr("retx_bytes", float64(retx)).
+			SetAttr("tput_bps", float64(tput)).EndAt(p.s.Now())
 
 		p.bufAtUpdate += chunk.Duration
 		if p.cfg.MaxBuffer > 0 && p.bufAtUpdate > p.cfg.MaxBuffer {
@@ -168,6 +194,8 @@ func (p *SimPlayer) requestNext() {
 		if m := p.cfg.Metrics; m != nil {
 			m.BufferSeconds.Set(p.bufAtUpdate.Seconds())
 		}
+		chSpan.SetAttr("rung", float64(dec.Rung)).
+			SetAttr("buffer_s", p.bufAtUpdate.Seconds()).EndAt(p.s.Now())
 		if p.onChunk != nil {
 			p.onChunk(ChunkEvent{
 				Index: i, Start: start - p.started, End: p.s.Now() - p.started,

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"repro/internal/obs"
+	trace "repro/internal/obs/trace"
 )
 
 // Metrics holds the transport's observability hooks. A nil *Metrics (the
@@ -65,6 +66,14 @@ func NewMetrics(r *obs.Registry) *Metrics {
 
 // SetMetrics attaches m to the connection (nil detaches).
 func (c *Conn) SetMetrics(m *Metrics) { c.metrics = m }
+
+// SetSpan attaches the current fetch span: loss and pace-rate transitions
+// (fast retransmits, RTO collapses, SetPacingRate) are annotated on it as
+// instants stamped with the sim clock. Nil detaches; callers attach per
+// fetch and detach in the fetch callback. Annotation sites guard on the
+// field, so a detached connection evaluates no arguments and allocates
+// nothing.
+func (c *Conn) SetSpan(sp *trace.Span) { c.span = sp }
 
 // setWindowMetrics refreshes the window gauges.
 func (c *Conn) setWindowMetrics() {

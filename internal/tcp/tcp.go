@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	trace "repro/internal/obs/trace"
 	"repro/internal/pacing"
 	"repro/internal/sim"
 	"repro/internal/tdigest"
@@ -183,6 +184,7 @@ type Conn struct {
 	Stats         Stats
 	RTT           *tdigest.TDigest // per-ack RTT samples
 	metrics       *Metrics         // nil = instrumentation off
+	span          *trace.Span      // current fetch span; nil = tracing off
 	onEstablished func()
 }
 
@@ -234,6 +236,9 @@ func (c *Conn) SetPacingRate(rate units.BitsPerSecond) {
 	if c.metrics != nil {
 		c.metrics.PaceRate.Set(float64(rate))
 		c.metrics.Recorder.RecordAt(c.s.Now(), "tcp_pace_rate", c.flowName(), float64(rate), 0)
+	}
+	if c.span != nil {
+		c.span.AnnotateAt(c.s.Now(), "tcp.pace_rate", float64(rate))
 	}
 }
 
@@ -483,6 +488,10 @@ func (c *Conn) handleAck(p *sim.Packet) {
 				c.metrics.Recorder.RecordAt(c.s.Now(), "tcp_fast_retx", c.flowName(),
 					float64(c.sndUna), c.ssthresh)
 			}
+			if c.span != nil {
+				// Annotation value: the deflated cwnd (= new ssthresh).
+				c.span.AnnotateAt(c.s.Now(), "tcp.fast_retx", c.ssthresh)
+			}
 			c.transmit(c.sndUna, true)
 		case c.dupAcks > 3 || (c.inRecovery && c.dupAcks >= 1):
 			// Window inflation lets new data flow during recovery.
@@ -557,6 +566,10 @@ func (c *Conn) onRTO() {
 		c.metrics.Timeouts.Inc()
 		c.metrics.Recorder.RecordAt(c.s.Now(), "tcp_rto", c.flowName(),
 			rto.Seconds()*1000, c.cwnd)
+	}
+	if c.span != nil {
+		// Annotation value: the cwnd the timeout collapses.
+		c.span.AnnotateAt(c.s.Now(), "tcp.rto", c.cwnd)
 	}
 	c.onVariantLoss()
 	c.ssthresh = max64f(c.cwnd/2, 2)
