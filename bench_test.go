@@ -28,6 +28,40 @@ func benchABConfig(seed int64) abtest.Config {
 	}
 }
 
+// BenchmarkPopulationSharded measures the crash-resumable population
+// runner's throughput in users/sec: the same reduced-scale Table 2 workload
+// as BenchmarkTable2ProductionAB, streamed through shard-sized sketches
+// instead of accumulated records. benchcheck gates the users/sec metric
+// against BENCH_baseline.json so the streaming path cannot quietly lose its
+// population throughput.
+func BenchmarkPopulationSharded(b *testing.B) {
+	b.ReportAllocs()
+	base := benchABConfig(11)
+	cfg := abtest.ShardRunConfig{
+		Experiment: base,
+		Arms: []abtest.Arm{
+			abtest.ControlArm(),
+			abtest.SammyArm(core.DefaultC0, core.DefaultC1),
+		},
+		ShardSize: 50,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := abtest.RunSharded(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			rows := abtest.CompareSketches(res.Arms[1], res.Arms[0])
+			fmt.Print(abtest.FormatSketchTable("\nTable 2 (streamed sketches): Sammy vs control", rows))
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(base.Population.Users*b.N)/sec, "users/sec")
+	}
+}
+
 func rowsByName(rows []abtest.TableRow) map[string]abtest.TableRow {
 	m := make(map[string]abtest.TableRow, len(rows))
 	for _, r := range rows {

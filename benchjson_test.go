@@ -98,6 +98,7 @@ func toResult(r testing.BenchmarkResult) benchfmt.Result {
 		NsPerOp:     float64(r.NsPerOp()),
 		AllocsPerOp: float64(r.AllocsPerOp()),
 		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		UsersPerSec: r.Extra["users/sec"],
 	}
 }
 
@@ -128,6 +129,7 @@ func TestWriteBenchJSON(t *testing.T) {
 			"SingleTCPFlow":      toResult(testing.Benchmark(BenchmarkSingleTCPFlow)),
 			"Table2ProductionAB": toResult(testing.Benchmark(BenchmarkTable2ProductionAB)),
 			"TraceOffSpans":      toResult(testing.Benchmark(BenchmarkTraceOffSpans)),
+			"PopulationSharded":  toResult(testing.Benchmark(BenchmarkPopulationSharded)),
 		},
 		SimTimeRatio: measureSimTimeRatio(),
 	}

@@ -67,6 +67,20 @@ func main() {
 		}
 		rep.Infof("%s %-22s allocs/op %10.0f (baseline %10.0f, limit %10.0f)  ns/op %12.0f (baseline %12.0f)",
 			status, name, cur.AllocsPerOp, base.AllocsPerOp, limit, cur.NsPerOp, base.NsPerOp)
+		// Throughput suites additionally gate users/sec. Wall-clock rates on
+		// shared runners are noisy where allocation counts are not, so the
+		// bar is a floor at a quarter of baseline: only a structural collapse
+		// of the streaming path (quadratic fold, lost parallelism) trips it.
+		if base.UsersPerSec > 0 {
+			floor := base.UsersPerSec / 4
+			tstatus := "ok  "
+			if cur.UsersPerSec < floor {
+				tstatus = "FAIL"
+				regressed = true
+			}
+			rep.Infof("%s %-22s users/sec %10.0f (baseline %10.0f, floor %10.0f)",
+				tstatus, name, cur.UsersPerSec, base.UsersPerSec, floor)
+		}
 	}
 	if current.SimTimeRatio > 0 {
 		rep.Infof("     sim_time_ratio %.0f sim-s/wall-s", current.SimTimeRatio)

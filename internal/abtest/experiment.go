@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -129,6 +130,10 @@ type SessionRecord struct {
 type ArmResult struct {
 	Name     string
 	Sessions []SessionRecord
+	// Errors counts users whose session sequence failed (a recovered panic
+	// in the controller or player). Failed users contribute no sessions; a
+	// healthy run reports zero.
+	Errors int
 }
 
 // Metric extracts a scalar from a session for table building.
@@ -189,9 +194,10 @@ func Run(cfg Config, arms []Arm) []ArmResult {
 }
 
 // measurePreExperiment fills each user's PreExpThroughput with the p95 of
-// per-chunk throughput from a short unpaced control session.
-func measurePreExperiment(cfg Config, users []*User) {
-	forEachUser(cfg.Parallelism, users, func(u *User) {
+// per-chunk throughput from a short unpaced control session. It returns
+// per-user errors (slice-position indexed, nil entries for healthy users).
+func measurePreExperiment(cfg Config, users []*User) []error {
+	return forEachUser(cfg.Parallelism, users, func(_ int, u *User) {
 		rng := rand.New(rand.NewSource(u.Seed ^ 0x5eed))
 		title := video.NewTitle(cfg.Ladder.CapAt(u.TopBitrate), cfg.ChunkDuration, 40, rng)
 		ctrl := core.NewControl(productionABR(0))
@@ -207,14 +213,29 @@ func measurePreExperiment(cfg Config, users []*User) {
 	})
 }
 
-// runArm runs every user's session sequence under one arm.
+// runArm runs every user's session sequence under one arm. Users whose
+// sequence failed (recovered panic) contribute no sessions and are counted
+// in ArmResult.Errors.
 func runArm(cfg Config, arm Arm, users []*User) ArmResult {
-	type userSessions struct {
-		records []SessionRecord
+	perUser, errs := runArmPerUser(cfg, arm, users)
+	res := ArmResult{Name: arm.Name}
+	for i, recs := range perUser {
+		if errs[i] != nil {
+			res.Errors++
+			continue
+		}
+		res.Sessions = append(res.Sessions, recs...)
 	}
-	perUser := make([]userSessions, len(users))
+	return res
+}
 
-	forEachUser(cfg.Parallelism, users, func(u *User) {
+// runArmPerUser is the streaming-friendly core of runArm: it returns the
+// measured sessions grouped by user position (not user ID — shards hand in
+// user-id ranges that do not start at zero) alongside per-user errors.
+func runArmPerUser(cfg Config, arm Arm, users []*User) ([][]SessionRecord, []error) {
+	perUser := make([][]SessionRecord, len(users))
+
+	errs := forEachUser(cfg.Parallelism, users, func(i int, u *User) {
 		// Paired design: every arm sees the same user RNG stream and a
 		// fresh history.
 		rng := rand.New(rand.NewSource(u.Seed))
@@ -240,28 +261,34 @@ func runArm(cfg Config, arm Arm, users []*User) ArmResult {
 				recs = append(recs, SessionRecord{UserID: u.ID, PreExp: u.PreExpThroughput, QoE: q})
 			}
 		}
-		perUser[u.ID] = userSessions{records: recs}
+		perUser[i] = recs
 	})
-
-	res := ArmResult{Name: arm.Name}
-	for _, us := range perUser {
-		res.Sessions = append(res.Sessions, us.records...)
-	}
-	return res
+	return perUser, errs
 }
 
-// forEachUser applies fn to every user with bounded parallelism.
-func forEachUser(parallelism int, users []*User, fn func(*User)) {
+// forEachUser applies fn to every user with bounded parallelism, passing the
+// user's slice position. A panic inside fn is recovered into that user's
+// error slot instead of crashing the process: one poisoned controller must
+// not kill a multi-hour population run. The returned slice is parallel to
+// users (nil entries for healthy users).
+func forEachUser(parallelism int, users []*User, fn func(i int, u *User)) []error {
 	sem := make(chan struct{}, parallelism)
+	errs := make([]error, len(users))
 	var wg sync.WaitGroup
-	for _, u := range users {
+	for i, u := range users {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(u *User) {
+		go func(i int, u *User) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			fn(u)
-		}(u)
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("user %d: panic: %v\n%s", u.ID, r, debug.Stack())
+				}
+			}()
+			fn(i, u)
+		}(i, u)
 	}
 	wg.Wait()
+	return errs
 }

@@ -83,6 +83,69 @@ func (c PopulationConfig) withDefaults() PopulationConfig {
 	return c
 }
 
+// userDraw holds one user's sampled parameters before materialization. The
+// split between drawing (pure RNG consumption, allocation-free) and
+// materializing (*User construction) is what lets sharded runs regenerate
+// only their user-id range: a shard fast-forwards the population stream
+// through the users before its range without allocating them.
+type userDraw struct {
+	capacity     units.BitsPerSecond
+	rtt          time.Duration
+	ambientDelay time.Duration
+	ambientLoss  float64
+	topBitrate   units.BitsPerSecond
+	seed         int64
+}
+
+// drawUser consumes one user's worth of the population RNG stream. The draw
+// order is load-bearing: it defines the fixed-seed population, pinned by
+// golden tests — never reorder these calls.
+func drawUser(cfg PopulationConfig, rng *rand.Rand) userDraw {
+	capacity := units.BitsPerSecond(float64(cfg.MedianCapacity) *
+		math.Exp(rng.NormFloat64()*cfg.CapacitySigma))
+	if capacity < 500*units.Kbps {
+		capacity = 500 * units.Kbps
+	}
+	rtt := time.Duration(float64(cfg.MedianRTT) * math.Exp(rng.NormFloat64()*cfg.RTTSigma))
+	if rtt < 2*time.Millisecond {
+		rtt = 2 * time.Millisecond
+	}
+	// Ambient congestion the session does not control: cross traffic at
+	// the access link and upstream. Both arms pay it, which keeps the
+	// RTT and retransmit improvements from collapsing to zero floors
+	// (the paper's -14% RTT / -35% retransmits, not -50%/-90%).
+	ambientDelay := time.Duration(25e6 * math.Exp(rng.NormFloat64()*0.6)) // ~25 ms median
+	ambientLoss := 2.5e-3 * math.Exp(rng.NormFloat64()*0.5)
+	return userDraw{
+		capacity:     capacity,
+		rtt:          rtt,
+		ambientDelay: ambientDelay,
+		ambientLoss:  ambientLoss,
+		topBitrate:   drawTopBitrate(rng),
+		seed:         rng.Int63(),
+	}
+}
+
+// materialize builds the *User for draw d with identity id.
+func (d userDraw) materialize(cfg PopulationConfig, id int) *User {
+	return &User{
+		ID: id,
+		Path: netmodel.Path{
+			Capacity:          d.capacity,
+			BaseRTT:           d.rtt,
+			QueueBytes:        units.Bytes(1.2 * float64(d.capacity.BytesIn(d.rtt))),
+			AmbientQueueDelay: d.ambientDelay,
+			BaseLossRate:      d.ambientLoss,
+			OnsetBurstLoss:    0.022,
+			DropoutProb:       0.004,
+			Faults:            cfg.Faults,
+		},
+		History:    &core.History{},
+		TopBitrate: d.topBitrate,
+		Seed:       d.seed,
+	}
+}
+
 // GeneratePopulation synthesizes cfg.Users users with lognormal capacities
 // and RTTs. Capacities are floored at 500 kbps (below that nobody streams).
 func GeneratePopulation(cfg PopulationConfig) []*User {
@@ -90,40 +153,28 @@ func GeneratePopulation(cfg PopulationConfig) []*User {
 	if cfg.Users <= 0 {
 		panic("abtest: population needs at least one user")
 	}
+	return GenerateUserRange(cfg, 0, cfg.Users)
+}
+
+// GenerateUserRange materializes users [lo, hi) of the population that
+// GeneratePopulation(cfg) would produce: the same single RNG stream is
+// fast-forwarded through the first lo users without allocating them, so a
+// sharded run holds only its shard's users in memory while seeing exactly
+// the population the in-memory path sees. Cost of the skip is O(lo) RNG
+// draws (a few hundred ns per user), which is what makes per-shard
+// regeneration cheap relative to the sessions themselves.
+func GenerateUserRange(cfg PopulationConfig, lo, hi int) []*User {
+	cfg = cfg.withDefaults()
+	if lo < 0 || hi < lo {
+		panic("abtest: invalid user range")
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	users := make([]*User, cfg.Users)
+	for i := 0; i < lo; i++ {
+		drawUser(cfg, rng)
+	}
+	users := make([]*User, hi-lo)
 	for i := range users {
-		capacity := units.BitsPerSecond(float64(cfg.MedianCapacity) *
-			math.Exp(rng.NormFloat64()*cfg.CapacitySigma))
-		if capacity < 500*units.Kbps {
-			capacity = 500 * units.Kbps
-		}
-		rtt := time.Duration(float64(cfg.MedianRTT) * math.Exp(rng.NormFloat64()*cfg.RTTSigma))
-		if rtt < 2*time.Millisecond {
-			rtt = 2 * time.Millisecond
-		}
-		// Ambient congestion the session does not control: cross traffic at
-		// the access link and upstream. Both arms pay it, which keeps the
-		// RTT and retransmit improvements from collapsing to zero floors
-		// (the paper's -14% RTT / -35% retransmits, not -50%/-90%).
-		ambientDelay := time.Duration(25e6 * math.Exp(rng.NormFloat64()*0.6)) // ~25 ms median
-		ambientLoss := 2.5e-3 * math.Exp(rng.NormFloat64()*0.5)
-		users[i] = &User{
-			ID: i,
-			Path: netmodel.Path{
-				Capacity:          capacity,
-				BaseRTT:           rtt,
-				QueueBytes:        units.Bytes(1.2 * float64(capacity.BytesIn(rtt))),
-				AmbientQueueDelay: ambientDelay,
-				BaseLossRate:      ambientLoss,
-				OnsetBurstLoss:    0.022,
-				DropoutProb:       0.004,
-				Faults:            cfg.Faults,
-			},
-			History:    &core.History{},
-			TopBitrate: drawTopBitrate(rng),
-			Seed:       rng.Int63(),
-		}
+		users[i] = drawUser(cfg, rng).materialize(cfg, lo+i)
 	}
 	return users
 }

@@ -1,0 +1,93 @@
+package stats
+
+import "math"
+
+// Moments is a mergeable streaming summary of a sample: count, mean and the
+// sum of squared deviations (M2), maintained with Welford's algorithm. Two
+// Moments built over disjoint sample halves combine exactly (Chan et al.'s
+// parallel update), which is what lets sharded population runs stream
+// sessions into per-shard summaries and still produce Welch confidence
+// intervals over the full population after a merge.
+//
+// Fields are exported so checkpoints can serialize the summary; treat them
+// as read-only outside Add/Merge.
+type Moments struct {
+	Count float64 `json:"count"`
+	Mean  float64 `json:"mean"`
+	M2    float64 `json:"m2"`
+}
+
+// Add folds one sample into the summary. NaN samples are ignored, matching
+// how the slice-based helpers treat empty input: they poison every derived
+// statistic otherwise.
+func (m *Moments) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	m.Count++
+	d := x - m.Mean
+	m.Mean += d / m.Count
+	m.M2 += d * (x - m.Mean)
+}
+
+// Merge folds the summary o into m. The combination is exact (not an
+// approximation): merging per-shard Moments in a fixed order yields the same
+// floating-point result on every run, which the checkpoint/resume
+// byte-identity guarantee relies on.
+func (m *Moments) Merge(o Moments) {
+	if o.Count == 0 {
+		return
+	}
+	if m.Count == 0 {
+		*m = o
+		return
+	}
+	n := m.Count + o.Count
+	d := o.Mean - m.Mean
+	m.Mean += d * o.Count / n
+	m.M2 += o.M2 + d*d*m.Count*o.Count/n
+	m.Count = n
+}
+
+// Variance returns the unbiased sample variance, or NaN with fewer than two
+// samples, matching Variance on a raw slice.
+func (m Moments) Variance() float64 {
+	if m.Count < 2 {
+		return math.NaN()
+	}
+	return m.M2 / (m.Count - 1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// WelchMeanDiffFromMoments is WelchMeanDiffCI computed from streaming
+// summaries instead of raw slices: the 95% CI for the difference in means
+// (treatment − control) with the normal approximation for the critical
+// value. It returns NaN bounds when either side has fewer than two samples.
+func WelchMeanDiffFromMoments(treatment, control Moments) CI {
+	if treatment.Count < 2 || control.Count < 2 {
+		return CI{Point: math.NaN(), Lo: math.NaN(), Hi: math.NaN()}
+	}
+	se := math.Sqrt(treatment.Variance()/treatment.Count + control.Variance()/control.Count)
+	const z = 1.959964 // 97.5th percentile of the standard normal
+	diff := treatment.Mean - control.Mean
+	return CI{Point: diff, Lo: diff - z*se, Hi: diff + z*se}
+}
+
+// WelchPercentChangeFromMoments expresses the Welch interval as a percent
+// change of the control mean, the paper's table format. It returns NaN when
+// the control mean is zero.
+func WelchPercentChangeFromMoments(treatment, control Moments) CI {
+	ci := WelchMeanDiffFromMoments(treatment, control)
+	base := control.Mean
+	if base == 0 || math.IsNaN(base) || control.Count == 0 {
+		return CI{Point: math.NaN(), Lo: math.NaN(), Hi: math.NaN()}
+	}
+	scale := 100 / base
+	lo, hi := ci.Lo*scale, ci.Hi*scale
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return CI{Point: ci.Point * scale, Lo: lo, Hi: hi}
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMomentsMatchSliceStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	var m Moments
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		m.Add(xs[i])
+	}
+	if got, want := m.Mean, Mean(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := m.Variance(), Variance(xs); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if m.Count != 500 {
+		t.Errorf("Count = %v", m.Count)
+	}
+}
+
+func TestMomentsMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 301)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 10
+	}
+	// Sequential fold over the whole sample.
+	var whole Moments
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	// Three disjoint chunks merged in order.
+	var a, b, c Moments
+	for _, x := range xs[:100] {
+		a.Add(x)
+	}
+	for _, x := range xs[100:207] {
+		b.Add(x)
+	}
+	for _, x := range xs[207:] {
+		c.Add(x)
+	}
+	var merged Moments
+	merged.Merge(a)
+	merged.Merge(b)
+	merged.Merge(c)
+	if merged.Count != whole.Count {
+		t.Fatalf("Count = %v, want %v", merged.Count, whole.Count)
+	}
+	if math.Abs(merged.Mean-whole.Mean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", merged.Mean, whole.Mean)
+	}
+	if math.Abs(merged.Variance()-whole.Variance()) > 1e-9 {
+		t.Errorf("Variance = %v, want %v", merged.Variance(), whole.Variance())
+	}
+}
+
+func TestMomentsMergeDeterministic(t *testing.T) {
+	// Same chunks, same merge order → bit-identical result. This is the
+	// property the checkpoint/resume byte-identity guarantee rests on.
+	build := func() Moments {
+		rng := rand.New(rand.NewSource(3))
+		parts := make([]Moments, 4)
+		for i := range parts {
+			for j := 0; j < 57; j++ {
+				parts[i].Add(rng.NormFloat64())
+			}
+		}
+		var m Moments
+		for _, p := range parts {
+			m.Merge(p)
+		}
+		return m
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("merge not bit-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMomentsIgnoresNaN(t *testing.T) {
+	var m Moments
+	m.Add(1)
+	m.Add(math.NaN())
+	m.Add(3)
+	if m.Count != 2 || m.Mean != 2 {
+		t.Errorf("NaN not ignored: %+v", m)
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	b.Add(5)
+	b.Add(7)
+	a.Merge(Moments{})
+	if a.Count != 0 {
+		t.Errorf("empty merge changed empty moments: %+v", a)
+	}
+	a.Merge(b)
+	if a != b {
+		t.Errorf("merge into empty = %+v, want %+v", a, b)
+	}
+	b.Merge(Moments{})
+	if a != b {
+		t.Errorf("merging empty changed moments: %+v", b)
+	}
+}
+
+func TestWelchFromMomentsMatchesSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := make([]float64, 120)
+	ct := make([]float64, 140)
+	var mt, mc Moments
+	for i := range tr {
+		tr[i] = rng.NormFloat64()*2 + 10
+		mt.Add(tr[i])
+	}
+	for i := range ct {
+		ct[i] = rng.NormFloat64()*2 + 11
+		mc.Add(ct[i])
+	}
+	want := WelchMeanDiffCI(tr, ct)
+	got := WelchMeanDiffFromMoments(mt, mc)
+	if math.Abs(got.Point-want.Point) > 1e-9 || math.Abs(got.Lo-want.Lo) > 1e-9 || math.Abs(got.Hi-want.Hi) > 1e-9 {
+		t.Errorf("WelchMeanDiffFromMoments = %+v, want %+v", got, want)
+	}
+	wantPct := WelchPercentChangeCI(tr, ct)
+	gotPct := WelchPercentChangeFromMoments(mt, mc)
+	if math.Abs(gotPct.Point-wantPct.Point) > 1e-9 || math.Abs(gotPct.Lo-wantPct.Lo) > 1e-9 || math.Abs(gotPct.Hi-wantPct.Hi) > 1e-9 {
+		t.Errorf("WelchPercentChangeFromMoments = %+v, want %+v", gotPct, wantPct)
+	}
+}
+
+func TestWelchFromMomentsDegenerate(t *testing.T) {
+	var one Moments
+	one.Add(1)
+	if ci := WelchMeanDiffFromMoments(one, one); !math.IsNaN(ci.Point) {
+		t.Errorf("want NaN for n<2, got %+v", ci)
+	}
+	var zeroMean Moments
+	zeroMean.Add(-1)
+	zeroMean.Add(1)
+	var tr Moments
+	tr.Add(2)
+	tr.Add(4)
+	if ci := WelchPercentChangeFromMoments(tr, zeroMean); !math.IsNaN(ci.Point) {
+		t.Errorf("want NaN for zero control mean, got %+v", ci)
+	}
+}

@@ -1,0 +1,109 @@
+package tdigest
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func filledDigest(seed int64, n int) *TDigest {
+	rng := rand.New(rand.NewSource(seed))
+	t := New(100)
+	for i := 0; i < n; i++ {
+		t.Add(rng.NormFloat64()*10 + 50)
+	}
+	return t
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := filledDigest(1, 5000)
+	s := d.Snapshot()
+	r, err := FromSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		if got, want := r.Quantile(q), d.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v after round trip, want %v", q, got, want)
+		}
+	}
+	if r.Count() != d.Count() || r.Min() != d.Min() || r.Max() != d.Max() {
+		t.Errorf("count/min/max changed: %v/%v/%v vs %v/%v/%v",
+			r.Count(), r.Min(), r.Max(), d.Count(), d.Min(), d.Max())
+	}
+}
+
+func TestSnapshotJSONRoundTripBitIdentical(t *testing.T) {
+	// The checkpoint path serializes snapshots as JSON; Go's float encoding
+	// is shortest-round-trip, so a digest restored from a checkpoint must
+	// merge bit-identically to the in-memory digest it was taken from.
+	d := filledDigest(2, 3000)
+	data, err := json.Marshal(d.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	r, err := FromSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := filledDigest(3, 3000)
+	mergedLive := New(100)
+	mergedLive.Merge(d)
+	mergedLive.Merge(other)
+	mergedRestored := New(100)
+	mergedRestored.Merge(r)
+	mergedRestored.Merge(other)
+	for _, q := range []float64{0.05, 0.5, 0.95} {
+		if a, b := mergedLive.Quantile(q), mergedRestored.Quantile(q); a != b {
+			t.Errorf("merge after restore diverged at q=%v: %v vs %v", q, a, b)
+		}
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	d := New(100)
+	s := d.Snapshot()
+	if s.Count != 0 || len(s.Means) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	r, err := FromSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 0 || !math.IsNaN(r.Quantile(0.5)) {
+		t.Errorf("restored empty digest not empty: count=%v", r.Count())
+	}
+}
+
+func TestFromSnapshotRejectsCorruption(t *testing.T) {
+	good := filledDigest(4, 1000).Snapshot()
+	tests := []struct {
+		name   string
+		mutate func(Snapshot) Snapshot
+	}{
+		{"length mismatch", func(s Snapshot) Snapshot { s.Weights = s.Weights[:len(s.Weights)-1]; return s }},
+		{"unsorted means", func(s Snapshot) Snapshot {
+			s.Means = append([]float64(nil), s.Means...)
+			s.Means[0], s.Means[len(s.Means)-1] = s.Means[len(s.Means)-1], s.Means[0]
+			return s
+		}},
+		{"negative weight", func(s Snapshot) Snapshot {
+			s.Weights = append([]float64(nil), s.Weights...)
+			s.Weights[0] = -1
+			return s
+		}},
+		{"count mismatch", func(s Snapshot) Snapshot { s.Count *= 2; return s }},
+		{"centroids on empty", func(s Snapshot) Snapshot { s.Count = 0; return s }},
+	}
+	for _, tt := range tests {
+		if _, err := FromSnapshot(tt.mutate(good)); err == nil {
+			t.Errorf("%s: corruption accepted", tt.name)
+		}
+	}
+}

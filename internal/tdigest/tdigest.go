@@ -9,6 +9,7 @@
 package tdigest
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -167,6 +168,79 @@ func (t *TDigest) CDF(x float64) float64 {
 func (t *TDigest) CentroidCount() int {
 	t.compress()
 	return len(t.centroids)
+}
+
+// Snapshot is the serializable state of a digest: the compressed centroid
+// list plus the exact count and observed range. It is the checkpoint unit
+// for sharded population runs — a digest restored with FromSnapshot behaves
+// bit-identically to the in-memory digest it was taken from in every
+// subsequent Merge/Quantile call, because Snapshot canonicalizes (compresses)
+// the state first and FromSnapshot restores centroids verbatim rather than
+// re-adding samples.
+//
+// Min/Max are stored only for non-empty digests (JSON cannot encode the
+// ±Inf sentinels of an empty one).
+type Snapshot struct {
+	Compression float64   `json:"compression"`
+	Count       float64   `json:"count"`
+	Min         float64   `json:"min,omitempty"`
+	Max         float64   `json:"max,omitempty"`
+	Means       []float64 `json:"means,omitempty"`
+	Weights     []float64 `json:"weights,omitempty"`
+}
+
+// Snapshot captures the digest's canonical (compressed) state.
+func (t *TDigest) Snapshot() Snapshot {
+	t.compress()
+	s := Snapshot{Compression: t.compression, Count: t.count}
+	if t.count > 0 {
+		s.Min, s.Max = t.min, t.max
+		s.Means = make([]float64, len(t.centroids))
+		s.Weights = make([]float64, len(t.centroids))
+		for i, c := range t.centroids {
+			s.Means[i] = c.mean
+			s.Weights[i] = c.weight
+		}
+	}
+	return s
+}
+
+// FromSnapshot restores a digest captured with Snapshot. It validates the
+// structural invariants a corrupted checkpoint could violate: matching
+// means/weights lengths, sorted means, positive weights, and a count that
+// matches the total weight.
+func FromSnapshot(s Snapshot) (*TDigest, error) {
+	t := New(s.Compression)
+	if len(s.Means) != len(s.Weights) {
+		return nil, fmt.Errorf("tdigest: snapshot has %d means but %d weights", len(s.Means), len(s.Weights))
+	}
+	if s.Count == 0 {
+		if len(s.Means) != 0 {
+			return nil, fmt.Errorf("tdigest: empty snapshot carries %d centroids", len(s.Means))
+		}
+		return t, nil
+	}
+	var total float64
+	t.centroids = make([]centroid, len(s.Means))
+	for i := range s.Means {
+		if s.Weights[i] <= 0 || math.IsNaN(s.Means[i]) {
+			return nil, fmt.Errorf("tdigest: snapshot centroid %d invalid (mean %v, weight %v)", i, s.Means[i], s.Weights[i])
+		}
+		if i > 0 && s.Means[i] < s.Means[i-1] {
+			return nil, fmt.Errorf("tdigest: snapshot means not sorted at %d", i)
+		}
+		t.centroids[i] = centroid{mean: s.Means[i], weight: s.Weights[i]}
+		total += s.Weights[i]
+	}
+	// Count is stored rather than recomputed so the restored digest is
+	// bit-identical to the captured one; the stored value must still agree
+	// with the centroid weights up to float tolerance.
+	if math.Abs(total-s.Count) > 1e-6*math.Max(1, s.Count) {
+		return nil, fmt.Errorf("tdigest: snapshot count %v does not match total weight %v", s.Count, total)
+	}
+	t.count = s.Count
+	t.min, t.max = s.Min, s.Max
+	return t, nil
 }
 
 // compress merges buffered samples into the centroid list, enforcing the k1
