@@ -1,12 +1,15 @@
 package repro
 
 import (
+	"context"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
 	"repro/internal/benchfmt"
+	"repro/internal/loadgen"
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/sim"
@@ -102,6 +105,58 @@ func toResult(r testing.BenchmarkResult) benchfmt.Result {
 	}
 }
 
+// toRateResult keeps only the custom rate metrics of a fixed-window pacing
+// suite. ns/op and allocs/op are meaningless there — an "op" is a
+// multi-second observation window over 10k live goroutines, so both track
+// the window length and GC timing, not any code path benchcheck should
+// gate.
+func toRateResult(r testing.BenchmarkResult) benchfmt.Result {
+	return benchfmt.Result{
+		WakeupsPerSec:  r.Extra["wakeups/sec"],
+		StreamsPerCore: r.Extra["streams/core"],
+		RateErrP99Pct:  r.Extra["rate_err_p99_pct"],
+	}
+}
+
+// loadgenResult runs the full-scale loadgen proof (50k concurrent paced
+// streams against the real cdn.Server over in-memory pipes) and records
+// the sustained stream count, p99 rate error, engine wakeup rate and
+// streams/core. BENCH_LOADGEN_STREAMS scales it down for constrained
+// boxes — but benchcheck holds the committed BENCH_sim.json to the
+// baseline's stream count, so the checked-in numbers are always full
+// scale.
+func loadgenResult(t *testing.T) benchfmt.Result {
+	streams := 50_000
+	if s := os.Getenv("BENCH_LOADGEN_STREAMS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad BENCH_LOADGEN_STREAMS=%q", s)
+		}
+		streams = n
+	}
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Streams:   streams,
+		Rate:      32 * units.Kbps,
+		Warmup:    10 * time.Second,
+		Duration:  30 * time.Second,
+		Transport: "inproc",
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	t.Logf("%s", rep.String())
+	if rep.Failed > 0 {
+		t.Fatalf("loadgen: %d/%d streams failed", rep.Failed, rep.Streams)
+	}
+	return benchfmt.Result{
+		Streams:        float64(rep.Completed),
+		RateErrP99Pct:  rep.ErrP99,
+		WakeupsPerSec:  rep.WakeupsPerSec,
+		StreamsPerCore: rep.StreamsPerCore,
+	}
+}
+
 // prePR3Baseline is the perf trajectory anchor: the same suites measured on
 // the seed tree immediately before the allocation-free event-core rewrite
 // (PR 3). BenchmarkScheduler/SingleTCPFlow did not exist then; their
@@ -121,15 +176,26 @@ func TestWriteBenchJSON(t *testing.T) {
 	if os.Getenv("BENCH_JSON") == "" {
 		t.Skip("set BENCH_JSON=1 to regenerate BENCH_sim.json")
 	}
+	engine := toRateResult(testing.Benchmark(BenchmarkPacingEngineWakeups10k))
+	sleep := toRateResult(testing.Benchmark(BenchmarkPacingSleepWakeups10k))
+	var ratio benchfmt.Result
+	if engine.WakeupsPerSec > 0 {
+		ratio.WakeupRatio = sleep.WakeupsPerSec / engine.WakeupsPerSec
+	}
 	f := &benchfmt.File{
 		Go:      runtime.Version(),
 		History: map[string]map[string]benchfmt.Result{"pre_pr3": prePR3Baseline},
 		Current: map[string]benchfmt.Result{
-			"Scheduler":          toResult(testing.Benchmark(BenchmarkScheduler)),
-			"SingleTCPFlow":      toResult(testing.Benchmark(BenchmarkSingleTCPFlow)),
-			"Table2ProductionAB": toResult(testing.Benchmark(BenchmarkTable2ProductionAB)),
-			"TraceOffSpans":      toResult(testing.Benchmark(BenchmarkTraceOffSpans)),
-			"PopulationSharded":  toResult(testing.Benchmark(BenchmarkPopulationSharded)),
+			"Scheduler":              toResult(testing.Benchmark(BenchmarkScheduler)),
+			"SingleTCPFlow":          toResult(testing.Benchmark(BenchmarkSingleTCPFlow)),
+			"Table2ProductionAB":     toResult(testing.Benchmark(BenchmarkTable2ProductionAB)),
+			"TraceOffSpans":          toResult(testing.Benchmark(BenchmarkTraceOffSpans)),
+			"PopulationSharded":      toResult(testing.Benchmark(BenchmarkPopulationSharded)),
+			"PacingEngineWakeups10k": engine,
+			"PacingSleepWakeups10k":  sleep,
+			"PacingWakeupRatio10k":   ratio,
+			"PacingStreamsPerCore":   toRateResult(testing.Benchmark(BenchmarkPacingStreamsPerCore)),
+			"Loadgen50k":             loadgenResult(t),
 		},
 		SimTimeRatio: measureSimTimeRatio(),
 	}

@@ -24,6 +24,8 @@ func main() {
 	currentPath := flag.String("current", "BENCH_sim.json", "freshly generated benchmark file")
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline file")
 	factor := flag.Float64("factor", 2.0, "allowed allocs/op growth factor over baseline")
+	minWakeupRatio := flag.Float64("min-wakeup-ratio", 10.0, "required sleep-baseline/engine wakeup-rate quotient")
+	maxRateErr := flag.Float64("max-rate-err", 5.0, "allowed p99 per-stream rate error percentage for stream suites")
 	flag.Parse()
 
 	rep := citools.New("benchcheck")
@@ -80,6 +82,43 @@ func main() {
 			}
 			rep.Infof("%s %-22s users/sec %10.0f (baseline %10.0f, floor %10.0f)",
 				tstatus, name, cur.UsersPerSec, base.UsersPerSec, floor)
+		}
+		// Pacing-scale gates. The timer-wheel engine's whole point is O(1)
+		// wakeups per tick instead of one per stream: the engine/sleep
+		// wakeup-rate quotient at 10k streams must stay above the fixed
+		// floor, and the loadgen entry must keep sustaining the baseline's
+		// stream count with its p99 rate error under the fixed bound. Both
+		// floors are absolute because the claims they defend ("≥10x fewer
+		// wakeups", "50k streams under 5% error") are absolute.
+		if base.WakeupRatio > 0 {
+			rstatus := "ok  "
+			if cur.WakeupRatio < *minWakeupRatio {
+				rstatus = "FAIL"
+				regressed = true
+			}
+			rep.Infof("%s %-22s wakeup ratio %8.1fx (baseline %8.1fx, floor %8.1fx)",
+				rstatus, name, cur.WakeupRatio, base.WakeupRatio, *minWakeupRatio)
+		}
+		if base.Streams > 0 {
+			sstatus := "ok  "
+			if cur.Streams < base.Streams || cur.RateErrP99Pct >= *maxRateErr {
+				sstatus = "FAIL"
+				regressed = true
+			}
+			rep.Infof("%s %-22s streams %10.0f (floor %10.0f)  p99 rate err %5.2f%% (bound %.2f%%)",
+				sstatus, name, cur.Streams, base.Streams, cur.RateErrP99Pct, *maxRateErr)
+		}
+		// Streams/core is a wall-clock rate like users/sec: floor at a
+		// quarter of baseline so only a structural collapse trips it.
+		if base.StreamsPerCore > 0 {
+			floor := base.StreamsPerCore / 4
+			cstatus := "ok  "
+			if cur.StreamsPerCore < floor {
+				cstatus = "FAIL"
+				regressed = true
+			}
+			rep.Infof("%s %-22s streams/core %8.0f (baseline %8.0f, floor %8.0f)",
+				cstatus, name, cur.StreamsPerCore, base.StreamsPerCore, floor)
 		}
 	}
 	if current.SimTimeRatio > 0 {

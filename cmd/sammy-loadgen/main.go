@@ -1,0 +1,93 @@
+// Command sammy-loadgen drives the paced chunk server with tens of
+// thousands of concurrent rate-checked client streams and reports the
+// per-stream achieved-rate error distribution, goroutine footprint, and
+// pacing-engine wakeup rate. It is the scale proof for the shared
+// timer-wheel pacing engine (ROADMAP item 3): the paper's deployment story
+// is a CDN edge pacing tens of thousands of video responses at once.
+//
+// Self-hosted mode (default) spins up the real cdn.Server in-process,
+// kernel pacing preferred and the engine as userspace fallback; -addr
+// points it at an external server (for example a running sammy-server)
+// instead. The -transport flag picks real loopback sockets or in-memory
+// pipes; "auto" uses sockets when the file-descriptor budget allows and
+// pipes beyond it (50k TCP streams need 100k fds).
+//
+// Examples:
+//
+//	sammy-loadgen -streams 50000 -rate 32kbps -duration 30s
+//	sammy-loadgen -streams 2000 -rate 400kbps -addr 127.0.0.1:8404 -max-p99-err 10
+//
+// Exit status: 0 on success, 1 when -max-p99-err (or stream failures)
+// exceed the configured bounds, 2 on setup errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/units"
+)
+
+func main() {
+	streams := flag.Int("streams", 1000, "concurrent paced client streams")
+	rateStr := flag.String("rate", "100kbps", "per-stream pace rate (e.g. 32kbps, 1.5mbps)")
+	burst := flag.Int64("burst", 0, "server pacer burst bytes (0 = cdn default)")
+	warmup := flag.Duration("warmup", 5*time.Second, "settling time before measurement")
+	duration := flag.Duration("duration", 15*time.Second, "measurement window")
+	transport := flag.String("transport", "auto", "client transport: auto, tcp, inproc")
+	addr := flag.String("addr", "", "target an external server (host:port) instead of self-hosting")
+	kernel := flag.Bool("kernel", false, "self-hosted: prefer SO_MAX_PACING_RATE kernel pacing")
+	maxP99 := flag.Float64("max-p99-err", 0, "fail (exit 1) if p99 rate error exceeds this percentage (0 = report only)")
+	maxFailed := flag.Int("max-failed", 0, "fail (exit 1) if more than this many streams fail")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	rate, err := units.ParseBitsPerSecond(*rateStr)
+	if err != nil || rate <= 0 {
+		fmt.Fprintf(os.Stderr, "sammy-loadgen: bad -rate %q: %v\n", *rateStr, err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := loadgen.Config{
+		Streams:      *streams,
+		Rate:         rate,
+		Burst:        units.Bytes(*burst),
+		Warmup:       *warmup,
+		Duration:     *duration,
+		Transport:    *transport,
+		Addr:         *addr,
+		KernelPacing: *kernel,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sammy-loadgen: "+format+"\n", args...)
+		}
+	}
+
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sammy-loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.String())
+
+	exit := 0
+	if *maxP99 > 0 && rep.ErrP99 >= *maxP99 {
+		fmt.Fprintf(os.Stderr, "sammy-loadgen: FAIL p99 rate error %.2f%% ≥ %.2f%%\n", rep.ErrP99, *maxP99)
+		exit = 1
+	}
+	if rep.Failed > *maxFailed {
+		fmt.Fprintf(os.Stderr, "sammy-loadgen: FAIL %d streams failed (> %d allowed)\n", rep.Failed, *maxFailed)
+		exit = 1
+	}
+	os.Exit(exit)
+}

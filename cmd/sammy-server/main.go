@@ -64,6 +64,7 @@ import (
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/overload"
+	"repro/internal/pacing"
 	"repro/internal/units"
 )
 
@@ -134,9 +135,15 @@ func run() int {
 	}, overload.NewMetrics(reg))
 	ctrl.Tracer = tracer
 
+	// The server owns its pacing engine explicitly (rather than sharing
+	// pacing.Default) so drain can close it and the stats below are scoped
+	// to this process's streams.
+	engine := pacing.NewEngine(pacing.EngineConfig{})
+
 	handler := &cdn.Server{
 		Burst:        units.Bytes(*burst) * 1500,
 		KernelPacing: *kernel,
+		Engine:       engine,
 		Metrics:      metrics,
 		Tracer:       tracer,
 	}
@@ -149,9 +156,12 @@ func run() int {
 	mux.Handle("/debug/sammy", &otrace.Inspector{
 		Tracer: tracer,
 		Vars: func() map[string]string {
+			es := engine.Stats()
 			v := map[string]string{
-				"in_flight": strconv.Itoa(ctrl.InFlight()),
-				"draining":  strconv.FormatBool(ctrl.Draining()),
+				"in_flight":      strconv.Itoa(ctrl.InFlight()),
+				"draining":       strconv.FormatBool(ctrl.Draining()),
+				"paced_streams":  strconv.Itoa(es.Streams),
+				"parked_streams": strconv.Itoa(es.Parked),
 			}
 			if m := metrics; m != nil {
 				v["requests"] = strconv.FormatInt(m.Requests.Value(), 10)
@@ -185,7 +195,6 @@ func run() int {
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
-		ConnContext:       cdn.ConnContext,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
@@ -193,6 +202,9 @@ func run() int {
 		IdleTimeout:       120 * time.Second,
 		MaxHeaderBytes:    1 << 20,
 	}
+	// Kernel pacing plus one cached engine stream per connection (re-keyed
+	// in place when a keep-alive connection changes its pace rate).
+	cdn.EnableConnPacing(srv)
 
 	// Periodic metrics logging on a stoppable ticker (time.Tick would leak
 	// the goroutine past shutdown).
@@ -208,11 +220,13 @@ func run() int {
 				select {
 				case <-ticker.C:
 					if m, om := metrics, ctrl.Metrics; m != nil && om != nil {
-						log.Printf("metrics: requests=%d paced=%d failed=%d bytes=%d inflight=%d shed=%d pace_p50=%.1fMbps sleep_p95=%.2fms",
+						es := engine.Stats()
+						log.Printf("metrics: requests=%d paced=%d failed=%d bytes=%d inflight=%d shed=%d pace_p50=%.1fMbps sleep_p95=%.2fms engine_streams=%d parked=%d wakeups=%d released=%d",
 							m.Requests.Value(), m.PacedRequests.Value(),
 							m.RequestsFailed.Value(), m.BytesServed.Value(),
 							ctrl.InFlight(), om.Shed.Value(),
-							m.PaceRateMbps.Quantile(0.5), m.PacerSleepMs.Quantile(0.95))
+							m.PaceRateMbps.Quantile(0.5), m.PacerSleepMs.Quantile(0.95),
+							es.Streams, es.Parked, es.Wakeups, es.Released)
 					}
 				case <-logDone:
 					return
@@ -251,6 +265,7 @@ func run() int {
 		// exits non-zero.
 		stopLogging()
 		stopFlusher()
+		engine.Close()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("sammy-server: listen and serve: %v", err)
 			return 1
@@ -277,6 +292,9 @@ func run() int {
 	<-serveErr // ListenAndServe has returned http.ErrServerClosed
 	stopLogging()
 	stopFlusher()
+	// Every connection is closed by now, so EnableConnPacing has released
+	// each per-connection stream; Close just stops the wheel runners.
+	engine.Close()
 	log.Printf("sammy-server: drained, bye")
 	return 0
 }

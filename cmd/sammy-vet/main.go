@@ -1,6 +1,7 @@
 // Command sammy-vet runs the repo's custom go/analysis-style suite
 // (internal/analysis/...): simdeterminism, packetownership,
-// hardenedserver, obsguard, and eventref. It operates in two modes:
+// hardenedserver, obsguard, sharedpacer, spanend, and eventref. It
+// operates in two modes:
 //
 // Standalone, for developers and the CI lint step:
 //

@@ -1,0 +1,85 @@
+// Package sharedpacer forbids per-stream timer primitives on the serving
+// path. The shared timer-wheel engine (internal/pacing.Engine) exists so
+// that a CDN edge pacing tens of thousands of concurrent responses arms
+// O(1) timers per wheel tick instead of one runtime timer per stream —
+// the perf result the loadgen/bench suites defend. A stray time.Sleep or
+// time.NewTimer in the paced write path silently reintroduces the
+// per-stream wakeup regime the engine was built to retire.
+//
+// Inside the pacing packages (import-path base "cdn" or "pacing") the
+// analyzer flags every call that arms a runtime timer or parks the calling
+// goroutine on the wall clock:
+//
+//	time.Sleep, time.NewTimer, time.After, time.Tick, time.AfterFunc,
+//	time.NewTicker
+//
+// Streams must instead register with the engine and park on
+// Stream.Await, which multiplexes all deadlines onto the wheel runner's
+// single resettable timer. Audited exceptions — the wheel runner itself,
+// and control-plane timers that are per-connection rather than per-paced-
+// write (retry backoff, TTFB watchdogs, session idle gaps) — carry a
+// //sammy:sharedpacer-ok comment with a justification.
+//
+// Test files are skipped: tests legitimately sleep to provoke races and
+// to drive real-time pacing assertions.
+package sharedpacer
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// PacedPkgs names the packages (by import-path base) whose serving path
+// must multiplex timers through the shared engine.
+var PacedPkgs = map[string]bool{
+	"cdn":    true,
+	"pacing": true,
+}
+
+// timerFuncs are the time-package calls that arm a per-caller runtime
+// timer (or park the goroutine until one fires).
+var timerFuncs = map[string]bool{
+	"Sleep":     true,
+	"NewTimer":  true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTicker": true,
+}
+
+// Analyzer is the sharedpacer pass.
+var Analyzer = &analysis.Analyzer{
+	Name:        "sharedpacer",
+	Doc:         "forbid per-stream time.Sleep/timer primitives in the pacing packages; deadlines go through the shared timer-wheel engine",
+	SuppressKey: "sharedpacer-ok",
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !PacedPkgs[analysis.PathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if timerFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"time.%s arms a per-caller timer in pacing package %s (park on the shared engine via Stream.Await instead)",
+					fn.Name(), pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

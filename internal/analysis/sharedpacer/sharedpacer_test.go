@@ -1,0 +1,21 @@
+package sharedpacer_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/sharedpacer"
+)
+
+func TestSharedPacer(t *testing.T) {
+	diags := antest.Run(t, sharedpacer.Analyzer, "sp/cdn", "sp/free")
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want exactly the //sammy:sharedpacer-ok watchdog site", suppressed)
+	}
+}

@@ -1,0 +1,32 @@
+// Package cdn is a sharedpacer fixture: its import-path base is in the
+// paced set, so every per-caller timer primitive below must be flagged —
+// except the audited suppression.
+package cdn
+
+import "time"
+
+func sleepPace(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep arms a per-caller timer`
+}
+
+func perStreamTimer(d time.Duration) {
+	t := time.NewTimer(d) // want `time\.NewTimer arms a per-caller timer`
+	<-t.C
+	<-time.After(d) // want `time\.After arms a per-caller timer`
+}
+
+func tickers(d time.Duration) *time.Ticker {
+	_ = time.Tick(d)             // want `time\.Tick arms a per-caller timer`
+	time.AfterFunc(d, func() {}) // want `time\.AfterFunc arms a per-caller timer`
+	return time.NewTicker(d)     // want `time\.NewTicker arms a per-caller timer`
+}
+
+func watchdogAudited(d time.Duration, cancel func()) *time.Timer {
+	//sammy:sharedpacer-ok: per-connection TTFB watchdog, not per-paced-write
+	return time.AfterFunc(d, cancel)
+}
+
+func clockReadsOK(start time.Time) time.Duration {
+	// Reading the clock arms nothing; only parking primitives are flagged.
+	return time.Since(start)
+}

@@ -1,0 +1,8 @@
+package cdn
+
+import "time"
+
+// Test files are exempt: real-time pacing assertions legitimately sleep.
+func sleepInTest() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,10 @@
+// Package free is a sharedpacer fixture outside the paced set: timer
+// primitives here must NOT be flagged.
+package free
+
+import "time"
+
+func Backoff(d time.Duration) {
+	time.Sleep(d)
+	<-time.After(d)
+}

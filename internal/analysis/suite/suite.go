@@ -11,6 +11,7 @@ import (
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/obsguard"
 	"repro/internal/analysis/packetownership"
+	"repro/internal/analysis/sharedpacer"
 	"repro/internal/analysis/simdeterminism"
 	"repro/internal/analysis/spanend"
 )
@@ -24,6 +25,7 @@ func All() []*analysis.Analyzer {
 		hardenedserver.Analyzer,
 		obsguard.Analyzer,
 		packetownership.Analyzer,
+		sharedpacer.Analyzer,
 		simdeterminism.Analyzer,
 		spanend.Analyzer,
 	}

@@ -51,9 +51,9 @@ func TestRepoIsClean(t *testing.T) {
 }
 
 // TestSuiteInventory pins the analyzer roster: CI docs (DESIGN.md §11) and
-// the README name exactly these six.
+// the README name exactly these seven.
 func TestSuiteInventory(t *testing.T) {
-	want := []string{"eventref", "hardenedserver", "obsguard", "packetownership", "simdeterminism", "spanend"}
+	want := []string{"eventref", "hardenedserver", "obsguard", "packetownership", "sharedpacer", "simdeterminism", "spanend"}
 	all := suite.All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

@@ -135,15 +135,12 @@ func TestServerRejectsBadRequests(t *testing.T) {
 
 func TestPacedWriterTiming(t *testing.T) {
 	var buf bytes.Buffer
-	var slept, clock time.Duration
 	pw := NewPacedWriter(&buf, 8*units.Mbps, 6000)
-	pw.now = func() time.Duration { return clock }
-	pw.sleep = func(d time.Duration) {
-		slept += d
-		clock += d
-	}
-	// 100 KB at 8 Mbps = 100 ms, minus the 6 KB burst.
+	defer pw.Close()
+	// 100 KB at 8 Mbps = 100 ms, minus the 6 KB head-start burst.
+	start := time.Now()
 	n, err := pw.Write(make([]byte, 100*1024))
+	elapsed := time.Since(start)
 	if err != nil || n != 100*1024 {
 		t.Fatalf("Write = %d, %v", n, err)
 	}
@@ -152,8 +149,14 @@ func TestPacedWriterTiming(t *testing.T) {
 		t.Errorf("buffer = %d bytes", buf.Len())
 	}
 	want := (8 * units.Mbps).TimeToSend(100*1024 - 6000)
-	if slept < want*9/10 || slept > want*11/10 {
-		t.Errorf("slept %v, want ≈ %v", slept, want)
+	if elapsed < want*8/10 {
+		t.Errorf("wrote 100 KB in %v, faster than the pace rate allows (want ≥ %v)", elapsed, want*8/10)
+	}
+	if elapsed > want*3 {
+		t.Errorf("wrote 100 KB in %v, want ≈ %v", elapsed, want)
+	}
+	if pw.Waited() < want*8/10 {
+		t.Errorf("Waited() = %v, want ≈ %v", pw.Waited(), want)
 	}
 }
 

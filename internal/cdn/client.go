@@ -277,6 +277,7 @@ func (c *Client) fetchOnce(ctx context.Context, w io.Writer, size, offset units.
 	// The watchdog starts as the TTFB deadline and is re-armed to the stall
 	// timeout on every read that makes progress, so it only ever fires on a
 	// genuinely idle attempt.
+	//sammy:sharedpacer-ok: one watchdog per fetch attempt on the client side, not a per-paced-write server timer
 	watchdog := time.AfterFunc(pol.TTFBTimeout, cancel)
 	defer watchdog.Stop()
 
@@ -420,6 +421,7 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 		}
 		return nil
 	}
+	//sammy:sharedpacer-ok: client retry backoff fires once per failed attempt, not per paced write
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

@@ -4,11 +4,53 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"sync"
+
+	"repro/internal/pacing"
+	"repro/internal/units"
 )
 
-// connKey carries the accepted net.Conn through the request context so the
-// handler can reach the socket for kernel pacing.
+// connKey carries per-connection server state through the request context:
+// either the bare accepted net.Conn (ConnContext) or a *connState
+// (EnableConnPacing) that additionally caches the connection's pacing
+// engine stream.
 type connKey struct{}
+
+// connState is the per-connection value installed by EnableConnPacing.
+type connState struct {
+	c net.Conn
+
+	mu sync.Mutex
+	s  *pacing.Stream
+}
+
+// stream returns the connection's engine stream, registering it on first
+// use and re-keying its rate on later requests of the same keep-alive
+// connection — a mid-connection pace change moves the stream's wheel slot
+// (Stream.SetRate) instead of rebuilding pacer state.
+//
+// Requests on one net/http connection are serialized (HTTP/1.1), so a
+// single stream per connection is never shared by concurrent writes.
+func (cs *connState) stream(e *pacing.Engine, rate units.BitsPerSecond, burst units.Bytes) *pacing.Stream {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.s == nil {
+		cs.s = e.Register(rate, burst)
+	} else {
+		cs.s.SetRate(rate, burst)
+	}
+	return cs.s
+}
+
+// close releases the connection's stream, if any. Idempotent.
+func (cs *connState) close() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.s != nil {
+		cs.s.Close()
+		cs.s = nil
+	}
+}
 
 // ConnContext is the http.Server hook that makes kernel pacing possible:
 // install it so every request's context carries its connection.
@@ -19,13 +61,62 @@ type connKey struct{}
 //	}
 //
 // On platforms without SO_MAX_PACING_RATE the hook is harmless and the
-// server paces in user space.
+// server paces in user space. Servers the repo owns end to end should
+// prefer EnableConnPacing, which additionally caches one pacing stream per
+// connection.
 func ConnContext(ctx context.Context, c net.Conn) context.Context {
 	return context.WithValue(ctx, connKey{}, c)
 }
 
-// requestConn extracts the connection stored by ConnContext.
+// EnableConnPacing wires srv for the full pacing fast path: kernel pacing
+// (as ConnContext) plus one cached engine stream per connection, closed
+// when the connection closes. It chains any ConnContext/ConnState hooks
+// already installed on srv.
+//
+// The stream cache needs the ConnState hook because net/http only cancels
+// the context it hands ConnContext on Server shutdown, not on individual
+// connection close — without the state callback an idle keep-alive
+// connection would pin its stream registration forever.
+func EnableConnPacing(srv *http.Server) {
+	var conns sync.Map // net.Conn → *connState
+	prevCC := srv.ConnContext
+	srv.ConnContext = func(ctx context.Context, c net.Conn) context.Context {
+		if prevCC != nil {
+			ctx = prevCC(ctx, c)
+		}
+		cs := &connState{c: c}
+		conns.Store(c, cs)
+		return context.WithValue(ctx, connKey{}, cs)
+	}
+	prevCS := srv.ConnState
+	srv.ConnState = func(c net.Conn, st http.ConnState) {
+		if prevCS != nil {
+			prevCS(c, st)
+		}
+		if st == http.StateClosed || st == http.StateHijacked {
+			if v, ok := conns.LoadAndDelete(c); ok {
+				v.(*connState).close()
+			}
+		}
+	}
+}
+
+// requestConn extracts the connection stored by ConnContext or
+// EnableConnPacing.
 func requestConn(r *http.Request) net.Conn {
-	c, _ := r.Context().Value(connKey{}).(net.Conn)
-	return c
+	switch v := r.Context().Value(connKey{}).(type) {
+	case net.Conn:
+		return v
+	case *connState:
+		return v.c
+	}
+	return nil
+}
+
+// requestConnState extracts the per-connection state stored by
+// EnableConnPacing; nil under the plain ConnContext hook (per-request
+// streams are used instead).
+func requestConnState(r *http.Request) *connState {
+	cs, _ := r.Context().Value(connKey{}).(*connState)
+	return cs
 }

@@ -1,0 +1,167 @@
+package cdn
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/internal/pacing"
+	"repro/internal/units"
+)
+
+// TestPacedWritePathZeroAllocs pins the steady-state paced write path —
+// engine Await fast path, shared filler pattern, burst splitting — at zero
+// allocations per 64 KB of body.
+func TestPacedWritePathZeroAllocs(t *testing.T) {
+	e := pacing.NewEngine(pacing.EngineConfig{})
+	defer e.Close()
+	s := e.Register(100*units.Gbps, 1<<20) // never actually parks
+	defer s.Close()
+	ctx := context.Background()
+	pw := newPacedWriter(io.Discard, s, ctx, DefaultBurstBytes)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := writeFiller(ctx, pw, 64*units.KB, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("paced write path allocates %.1f/op steady-state, want 0", allocs)
+	}
+}
+
+// TestFillerPatternMatchesFillerByte checks the rotated shared pattern
+// serves byte-identical bodies at every offset phase, the property Range
+// resume depends on.
+func TestFillerPatternMatchesFillerByte(t *testing.T) {
+	for _, offset := range []int64{0, 1, 25, 26, 27, 16379, 16380, 1<<20 + 13} {
+		phase := offset % 26
+		for j := int64(0); j < 64; j++ {
+			if got, want := fillerPattern[phase+j], FillerByte(offset+j); got != want {
+				t.Fatalf("offset %d+%d: pattern %q, want %q", offset, j, got, want)
+			}
+		}
+	}
+}
+
+// TestEngineStreamsReleasedOnHardCancel is the drain/hard-cancel leak test:
+// paced responses parked in the engine are aborted when the server's base
+// context is cancelled, and after closing the server and engine no
+// goroutines — handlers, parked streams, wheel runners — survive.
+func TestEngineStreamsReleasedOnHardCancel(t *testing.T) {
+	defer leakcheck.Check(t)
+	eng := pacing.NewEngine(pacing.EngineConfig{})
+	baseCtx, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           &Server{Engine: eng},
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       60 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	EnableConnPacing(srv)
+	go srv.Serve(ln)
+
+	// Start paced fetches slow enough (≈10 s each) that every one is parked
+	// in the engine when the hard cancel lands.
+	const fetches = 8
+	client := &Client{BaseURL: "http://" + ln.Addr().String()}
+	errs := make(chan error, fetches)
+	for i := 0; i < fetches; i++ {
+		go func() {
+			_, err := client.FetchChunk(context.Background(), 2*units.MB, 1600*units.Kbps)
+			errs <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := eng.Stats(); st.Parked >= fetches {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("streams never parked: %+v", eng.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	hardCancel()
+	for i := 0; i < fetches; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Error("paced fetch completed despite hard cancel")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("paced fetch not aborted by hard cancel")
+		}
+	}
+	srv.Close()
+	eng.Close()
+	if st := eng.Stats(); st.Parked != 0 {
+		t.Errorf("streams still parked after drain: %+v", st)
+	}
+	// leakcheck's deferred Check asserts no handler or wheel goroutines leak.
+}
+
+// TestPerConnStreamRekeyedAcrossRequests checks the keep-alive path: two
+// paced requests on one connection share one engine stream (the second
+// re-keys its rate instead of registering anew), and the stream is closed
+// when the connection goes away.
+func TestPerConnStreamRekeyedAcrossRequests(t *testing.T) {
+	defer leakcheck.Check(t)
+	eng := pacing.NewEngine(pacing.EngineConfig{})
+	defer eng.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           &Server{Engine: eng},
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       60 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	EnableConnPacing(srv)
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+	client := &Client{HTTP: hc, BaseURL: "http://" + ln.Addr().String()}
+	if _, err := client.FetchChunk(context.Background(), 100*units.KB, 8*units.Mbps); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Streams != 1 {
+		t.Fatalf("after first request: %d streams registered, want 1", st.Streams)
+	}
+	if _, err := client.FetchChunk(context.Background(), 100*units.KB, 16*units.Mbps); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Streams != 1 {
+		t.Errorf("after keep-alive second request: %d streams registered, want 1 (re-keyed)", st.Streams)
+	}
+
+	hc.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := eng.Stats(); st.Streams == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("per-connection stream not closed with its connection: %+v", eng.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

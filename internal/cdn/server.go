@@ -52,6 +52,19 @@ type Server struct {
 	// "cdn.paced_write" child around the user-space paced body write. Nil
 	// (the default) disables tracing.
 	Tracer *trace.Tracer
+	// Engine is the shared pacing engine used for user-space pacing. Nil
+	// (the default) uses pacing.Default(), the process-wide engine whose
+	// wheel runners start on demand and exit when idle; set it to share an
+	// explicitly configured engine (and its Stats) with other components.
+	Engine *pacing.Engine
+}
+
+// engine returns the pacing engine serving this server's paced responses.
+func (s *Server) engine() *pacing.Engine {
+	if s.Engine != nil {
+		return s.Engine
+	}
+	return pacing.Default()
 }
 
 // ServeHTTP implements http.Handler.
@@ -164,7 +177,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var pw *PacedWriter
 	var wsp *trace.Span
 	if rate > 0 && !kernelPaced {
-		pw = NewPacedWriter(w, rate, burst)
+		// Per-connection streams survive keep-alive request boundaries: a
+		// mid-connection pace-rate change re-keys the stream's wheel slot
+		// (Stream.SetRate) instead of rebuilding pacer state. Without
+		// EnableConnPacing there is no connection-close signal to hang the
+		// stream on, so it is registered per request and closed on return.
+		if cs := requestConnState(r); cs != nil {
+			pw = newPacedWriter(w, cs.stream(s.engine(), rate, burst), r.Context(), burst)
+		} else {
+			stream := s.engine().Register(rate, burst)
+			defer stream.Close()
+			pw = newPacedWriter(w, stream, r.Context(), burst)
+		}
 		pw.metrics = m
 		out = pw
 		wsp = ssp.StartChild("cdn.paced_write", "")
@@ -172,7 +196,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	written, err := writeFiller(r.Context(), out, body, offset, w)
 	if wsp != nil {
 		wsp.SetAttr("bytes", float64(written)).
-			SetAttr("sleep_ms", pw.Slept().Seconds()*1000)
+			SetAttr("sleep_ms", pw.Waited().Seconds()*1000)
 		wsp.End()
 	}
 	if ssp != nil {
@@ -202,6 +226,23 @@ func FillerByte(off int64) byte {
 	return byte('a' + off%26)
 }
 
+// fillerChunk is the per-write granularity of the chunk body, a multiple of
+// the 26-byte filler period so consecutive full writes stay offset-aligned.
+const fillerChunk = 630 * 26 // 16380, ~16 KB
+
+// fillerPattern holds one fillerChunk of the deterministic body plus one
+// extra period of slack, so any absolute offset's bytes are a subslice
+// (start at offset mod 26). Computed once at init; request handlers slice
+// it instead of filling a per-request buffer, which is both the sync.Pool
+// fast path and the copy taken out of it.
+var fillerPattern = func() []byte {
+	b := make([]byte, fillerChunk+26)
+	for i := range b {
+		b[i] = FillerByte(int64(i))
+	}
+	return b
+}()
+
 // writeFiller streams n deterministic bytes starting at absolute offset to
 // out, flushing as it goes so pacing is visible on the wire. It reports how
 // many bytes were written and the first write error — typically the client
@@ -212,25 +253,22 @@ func FillerByte(off int64) byte {
 // stream at the next burst boundary instead of pacing to completion.
 func writeFiller(ctx context.Context, out io.Writer, n units.Bytes, offset units.Bytes, rw http.ResponseWriter) (units.Bytes, error) {
 	flusher, _ := rw.(http.Flusher)
-	// The buffer length is a multiple of the filler period, so reusing it
-	// for consecutive full writes keeps the offset alignment.
-	buf := make([]byte, 16380) // 630 * 26, ~16 KB
-	for i := range buf {
-		buf[i] = FillerByte(int64(offset) + int64(i))
-	}
+	pos := int64(offset)
 	var written int64
 	remaining := int64(n)
 	for remaining > 0 {
 		if err := ctx.Err(); err != nil {
 			return units.Bytes(written), fmt.Errorf("cdn: write chunk body: %w", err)
 		}
-		chunk := int64(len(buf))
+		chunk := int64(fillerChunk)
 		if chunk > remaining {
 			chunk = remaining
 		}
-		wrote, err := out.Write(buf[:chunk])
+		phase := pos % 26
+		wrote, err := out.Write(fillerPattern[phase : phase+chunk])
 		written += int64(wrote)
 		remaining -= int64(wrote)
+		pos += int64(wrote)
 		if err != nil {
 			return units.Bytes(written), fmt.Errorf("cdn: write chunk body: %w", err)
 		}
@@ -267,63 +305,86 @@ func parseRangeStart(header string, size units.Bytes) (units.Bytes, bool) {
 	return units.Bytes(start), true
 }
 
-// PacedWriter rate-limits writes with a token bucket over the wall clock:
-// each Write is split into burst-sized pieces with real sleeps in between.
-// It is the user-space equivalent of setting SO_MAX_PACING_RATE on the
-// socket.
+// PacedWriter rate-limits writes through a shared pacing engine: each Write
+// is split into burst-sized pieces and the writer parks on its engine
+// stream between bursts, so ten thousand paced responses cost wheel slots,
+// not ten thousand sleeping timers. It is the user-space equivalent of
+// setting SO_MAX_PACING_RATE on the socket.
 type PacedWriter struct {
-	w     io.Writer
-	pacer *pacing.Pacer
-	burst units.Bytes
-	// now and sleep are the clock; tests replace both together so the
-	// virtual clock advances consistently with mocked sleeps.
-	now     func() time.Duration
-	sleep   func(time.Duration)
-	metrics *Metrics      // sleep histogram; nil = off
-	slept   time.Duration // cumulative pacing sleep, for span attribution
+	w       io.Writer
+	stream  *pacing.Stream
+	ctx     context.Context
+	burst   units.Bytes
+	metrics *Metrics      // wait histogram; nil = off
+	waited0 time.Duration // stream.Waited() at writer creation
+	owned   bool          // stream registered by this writer; Close releases it
 }
 
 // NewPacedWriter wraps w so that sustained throughput does not exceed rate,
-// with at most burst bytes sent back-to-back.
+// with at most burst bytes sent back-to-back. The writer registers a stream
+// on the process-wide default engine; call Close when done writing to
+// release it.
 func NewPacedWriter(w io.Writer, rate units.BitsPerSecond, burst units.Bytes) *PacedWriter {
 	if burst <= 0 {
 		burst = DefaultBurstBytes
 	}
-	start := time.Now()
-	return &PacedWriter{
-		w:     w,
-		pacer: pacing.NewPacer(rate, burst),
-		burst: burst,
-		now:   func() time.Duration { return time.Since(start) },
-		sleep: time.Sleep,
+	pw := newPacedWriter(w, pacing.Default().Register(rate, burst), context.Background(), burst)
+	pw.owned = true
+	return pw
+}
+
+// newPacedWriter wraps w around an existing engine stream. The stream may
+// outlive the writer (per-connection caching); ctx bounds each park so a
+// cancelled request abandons its wait immediately.
+func newPacedWriter(w io.Writer, stream *pacing.Stream, ctx context.Context, burst units.Bytes) *PacedWriter {
+	if burst <= 0 {
+		burst = DefaultBurstBytes
+	}
+	return &PacedWriter{w: w, stream: stream, ctx: ctx, burst: burst, waited0: stream.Waited()}
+}
+
+// Close releases the writer's pacing registration if it owns one. Writers
+// over caller-provided streams (the server's per-connection path) leave the
+// stream to its owner.
+func (p *PacedWriter) Close() {
+	if p.owned {
+		p.stream.Close()
 	}
 }
 
-// Slept reports the cumulative pacing delay taken so far — the "paced
-// idle" time the rate limit injected into the response.
-func (p *PacedWriter) Slept() time.Duration { return p.slept }
+// Waited reports the cumulative pacing delay this writer has taken — the
+// "paced idle" time the rate limit injected into the response.
+func (p *PacedWriter) Waited() time.Duration { return p.stream.Waited() - p.waited0 }
 
-// Write implements io.Writer, sleeping as needed to respect the pace rate.
+// Write implements io.Writer, parking on the engine as needed to respect
+// the pace rate.
 func (p *PacedWriter) Write(b []byte) (int, error) {
+	var w0 time.Duration
+	if p.metrics != nil {
+		w0 = p.stream.Waited()
+	}
 	total := 0
+	var err error
 	for len(b) > 0 {
 		piece := b
 		if units.Bytes(len(piece)) > p.burst {
 			piece = b[:p.burst]
 		}
-		if d := p.pacer.Delay(p.now(), units.Bytes(len(piece))); d > 0 {
-			if p.metrics != nil {
-				p.metrics.PacerSleepMs.Observe(d.Seconds() * 1000)
-			}
-			p.slept += d
-			p.sleep(d)
+		if err = p.stream.Await(p.ctx, units.Bytes(len(piece))); err != nil {
+			break
 		}
-		n, err := p.w.Write(piece)
+		var n int
+		n, err = p.w.Write(piece)
 		total += n
-		if err != nil {
-			return total, err
-		}
 		b = b[n:]
+		if err != nil {
+			break
+		}
 	}
-	return total, nil
+	if p.metrics != nil {
+		if dw := p.stream.Waited() - w0; dw > 0 {
+			p.metrics.PacerSleepMs.Observe(dw.Seconds() * 1000)
+		}
+	}
+	return total, err
 }

@@ -108,6 +108,7 @@ func StreamSession(ctx context.Context, cfg SessionConfig) (SessionReport, error
 				wait := cfg.Title.ChunkDuration - room
 				isp := sess.StartChild("player.idle", "")
 				if cfg.Realtime {
+					//sammy:sharedpacer-ok: client-side playback idle gap (one per chunk), not server pacing
 					time.Sleep(wait)
 				} else {
 					virtual += wait

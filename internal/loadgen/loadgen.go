@@ -1,0 +1,450 @@
+// Package loadgen drives the real cdn.Server with tens of thousands of
+// concurrent rate-checked clients, the scale proof for the shared pacing
+// engine (ROADMAP item 3, paper §3.2/§5.6: a CDN edge pacing tens of
+// thousands of video responses).
+//
+// Each client opens one connection, requests one long paced chunk with the
+// pacing and overload client-id headers, and measures its achieved
+// throughput over an interior window (warmup trimmed, first-to-last read)
+// so connection ramp and burst quantization don't bias the estimate. The
+// run reports the per-stream rate-error distribution, goroutine count, and
+// the engine's wakeups/sec — the numbers the BENCH_*.json suites gate.
+//
+// Two transports: "tcp" uses real loopback sockets; "inproc" serves the
+// same http.Server over in-memory pipe connections, which is how a 50k
+// stream run fits under file-descriptor limits (50k TCP streams need 100k
+// fds; CI boxes commonly cap at 1024–20000, and this host's hard limit
+// cannot be raised). "auto" picks tcp when the fd budget allows, else
+// inproc.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/overload"
+	"repro/internal/pacing"
+	"repro/internal/units"
+)
+
+// Config sizes a load-generation run.
+type Config struct {
+	// Streams is the number of concurrent paced client streams.
+	Streams int
+	// Rate is the per-stream pace rate requested via the pacing header.
+	Rate units.BitsPerSecond
+	// Burst is the server's pacer burst (self-hosted runs only).
+	// Default cdn.DefaultBurstBytes.
+	Burst units.Bytes
+	// Warmup is discarded settling time after the last stream dials.
+	// Default 5 s.
+	Warmup time.Duration
+	// Duration is the measurement window. Default 15 s.
+	Duration time.Duration
+	// Transport is "auto" (default), "tcp", or "inproc".
+	Transport string
+	// Addr, when non-empty, targets an external server (host:port or URL
+	// host) over TCP instead of self-hosting a cdn.Server in-process.
+	// External runs cannot observe engine stats.
+	Addr string
+	// KernelPacing enables SO_MAX_PACING_RATE on the self-hosted server
+	// (engine fallback still covers unsupported transports/platforms).
+	KernelPacing bool
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Transport string
+	Streams   int // configured
+	Completed int // streams with a valid interior measurement
+	Failed    int // streams that errored or measured too little of the window
+
+	// Per-stream |achieved − requested|/requested rate error, in percent,
+	// over the completed streams.
+	ErrP50, ErrP90, ErrP99, ErrMax float64
+
+	BytesPerSec float64 // aggregate paced goodput during the window
+	Goroutines  int     // process goroutines mid-measurement
+
+	// Engine activity during the window (self-hosted runs; zero otherwise).
+	WakeupsPerSec  float64 // wheel-runner wakeups (timer fires + kicks)
+	ReleasesPerSec float64 // streams released from wheel slots
+
+	CPUCores       float64 // process CPU cores burned during the window
+	StreamsPerCore float64 // Completed streams per CPU core
+	Elapsed        time.Duration
+}
+
+func (r Report) String() string {
+	s := fmt.Sprintf("loadgen: %d/%d streams ok (%d failed) over %s [%s]\n",
+		r.Completed, r.Streams, r.Failed, r.Elapsed.Round(time.Millisecond), r.Transport)
+	s += fmt.Sprintf("  rate error %%: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		r.ErrP50, r.ErrP90, r.ErrP99, r.ErrMax)
+	s += fmt.Sprintf("  goodput %.1f MB/s, %d goroutines, %.2f CPU cores, %.0f streams/core\n",
+		r.BytesPerSec/1e6, r.Goroutines, r.CPUCores, r.StreamsPerCore)
+	if r.WakeupsPerSec > 0 {
+		s += fmt.Sprintf("  engine: %.0f wakeups/s, %.0f releases/s\n", r.WakeupsPerSec, r.ReleasesPerSec)
+	}
+	return s
+}
+
+// streamStat is one client's measurement, written only by its reader
+// goroutine and read by Run after the reader exits.
+type streamStat struct {
+	bytes  int64 // body bytes so far
+	b0, bN int64
+	t0, tN int64 // unix nanos
+	err    error
+}
+
+// gates are the measurement window boundaries, published to all readers.
+type gates struct {
+	start atomic.Int64 // unix nanos; 0 = still warming up
+	end   atomic.Int64 // unix nanos; 0 = still measuring
+}
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+// Run executes one load-generation run. The context cancels the whole run
+// (streams in flight are abandoned and counted failed).
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.Streams <= 0 {
+		return Report{}, fmt.Errorf("loadgen: Streams must be positive")
+	}
+	if cfg.Rate <= 0 {
+		return Report{}, fmt.Errorf("loadgen: Rate must be positive")
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 5 * time.Second
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 15 * time.Second
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	transport, err := pickTransport(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+
+	// dial returns a fresh client connection to the server under test.
+	var dial func() (net.Conn, error)
+	var engine *pacing.Engine
+	switch {
+	case cfg.Addr != "":
+		addr := cfg.Addr
+		d := &net.Dialer{Timeout: 10 * time.Second}
+		dial = func() (net.Conn, error) { return d.DialContext(ctx, "tcp", addr) }
+	default:
+		engine = pacing.NewEngine(pacing.EngineConfig{})
+		defer engine.Close()
+		handler := &cdn.Server{
+			Engine:       engine,
+			Burst:        cfg.Burst,
+			MaxChunk:     1 << 40,
+			KernelPacing: cfg.KernelPacing,
+		}
+		srv := &http.Server{
+			Handler:           handler,
+			ReadHeaderTimeout: 30 * time.Second,
+			WriteTimeout:      cfg.Warmup + cfg.Duration + 5*time.Minute,
+			IdleTimeout:       2 * time.Minute,
+			MaxHeaderBytes:    1 << 20,
+		}
+		cdn.EnableConnPacing(srv)
+		switch transport {
+		case "inproc":
+			ln := newMemListener()
+			go srv.Serve(ln)
+			dial = ln.Dial
+		case "tcp":
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return Report{}, err
+			}
+			addr := ln.Addr().String()
+			d := &net.Dialer{Timeout: 10 * time.Second}
+			go srv.Serve(ln)
+			dial = func() (net.Conn, error) { return d.DialContext(ctx, "tcp", addr) }
+		}
+		defer srv.Close()
+	}
+
+	// Each stream requests one chunk big enough to outlast the run twice
+	// over, so no stream finishes inside the measurement window.
+	total := cfg.Warmup + cfg.Duration
+	size := cfg.Rate.BytesIn(2*total) + 4*units.MB
+
+	stats := make([]streamStat, cfg.Streams)
+	conns := make([]net.Conn, cfg.Streams)
+	var connsMu sync.Mutex
+	var g gates
+	var wg sync.WaitGroup
+
+	logf("dialing %d streams (%s transport) at %v each...", cfg.Streams, transport, cfg.Rate)
+	dialSem := make(chan struct{}, 512)
+	dialStart := time.Now()
+	var dialErrs atomic.Int64
+	for i := 0; i < cfg.Streams; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		dialSem <- struct{}{}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := dial()
+			<-dialSem
+			if err != nil {
+				stats[id].err = err
+				dialErrs.Add(1)
+				return
+			}
+			connsMu.Lock()
+			conns[id] = c
+			connsMu.Unlock()
+			runStream(c, id, size, cfg.Rate, &stats[id], &g)
+		}(i)
+	}
+	logf("dialed in %v (%d dial errors)", time.Since(dialStart).Round(time.Millisecond), dialErrs.Load())
+
+	// Warm up, then open the measurement window.
+	if err := sleepCtx(ctx, cfg.Warmup); err != nil {
+		closeAll(conns, &connsMu)
+		wg.Wait()
+		return Report{}, err
+	}
+	winStart := time.Now()
+	g.start.Store(winStart.UnixNano())
+	var s0 pacing.EngineStats
+	if engine != nil {
+		s0 = engine.Stats()
+	}
+	cpu0 := CPUTime()
+
+	if err := sleepCtx(ctx, cfg.Duration/2); err != nil {
+		closeAll(conns, &connsMu)
+		wg.Wait()
+		return Report{}, err
+	}
+	goroutines := runtime.NumGoroutine() // mid-window snapshot of process shape
+	if err := sleepCtx(ctx, cfg.Duration-cfg.Duration/2); err != nil {
+		closeAll(conns, &connsMu)
+		wg.Wait()
+		return Report{}, err
+	}
+	winElapsed := time.Since(winStart)
+	g.end.Store(time.Now().UnixNano())
+	var s1 pacing.EngineStats
+	if engine != nil {
+		s1 = engine.Stats()
+	}
+	cpu1 := CPUTime()
+
+	// Readers self-terminate past the window end (closing their conns); the
+	// hard close below only reaps stragglers.
+	donec := make(chan struct{})
+	go func() { wg.Wait(); close(donec) }()
+	select {
+	case <-donec:
+	case <-time.After(10 * time.Second):
+		closeAll(conns, &connsMu)
+		<-donec
+	}
+
+	rep := Report{
+		Transport:  transport,
+		Streams:    cfg.Streams,
+		Goroutines: goroutines,
+		Elapsed:    winElapsed,
+	}
+	winSec := winElapsed.Seconds()
+	var errs []float64
+	var bytes int64
+	for i := range stats {
+		st := &stats[i]
+		span := time.Duration(st.tN - st.t0)
+		if st.t0 == 0 || span < cfg.Duration/2 {
+			rep.Failed++
+			continue
+		}
+		got := units.Rate(units.Bytes(st.bN-st.b0), span)
+		e := 100 * (float64(got) - float64(cfg.Rate)) / float64(cfg.Rate)
+		if e < 0 {
+			e = -e
+		}
+		errs = append(errs, e)
+		bytes += st.bN - st.b0
+		rep.Completed++
+	}
+	if rep.Completed == 0 {
+		return rep, fmt.Errorf("loadgen: no stream completed a measurement (first error: %v)", firstErr(stats))
+	}
+	sort.Float64s(errs)
+	rep.ErrP50 = quantile(errs, 0.50)
+	rep.ErrP90 = quantile(errs, 0.90)
+	rep.ErrP99 = quantile(errs, 0.99)
+	rep.ErrMax = errs[len(errs)-1]
+	rep.BytesPerSec = float64(bytes) / winSec
+	if engine != nil {
+		rep.WakeupsPerSec = float64(s1.Wakeups-s0.Wakeups) / winSec
+		rep.ReleasesPerSec = float64(s1.Released-s0.Released) / winSec
+	}
+	if cpu := (cpu1 - cpu0).Seconds(); cpu > 0 {
+		rep.CPUCores = cpu / winSec
+		rep.StreamsPerCore = float64(rep.Completed) / rep.CPUCores
+	}
+	return rep, nil
+}
+
+// runStream writes one chunk request on c and measures the paced body.
+func runStream(c net.Conn, id int, size units.Bytes, rate units.BitsPerSecond, st *streamStat, g *gates) {
+	defer c.Close()
+	req := fmt.Sprintf("GET /chunk?size=%d HTTP/1.1\r\nHost: loadgen\r\n%s: %d\r\n%s: c%d\r\nConnection: close\r\n\r\n",
+		int64(size), pacing.Header, int64(rate), overload.ClientIDHeader, id)
+	if _, err := c.Write([]byte(req)); err != nil {
+		st.err = err
+		return
+	}
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	buf := *bp
+	inBody := false
+	var tail [4]byte // last bytes seen, for the header terminator scan
+	for {
+		n, err := c.Read(buf)
+		if n > 0 {
+			body := n
+			if !inBody {
+				if off := headerEnd(&tail, buf[:n]); off >= 0 {
+					inBody = true
+					body = n - off
+				} else {
+					body = 0
+				}
+			}
+			if body > 0 {
+				st.bytes += int64(body)
+				ts := time.Now().UnixNano()
+				if s := g.start.Load(); s != 0 && ts >= s {
+					if st.t0 == 0 {
+						st.t0, st.b0 = ts, st.bytes
+					}
+					st.tN, st.bN = ts, st.bytes
+				}
+				if e := g.end.Load(); e != 0 && ts >= e {
+					return // window over; hang up
+				}
+			}
+		}
+		if err != nil {
+			if st.err == nil && !inBody {
+				st.err = err
+			}
+			return
+		}
+	}
+}
+
+// headerEnd scans chunk for the CRLFCRLF header terminator, carrying the
+// last three bytes across reads in tail. It returns the body's offset
+// within chunk, or -1 if the headers haven't ended yet.
+func headerEnd(tail *[4]byte, chunk []byte) int {
+	for i := range chunk {
+		tail[0], tail[1], tail[2], tail[3] = tail[1], tail[2], tail[3], chunk[i]
+		if *tail == [4]byte{'\r', '\n', '\r', '\n'} {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// pickTransport resolves cfg.Transport, checking the fd budget for "auto".
+func pickTransport(cfg Config) (string, error) {
+	tr := cfg.Transport
+	if cfg.Addr != "" {
+		if tr == "inproc" {
+			return "", fmt.Errorf("loadgen: -addr requires a TCP transport")
+		}
+		return "tcp", nil
+	}
+	switch tr {
+	case "tcp", "inproc":
+		return tr, nil
+	case "", "auto":
+		// Self-hosted TCP costs two fds per stream plus headroom for the
+		// process itself.
+		need := uint64(cfg.Streams)*2 + 512
+		if limit, ok := fdLimit(); ok && limit < need {
+			return "inproc", nil
+		}
+		// Loopback TCP also burns one ephemeral port per stream.
+		if cfg.Streams > 20000 {
+			return "inproc", nil
+		}
+		return "tcp", nil
+	default:
+		return "", fmt.Errorf("loadgen: unknown transport %q", tr)
+	}
+}
+
+func closeAll(conns []net.Conn, mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+func firstErr(stats []streamStat) error {
+	for i := range stats {
+		if stats[i].err != nil {
+			return stats[i].err
+		}
+	}
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// quantile reads the q-quantile from ascending-sorted xs.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(xs))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

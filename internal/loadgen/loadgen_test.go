@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/internal/units"
+)
+
+// TestRunSmallInproc is the in-package smoke: a few hundred paced streams
+// over pipes, every one measured, p99 rate error tight, nothing leaked.
+func TestRunSmallInproc(t *testing.T) {
+	defer leakcheck.Check(t)
+	rep, err := Run(context.Background(), Config{
+		Streams:   200,
+		Rate:      200 * units.Kbps,
+		Warmup:    1500 * time.Millisecond,
+		Duration:  4 * time.Second,
+		Transport: "inproc",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+	if rep.Transport != "inproc" {
+		t.Errorf("transport = %q", rep.Transport)
+	}
+	if rep.Completed != 200 {
+		t.Errorf("completed %d/200 streams (%d failed)", rep.Completed, rep.Failed)
+	}
+	if rep.ErrP99 >= 5 {
+		t.Errorf("p99 rate error %.2f%%, want <5%%", rep.ErrP99)
+	}
+	if rep.WakeupsPerSec <= 0 {
+		t.Error("self-hosted run reported no engine wakeups")
+	}
+}
+
+// TestRunSmallTCP exercises the real-socket path end to end.
+func TestRunSmallTCP(t *testing.T) {
+	defer leakcheck.Check(t)
+	rep, err := Run(context.Background(), Config{
+		Streams:   50,
+		Rate:      400 * units.Kbps,
+		Warmup:    time.Second,
+		Duration:  3 * time.Second,
+		Transport: "tcp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+	if rep.Completed != 50 {
+		t.Errorf("completed %d/50 streams (%d failed)", rep.Completed, rep.Failed)
+	}
+	if rep.ErrP99 >= 8 {
+		t.Errorf("p99 rate error %.2f%%, want <8%%", rep.ErrP99)
+	}
+}
+
+// TestRunCancelled checks a cancelled context aborts the run promptly and
+// cleans up every stream goroutine.
+func TestRunCancelled(t *testing.T) {
+	defer leakcheck.Check(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	_, err := Run(ctx, Config{
+		Streams:   100,
+		Rate:      100 * units.Kbps,
+		Warmup:    10 * time.Second,
+		Duration:  10 * time.Second,
+		Transport: "inproc",
+	})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Run under cancelled ctx = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestHeaderEnd(t *testing.T) {
+	var tail [4]byte
+	resp := []byte("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nabcde")
+	off := headerEnd(&tail, resp)
+	if off < 0 || string(resp[off:]) != "abcde" {
+		t.Fatalf("headerEnd = %d", off)
+	}
+	// Terminator split across reads.
+	tail = [4]byte{}
+	if off := headerEnd(&tail, []byte("X: y\r\n\r")); off != -1 {
+		t.Fatalf("partial terminator matched at %d", off)
+	}
+	if off := headerEnd(&tail, []byte("\nbody")); off != 1 {
+		t.Fatalf("resumed terminator at %d, want 1", off)
+	}
+}
+
+func TestPickTransportAuto(t *testing.T) {
+	tr, err := pickTransport(Config{Streams: 50000, Transport: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != "inproc" {
+		t.Errorf("auto at 50k streams = %q, want inproc (fd budget)", tr)
+	}
+	if _, err := pickTransport(Config{Streams: 10, Transport: "inproc", Addr: "x:1"}); err == nil {
+		t.Error("inproc with -addr should be rejected")
+	}
+	if _, err := pickTransport(Config{Streams: 10, Transport: "bogus"}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}

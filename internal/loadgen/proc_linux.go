@@ -1,0 +1,28 @@
+//go:build linux
+
+package loadgen
+
+import (
+	"syscall"
+	"time"
+)
+
+// CPUTime reports the process's cumulative user+system CPU time, the
+// denominator of the streams-per-core suites.
+func CPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// fdLimit reports the soft RLIMIT_NOFILE, used by the "auto" transport to
+// decide whether real sockets fit.
+func fdLimit() (uint64, bool) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0, false
+	}
+	return rl.Cur, true
+}

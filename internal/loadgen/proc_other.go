@@ -1,0 +1,13 @@
+//go:build !linux
+
+package loadgen
+
+import "time"
+
+// CPUTime reports zero on platforms without getrusage; streams-per-core
+// metrics are then omitted.
+func CPUTime() time.Duration { return 0 }
+
+// fdLimit is unknown off Linux; "auto" falls back to the stream-count
+// heuristic alone.
+func fdLimit() (uint64, bool) { return 0, false }

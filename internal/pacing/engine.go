@@ -1,0 +1,580 @@
+// The shared pacing engine: a hashed timer wheel that parks paced streams
+// until their token buckets allow the next burst, waking whole batches of
+// due streams from one goroutine per wheel instead of one sleeping
+// goroutine-timer pair per stream.
+//
+// Scale rationale (ROADMAP item 3, paper §3.2/§5.6): a CDN edge paces tens
+// of thousands of concurrent responses. Per-response time.Sleep pacing
+// costs one runtime timer arm per burst per stream — at 10k streams sending
+// ~10 bursts/s that is ~100k timer wakeups/s of scheduler pressure. The
+// wheel quantizes deadlines into slots (default 2 ms) so one timer fire
+// releases every stream due in that slot; the engine's wakeup rate is
+// bounded by 1/slot regardless of stream count.
+package pacing
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/units"
+)
+
+// ErrEngineClosed is returned by Stream.Await when the stream or its engine
+// has been closed — the drain signal for in-flight paced writes.
+var ErrEngineClosed = errors.New("pacing: engine closed")
+
+// EngineConfig sizes an Engine. The zero value selects sane defaults.
+type EngineConfig struct {
+	// Wheels is the number of independent timer wheels (each with its own
+	// lock and runner goroutine); streams are sharded across them
+	// round-robin. Default min(4, GOMAXPROCS).
+	Wheels int
+	// Slot is the wheel granularity: deadlines are rounded up to the next
+	// slot boundary, so it bounds both added latency per park (≤ one slot,
+	// and the token bucket's wake credit repays it) and the engine's wakeup
+	// rate (≤ 1/Slot per wheel). Default 2 ms.
+	Slot time.Duration
+	// Slots is the number of slots per wheel, rounded up to a power of two.
+	// Deadlines beyond Slot×Slots simply stay parked for extra wheel
+	// revolutions. Default 1024 (a ~2 s horizon at the default Slot).
+	Slots int
+
+	// manual, set by tests in this package, disables runner goroutines and
+	// the wall clock; the test drives each wheel with advanceTo and an
+	// explicit virtual time, making release order fully deterministic.
+	manual bool
+}
+
+// Engine is a shared pacer for real-time streams. Register a stream per
+// paced response, Await before each burst, Close the stream when the
+// response finishes. Engines start with no goroutines; each wheel's runner
+// starts on demand and exits as soon as its last stream closes, so an idle
+// engine costs nothing and leaks nothing.
+//
+// All methods are safe for concurrent use.
+type Engine struct {
+	wheels []*wheel
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	next   int
+	closed bool
+}
+
+// EngineStats is a point-in-time snapshot of engine activity, summed over
+// wheels. Counters are cumulative since engine creation.
+type EngineStats struct {
+	Streams  int    // registered streams
+	Parked   int    // streams currently waiting in a wheel slot
+	Wakeups  uint64 // runner wakeups (timer fires + kicks)
+	Batches  uint64 // wakeups that released at least one stream
+	Released uint64 // streams released from slots
+}
+
+// NewEngine builds an engine from cfg (zero value for defaults).
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Wheels <= 0 {
+		cfg.Wheels = runtime.GOMAXPROCS(0)
+		if cfg.Wheels > 4 {
+			cfg.Wheels = 4
+		}
+	}
+	if cfg.Slot <= 0 {
+		cfg.Slot = 2 * time.Millisecond
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1024
+	}
+	size := 1
+	for size < cfg.Slots {
+		size <<= 1
+	}
+	e := &Engine{wheels: make([]*wheel, cfg.Wheels)}
+	for i := range e.wheels {
+		w := &wheel{
+			eng:       e,
+			slot:      cfg.Slot,
+			mask:      int64(size - 1),
+			slots:     make([]slotList, size),
+			epoch:     time.Now(), //sammy:nondeterministic-ok: the engine paces real sockets on the wall clock; simulations use the virtual-clock Pacer directly
+			manual:    cfg.manual,
+			kick:      make(chan struct{}, 1),
+			sleepTick: math.MaxInt64,
+		}
+		e.wheels[i] = w
+	}
+	return e
+}
+
+var defaultEngine struct {
+	once sync.Once
+	e    *Engine
+}
+
+// Default returns the process-wide shared engine, created on first use with
+// default configuration. It is never closed; because wheel runners exit
+// when idle, holding it costs nothing between bursts of work.
+func Default() *Engine {
+	defaultEngine.once.Do(func() { defaultEngine.e = NewEngine(EngineConfig{}) })
+	return defaultEngine.e
+}
+
+// Register adds a paced stream to the engine. The stream's token bucket has
+// wake credit enabled (see Pacer.EnableWakeCredit) so slot quantization and
+// timer oversleep do not erode sustained throughput. Close the stream when
+// the response it paces completes.
+func (e *Engine) Register(rate units.BitsPerSecond, burst units.Bytes) *Stream {
+	if burst <= 0 {
+		burst = 4 * 1500
+	}
+	e.mu.Lock()
+	w := e.wheels[e.next%len(e.wheels)]
+	e.next++
+	closed := e.closed
+	e.mu.Unlock()
+
+	s := &Stream{w: w, release: make(chan error, 1)}
+	s.pacer = *NewPacer(rate, burst)
+	s.pacer.EnableWakeCredit()
+	if closed {
+		s.closed = true
+		return s
+	}
+	w.mu.Lock()
+	if w.closed {
+		s.closed = true
+		w.mu.Unlock()
+		return s
+	}
+	w.streams++
+	if !w.running && !w.manual {
+		w.running = true
+		e.wg.Add(1)
+		go w.run()
+	}
+	w.mu.Unlock()
+	return s
+}
+
+// Close shuts the engine down: parked streams are released with
+// ErrEngineClosed, runner goroutines exit, and subsequent Await calls fail
+// fast. It blocks until every runner has returned, so a caller that drains
+// its server and then closes the engine is guaranteed no engine goroutines
+// outlive it.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	for _, w := range e.wheels {
+		w.mu.Lock()
+		w.closed = true
+		var rel []*Stream
+		for i := range w.slots {
+			for s := w.slots[i].head; s != nil; s = s.next {
+				rel = append(rel, s)
+			}
+		}
+		for _, s := range rel {
+			w.removeLocked(s)
+		}
+		w.mu.Unlock()
+		for _, s := range rel {
+			s.release <- ErrEngineClosed
+		}
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+	e.wg.Wait()
+}
+
+// Stats sums activity over all wheels.
+func (e *Engine) Stats() EngineStats {
+	var st EngineStats
+	for _, w := range e.wheels {
+		w.mu.Lock()
+		st.Streams += w.streams
+		st.Parked += w.parked
+		st.Wakeups += w.wakeups
+		st.Batches += w.batches
+		st.Released += w.released
+		w.mu.Unlock()
+	}
+	return st
+}
+
+// slotList is an intrusive doubly-linked list of parked streams; intrusive
+// links keep park/unpark allocation-free.
+type slotList struct {
+	head, tail *Stream
+}
+
+func (l *slotList) push(s *Stream) {
+	s.prev = l.tail
+	s.next = nil
+	if l.tail != nil {
+		l.tail.next = s
+	} else {
+		l.head = s
+	}
+	l.tail = s
+}
+
+func (l *slotList) remove(s *Stream) {
+	if s.prev != nil {
+		s.prev.next = s.next
+	} else {
+		l.head = s.next
+	}
+	if s.next != nil {
+		s.next.prev = s.prev
+	} else {
+		l.tail = s.prev
+	}
+	s.prev, s.next = nil, nil
+}
+
+// wheel is one shard of the engine: a circular slot array indexed by
+// deadline tick, a cursor that sweeps it, and at most one runner goroutine.
+type wheel struct {
+	eng   *Engine
+	slot  time.Duration
+	mask  int64
+	epoch time.Time
+	kick  chan struct{} // wakes the runner early (cap 1, non-blocking sends)
+
+	mu        sync.Mutex
+	slots     []slotList
+	cursor    int64 // next tick the runner will sweep
+	parked    int
+	streams   int
+	running   bool
+	closed    bool
+	manual    bool
+	manualNow time.Duration // virtual time when manual
+	sleepTick int64         // tick the runner is sleeping toward (MaxInt64: waiting on kick)
+	batch     []*Stream     // runner's reusable release scratch
+
+	wakeups  uint64
+	batches  uint64
+	released uint64
+}
+
+// now returns wheel-relative time.
+func (w *wheel) now() time.Duration {
+	if w.manual {
+		return w.manualNow
+	}
+	return time.Since(w.epoch) //sammy:nondeterministic-ok: the engine paces real sockets on the wall clock; simulations use the virtual-clock Pacer directly
+}
+
+// tickAfter converts a deadline d from now into the wheel tick that covers
+// it, rounding up so a release is never early.
+func (w *wheel) tickAfter(now, d time.Duration) int64 {
+	deadline := now + d
+	t := int64((deadline + w.slot - 1) / time.Duration(w.slot))
+	if t < w.cursor {
+		t = w.cursor
+	}
+	return t
+}
+
+// insertLocked parks s at tick. Callers hold w.mu.
+func (w *wheel) insertLocked(s *Stream, tick int64, now time.Duration) {
+	if w.parked == 0 {
+		// Nothing was parked, so the cursor may be far behind the clock;
+		// jump it forward so the next sweep doesn't walk dead slots.
+		if cur := int64(now / w.slot); cur > w.cursor {
+			w.cursor = cur
+		}
+	}
+	s.tick = tick
+	s.parked = true
+	s.parkedAt = now
+	w.slots[tick&w.mask].push(s)
+	w.parked++
+}
+
+// removeLocked unparks s without releasing it. Callers hold w.mu.
+func (w *wheel) removeLocked(s *Stream) {
+	w.slots[s.tick&w.mask].remove(s)
+	s.parked = false
+	w.parked--
+}
+
+// advanceLocked sweeps the cursor up to now, collecting due streams into
+// w.batch. Callers hold w.mu and must send each batched stream's release
+// after unlocking.
+func (w *wheel) advanceLocked(now time.Duration) []*Stream {
+	w.batch = w.batch[:0]
+	cur := int64(now / w.slot)
+	for w.cursor <= cur {
+		l := &w.slots[w.cursor&w.mask]
+		for s := l.head; s != nil; {
+			nxt := s.next
+			if s.tick <= cur {
+				w.removeLocked(s)
+				s.waited += now - s.parkedAt
+				w.batch = append(w.batch, s)
+			}
+			s = nxt
+		}
+		w.cursor++
+		if w.parked == 0 {
+			// Fast-forward across the empty tail.
+			if w.cursor < cur {
+				w.cursor = cur
+			}
+		}
+	}
+	w.released += uint64(len(w.batch))
+	if len(w.batch) > 0 {
+		w.batches++
+	}
+	return w.batch
+}
+
+// nextDueTickLocked scans for the earliest tick holding a parked stream, or
+// -1 when nothing is parked. Callers hold w.mu.
+func (w *wheel) nextDueTickLocked() int64 {
+	if w.parked == 0 {
+		return -1
+	}
+	minAny := int64(math.MaxInt64)
+	size := w.mask + 1
+	for i := int64(0); i < size; i++ {
+		t := w.cursor + i
+		for s := w.slots[t&w.mask].head; s != nil; s = s.next {
+			if s.tick == t {
+				return t
+			}
+			if s.tick < minAny {
+				minAny = s.tick
+			}
+		}
+	}
+	// Every parked stream is more than one revolution out; wake at the
+	// earliest of them (harmlessly early — the sweep just parks on).
+	return minAny
+}
+
+// run is the wheel's single runner goroutine. It exits when the wheel has
+// no registered streams (restarted by the next Register) or the engine
+// closes, so idle and drained engines hold zero goroutines.
+func (w *wheel) run() {
+	defer w.eng.wg.Done()
+	//sammy:sharedpacer-ok: this is the engine — the one shared timer that multiplexes every parked stream
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		w.mu.Lock()
+		if w.closed || w.streams == 0 {
+			w.running = false
+			w.sleepTick = math.MaxInt64
+			w.mu.Unlock()
+			return
+		}
+		now := w.now()
+		w.wakeups++
+		batch := w.advanceLocked(now)
+		next := w.nextDueTickLocked()
+		var wait time.Duration
+		if next >= 0 {
+			w.sleepTick = next
+			wait = time.Duration(next)*w.slot - now
+			if wait < 0 {
+				wait = 0
+			}
+		} else {
+			w.sleepTick = math.MaxInt64
+		}
+		w.mu.Unlock()
+		for _, s := range batch {
+			s.release <- nil
+		}
+		if next < 0 {
+			<-w.kick
+			continue
+		}
+		timer.Reset(wait)
+		select {
+		case <-w.kick:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		case <-timer.C:
+		}
+	}
+}
+
+// maybeKick wakes the runner if tick is earlier than what it is sleeping
+// toward. Callers hold w.mu; the send itself is non-blocking.
+func (w *wheel) maybeKickLocked(tick int64) bool {
+	return tick < w.sleepTick
+}
+
+func (w *wheel) kickRunner() {
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// advanceTo drives a manual wheel to virtual time now and returns the
+// streams released, in deterministic slot-then-FIFO order. Test-only.
+func (w *wheel) advanceTo(now time.Duration) []*Stream {
+	w.mu.Lock()
+	w.manualNow = now
+	w.wakeups++
+	batch := w.advanceLocked(now)
+	out := make([]*Stream, len(batch))
+	copy(out, batch)
+	w.mu.Unlock()
+	return out
+}
+
+// Stream is one paced response registered with an engine. It owns a
+// token bucket (with wake credit) and a parking spot on its wheel; Await
+// blocks the calling goroutine until the bucket allows the next burst.
+type Stream struct {
+	w       *wheel
+	pacer   Pacer
+	release chan error
+
+	// Wheel linkage and accounting, all guarded by w.mu.
+	next, prev *Stream
+	tick       int64
+	parked     bool
+	closed     bool
+	parkedAt   time.Duration
+	waited     time.Duration
+}
+
+// Await blocks until the stream may send n bytes, reserving the tokens. It
+// returns nil when the caller may send, ctx.Err() if the context is
+// cancelled first (the reservation is refunded), or ErrEngineClosed if the
+// stream or engine closed while waiting.
+func (s *Stream) Await(ctx context.Context, n units.Bytes) error {
+	w := s.w
+	w.mu.Lock()
+	if s.closed || w.closed {
+		w.mu.Unlock()
+		return ErrEngineClosed
+	}
+	now := w.now()
+	d := s.pacer.Delay(now, n)
+	if d <= 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	tick := w.tickAfter(now, d)
+	w.insertLocked(s, tick, now)
+	kick := w.maybeKickLocked(tick)
+	w.mu.Unlock()
+	if kick {
+		w.kickRunner()
+	}
+	select {
+	case err := <-s.release:
+		return err
+	case <-ctx.Done():
+		w.mu.Lock()
+		if s.parked {
+			w.removeLocked(s)
+			s.pacer.Refund(n)
+			w.mu.Unlock()
+			return ctx.Err()
+		}
+		w.mu.Unlock()
+		// A release was already committed for us; consume it so the channel
+		// stays clean, then hand the tokens back.
+		<-s.release
+		w.mu.Lock()
+		s.pacer.Refund(n)
+		w.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// SetRate applies a mid-flight pace-rate change. If the stream is parked,
+// its wheel slot is re-keyed in place: the already-reserved deficit is
+// re-priced at the new rate and the stream moves to the matching slot (or
+// releases immediately if the new rate clears it) — no state is rebuilt and
+// the waiting goroutine never observes the change.
+func (s *Stream) SetRate(rate units.BitsPerSecond, burst units.Bytes) {
+	w := s.w
+	w.mu.Lock()
+	now := w.now()
+	s.pacer.SetRate(now, rate, burst)
+	if !s.parked {
+		w.mu.Unlock()
+		return
+	}
+	d := s.pacer.DeficitDelay(now)
+	w.removeLocked(s)
+	if d <= 0 {
+		s.waited += now - s.parkedAt
+		w.released++
+		w.mu.Unlock()
+		s.release <- nil
+		return
+	}
+	tick := w.tickAfter(now, d)
+	w.insertLocked(s, tick, s.parkedAt)
+	kick := w.maybeKickLocked(tick)
+	w.mu.Unlock()
+	if kick {
+		w.kickRunner()
+	}
+}
+
+// Rate reports the stream's current pace rate.
+func (s *Stream) Rate() units.BitsPerSecond {
+	s.w.mu.Lock()
+	defer s.w.mu.Unlock()
+	return s.pacer.Rate()
+}
+
+// Waited reports the cumulative time this stream has spent parked — the
+// paced-idle time the rate limit injected.
+func (s *Stream) Waited() time.Duration {
+	s.w.mu.Lock()
+	defer s.w.mu.Unlock()
+	return s.waited
+}
+
+// Close deregisters the stream. A goroutine blocked in Await is released
+// with ErrEngineClosed; when the wheel's last stream closes its runner
+// exits, so a fully-drained engine holds no goroutines.
+func (s *Stream) Close() {
+	w := s.w
+	w.mu.Lock()
+	if s.closed {
+		w.mu.Unlock()
+		return
+	}
+	s.closed = true
+	released := false
+	if s.parked {
+		w.removeLocked(s)
+		released = true
+	}
+	w.streams--
+	kick := w.streams == 0 && w.running
+	w.mu.Unlock()
+	if released {
+		s.release <- ErrEngineClosed
+	}
+	if kick {
+		w.kickRunner()
+	}
+}

@@ -80,6 +80,13 @@ type Pacer struct {
 
 	tokens   float64       // current tokens, in bytes
 	lastFill time.Duration // virtual time of the last refill
+
+	// wakeCredit, when enabled, credits timer oversleep back into the
+	// bucket (see EnableWakeCredit). wakeAt is the virtual time the caller
+	// intended to wake at after the last positive Delay; zero means no
+	// sleep is in flight.
+	wakeCredit bool
+	wakeAt     time.Duration
 }
 
 // NewPacer returns a pacer limiting throughput to rate with the given burst
@@ -91,6 +98,22 @@ func NewPacer(rate units.BitsPerSecond, burst units.Bytes) *Pacer {
 	}
 	return &Pacer{rate: rate, burst: burst, tokens: float64(burst)}
 }
+
+// EnableWakeCredit makes the pacer credit timer oversleep back into the
+// bucket. Real clocks and coarse timer wheels wake a sleeper *after* the
+// requested delay; with a plain token bucket the tokens accrued during the
+// overshoot are lost to the burst cap, so sustained throughput drifts below
+// the requested rate by roughly oversleep/period. With wake credit, the
+// first refill at or past the intended wake time stretches the cap by
+// rate × oversleep, so exactly the bytes owed for the elapsed wall time are
+// honoured and sustained throughput converges to the requested rate.
+//
+// The credit only ever covers scheduling latency of an in-flight Delay —
+// idle time with no sleep pending accrues nothing beyond the burst — and it
+// is off by default so virtual-clock simulations (where a transport may
+// legitimately send later than the pace deadline) keep their exact
+// historical behaviour.
+func (p *Pacer) EnableWakeCredit() { p.wakeCredit = true }
 
 // Rate reports the configured pace rate.
 func (p *Pacer) Rate() units.BitsPerSecond { return p.rate }
@@ -127,7 +150,30 @@ func (p *Pacer) Delay(now time.Duration, n units.Bytes) time.Duration {
 	}
 	// Deficit must be earned at the pace rate.
 	deficit := -p.tokens
-	return time.Duration(deficit * 8 / float64(p.rate) * float64(time.Second))
+	d := time.Duration(deficit * 8 / float64(p.rate) * float64(time.Second))
+	if p.wakeCredit {
+		p.wakeAt = now + d
+	}
+	return d
+}
+
+// DeficitDelay reports how long the caller must wait at virtual time now for
+// the bucket to return to zero, without reserving further tokens. It is how
+// the engine re-keys a parked stream after a mid-flight rate change: the
+// already-reserved bytes are re-priced at the new rate.
+func (p *Pacer) DeficitDelay(now time.Duration) time.Duration {
+	if p.rate <= 0 {
+		return 0
+	}
+	p.refill(now)
+	if p.tokens >= 0 {
+		return 0
+	}
+	d := time.Duration(-p.tokens * 8 / float64(p.rate) * float64(time.Second))
+	if p.wakeCredit {
+		p.wakeAt = now + d
+	}
+	return d
 }
 
 // Refund returns n reserved bytes to the bucket, used when a planned
@@ -136,6 +182,8 @@ func (p *Pacer) Refund(n units.Bytes) {
 	if p.rate <= 0 {
 		return
 	}
+	// The planned transmission (and its pending wake, if any) is abandoned.
+	p.wakeAt = 0
 	p.tokens += float64(n)
 	if p.tokens > float64(p.burst) {
 		p.tokens = float64(p.burst)
@@ -152,8 +200,16 @@ func (p *Pacer) refill(now time.Duration) {
 	if p.rate <= 0 {
 		return
 	}
+	cap := float64(p.burst)
+	if p.wakeCredit && p.wakeAt > 0 && now >= p.wakeAt {
+		// The caller intended to send at wakeAt and the timer woke it late;
+		// tokens accrued during the overshoot are scheduling latency, not
+		// idle hoarding, so stretch the cap to keep them for this refill.
+		cap += float64(p.rate) / 8 * (now - p.wakeAt).Seconds()
+		p.wakeAt = 0
+	}
 	p.tokens += float64(p.rate) / 8 * elapsed.Seconds()
-	if p.tokens > float64(p.burst) {
-		p.tokens = float64(p.burst)
+	if p.tokens > cap {
+		p.tokens = cap
 	}
 }

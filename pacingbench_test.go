@@ -1,0 +1,127 @@
+package repro
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/pacing"
+	"repro/internal/units"
+)
+
+// This file holds the pacing-engine scale suites: timer wakeups per second
+// at 10k concurrent paced streams for the shared timer-wheel engine versus
+// the retired per-stream-sleep regime, and end-to-end streams per core
+// through the real cdn.Server via internal/loadgen. They are fixed-window
+// benchmarks (each op observes a multi-second steady state), so CI's
+// -benchtime=100x core-suite step excludes them; they run in the
+// -benchtime=1x smoke and in the BENCH_sim.json emitter, where benchcheck
+// gates the engine/sleep wakeup ratio and the loadgen stream count.
+
+const (
+	benchPacingStreams = 10_000
+	benchPacingRate    = 100 * units.Kbps
+	benchPacingBurst   = units.Bytes(6000)
+	// 100 Kbps drains a 6000 B burst every 480 ms: ~20.8k token-bucket
+	// waits per second across 10k streams, two orders of magnitude above
+	// the wheel's tick ceiling (1/slot = 500 wakeups/s).
+	benchPacingWindow = 2 * time.Second
+)
+
+// BenchmarkPacingEngineWakeups10k parks 10k paced streams on one shared
+// engine and measures runner wakeups per second over a steady-state window.
+// The wheel multiplexes every deadline onto one resettable timer per
+// runner, so the rate is bounded by 1/slot regardless of stream count.
+func BenchmarkPacingEngineWakeups10k(b *testing.B) {
+	eng := pacing.NewEngine(pacing.EngineConfig{})
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < benchPacingStreams; i++ {
+		s := eng.Register(benchPacingRate, benchPacingBurst)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.Close()
+			for s.Await(ctx, benchPacingBurst) == nil {
+			}
+		}()
+	}
+	time.Sleep(250 * time.Millisecond) // let every stream reach its first park
+	b.ResetTimer()
+	start := eng.Stats()
+	for i := 0; i < b.N; i++ {
+		time.Sleep(benchPacingWindow)
+	}
+	stop := eng.Stats()
+	b.StopTimer()
+	secs := (time.Duration(b.N) * benchPacingWindow).Seconds()
+	b.ReportMetric(float64(stop.Wakeups-start.Wakeups)/secs, "wakeups/sec")
+	b.ReportMetric(float64(stop.Released-start.Released)/secs, "releases/sec")
+	cancel()
+	wg.Wait()
+}
+
+// BenchmarkPacingSleepWakeups10k is the baseline the engine replaced: 10k
+// goroutines each pacing its own token bucket with time.Sleep, one runtime
+// timer armed per wait. Its wakeups/sec scales with stream count; the
+// engine/sleep ratio is gated ≥10x by benchcheck (PacingWakeupRatio10k).
+func BenchmarkPacingSleepWakeups10k(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sleeps atomic.Int64
+	var wg sync.WaitGroup
+	epoch := time.Now()
+	for i := 0; i < benchPacingStreams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := pacing.NewPacer(benchPacingRate, benchPacingBurst)
+			for ctx.Err() == nil {
+				if d := p.Delay(time.Since(epoch), benchPacingBurst); d > 0 {
+					sleeps.Add(1)
+					time.Sleep(d)
+				}
+			}
+		}()
+	}
+	time.Sleep(250 * time.Millisecond)
+	b.ResetTimer()
+	n0 := sleeps.Load()
+	for i := 0; i < b.N; i++ {
+		time.Sleep(benchPacingWindow)
+	}
+	n1 := sleeps.Load()
+	b.StopTimer()
+	secs := (time.Duration(b.N) * benchPacingWindow).Seconds()
+	b.ReportMetric(float64(n1-n0)/secs, "wakeups/sec")
+	cancel()
+	wg.Wait()
+}
+
+// BenchmarkPacingStreamsPerCore drives the real cdn.Server end to end with
+// loadgen (in-memory transport) and reports concurrent paced streams
+// sustained per consumed CPU core, plus the p99 per-stream rate error.
+func BenchmarkPacingStreamsPerCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := loadgen.Run(context.Background(), loadgen.Config{
+			Streams:   2000,
+			Rate:      benchPacingRate,
+			Warmup:    2 * time.Second,
+			Duration:  4 * time.Second,
+			Transport: "inproc",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed > 0 {
+			b.Fatalf("%d/%d streams failed", rep.Failed, rep.Streams)
+		}
+		b.ReportMetric(rep.StreamsPerCore, "streams/core")
+		b.ReportMetric(rep.ErrP99, "rate_err_p99_pct")
+	}
+}
