@@ -20,11 +20,9 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"os/signal"
 	"strings"
 	"sync"
 	"sync/atomic"
-	"syscall"
 	"time"
 
 	"repro/internal/abr"
@@ -84,9 +82,14 @@ func main() {
 	shards := flag.Int("shards", 8, "shard count for the population experiment (users are split into this many deterministic ranges)")
 	checkpointDir := flag.String("checkpoint-dir", "", "population experiment: persist each completed shard into this directory so a killed run can resume")
 	resume := flag.Bool("resume", false, "population experiment: load valid shard checkpoints from -checkpoint-dir and run only the missing ranges")
+	workers := flag.Int("workers", 0, "population experiment: fork this many worker subprocesses and coordinate them through -checkpoint-dir (0 runs single-process)")
+	join := flag.Bool("join", false, "population experiment: join an existing coordinated run in -checkpoint-dir as a worker instead of coordinating")
+	leaseTTL := flag.Duration("lease-ttl", abtest.DefaultLeaseTTL, "multi-worker population: heartbeat staleness after which a shard lease may be stolen")
+	workerID := flag.Int("worker-id", 0, "population-worker: worker index, offsets the shard scan to spread the fleet")
+	maxShardAttempts := flag.Int("max-shard-attempts", abtest.DefaultMaxShardAttempts, "multi-worker population: lease acquisitions per shard before the coordinator quarantines it")
 	debugAddr := flag.String("debug-addr", "", "serve the live trace inspector at /debug/sammy (plus /debug/vars) on this address for the duration of the run")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sammy-eval [flags] <table2|table3|baseline|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|approaches|abandon|chaos|storm|population|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: sammy-eval [flags] <table2|table3|baseline|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|approaches|abandon|chaos|storm|population|population-worker|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -156,8 +159,8 @@ func main() {
 		"fig2":       runFig2,
 		"fig3":       func() { runFig3(cfg, *seed) },
 		"fig4":       func() { runFig4(*seed) },
-		"fig5":       func() { runFig5(cfg, *seed) },
-		"fig6":       func() { runFig6(cfg, *seed) },
+		"fig5":       func() { runFig5(cfg, *shards, *checkpointDir, *resume) },
+		"fig6":       func() { runFig6(cfg, *shards, *checkpointDir, *resume) },
 		"fig7":       func() { runFig7(*seed, *csvDir) },
 		"fig8":       func() { runFig8(*seed) },
 		"ablation":   func() { runAblation(*seed) },
@@ -165,7 +168,19 @@ func main() {
 		"abandon":    func() { runAbandon(*seed) },
 		"tune":       func() { runTune(cfg, *seed) },
 		"pairings":   func() { runPairings(*seed) },
-		"population": func() { runPopulation(cfg, *shards, *checkpointDir, *resume) },
+		"population": func() {
+			runPopulation(cfg, populationOpts{
+				shards: *shards, checkpointDir: *checkpointDir, resume: *resume,
+				workers: *workers, join: *join, leaseTTL: *leaseTTL,
+				workerID: *workerID, maxShardAttempts: *maxShardAttempts, chaosName: *chaosName,
+			})
+		},
+		"population-worker": func() {
+			runPopulationWorker(cfg, populationOpts{
+				shards: *shards, checkpointDir: *checkpointDir,
+				leaseTTL: *leaseTTL, workerID: *workerID, maxShardAttempts: *maxShardAttempts,
+			})
+		},
 	}
 	if name == "all" {
 		for _, n := range []string{"table2", "table3", "baseline", "fig1", "fig2", "fig3",
@@ -183,84 +198,6 @@ func main() {
 		os.Exit(2)
 	}
 	run()
-}
-
-// runPopulation is the crash-resumable population-scale A/B: the experiment
-// runs shard by shard in bounded memory, checkpointing each completed shard
-// when -checkpoint-dir is set. SIGINT/SIGTERM request a graceful stop — the
-// in-flight shard finishes and checkpoints, the process exits 0, and a rerun
-// with -resume picks up where it left off. Progress goes to stderr; the
-// final tables go to stdout only when the run completes, so stdout can be
-// diffed byte-for-byte against an uninterrupted run.
-func runPopulation(cfg abtest.Config, shards int, checkpointDir string, resume bool) {
-	if shards <= 0 {
-		shards = 1
-	}
-	shardSize := (cfg.Population.Users + shards - 1) / shards
-
-	stop := make(chan struct{})
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sig)
-	go func() {
-		s, ok := <-sig
-		if !ok {
-			return
-		}
-		signal.Stop(sig) // a second signal kills the process the usual way
-		fmt.Fprintf(os.Stderr, "sammy-eval: %v: finishing the in-flight shard, then checkpointing and exiting\n", s)
-		close(stop)
-	}()
-
-	scfg := abtest.ShardRunConfig{
-		Experiment: cfg,
-		Arms: []abtest.Arm{
-			abtest.ControlArm(),
-			abtest.SammyArm(core.DefaultC0, core.DefaultC1),
-		},
-		ShardSize:     shardSize,
-		CheckpointDir: checkpointDir,
-		Resume:        resume,
-		Stop:          stop,
-		Metrics:       abtest.NewShardMetrics(obs.Default()),
-		Progress: func(ev abtest.ShardEvent) {
-			fmt.Fprintf(os.Stderr, "sammy-eval: shard %d/%d users [%d,%d) %s",
-				ev.Shard+1, ev.NumShards, ev.Lo, ev.Hi, ev.Status)
-			if ev.UserErrors > 0 {
-				fmt.Fprintf(os.Stderr, " (%d users failed)", ev.UserErrors)
-			}
-			fmt.Fprintln(os.Stderr)
-		},
-	}
-	res, err := abtest.RunSharded(scfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sammy-eval: %v\n", err)
-		os.Exit(1)
-	}
-	for _, s := range res.Skipped {
-		fmt.Fprintf(os.Stderr, "sammy-eval: checkpoint rejected: %s\n", s)
-	}
-	if res.Stopped {
-		fmt.Fprintf(os.Stderr, "sammy-eval: stopped after %d/%d shards", res.Completed+res.Resumed, res.NumShards)
-		if checkpointDir != "" {
-			fmt.Fprintf(os.Stderr, "; rerun with -checkpoint-dir %s -resume to continue", checkpointDir)
-		}
-		fmt.Fprintln(os.Stderr)
-		return
-	}
-	// The run ledger is process history, not a result: it goes to stderr so
-	// stdout stays byte-identical whether or not the run was resumed.
-	fmt.Fprintf(os.Stderr, "sammy-eval: population A/B: %d users in %d shards (%d resumed, %d user errors)\n",
-		cfg.Population.Users, res.NumShards, res.Resumed, res.UserErrors)
-	fmt.Printf("population A/B: %d users, %d shards\n", cfg.Population.Users, res.NumShards)
-	fmt.Print(abtest.FormatSketchTable("Table 2 (streamed): Sammy vs control (Welch 95% CI on % change of the mean)",
-		abtest.CompareSketches(res.Arms[1], res.Arms[0])))
-	fmt.Println("Figure 3 (streamed): throughput change by pre-experiment throughput group")
-	for _, row := range abtest.CompareBucketSketches(res.Arms[1], res.Arms[0]) {
-		fmt.Printf("  %-10s sessions=%6d  %+.2f%% [%.2f, %.2f]  median %+.2f%%\n",
-			row.Bucket, row.Sessions, row.MeanChg.Point, row.MeanChg.Lo, row.MeanChg.Hi, row.MedianChgPct)
-	}
-	fmt.Println("paper: throughput -61% overall, ≈0 below 6 Mbps rising to -74% above 90 Mbps")
 }
 
 func runTable2(cfg abtest.Config, seed int64) {
@@ -358,7 +295,10 @@ func runFig4(seed int64) {
 	fmt.Println("paper: burst 40 -> -40% retransmits, shrinking bursts -> up to -60%; QoE flat")
 }
 
-func runFig5(cfg abtest.Config, seed int64) {
+// runFig5 sweeps the (c0, c1) grid as one sharded run per cell: each cell
+// streams in bounded memory and — with -checkpoint-dir — checkpoints under
+// its own subdirectory, so a killed sweep resumes at the interrupted cell.
+func runFig5(cfg abtest.Config, shards int, checkpointDir string, resume bool) {
 	fmt.Println("Figure 5: VMAF vs throughput tradeoff across (c0, c1) cells")
 	pairs := [][2]float64{
 		{6.0, 5.0}, {4.5, 4.0}, {3.6, 3.2}, {3.2, 2.8}, {2.4, 2.0},
@@ -367,21 +307,62 @@ func runFig5(cfg abtest.Config, seed int64) {
 		// rebuffers start to pay for further smoothing.
 		{1.2, 1.05}, {1.0, 0.9},
 	}
-	for _, pt := range abtest.SweepParameters(cfg, pairs, seed) {
+	stop, cleanup := installStopSignal("finishing the in-flight sweep cell, then exiting")
+	defer cleanup()
+	run := abtest.ShardRunConfig{
+		Experiment:    cfg,
+		ShardSize:     populationShardSize(cfg.Population.Users, shards),
+		CheckpointDir: checkpointDir,
+		Resume:        resume,
+		Stop:          stop,
+	}
+	points, err := abtest.SweepParametersSharded(run, pairs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sammy-eval: %v\n", err)
+		os.Exit(1)
+	}
+	for _, pt := range points {
 		fmt.Printf("  c0=%.2f c1=%.2f  throughput %s  VMAF %s  playDelay %s\n",
 			pt.C0, pt.C1, pt.ThroughputChg, pt.VMAFChg, pt.PlayDelayChg)
+	}
+	if len(points) < len(pairs) {
+		fmt.Fprintf(os.Stderr, "sammy-eval: stopped after %d/%d cells; rerun with -resume to continue\n",
+			len(points), len(pairs))
+		return
 	}
 	fmt.Println("paper: VMAF flat until ≈-80% throughput, then quality begins to drop")
 }
 
-func runFig6(cfg abtest.Config, seed int64) {
+// runFig6 runs the cold-start study as one sharded run per day (warm-history
+// control arm vs cold arm), with per-day checkpoint subdirectories.
+func runFig6(cfg abtest.Config, shards int, checkpointDir string, resume bool) {
 	fmt.Println("Figure 6: initial-quality gap for a cold-start history, by day")
 	small := cfg
 	if small.Population.Users > 150 {
 		small.Population.Users = 150
 	}
-	for _, pt := range abtest.ColdStartStudy(small, 7, seed) {
+	const days = 7
+	stop, cleanup := installStopSignal("finishing the in-flight day, then exiting")
+	defer cleanup()
+	run := abtest.ShardRunConfig{
+		Experiment:    small,
+		ShardSize:     populationShardSize(small.Population.Users, shards),
+		CheckpointDir: checkpointDir,
+		Resume:        resume,
+		Stop:          stop,
+	}
+	points, err := abtest.ColdStartStudySharded(run, days)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sammy-eval: %v\n", err)
+		os.Exit(1)
+	}
+	for _, pt := range points {
 		fmt.Printf("  day %d: initial VMAF change %s\n", pt.Day, pt.InitialVMAFChg)
+	}
+	if len(points) < days {
+		fmt.Fprintf(os.Stderr, "sammy-eval: stopped after %d/%d days; rerun with -resume to continue\n",
+			len(points), days)
+		return
 	}
 	fmt.Println("paper: large initial gap, converging toward control over about a week")
 }

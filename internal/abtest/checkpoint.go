@@ -49,15 +49,24 @@ type shardPayload struct {
 }
 
 // Manifest records a sharded run's identity and progress. It is rewritten
-// atomically after every completed shard.
+// atomically after every completed shard (single-process) or by the
+// coordinator (multi-process).
 type Manifest struct {
-	Schema     string          `json:"schema"`
-	ConfigHash string          `json:"config_hash"`
-	Arms       []string        `json:"arms"`
-	Users      int             `json:"users"`
-	ShardSize  int             `json:"shard_size"`
-	NumShards  int             `json:"num_shards"`
-	Shards     []ManifestShard `json:"shards"`
+	Schema     string   `json:"schema"`
+	ConfigHash string   `json:"config_hash"`
+	Arms       []string `json:"arms"`
+	Users      int      `json:"users"`
+	ShardSize  int      `json:"shard_size"`
+	NumShards  int      `json:"num_shards"`
+	// Config is the human-readable knob capture behind ConfigHash, so a
+	// resume with a different configuration can say which knob changed
+	// instead of just "hash differs". Keys sort deterministically in the
+	// JSON encoding.
+	Config map[string]string `json:"config,omitempty"`
+	Shards []ManifestShard   `json:"shards"`
+	// Quarantined lists poison shards a coordinator excluded from the
+	// merge after their fleet attempt budget was exhausted.
+	Quarantined []ManifestQuarantine `json:"quarantined,omitempty"`
 }
 
 // ManifestShard is one completed shard's ledger entry.
@@ -69,6 +78,16 @@ type ManifestShard struct {
 	File     string `json:"file"`
 }
 
+// ManifestQuarantine is one quarantined shard's ledger entry: the shard was
+// excluded from the merged tables instead of failing the run.
+type ManifestQuarantine struct {
+	Index    int    `json:"index"`
+	Lo       int    `json:"lo"`
+	Hi       int    `json:"hi"`
+	Attempts int    `json:"attempts"`
+	Reason   string `json:"reason"`
+}
+
 // fnvHex returns the FNV-64a hash of data as 16 hex digits.
 func fnvHex(data []byte) string {
 	h := fnv.New64a()
@@ -76,8 +95,57 @@ func fnvHex(data []byte) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// atomicWriteFile writes data to dir/name via a temp file, fsync and rename,
-// then fsyncs the directory so the rename itself is durable.
+// fsyncDir opens and fsyncs a directory, making its entry mutations
+// (creates, renames, removes) durable against power loss.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// fsyncFile opens and fsyncs an existing file by path.
+func fsyncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// ensureDurableDir creates dir (and parents) and fsyncs both the directory
+// and its parent, so the directory itself survives a power-loss-style kill.
+// Without the parent fsync, a crash right after MkdirAll can lose the whole
+// checkpoint directory even though every file write inside it was synced.
+func ensureDurableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := fsyncDir(dir); err != nil {
+		return err
+	}
+	parent := filepath.Dir(dir)
+	if parent == dir {
+		return nil
+	}
+	// Best-effort on the parent: it may be outside our control (e.g. "/tmp"
+	// on a platform that refuses directory fsync); the dir's own sync above
+	// already covers the common case where the parent pre-existed.
+	if err := fsyncDir(parent); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}
+
+// atomicWriteFile writes data to dir/name via a temp file + fsync + rename,
+// then fsyncs the renamed file and its parent directory, so a completed
+// write survives power-loss-style kills (not just process SIGKILL). The
+// full recipe is: write tmp, fsync tmp, rename, fsync file, fsync dir — a
+// crash at any instant leaves either the old file, the new file, or a
+// stray *.tmp that validation ignores.
 func atomicWriteFile(dir, name string, data []byte) error {
 	tmp, err := os.CreateTemp(dir, name+".tmp*")
 	if err != nil {
@@ -96,15 +164,14 @@ func atomicWriteFile(dir, name string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+	final := filepath.Join(dir, name)
+	if err := os.Rename(tmpName, final); err != nil {
 		return err
 	}
-	d, err := os.Open(dir)
-	if err != nil {
+	if err := fsyncFile(final); err != nil {
 		return err
 	}
-	defer d.Close()
-	return d.Sync()
+	return fsyncDir(dir)
 }
 
 // writeShardCheckpoint persists one shard's payload and returns its ledger

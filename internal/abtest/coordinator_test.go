@@ -1,0 +1,376 @@
+package abtest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+)
+
+// coordConfig adapts the shared shardConfig fixture to a CoordinatorConfig
+// with fast lease timing for tests.
+func coordConfig(seed int64, dir string) CoordinatorConfig {
+	base := shardConfig(seed)
+	return CoordinatorConfig{
+		Experiment:    base.Experiment,
+		Arms:          base.Arms,
+		ShardSize:     base.ShardSize,
+		CheckpointDir: dir,
+		LeaseTTL:      200 * time.Millisecond,
+		PollInterval:  20 * time.Millisecond,
+	}
+}
+
+// TestCoordinatorMatchesSingleProcess is the headline determinism claim: a
+// multi-worker coordinated run merges to the exact bytes of the
+// single-process sharded run, with every shard merged exactly once.
+func TestCoordinatorMatchesSingleProcess(t *testing.T) {
+	leakcheck.Check(t)
+	single, err := RunSharded(shardConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := coordConfig(7, t.TempDir())
+	cfg.Workers = 3
+	fleet, err := RunCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fleet.Done() || fleet.Stopped {
+		t.Fatalf("fleet run incomplete: %+v", fleet)
+	}
+	if got, want := renderSharded(fleet), renderSharded(single); got != want {
+		t.Errorf("fleet merge differs from single-process run:\n%s", got)
+	}
+	if got := hashString(renderSharded(fleet)); got != goldenShardedHash {
+		t.Errorf("fleet output hash %s, want golden %s", got, goldenShardedHash)
+	}
+	// No double merge: the sketches carry exactly the single-process session
+	// counts even though three workers raced over five shards.
+	for a := range fleet.Arms {
+		if fleet.Arms[a].Sessions != single.Arms[a].Sessions {
+			t.Errorf("arm %d: %d sessions merged, single-process has %d",
+				a, fleet.Arms[a].Sessions, single.Arms[a].Sessions)
+		}
+	}
+	if fleet.Completed != fleet.NumShards {
+		t.Errorf("Completed = %d, want %d", fleet.Completed, fleet.NumShards)
+	}
+}
+
+// TestCoordinatorRecoversDeadWorkerShard plants the debris of a SIGKILLed
+// worker — an expired lease, no checkpoint — and expects the coordinator to
+// steal the lease, re-run the shard, and still merge to the golden bytes.
+func TestCoordinatorRecoversDeadWorkerShard(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	cfg := coordConfig(7, dir)
+	hash := configHash(cfg.Experiment.withDefaults(), cfg.Arms, cfg.ShardSize)
+	plantLease(t, dir, 2, "dead-worker", 1, hash, time.Hour)
+
+	cfg.Resume = true // a fresh run would wipe the planted lease
+	res, err := RunCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered != 1 {
+		t.Errorf("Recovered = %d, want 1", res.Recovered)
+	}
+	if !res.Done() || len(res.Quarantined) != 0 {
+		t.Fatalf("recovery run incomplete: %+v", res)
+	}
+	if got := hashString(renderSharded(res)); got != goldenShardedHash {
+		t.Errorf("output hash %s after recovery, want golden %s", got, goldenShardedHash)
+	}
+}
+
+// TestCoordinatorQuarantinesExhaustedShard: a shard whose lease has burned
+// the full attempt budget is poisoned, listed in the result and manifest,
+// and excluded from the merge — and a later resume keeps honoring the
+// marker instead of retrying forever.
+func TestCoordinatorQuarantinesExhaustedShard(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	cfg := coordConfig(7, dir)
+	hash := configHash(cfg.Experiment.withDefaults(), cfg.Arms, cfg.ShardSize)
+	plantLease(t, dir, 1, "doomed", DefaultMaxShardAttempts, hash, time.Hour)
+
+	cfg.Resume = true
+	res, err := RunCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 1 || res.Quarantined[0].Index != 1 {
+		t.Fatalf("Quarantined = %+v, want shard 1", res.Quarantined)
+	}
+	if q := res.Quarantined[0]; q.Lo != 10 || q.Hi != 20 || q.Attempts != DefaultMaxShardAttempts {
+		t.Errorf("quarantine entry %+v", q)
+	}
+	if !res.Done() {
+		t.Error("run with a quarantined shard should still count as done")
+	}
+	if res.Completed != res.NumShards-1 {
+		t.Errorf("Completed = %d, want %d", res.Completed, res.NumShards-1)
+	}
+	// The merge excluded the shard's ten users: one recorded session each,
+	// per arm.
+	wantSessions := cfg.Experiment.Population.Users - 10
+	for a := range res.Arms {
+		if res.Arms[a].Sessions != wantSessions {
+			t.Errorf("arm %d: %d sessions, want %d", a, res.Arms[a].Sessions, wantSessions)
+		}
+	}
+	if !hasFile(dir, poisonFileName(1)) {
+		t.Error("no poison marker on disk")
+	}
+	m, err := readManifest(dir)
+	if err != nil || m == nil {
+		t.Fatalf("manifest after quarantine: %v", err)
+	}
+	if len(m.Quarantined) != 1 || m.Quarantined[0].Index != 1 {
+		t.Errorf("manifest quarantine ledger = %+v", m.Quarantined)
+	}
+
+	// Resume: the poison marker keeps the shard resolved; nothing reruns.
+	res2, err := RunCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != res.NumShards-1 || res2.Completed != 0 || len(res2.Quarantined) != 1 {
+		t.Errorf("resume after quarantine: %+v", res2)
+	}
+}
+
+// TestWorkerFleetThenCoordinatorMerge drives the external-join topology:
+// standalone workers (no coordinator) drain the whole plan between them
+// with no shard run twice, and a later coordinator pass merges their
+// checkpoints byte-identically without re-running anything.
+func TestWorkerFleetThenCoordinatorMerge(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	base := shardConfig(7)
+	const workers = 4
+	results := make([]*WorkerResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = RunWorker(WorkerConfig{
+				Experiment:    base.Experiment,
+				Arms:          base.Arms,
+				ShardSize:     base.ShardSize,
+				CheckpointDir: dir,
+				WorkerID:      w,
+				LeaseTTL:      time.Second,
+				PollInterval:  20 * time.Millisecond,
+			})
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		total += results[w].Completed
+	}
+	plan := planShards(base.Experiment.Population.Users, base.ShardSize)
+	if total != len(plan) {
+		t.Fatalf("fleet completed %d shards, want %d (duplicates or gaps)", total, len(plan))
+	}
+
+	cfg := coordConfig(7, dir)
+	cfg.Resume = true
+	res, err := RunCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != len(plan) || res.Completed != 0 {
+		t.Errorf("coordinator re-ran work the fleet finished: %+v", res)
+	}
+	if got := hashString(renderSharded(res)); got != goldenShardedHash {
+		t.Errorf("merged fleet output hash %s, want golden %s", got, goldenShardedHash)
+	}
+}
+
+// TestWorkerBlocksOnExhaustedShard: a standalone worker must not quarantine.
+// It finishes everything else, reports the poisoned shard as blocked, and
+// leaves the quarantine decision to a coordinator.
+func TestWorkerBlocksOnExhaustedShard(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	base := shardConfig(7)
+	hash := configHash(base.Experiment.withDefaults(), base.Arms, base.ShardSize)
+	plantLease(t, dir, 0, "doomed", DefaultMaxShardAttempts, hash, time.Hour)
+
+	res, err := RunWorker(WorkerConfig{
+		Experiment:    base.Experiment,
+		Arms:          base.Arms,
+		ShardSize:     base.ShardSize,
+		CheckpointDir: dir,
+		LeaseTTL:      200 * time.Millisecond,
+		PollInterval:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocked) != 1 || res.Blocked[0] != 0 {
+		t.Errorf("Blocked = %v, want [0]", res.Blocked)
+	}
+	if want := len(planShards(base.Experiment.Population.Users, base.ShardSize)) - 1; res.Completed != want {
+		t.Errorf("Completed = %d, want %d", res.Completed, want)
+	}
+	if hasFile(dir, poisonFileName(0)) {
+		t.Error("worker wrote a poison marker; that is the coordinator's call")
+	}
+}
+
+// TestCoordinatorStopThenResume: a graceful stop mid-run yields a partial
+// result, and a resumed coordinator finishes the remainder to the golden
+// bytes without redoing completed shards.
+func TestCoordinatorStopThenResume(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	cfg := coordConfig(7, dir)
+	stop := make(chan struct{})
+	var once sync.Once
+	var mu sync.Mutex
+	done := 0
+	cfg.Stop = stop
+	cfg.Progress = func(ev FleetEvent) {
+		if ev.Type == "done" {
+			mu.Lock()
+			done++
+			stopNow := done == 2
+			mu.Unlock()
+			if stopNow {
+				once.Do(func() { close(stop) })
+			}
+		}
+	}
+	res, err := RunCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.Done() {
+		t.Fatalf("stopped run: %+v", res)
+	}
+	if res.Completed != 2 {
+		t.Errorf("Completed = %d at stop, want 2", res.Completed)
+	}
+
+	cfg2 := coordConfig(7, dir)
+	cfg2.Resume = true
+	res2, err := RunCoordinator(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Done() || res2.Resumed != 2 {
+		t.Fatalf("resumed run: %+v", res2)
+	}
+	if got := hashString(renderSharded(res2)); got != goldenShardedHash {
+		t.Errorf("resumed output hash %s, want golden %s", got, goldenShardedHash)
+	}
+}
+
+// TestCoordinatorRejectsCorruptCheckpoint: a flipped byte in a checkpoint is
+// detected at merge time, the shard is re-run, and the final bytes still
+// match the golden run.
+func TestCoordinatorRejectsCorruptCheckpoint(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	cfg := coordConfig(7, dir)
+	if _, err := RunCoordinator(cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, shardFileName(3))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Resume = true
+	res, err := RunCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Skipped) != 1 || !strings.Contains(res.Skipped[0], "shard 3") {
+		t.Errorf("Skipped = %v, want the corrupt shard 3", res.Skipped)
+	}
+	if res.Completed != 1 || res.Resumed != res.NumShards-1 {
+		t.Errorf("corruption recovery: %+v", res)
+	}
+	if got := hashString(renderSharded(res)); got != goldenShardedHash {
+		t.Errorf("output hash %s after corruption recovery, want golden %s", got, goldenShardedHash)
+	}
+}
+
+// TestResumeMismatchNamesChangedKnobs: the config-hash preflight must say
+// which knob diverged and how to move on, for both the coordinator and a
+// joining worker.
+func TestResumeMismatchNamesChangedKnobs(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := RunSharded(func() ShardRunConfig {
+		c := shardConfig(7)
+		c.CheckpointDir = dir
+		return c
+	}()); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := coordConfig(8, dir) // same shape, different seed
+	cfg.Resume = true
+	_, err := RunCoordinator(cfg)
+	var mismatch *ResumeMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("coordinator resume with a changed seed: %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"seed", "-seed", "rotate -checkpoint-dir"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("mismatch error lacks %q:\n%s", want, msg)
+		}
+	}
+	if len(mismatch.Changed) != 1 {
+		t.Errorf("Changed = %v, want exactly the seed line", mismatch.Changed)
+	}
+
+	// A worker joining the same stale directory is refused identically.
+	base := shardConfig(8)
+	_, err = RunWorker(WorkerConfig{
+		Experiment:    base.Experiment,
+		Arms:          base.Arms,
+		ShardSize:     base.ShardSize,
+		CheckpointDir: dir,
+	})
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("worker join with a changed seed: %v", err)
+	}
+}
+
+// TestDiffConfigKnobs covers the knob-diff formatting directly, including
+// the legacy manifest (no recorded knobs) fallback.
+func TestDiffConfigKnobs(t *testing.T) {
+	base := shardConfig(7)
+	stored := configKnobs(base.Experiment.withDefaults(), base.Arms, base.ShardSize)
+	now := configKnobs(base.Experiment.withDefaults(), base.Arms, 12)
+	lines := DiffConfigKnobs(stored, now)
+	if len(lines) != 1 || !strings.Contains(lines[0], "shard_size") || !strings.Contains(lines[0], "-shards") {
+		t.Errorf("shard-size diff = %v", lines)
+	}
+	if lines := DiffConfigKnobs(nil, now); len(lines) != 1 || !strings.Contains(lines[0], "predates") {
+		t.Errorf("legacy-manifest diff = %v", lines)
+	}
+}

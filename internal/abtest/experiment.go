@@ -21,6 +21,12 @@ import (
 type Arm struct {
 	Name          string
 	NewController func() *core.Controller
+	// WarmSessions, when positive, streams this many unrecorded sessions
+	// per user before the measured sequence begins, so the arm starts with
+	// a populated history instead of a cold one (the Fig 6 warm control).
+	// It feeds the config hash: a warmed arm is a different cell than a
+	// cold arm of the same name.
+	WarmSessions int
 }
 
 // StandardArms returns the paper's main experiment cells: the production
@@ -241,6 +247,13 @@ func runArmPerUser(cfg Config, arm Arm, users []*User) ([][]SessionRecord, []err
 		rng := rand.New(rand.NewSource(u.Seed))
 		hist := &core.History{}
 		ctrl := arm.NewController()
+		// Warm the history with unrecorded sessions first; they consume the
+		// user's RNG stream, which is fine — the warmed arm is its own cell,
+		// not paired sample-for-sample against a cold arm's streams.
+		for s := 0; s < arm.WarmSessions; s++ {
+			title := video.NewTitle(cfg.Ladder.CapAt(u.TopBitrate), cfg.ChunkDuration, cfg.ChunksPerSession, rng)
+			player.Run(player.Config{Controller: ctrl, Title: title, History: hist}, u.Path, rng, nil)
+		}
 		var recs []SessionRecord
 		for s := 0; s < cfg.SessionsPerUser; s++ {
 			title := video.NewTitle(cfg.Ladder.CapAt(u.TopBitrate), cfg.ChunkDuration, cfg.ChunksPerSession, rng)

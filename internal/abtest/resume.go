@@ -1,0 +1,134 @@
+package abtest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file turns the opaque "config hash mismatch" resume failure into a
+// diagnosis: the manifest stores the knob capture behind its hash, and a
+// mismatched resume diffs the stored knobs against the current run's to
+// say exactly which flag changed.
+
+// configKnobs captures every knob configHash fingerprints as readable
+// key → value strings. It must stay in lockstep with configHash: two
+// configs with equal knob maps must hash equally and vice versa.
+func configKnobs(cfg Config, arms []Arm, shardSize int) map[string]string {
+	cfg = cfg.withDefaults()
+	p := cfg.Population
+	k := map[string]string{
+		"users":              fmt.Sprintf("%d", p.Users),
+		"seed":               fmt.Sprintf("%d", p.Seed),
+		"median_capacity":    fmt.Sprintf("%v", p.MedianCapacity),
+		"capacity_sigma":     fmt.Sprintf("%v", p.CapacitySigma),
+		"median_rtt":         fmt.Sprintf("%v", p.MedianRTT),
+		"rtt_sigma":          fmt.Sprintf("%v", p.RTTSigma),
+		"sessions_per_user":  fmt.Sprintf("%d", cfg.SessionsPerUser),
+		"warmup_sessions":    fmt.Sprintf("%d", cfg.WarmupSessions),
+		"chunks_per_session": fmt.Sprintf("%d", cfg.ChunksPerSession),
+		"chunk_duration":     fmt.Sprintf("%v", cfg.ChunkDuration),
+		"ladder":             fmt.Sprintf("%v", cfg.Ladder),
+		"shard_size":         fmt.Sprintf("%d", shardSize),
+		"sketch_compression": fmt.Sprintf("%d", sketchCompression),
+		"arms":               strings.Join(hashedArmNames(arms), ","),
+	}
+	if p.Faults != nil {
+		k["faults"] = fmt.Sprintf("%+v", *p.Faults)
+	}
+	return k
+}
+
+// knobFlags maps knob keys to the sammy-eval flag that sets them, for
+// actionable mismatch messages.
+var knobFlags = map[string]string{
+	"users":              "-users",
+	"seed":               "-seed",
+	"sessions_per_user":  "-sessions",
+	"chunks_per_session": "-chunks",
+	"shard_size":         "-shards",
+	"faults":             "-chaos",
+}
+
+// DiffConfigKnobs compares a stored knob capture against the current run's
+// and returns one human-readable line per difference, sorted by knob name.
+// A nil stored map (manifest predating knob capture) yields a single
+// explanatory line.
+func DiffConfigKnobs(stored, now map[string]string) []string {
+	if len(stored) == 0 {
+		return []string{"stored manifest predates knob capture; cannot name the changed knob"}
+	}
+	keys := make(map[string]bool, len(stored)+len(now))
+	for k := range stored {
+		keys[k] = true
+	}
+	for k := range now {
+		keys[k] = true
+	}
+	var out []string
+	for k := range keys {
+		s, sok := stored[k]
+		n, nok := now[k]
+		if sok && nok && s == n {
+			continue
+		}
+		if !sok {
+			s = "(unset)"
+		}
+		if !nok {
+			n = "(unset)"
+		}
+		line := fmt.Sprintf("%s: checkpoint has %s, this run has %s", k, s, n)
+		if flag, ok := knobFlags[k]; ok {
+			line += fmt.Sprintf(" (flag %s)", flag)
+		}
+		out = append(out, line)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResumeMismatchError reports that a checkpoint directory was written by a
+// run with a different configuration, with the knob-level diff.
+type ResumeMismatchError struct {
+	Dir        string
+	StoredHash string
+	RunHash    string
+	Changed    []string
+}
+
+func (e *ResumeMismatchError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "checkpoint dir %s belongs to a run with config hash %s; this run is %s\n",
+		e.Dir, e.StoredHash, e.RunHash)
+	for _, c := range e.Changed {
+		fmt.Fprintf(&sb, "  changed %s\n", c)
+	}
+	sb.WriteString("  rotate -checkpoint-dir (or delete the directory) to start a fresh run")
+	return sb.String()
+}
+
+// CheckResumeConfig compares dir's manifest — if one exists — against the
+// current run configuration and returns a *ResumeMismatchError naming the
+// changed knobs when they differ. A missing or unreadable manifest returns
+// nil: there is nothing coherent to mismatch against (an unreadable one is
+// handled by the shard loader, which re-runs everything).
+func CheckResumeConfig(dir string, cfg Config, arms []Arm, shardSize int) error {
+	if dir == "" {
+		return nil
+	}
+	m, err := readManifest(dir)
+	if err != nil || m == nil {
+		return nil
+	}
+	hash := configHash(cfg, arms, shardSize)
+	if m.ConfigHash == hash {
+		return nil
+	}
+	return &ResumeMismatchError{
+		Dir:        dir,
+		StoredHash: m.ConfigHash,
+		RunHash:    hash,
+		Changed:    DiffConfigKnobs(m.Config, configKnobs(cfg, arms, shardSize)),
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"os"
 
 	"repro/internal/obs"
 	trace "repro/internal/obs/trace"
@@ -144,10 +143,20 @@ type ShardedResult struct {
 	// Stopped reports that a graceful stop ended the run early; the result
 	// covers only the finished shards and the run can be resumed.
 	Stopped bool
+	// Recovered counts dead workers' shards a coordinator re-claimed and
+	// re-ran in-process (multi-process runs only).
+	Recovered int
+	// Quarantined lists poison shards a coordinator excluded from the
+	// merge after retry exhaustion, ascending by index. The tables cover
+	// every other shard; quarantined user ranges are simply absent.
+	Quarantined []ManifestQuarantine
 }
 
-// Done reports whether every planned shard is in the result.
-func (r *ShardedResult) Done() bool { return r.Completed+r.Resumed == r.NumShards }
+// Done reports whether every planned shard is accounted for — merged or
+// quarantined.
+func (r *ShardedResult) Done() bool {
+	return r.Completed+r.Resumed+len(r.Quarantined) == r.NumShards
+}
 
 // configHash fingerprints everything that defines a sharded run's output:
 // the population parameters, session schedule, ladder, arm set and shard
@@ -164,8 +173,8 @@ func configHash(cfg Config, arms []Arm, shardSize int) string {
 	fmt.Fprintf(h, "sessions %d warmup %d chunks %d dur %v ladder %v parallel-invariant\n",
 		cfg.SessionsPerUser, cfg.WarmupSessions, cfg.ChunksPerSession, cfg.ChunkDuration, cfg.Ladder)
 	fmt.Fprintf(h, "shard %d sketch %d arms", shardSize, sketchCompression)
-	for _, a := range arms {
-		fmt.Fprintf(h, " %s", a.Name)
+	for _, n := range hashedArmNames(arms) {
+		fmt.Fprintf(h, " %s", n)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
@@ -175,6 +184,21 @@ func armNames(arms []Arm) []string {
 	names := make([]string, len(arms))
 	for i, a := range arms {
 		names[i] = a.Name
+	}
+	return names
+}
+
+// hashedArmNames renders each arm as it feeds the config hash: the name,
+// plus the history warm-up when one is set (a warmed arm produces different
+// output than a cold one of the same name, so it must move the hash). Plain
+// names stay unchanged so PR 8-era checkpoints keep their hashes.
+func hashedArmNames(arms []Arm) []string {
+	names := make([]string, len(arms))
+	for i, a := range arms {
+		names[i] = a.Name
+		if a.WarmSessions > 0 {
+			names[i] = fmt.Sprintf("%s/warm%d", a.Name, a.WarmSessions)
+		}
 	}
 	return names
 }
@@ -199,7 +223,7 @@ func RunSharded(cfg ShardRunConfig) (*ShardedResult, error) {
 
 	var loaded map[int]*shardPayload
 	if cfg.CheckpointDir != "" {
-		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+		if err := ensureDurableDir(cfg.CheckpointDir); err != nil {
 			return nil, fmt.Errorf("abtest: checkpoint dir: %w", err)
 		}
 		if cfg.Resume {
@@ -217,6 +241,7 @@ func RunSharded(cfg ShardRunConfig) (*ShardedResult, error) {
 		Users:      cfg.Experiment.Population.Users,
 		ShardSize:  cfg.ShardSize,
 		NumShards:  len(plan),
+		Config:     configKnobs(cfg.Experiment, cfg.Arms, cfg.ShardSize),
 	}
 
 	// Shards are visited — and therefore merged — in ascending index order

@@ -1,0 +1,124 @@
+package abtest
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// This file routes the Fig 5 parameter sweep and the Fig 6 cold-start study
+// through the sharded runner, so both inherit everything RunSharded provides:
+// bounded memory, crash-resumable checkpoints (one subdirectory per sweep
+// cell), graceful stop, and deterministic merged sketches. The movements come
+// out as Welch CIs on the streamed moments instead of the in-memory path's
+// bootstrap — the streaming substitute used everywhere sketches are.
+
+// cellDir returns the per-cell checkpoint subdirectory, "" when
+// checkpointing is off.
+func cellDir(base, cell string) string {
+	if base == "" {
+		return ""
+	}
+	return filepath.Join(base, cell)
+}
+
+// sweepCellArms builds one Fig 5 cell: the shared control against Sammy at
+// (c0, c1).
+func sweepCellArms(c0, c1 float64) []Arm {
+	return []Arm{
+		ControlArm(),
+		{
+			Name:          fmt.Sprintf("sammy-c0=%.1f-c1=%.1f", c0, c1),
+			NewController: func() *core.Controller { return core.NewSammy(productionABR(retunedStartupSafety), c0, c1) },
+		},
+	}
+}
+
+// SweepParametersSharded runs Figure 5 as one sharded run per (c0, c1) cell.
+// run.Arms is ignored; each cell pairs a fresh control against its Sammy
+// setting, and checkpoints land under run.CheckpointDir/cell-NN. A graceful
+// stop ends the sweep after the in-flight cell; re-running with Resume set
+// finishes the remaining cells without redoing completed ones.
+func SweepParametersSharded(run ShardRunConfig, pairs [][2]float64) ([]SweepPoint, error) {
+	base := run.CheckpointDir
+	points := make([]SweepPoint, 0, len(pairs))
+	for n, p := range pairs {
+		c0, c1 := p[0], p[1]
+		cell := run
+		cell.Arms = sweepCellArms(c0, c1)
+		cell.CheckpointDir = cellDir(base, fmt.Sprintf("cell-%02d", n))
+		res, err := RunSharded(cell)
+		if err != nil {
+			return points, fmt.Errorf("abtest: sweep cell c0=%.1f c1=%.1f: %w", c0, c1, err)
+		}
+		if res.Stopped {
+			return points, nil
+		}
+		control, treat := res.Arms[0], res.Arms[1]
+		points = append(points, SweepPoint{
+			C0: c0, C1: c1,
+			ThroughputChg:   stats.WelchPercentChangeFromMoments(treat.Metrics[0].Moments, control.Metrics[0].Moments),
+			VMAFChg:         stats.WelchPercentChangeFromMoments(treat.Metrics[4].Moments, control.Metrics[4].Moments),
+			PlayDelayChg:    stats.WelchPercentChangeFromMoments(treat.Metrics[5].Moments, control.Metrics[5].Moments),
+			RebufferHourChg: stats.WelchPercentChangeFromMoments(treat.Metrics[7].Moments, control.Metrics[7].Moments),
+		})
+	}
+	return points, nil
+}
+
+// coldStartWarmup is how many unrecorded sessions warm the Fig 6 control's
+// history, matching the in-memory study's three pre-experiment days.
+const coldStartWarmup = 3
+
+// coldStartArms builds one Fig 6 day cell: a control whose history was
+// warmed with unrecorded sessions against an identical controller starting
+// cold. Both run the production control — the study isolates history warmth,
+// not the controller.
+func coldStartArms() []Arm {
+	return []Arm{
+		{
+			Name:          "control-warm",
+			NewController: func() *core.Controller { return core.NewControl(productionABR(0)) },
+			WarmSessions:  coldStartWarmup,
+		},
+		{
+			Name:          "control-cold",
+			NewController: func() *core.Controller { return core.NewControl(productionABR(0)) },
+		},
+	}
+}
+
+// ColdStartStudySharded runs Figure 6 as one sharded run per day: day d
+// streams d+1 sessions per user with the first d excluded as warmup, so the
+// recorded session is exactly the cold arm's d-th day of history convergence
+// while the warm arm started with a populated history. Checkpoints land
+// under run.CheckpointDir/day-NN; a graceful stop ends the study after the
+// in-flight day and Resume finishes the rest.
+func ColdStartStudySharded(run ShardRunConfig, days int) ([]ColdStartPoint, error) {
+	base := run.CheckpointDir
+	points := make([]ColdStartPoint, 0, days)
+	for d := 0; d < days; d++ {
+		cell := run
+		cell.Arms = coldStartArms()
+		cell.Experiment.SessionsPerUser = d + 1
+		cell.Experiment.WarmupSessions = d
+		cell.CheckpointDir = cellDir(base, fmt.Sprintf("day-%02d", d))
+		res, err := RunSharded(cell)
+		if err != nil {
+			return points, fmt.Errorf("abtest: cold-start day %d: %w", d, err)
+		}
+		if res.Stopped {
+			return points, nil
+		}
+		warm, cold := res.Arms[0], res.Arms[1]
+		points = append(points, ColdStartPoint{
+			Day: d,
+			// Treatment (cold) vs control (warm), as in the in-memory study:
+			// negative movements mean the cold start still lags.
+			InitialVMAFChg: stats.WelchPercentChangeFromMoments(cold.Metrics[3].Moments, warm.Metrics[3].Moments),
+		})
+	}
+	return points, nil
+}
