@@ -439,6 +439,7 @@ func serveDebug(addr string, t *otrace.Tracer) (func(), error) {
 		IdleTimeout:       120 * time.Second,
 		MaxHeaderBytes:    1 << 20,
 	}
+	//sammy:goroutinelifetime: Serve returns ErrServerClosed when the returned shutdown func calls srv.Close
 	go srv.Serve(ln)
 	fmt.Printf("debug inspector: http://%s/debug/sammy\n", ln.Addr())
 	return func() { srv.Close() }, nil
@@ -595,6 +596,7 @@ func runChaos(scn fault.Scenario, seed int64, chunks int) {
 		IdleTimeout:       120 * time.Second,
 		MaxHeaderBytes:    1 << 20,
 	}
+	//sammy:goroutinelifetime: Serve returns ErrServerClosed when the deferred hs.Close tears down the listener
 	go hs.Serve(ln)
 	defer hs.Close()
 
@@ -667,6 +669,7 @@ func runStorm(scn fault.Scenario, seed int64) {
 		IdleTimeout:       120 * time.Second,
 		MaxHeaderBytes:    1 << 20,
 	}
+	//sammy:goroutinelifetime: Serve returns ErrServerClosed when the deferred hs.Close tears down the listener
 	go hs.Serve(ln)
 	defer hs.Close()
 

@@ -1,7 +1,7 @@
 // Command sammy-vet runs the repo's custom go/analysis-style suite
-// (internal/analysis/...): simdeterminism, packetownership,
-// hardenedserver, obsguard, sharedpacer, spanend, and eventref. It
-// operates in two modes:
+// (internal/analysis/...): durablerename, eventref, goroutinelifetime,
+// hardenedserver, lockdiscipline, obsguard, packetownership, sharedpacer,
+// simdeterminism, and spanend. It operates in two modes:
 //
 // Standalone, for developers and the CI lint step:
 //
@@ -9,7 +9,11 @@
 //
 // loads non-test packages with the stdlib-only loader, applies every
 // analyzer, and (unless -stock=false) also shells out to the toolchain's
-// `go vet` so stock passes run in the same gate.
+// `go vet` so stock passes run in the same gate. Extras in this mode:
+// -sarif writes the results (suppressed sites included) as SARIF 2.1.0,
+// -suppression-budget gates the count of //sammy:<key> suppressions per
+// analyzer against a committed budget file, and -explain <analyzer> prints
+// one analyzer's contract.
 //
 // Vettool, driven by cmd/go so _test.go files are covered too:
 //
@@ -30,6 +34,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/analysis"
+	"repro/internal/analysis/sarif"
 	"repro/internal/analysis/suite"
 	"repro/internal/analysis/unit"
 	"repro/internal/citools"
@@ -47,7 +53,8 @@ func main() {
 			printVersion()
 			return
 		case a == "-flags" || a == "--flags":
-			// No tool-specific flags are exposed through `go vet`.
+			// No tool-specific flags are exposed through `go vet`; the
+			// SARIF/budget/explain extras are standalone-only.
 			fmt.Println("[]")
 			return
 		}
@@ -83,15 +90,19 @@ func standalone(args []string) {
 	fs := flag.NewFlagSet("sammy-vet", flag.ExitOnError)
 	stock := fs.Bool("stock", true, "also run the toolchain's stock `go vet` passes")
 	verbose := fs.Bool("v", false, "print a summary of packages, findings, and honored suppressions")
+	sarifOut := fs.String("sarif", "", "write results (suppressed sites included) as SARIF 2.1.0 to this file")
+	budgetPath := fs.String("suppression-budget", "", "gate //sammy:<key> suppression counts against this budget file")
+	updateBudget := fs.Bool("update-suppression-budget", false, "rewrite the -suppression-budget file with the observed counts instead of gating")
+	explain := fs.String("explain", "", "print the named analyzer's doc, invariant, and suppression key, then exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: sammy-vet [-stock=false] [-v] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: sammy-vet [-stock=false] [-v] [-sarif out.json] [-suppression-budget budget.json] [-explain analyzer] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Analyzers:\n")
 		for _, a := range suite.All() {
 			doc := a.Doc
 			if i := strings.IndexByte(doc, '\n'); i >= 0 {
 				doc = doc[:i]
 			}
-			fmt.Fprintf(fs.Output(), "  %-16s %s (suppress: //sammy:%s)\n", a.Name, doc, a.SuppressKey)
+			fmt.Fprintf(fs.Output(), "  %-18s %s (suppress: //sammy:%s)\n", a.Name, doc, a.SuppressKey)
 		}
 		fmt.Fprintf(fs.Output(), "\nFlags:\n")
 		fs.PrintDefaults()
@@ -102,29 +113,75 @@ func standalone(args []string) {
 		patterns = []string{"./..."}
 	}
 
+	if *explain != "" {
+		explainAnalyzer(*explain)
+		return
+	}
+
 	rep := citools.New("sammy-vet")
-	results, err := suite.Run(".", patterns)
+	results, loadErrs, err := suite.Run(".", patterns)
 	if err != nil {
 		rep.Errorf("%v", err)
 		rep.Exit()
 	}
+	// A package the loader could not provide is a tool error (exit 2):
+	// analyzing a silently shrunken tree would report "clean" for code
+	// nobody looked at.
+	for _, le := range loadErrs {
+		rep.Errorf("load: %v", le)
+	}
 
 	wd, _ := os.Getwd()
+	relPath := func(file string) string {
+		if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+		return filepath.ToSlash(file)
+	}
+
+	log := sarif.New("sammy-vet", suite.All())
 	suppressed := 0
+	counts := map[string]int{}
 	for _, res := range results {
 		for _, terr := range res.Pkg.TypeErrors {
 			rep.Errorf("%s: %v", res.Pkg.ImportPath, terr)
 		}
-		suppressed += len(res.Suppressed)
 		for _, d := range res.Diagnostics {
 			pos := res.Pkg.Fset.Position(d.Pos)
-			file := pos.Filename
-			if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = rel
-			}
-			rep.Findingf("%s:%d:%d: [%s] %s", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+			rep.Findingf("%s:%d:%d: [%s] %s", relPath(pos.Filename), pos.Line, pos.Column, d.Analyzer, d.Message)
+			log.Add(d.Analyzer, "error", d.Message, relPath(pos.Filename), pos.Line, pos.Column, false, "")
+		}
+		for _, d := range res.Suppressed {
+			suppressed++
+			counts[d.Analyzer]++
+			pos := res.Pkg.Fset.Position(d.Pos)
+			log.Add(d.Analyzer, "note", d.Message, relPath(pos.Filename), pos.Line, pos.Column, true,
+				justification(res, d))
 		}
 	}
+
+	if *sarifOut != "" {
+		if err := log.WriteFile(*sarifOut); err != nil {
+			rep.Errorf("writing SARIF: %v", err)
+		} else if *verbose {
+			rep.Infof("sammy-vet: wrote SARIF to %s", *sarifOut)
+		}
+	}
+
+	if *budgetPath != "" {
+		if *updateBudget {
+			if err := citools.WriteBudget(*budgetPath, counts); err != nil {
+				rep.Errorf("writing suppression budget: %v", err)
+			} else {
+				rep.Infof("sammy-vet: wrote suppression budget to %s", *budgetPath)
+			}
+		} else if budget, err := citools.LoadBudget(*budgetPath); err != nil {
+			rep.Errorf("loading suppression budget: %v", err)
+		} else {
+			rep.CheckBudget(budget, counts)
+		}
+	}
+
 	if *verbose {
 		rep.Infof("sammy-vet: %d packages, %d findings, %d suppressed sites",
 			len(results), rep.Findings(), suppressed)
@@ -143,4 +200,53 @@ func standalone(args []string) {
 		}
 	}
 	rep.Exit()
+}
+
+// explainAnalyzer prints one analyzer's contract: name, one-line invariant,
+// the full doc, and the suppression key with usage.
+func explainAnalyzer(name string) {
+	a := suite.ByName(name)
+	if a == nil {
+		fmt.Fprintf(os.Stderr, "sammy-vet: unknown analyzer %q; available:\n", name)
+		for _, s := range suite.All() {
+			fmt.Fprintf(os.Stderr, "  %s\n", s.Name)
+		}
+		os.Exit(citools.ExitError)
+	}
+	fmt.Printf("%s\n%s\n\n", a.Name, strings.Repeat("=", len(a.Name)))
+	fmt.Printf("Invariant:\n  %s\n\n", a.Doc)
+	fmt.Printf("Suppression:\n")
+	fmt.Printf("  //sammy:%s: <justification>\n", a.SuppressKey)
+	fmt.Printf("  on (or on the line above) the flagged line. Suppressions are counted,\n")
+	fmt.Printf("  not dropped: the committed suppression budget (.sammy-vet-budget.json)\n")
+	fmt.Printf("  must grow in the same change, so every new suppression is a reviewed diff.\n")
+}
+
+// justification recovers the text after //sammy:<key>: on the suppressed
+// diagnostic's line (or the line above), for the SARIF suppression record.
+func justification(res suite.PkgResult, d analysis.Diagnostic) string {
+	a := suite.ByName(d.Analyzer)
+	if a == nil {
+		return ""
+	}
+	pos := res.Pkg.Fset.Position(d.Pos)
+	prefix := "sammy:" + a.SuppressKey
+	for _, f := range res.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				cpos := res.Pkg.Fset.Position(c.Pos())
+				if cpos.Filename != pos.Filename || (cpos.Line != pos.Line && cpos.Line != pos.Line-1) {
+					continue
+				}
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if rest, ok := strings.CutPrefix(text, prefix+":"); ok {
+					return strings.TrimSpace(rest)
+				}
+				if text == prefix {
+					return ""
+				}
+			}
+		}
+	}
+	return ""
 }

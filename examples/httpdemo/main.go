@@ -37,6 +37,7 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 		MaxHeaderBytes:    1 << 20,
 	}
+	//sammy:goroutinelifetime: Serve returns ErrServerClosed when the deferred srv.Close below tears down the listener
 	go func() {
 		if err := srv.Serve(ln); err != http.ErrServerClosed {
 			log.Printf("httpdemo: server: %v", err)

@@ -143,9 +143,12 @@ type Lease struct {
 	attempt    int
 	ttl        time.Duration
 
-	mu     sync.Mutex
-	lost   bool
+	mu sync.Mutex
+	// guarded by mu
+	lost bool
+	// guarded by mu
 	stopHB chan struct{}
+	// guarded by mu
 	hbDone chan struct{}
 }
 
@@ -217,6 +220,7 @@ func claimShardLease(dir string, shard int, owner, configHash string, ttl time.D
 		if err := tmp.Close(); err != nil {
 			return nil, 0, err
 		}
+		//sammy:durablerename: lease files are advisory TTL state; losing one to a crash costs a re-acquire, not data
 		if err := os.Rename(tmpName, path); err != nil {
 			return nil, 0, err
 		}

@@ -22,7 +22,7 @@ func plantLease(t *testing.T, dir string, shard int, owner string, attempt int, 
 	if err := os.WriteFile(path, body, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	old := time.Now().Add(-age)
+	old := time.Now().Add(-age) //sammy:nondeterministic-ok: test backdates a lease file mtime; wall clock is the thing under test
 	if err := os.Chtimes(path, old, old); err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestLeaseStealExpired(t *testing.T) {
 	}
 	// Backdate the lease past its TTL instead of sleeping.
 	path := filepath.Join(dir, leaseFileName(1))
-	old := time.Now().Add(-time.Second)
+	old := time.Now().Add(-time.Second) //sammy:nondeterministic-ok: test backdates a lease file mtime; wall clock is the thing under test
 	if err := os.Chtimes(path, old, old); err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestLeaseCorruptTornFile(t *testing.T) {
 	if info := inspectLease(dir, 0, time.Minute); info.state != leaseFresh {
 		t.Fatalf("young torn lease should count as fresh, got %+v", info)
 	}
-	old := time.Now().Add(-time.Hour)
+	old := time.Now().Add(-time.Hour) //sammy:nondeterministic-ok: test backdates a lease file mtime; wall clock is the thing under test
 	if err := os.Chtimes(path, old, old); err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestRunLeasedShardAbandonsStolenShard(t *testing.T) {
 	}
 	// Steal the lease out from under the victim before it runs.
 	path := filepath.Join(dir, leaseFileName(0))
-	old := time.Now().Add(-time.Second)
+	old := time.Now().Add(-time.Second) //sammy:nondeterministic-ok: test backdates a lease file mtime; wall clock is the thing under test
 	if err := os.Chtimes(path, old, old); err != nil {
 		t.Fatal(err)
 	}

@@ -196,6 +196,48 @@ func check(t *testing.T, a *analysis.Analyzer, pkg *load.Package, diags []analys
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
 		}
 	}
+	checkSuppressionRot(t, a, pkg, diags)
+}
+
+// checkSuppressionRot fails the test for every //sammy:<key> comment in the
+// fixture that no longer suppresses anything. Without this, an analyzer
+// change that stops firing on a suppressed fixture line passes silently —
+// the fixture keeps documenting a suppression the analyzer never exercises,
+// and the per-package suppressed-count assertions drift from the source.
+func checkSuppressionRot(t *testing.T, a *analysis.Analyzer, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	if a.SuppressKey == "" {
+		return
+	}
+	// A suppression comment on line L covers a diagnostic on L (trailing
+	// comment) or L+1 (comment on its own line above the site) — the same
+	// grammar Pass.Reportf honors.
+	suppressed := make(map[string]map[int]bool)
+	for _, d := range diags {
+		if !d.Suppressed {
+			continue
+		}
+		pos := pkg.Fset.Position(d.Pos)
+		if suppressed[pos.Filename] == nil {
+			suppressed[pos.Filename] = make(map[int]bool)
+		}
+		suppressed[pos.Filename][pos.Line] = true
+	}
+	prefix := "sammy:" + a.SuppressKey
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text != prefix && !strings.HasPrefix(text, prefix+":") && !strings.HasPrefix(text, prefix+" ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if !suppressed[pos.Filename][pos.Line] && !suppressed[pos.Filename][pos.Line+1] {
+					t.Errorf("%s: stale //%s suppression: no %s diagnostic fires here anymore — delete the comment or fix the fixture", pos, prefix, a.Name)
+				}
+			}
+		}
+	}
 }
 
 // splitQuoted parses the payload of a want comment: a sequence of

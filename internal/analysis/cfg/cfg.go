@@ -1,0 +1,573 @@
+// Package cfg builds intraprocedural control-flow graphs for the sammy-vet
+// dataflow analyzers. Like the rest of internal/analysis it is a stdlib-only
+// stand-in for the x/tools equivalent (golang.org/x/tools/go/cfg), shaped so
+// analyzers port mechanically if that package ever becomes available.
+//
+// A Graph is built from one function body (ast.FuncDecl.Body or
+// ast.FuncLit.Body — nested function literals are NOT inlined; analyze them
+// as separate graphs). Blocks carry the statements and condition expressions
+// evaluated in them, in source order; edges carry a kind and, for branches,
+// the condition expression, so flow analyzers can refine facts per branch
+// (e.g. treat the true edge of `err != nil` as an error path).
+//
+// Modeled constructs: if/else, for (cond/post/infinite), range, switch,
+// type switch (incl. fallthrough), select (incl. the blocking no-default
+// form — an empty `select {}` has no successors at all), labeled
+// break/continue, goto, return, and terminal calls (panic, os.Exit,
+// log.Fatal*, runtime.Goexit). Deferred calls are collected into a single
+// synthetic "defers" block that every return and panic edge routes through
+// before reaching Exit, which is how `defer mu.Unlock()` participates in
+// lock-state dataflow and `defer wg.Done()` shows up on every exit path.
+//
+// Deliberate approximations, chosen for the analyzers this package serves:
+// condition expressions are single nodes (no short-circuit decomposition),
+// range binding is represented by the ranged expression only, and the defers
+// block lists deferred calls in registration order (the runtime runs them in
+// reverse; none of the suite's lattices are order-sensitive within the
+// block).
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// EdgeKind classifies a control-flow edge.
+type EdgeKind int
+
+const (
+	// EdgeSeq is unconditional fall-through.
+	EdgeSeq EdgeKind = iota
+	// EdgeTrue leaves a branch when its condition holds (or a loop head
+	// into its body, or a range head into the next iteration).
+	EdgeTrue
+	// EdgeFalse leaves a branch when its condition fails (or a loop/range
+	// head once iteration is exhausted).
+	EdgeFalse
+	// EdgeCase dispatches from a switch/select head into one case body.
+	EdgeCase
+	// EdgeReturn leaves the function via an explicit or implicit return.
+	EdgeReturn
+	// EdgePanic leaves the function via panic or a terminal call
+	// (os.Exit, log.Fatal*, runtime.Goexit).
+	EdgePanic
+)
+
+// String returns the short edge label used in dot output.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeTrue:
+		return "T"
+	case EdgeFalse:
+		return "F"
+	case EdgeCase:
+		return "case"
+	case EdgeReturn:
+		return "ret"
+	case EdgePanic:
+		return "panic"
+	default:
+		return ""
+	}
+}
+
+// Edge is one directed control-flow edge.
+type Edge struct {
+	To   *Block
+	Kind EdgeKind
+	// Cond is the branch condition for EdgeTrue/EdgeFalse (nil for a
+	// range head, whose "condition" is iteration progress).
+	Cond ast.Expr
+}
+
+// Block is one straight-line run of statements.
+type Block struct {
+	Index int
+	// Label names the block's structural role ("entry", "for.head",
+	// "select.case", "defers", ...) for dot dumps and debugging.
+	Label string
+	// Nodes are the statements and condition expressions evaluated in this
+	// block, in order. Compound statements contribute only the parts
+	// evaluated here (an if contributes its init and cond; its body lives
+	// in successor blocks).
+	Nodes []ast.Node
+	Succs []Edge
+	Preds []*Block
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Name   string
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block // creation order; Entry is Blocks[0]
+}
+
+// New builds the CFG of one function body. name labels the graph in dot
+// output; body is fd.Body or lit.Body and must be non-nil.
+func New(name string, body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{Name: name},
+		labels: make(map[string]*Block),
+	}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = &Block{Label: "exit"} // appended last, after defers
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.exitVia(EdgeReturn) // implicit return at fall-off-end
+	b.finish()
+	return b.g
+}
+
+// edgeRef names one edge in place so the defers pass can retarget it.
+type edgeRef struct {
+	from *Block
+	idx  int
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label string // non-empty when the construct is labeled
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type pendingGoto struct {
+	ref   edgeRef
+	label string
+}
+
+type builder struct {
+	g            *builderGraph
+	cur          *Block // nil after a terminator until the next block opens
+	frames       []frame
+	labels       map[string]*Block
+	gotos        []pendingGoto
+	exitEdges    []edgeRef // return/panic edges, rerouted through defers
+	deferred     []ast.Node
+	pendingLabel string
+	fallTo       *Block // fallthrough target inside a switch case
+}
+
+// builderGraph aliases Graph so builder methods read naturally.
+type builderGraph = Graph
+
+func (b *builder) newBlock(label string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Label: label}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// block returns the current block, opening an unreachable one if the
+// previous statement terminated the path (dead code after return/panic).
+func (b *builder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.block()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *builder) edge(from, to *Block, kind EdgeKind, cond ast.Expr) edgeRef {
+	from.Succs = append(from.Succs, Edge{To: to, Kind: kind, Cond: cond})
+	return edgeRef{from: from, idx: len(from.Succs) - 1}
+}
+
+// jump closes the current path into to (no-op on a dead path).
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, to, EdgeSeq, nil)
+		b.cur = nil
+	}
+}
+
+// exitVia closes the current path out of the function.
+func (b *builder) exitVia(kind EdgeKind) {
+	if b.cur == nil {
+		return
+	}
+	b.exitEdges = append(b.exitEdges, b.edge(b.cur, b.g.Exit, kind, nil))
+	b.cur = nil
+}
+
+// takeLabel consumes the label pending from an enclosing LabeledStmt.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findFrame resolves a break/continue target: the innermost matching frame,
+// or the one with the given label.
+func (b *builder) findFrame(label string, needCont bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if label != "" && f.label != label {
+			continue
+		}
+		if needCont && f.cont == nil {
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.takeLabel() // labels on if only name goto targets; frame-less
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.block()
+		then := b.newBlock("if.then")
+		after := b.newBlock("if.done")
+		b.edge(cond, then, EdgeTrue, s.Cond)
+		var elseB *Block
+		if s.Else != nil {
+			elseB = b.newBlock("if.else")
+			b.edge(cond, elseB, EdgeFalse, s.Cond)
+		} else {
+			b.edge(cond, after, EdgeFalse, s.Cond)
+		}
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(after)
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.jump(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.jump(head)
+		b.cur = head
+		body := b.newBlock("for.body")
+		after := b.newBlock("for.done")
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			cont = post
+		}
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(head, body, EdgeTrue, s.Cond)
+			b.edge(head, after, EdgeFalse, s.Cond)
+		} else {
+			b.edge(head, body, EdgeSeq, nil)
+		}
+		b.cur = nil
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(cont)
+		b.frames = b.frames[:len(b.frames)-1]
+		if post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.jump(head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		b.jump(head)
+		head.Nodes = append(head.Nodes, s.X)
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.done")
+		b.edge(head, body, EdgeTrue, nil)
+		b.edge(head, after, EdgeFalse, nil)
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(label, s.Body, func(cc *ast.CaseClause, head *Block) {
+			for _, e := range cc.List {
+				head.Nodes = append(head.Nodes, e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(label, s.Body, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.block()
+		after := b.newBlock("select.done")
+		b.frames = append(b.frames, frame{label: label, brk: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			name := "select.case"
+			if cc.Comm == nil {
+				name = "select.default"
+			}
+			caseB := b.newBlock(name)
+			b.edge(head, caseB, EdgeCase, nil)
+			b.cur = caseB
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// A select with no cases blocks forever: head keeps zero
+		// successors and after is reachable only through case bodies.
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock("label." + s.Label.Name)
+		b.jump(lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.findFrame(label, false); f != nil {
+				b.jump(f.brk)
+			} else {
+				b.cur = nil // malformed input; drop the path
+			}
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.findFrame(label, true); f != nil {
+				b.jump(f.cont)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			ref := b.edge(b.block(), b.g.Exit, EdgeSeq, nil) // patched in finish
+			b.gotos = append(b.gotos, pendingGoto{ref: ref, label: s.Label.Name})
+			b.cur = nil
+		case token.FALLTHROUGH:
+			if b.fallTo != nil {
+				b.jump(b.fallTo)
+			} else {
+				b.cur = nil
+			}
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.exitVia(EdgeReturn)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.deferred = append(b.deferred, s.Call)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.exitVia(EdgePanic)
+		}
+
+	case nil:
+		// tolerated: some callers synthesize partial ASTs
+
+	default:
+		// Assign, Decl, Go, Send, IncDec, Empty, ...: plain nodes.
+		b.add(s)
+	}
+}
+
+// switchBody lowers the shared case structure of switch and type switch.
+// addExprs, when non-nil, copies a clause's case expressions into the head
+// block (they are evaluated there, not in the case body).
+func (b *builder) switchBody(label string, body *ast.BlockStmt, addExprs func(*ast.CaseClause, *Block)) {
+	head := b.block()
+	after := b.newBlock("switch.done")
+	b.frames = append(b.frames, frame{label: label, brk: after})
+
+	type caseWork struct {
+		clause *ast.CaseClause
+		block  *Block
+	}
+	var cases []caseWork
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		name := "switch.case"
+		if cc.List == nil {
+			name = "switch.default"
+			hasDefault = true
+		}
+		cb := b.newBlock(name)
+		if addExprs != nil {
+			addExprs(cc, head)
+		}
+		b.edge(head, cb, EdgeCase, nil)
+		cases = append(cases, caseWork{clause: cc, block: cb})
+	}
+	if !hasDefault {
+		b.edge(head, after, EdgeSeq, nil)
+	}
+	savedFall := b.fallTo
+	for i, cw := range cases {
+		b.fallTo = nil
+		if i+1 < len(cases) {
+			b.fallTo = cases[i+1].block
+		}
+		b.cur = cw.block
+		b.stmtList(cw.clause.Body)
+		b.jump(after)
+	}
+	b.fallTo = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// isTerminalCall reports whether expr is a call that never returns,
+// recognized syntactically: panic(...), os.Exit, log.Fatal/Fatalf/Fatalln,
+// runtime.Goexit.
+func isTerminalCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "log":
+			switch fun.Sel.Name {
+			case "Fatal", "Fatalf", "Fatalln":
+				return true
+			}
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		}
+	}
+	return false
+}
+
+// finish patches gotos, routes exit edges through the defers block, appends
+// Exit, and fills Preds.
+func (b *builder) finish() {
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			pg.ref.from.Succs[pg.ref.idx].To = target
+		}
+	}
+	if len(b.deferred) > 0 {
+		defers := b.newBlock("defers")
+		defers.Nodes = b.deferred
+		for _, ref := range b.exitEdges {
+			ref.from.Succs[ref.idx].To = defers
+		}
+		b.edge(defers, b.g.Exit, EdgeSeq, nil)
+	}
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	for _, blk := range b.g.Blocks {
+		for _, e := range blk.Succs {
+			e.To.Preds = append(e.To.Preds, blk)
+		}
+	}
+}
+
+// ReachableFromEntry returns the set of blocks reachable from Entry.
+func (g *Graph) ReachableFromEntry() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if seen[blk] {
+			return
+		}
+		seen[blk] = true
+		for _, e := range blk.Succs {
+			walk(e.To)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// CanReachExit returns the set of blocks from which Exit is reachable. A
+// reachable block outside this set sits in an inescapable cycle — the
+// signature of a goroutine that can never terminate.
+func (g *Graph) CanReachExit() map[*Block]bool {
+	// Reverse reachability from Exit over Preds.
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if seen[blk] {
+			return
+		}
+		seen[blk] = true
+		for _, p := range blk.Preds {
+			walk(p)
+		}
+	}
+	walk(g.Exit)
+	return seen
+}
+
+// Inspect walks n like ast.Inspect but does not descend into nested
+// function literals: their bodies belong to other control-flow graphs.
+// Statement-level analyzers use it to fold facts over Block.Nodes without
+// absorbing a closure's internals.
+func Inspect(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(m)
+	})
+}

@@ -1,0 +1,267 @@
+package cfg_test
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+// -update regenerates the golden dot dumps:
+//
+//	go test ./internal/analysis/cfg -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden dot files")
+
+// buildFunc parses src (a file body) and returns the CFG of the named
+// function.
+func buildFunc(t *testing.T, src, name string) (*cfg.Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", "package p\n\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if ok && fd.Name.Name == name && fd.Body != nil {
+			return cfg.New(name, fd.Body), fset
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// goldenCases are the constructions ISSUE 10 calls out plus the remaining
+// shapes the dataflow analyzers lean on. Each gets an exact dot golden
+// under testdata/golden.
+var goldenCases = []struct {
+	name string
+	src  string
+}{
+	{"defer_in_loop", `
+func deferInLoop(files []string) error {
+	for _, f := range files {
+		fd, err := open(f)
+		if err != nil {
+			return err
+		}
+		defer fd.Close()
+	}
+	return nil
+}`},
+	{"panic_recover", `
+func panicRecover(x int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = wrap(r)
+		}
+	}()
+	if x < 0 {
+		panic("negative")
+	}
+	return nil
+}`},
+	{"labeled_break_continue", `
+func labeled(rows [][]int) int {
+	total := 0
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 0 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}`},
+	{"for_select", `
+func forSelect(stop chan struct{}, work chan int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case v := <-work:
+			handle(v)
+		}
+	}
+}`},
+	{"for_select_no_exit", `
+func forSelectNoExit(tick chan int) {
+	for {
+		select {
+		case v := <-tick:
+			handle(v)
+		}
+	}
+}`},
+	{"switch_fallthrough", `
+func classify(n int) string {
+	switch {
+	case n == 0:
+		fallthrough
+	case n > 0:
+		return "non-negative"
+	default:
+		return "negative"
+	}
+}`},
+	{"terminal_calls", `
+func terminal(bad bool) {
+	if bad {
+		os.Exit(2)
+	}
+	log.Fatalf("unreached? no: %v", bad)
+}`},
+	{"goto_loop", `
+func gotoLoop(n int) int {
+	i := 0
+again:
+	if i < n {
+		i++
+		goto again
+	}
+	return i
+}`},
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Derive the function name from the first FuncDecl.
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, "fixture.go", "package p\n\n"+tc.src, parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parsing: %v", err)
+			}
+			var fd *ast.FuncDecl
+			for _, d := range f.Decls {
+				if x, ok := d.(*ast.FuncDecl); ok {
+					fd = x
+					break
+				}
+			}
+			g := cfg.New(fd.Name.Name, fd.Body)
+			got := g.Dot(fset)
+
+			golden := filepath.Join("testdata", "golden", tc.name+".dot")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (rerun with -update to generate): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("dot output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestForSelectReachability pins the semantic difference between the two
+// for/select goldens: a stop case makes the loop escapable, its absence
+// makes every loop block unable to reach exit.
+func TestForSelectReachability(t *testing.T) {
+	g, _ := buildFunc(t, goldenCases[3].src, "forSelect")
+	reach, canExit := g.ReachableFromEntry(), g.CanReachExit()
+	for _, blk := range g.Blocks {
+		if reach[blk] && !canExit[blk] {
+			t.Errorf("forSelect: block %d (%s) reachable but cannot reach exit", blk.Index, blk.Label)
+		}
+	}
+
+	g, _ = buildFunc(t, goldenCases[4].src, "forSelectNoExit")
+	reach, canExit = g.ReachableFromEntry(), g.CanReachExit()
+	trapped := 0
+	for _, blk := range g.Blocks {
+		if reach[blk] && !canExit[blk] {
+			trapped++
+		}
+	}
+	if trapped == 0 {
+		t.Error("forSelectNoExit: expected loop blocks that cannot reach exit, found none")
+	}
+}
+
+// TestEmptySelectBlocksForever pins the no-case select: its head has no
+// successors at all.
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g, _ := buildFunc(t, `
+func block() {
+	select {}
+}`, "block")
+	if canExit := g.CanReachExit(); canExit[g.Entry] {
+		t.Error("select {} should make exit unreachable from entry")
+	}
+}
+
+// TestDefersOnAllExitPaths pins that both the return edge and the panic
+// edge route through the defers block.
+func TestDefersOnAllExitPaths(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(bad bool) {
+	defer cleanup()
+	if bad {
+		panic("bad")
+	}
+}`, "f")
+	var defers *cfg.Block
+	for _, blk := range g.Blocks {
+		if blk.Label == "defers" {
+			defers = blk
+		}
+	}
+	if defers == nil {
+		t.Fatal("no defers block")
+	}
+	if len(defers.Nodes) != 1 {
+		t.Fatalf("defers block has %d nodes, want the cleanup() call", len(defers.Nodes))
+	}
+	// Every edge into Exit must come from the defers block.
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.To == g.Exit && blk != defers {
+				t.Errorf("block %d (%s) reaches exit bypassing defers", blk.Index, blk.Label)
+			}
+		}
+	}
+}
+
+// TestBreakInSelectBreaksSelectNotLoop pins the classic trap: break inside
+// a select case terminates the select, so the enclosing for loop stays
+// inescapable without a return.
+func TestBreakInSelectBreaksSelectNotLoop(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(c chan int) {
+	for {
+		select {
+		case <-c:
+			break
+		}
+	}
+}`, "f")
+	reach, canExit := g.ReachableFromEntry(), g.CanReachExit()
+	trapped := 0
+	for _, blk := range g.Blocks {
+		if reach[blk] && !canExit[blk] {
+			trapped++
+		}
+	}
+	if trapped == 0 {
+		t.Error("break-in-select must not escape the for loop")
+	}
+}

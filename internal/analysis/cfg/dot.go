@@ -1,0 +1,53 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz dot format. The output is a pure
+// function of the graph and the source text (block indices are creation
+// order, statements print through go/printer), so it is stable enough for
+// golden tests.
+func (g *Graph) Dot(fset *token.FileSet) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.Name)
+	for _, blk := range g.Blocks {
+		lines := []string{fmt.Sprintf("%d: %s", blk.Index, blk.Label)}
+		for _, n := range blk.Nodes {
+			lines = append(lines, nodeText(fset, n))
+		}
+		fmt.Fprintf(&sb, "  n%d [shape=box,label=%q];\n", blk.Index, strings.Join(lines, "\n"))
+	}
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if lbl := e.Kind.String(); lbl != "" {
+				fmt.Fprintf(&sb, "  n%d -> n%d [label=%q];\n", blk.Index, e.To.Index, lbl)
+			} else {
+				fmt.Fprintf(&sb, "  n%d -> n%d;\n", blk.Index, e.To.Index)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// nodeText renders one node as a single collapsed source line, truncated so
+// dot labels stay readable.
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf strings.Builder
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	text := buf.String()
+	fields := strings.Fields(text) // collapse newlines and tabs
+	text = strings.Join(fields, " ")
+	const max = 60
+	if len(text) > max {
+		text = text[:max-3] + "..."
+	}
+	return text
+}

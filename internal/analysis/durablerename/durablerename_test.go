@@ -1,0 +1,21 @@
+package durablerename_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/durablerename"
+)
+
+func TestDurableRename(t *testing.T) {
+	diags := antest.Run(t, durablerename.Analyzer, "dr/a", "dr/sup")
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want exactly the audited lease-steal site", suppressed)
+	}
+}

@@ -1,0 +1,136 @@
+// Package a exercises the durablerename analyzer: the compliant
+// tmp+fsync+rename+dirsync recipe, the partial recipes that drop one leg,
+// and the patterns (error paths, defer, helper names) the checker must
+// understand.
+package a
+
+import "os"
+
+// fsyncDir is the helper shape the analyzer recognizes by name.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// compliant is the full DESIGN §13 recipe: write, sync file, rename, sync
+// parent dir.
+func compliant(dir, final string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	return fsyncDir(dir)
+}
+
+// deferredDirSync syncs the directory via defer, which covers every exit.
+func deferredDirSync(dir, final string, data []byte) error {
+	defer fsyncDir(dir)
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), final)
+}
+
+// noFileSync renames without ever syncing the temp file.
+func noFileSync(dir, tmp, final string) error {
+	if err := os.Rename(tmp, final); err != nil { // want `no \(\*os\.File\)\.Sync on any path before the rename`
+		return err
+	}
+	return fsyncDir(dir)
+}
+
+// noDirSync syncs the file but returns right after the rename.
+func noDirSync(final string, tmp *os.File) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), final) // want `a path after the rename reaches a return without a parent-directory sync`
+}
+
+// neither drops both legs of the protocol.
+func neither(tmp, final string) { // fall-off-end after the rename
+	os.Rename(tmp, final) // want `no \(\*os\.File\)\.Sync on any path before the rename.*reaches the end of the function without a parent-directory sync`
+}
+
+// syncOnOneBranchOnly must still flag: the else path renames unsynced.
+func syncOnOneBranchOnly(flush bool, dir, final string, tmp *os.File) error {
+	if flush {
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil { // want `no \(\*os\.File\)\.Sync on any path before the rename`
+		return err
+	}
+	return fsyncDir(dir)
+}
+
+// dirSyncOnOneBranchOnly must still flag: the quiet path skips the sync.
+func dirSyncOnOneBranchOnly(loud bool, dir, final string, tmp *os.File) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil { // want `a path after the rename reaches a return without a parent-directory sync`
+		return err
+	}
+	if loud {
+		return fsyncDir(dir)
+	}
+	return nil
+}
+
+// helperFileSync satisfies requirement 1 through an fsyncFile-shaped helper.
+func helperFileSync(dir, tmp, final string) error {
+	if err := fsyncFile(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return fsyncDir(dir)
+}
+
+func fsyncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// loopRetry keeps the file-sync fact across the retry loop's back edge.
+func loopRetry(dir, final string, tmp *os.File) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if err := os.Rename(tmp.Name(), final); err != nil {
+			continue
+		}
+		return fsyncDir(dir)
+	}
+	return errFailed
+}
+
+var errFailed = os.ErrInvalid

@@ -1,0 +1,13 @@
+// Package sup holds the audited exception: a rename whose durability is
+// deliberately skipped, carrying the //sammy:durablerename suppression.
+package sup
+
+import "os"
+
+// stealLease mirrors the lease-steal pattern: the lease file is advisory
+// liveness state with a TTL, so a lost rename is indistinguishable from a
+// crashed holder and costs one lease term, not data.
+func stealLease(tmp, path string) error {
+	//sammy:durablerename: lease files are advisory TTL state; a lost steal costs one term, not data
+	return os.Rename(tmp, path)
+}

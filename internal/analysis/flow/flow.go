@@ -1,0 +1,97 @@
+// Package flow is the generic forward-dataflow layer the sammy-vet
+// analyzers run on top of internal/analysis/cfg. Each analyzer supplies a
+// lattice — a fact type, a join, an equality test, and transfer functions —
+// and the worklist solver computes the fixpoint of block-entry and
+// block-exit facts. It is deliberately small: forward, intraprocedural,
+// and deterministic (the worklist drains in block-index order, so facts and
+// diagnostics never depend on map iteration).
+package flow
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/cfg"
+)
+
+// Lattice describes one analyzer's abstract domain over facts of type F.
+// Facts must be treated as immutable values: Join and TransferNode return
+// new facts rather than mutating their inputs, because a fact may be shared
+// between the solver's tables and an analyzer's own bookkeeping.
+type Lattice[F any] struct {
+	// Join combines the facts of two incoming edges at a merge point.
+	Join func(a, b F) F
+
+	// Equal reports whether two facts are the same; the solver stops
+	// propagating a block once its entry fact stops changing.
+	Equal func(a, b F) bool
+
+	// TransferNode applies one Block node (a statement or condition
+	// expression) to the fact flowing through it.
+	TransferNode func(n ast.Node, f F) F
+
+	// TransferEdge, optional, refines the fact along one outgoing edge —
+	// e.g. the true edge of `err != nil` enters an error path. It runs
+	// after the block's nodes.
+	TransferEdge func(e cfg.Edge, f F) F
+}
+
+// Result holds the fixpoint facts of one Forward run.
+type Result[F any] struct {
+	// In[b] is the fact at b's entry; Out[b] after its last node (before
+	// edge refinement). Blocks unreachable from entry are absent.
+	In, Out map[*cfg.Block]F
+}
+
+// TransferBlock folds a block's nodes over a fact, yielding the block-exit
+// fact. Analyzers reuse it to recover intra-block states: fold In[b] node
+// by node to learn the fact in force at a particular statement.
+func (l *Lattice[F]) TransferBlock(b *cfg.Block, f F) F {
+	for _, n := range b.Nodes {
+		f = l.TransferNode(n, f)
+	}
+	return f
+}
+
+// Forward computes the forward fixpoint over g starting from the entry
+// fact. Facts reach a block only along CFG edges, so code after a return
+// or inside an inescapable loop keeps whatever the lattice's join of its
+// real predecessors is — never an invented state.
+func Forward[F any](g *cfg.Graph, l *Lattice[F], entry F) *Result[F] {
+	res := &Result[F]{
+		In:  make(map[*cfg.Block]F, len(g.Blocks)),
+		Out: make(map[*cfg.Block]F, len(g.Blocks)),
+	}
+	res.In[g.Entry] = entry
+
+	// Worklist keyed by block index for determinism; inQueue dedupes.
+	queue := []*cfg.Block{g.Entry}
+	inQueue := map[*cfg.Block]bool{g.Entry: true}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b] = false
+
+		out := l.TransferBlock(b, res.In[b])
+		res.Out[b] = out
+		for _, e := range b.Succs {
+			next := out
+			if l.TransferEdge != nil {
+				next = l.TransferEdge(e, next)
+			}
+			old, seen := res.In[e.To]
+			merged := next
+			if seen {
+				merged = l.Join(old, next)
+				if l.Equal(merged, old) {
+					continue
+				}
+			}
+			res.In[e.To] = merged
+			if !inQueue[e.To] {
+				inQueue[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,215 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/flow"
+)
+
+func build(t *testing.T, src string) (*cfg.Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return cfg.New(fd.Name.Name, fd.Body), fset
+		}
+	}
+	t.Fatal("no function")
+	return nil, nil
+}
+
+// markLattice is a simple must-analysis: fact is true iff a call to mark()
+// has definitely executed on every path.
+func markLattice() *flow.Lattice[bool] {
+	return &flow.Lattice[bool]{
+		Join:  func(a, b bool) bool { return a && b },
+		Equal: func(a, b bool) bool { return a == b },
+		TransferNode: func(n ast.Node, f bool) bool {
+			found := f
+			cfg.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+						found = true
+					}
+				}
+				return true
+			})
+			return found
+		},
+	}
+}
+
+// exitFact folds the facts of all edges into Exit.
+func exitFact(t *testing.T, g *cfg.Graph, res *flow.Result[bool]) bool {
+	t.Helper()
+	f, ok := res.In[g.Exit]
+	if !ok {
+		t.Fatal("exit unreachable")
+	}
+	return f
+}
+
+func TestMustAnalysisBranches(t *testing.T) {
+	// mark() on only one branch: not definite at exit.
+	g, _ := build(t, `
+func f(b bool) {
+	if b {
+		mark()
+	}
+	done()
+}`)
+	res := flow.Forward(g, markLattice(), false)
+	if exitFact(t, g, res) {
+		t.Error("mark on one branch must not be definite at exit")
+	}
+
+	// mark() on both branches: definite.
+	g, _ = build(t, `
+func f(b bool) {
+	if b {
+		mark()
+	} else {
+		mark()
+	}
+	done()
+}`)
+	res = flow.Forward(g, markLattice(), false)
+	if !exitFact(t, g, res) {
+		t.Error("mark on both branches must be definite at exit")
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	// mark() inside a conditional loop body may run zero times.
+	g, _ := build(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		mark()
+	}
+	done()
+}`)
+	res := flow.Forward(g, markLattice(), false)
+	if exitFact(t, g, res) {
+		t.Error("loop body may not execute; mark must not be definite")
+	}
+
+	// mark() before the loop stays definite through the back edge.
+	g, _ = build(t, `
+func f(n int) {
+	mark()
+	for i := 0; i < n; i++ {
+		spin()
+	}
+	done()
+}`)
+	res = flow.Forward(g, markLattice(), false)
+	if !exitFact(t, g, res) {
+		t.Error("mark before the loop must stay definite at exit")
+	}
+}
+
+func TestEdgeRefinement(t *testing.T) {
+	// An error-path lattice: fact is "on an error path"; the true edge of
+	// `err != nil` sets it.
+	lat := &flow.Lattice[bool]{
+		Join:         func(a, b bool) bool { return a && b },
+		Equal:        func(a, b bool) bool { return a == b },
+		TransferNode: func(n ast.Node, f bool) bool { return f },
+		TransferEdge: func(e cfg.Edge, f bool) bool {
+			if e.Kind == cfg.EdgeTrue {
+				if bin, ok := e.Cond.(*ast.BinaryExpr); ok && strings.Contains(types(bin), "err != nil") {
+					return true
+				}
+			}
+			return f
+		},
+	}
+	g, _ := build(t, `
+func f() error {
+	err := work()
+	if err != nil {
+		return err
+	}
+	return nil
+}`)
+	res := flow.Forward(g, lat, false)
+	var thenBlock, doneBlock *cfg.Block
+	for _, b := range g.Blocks {
+		switch b.Label {
+		case "if.then":
+			thenBlock = b
+		case "if.done":
+			doneBlock = b
+		}
+	}
+	if !res.In[thenBlock] {
+		t.Error("true edge of err != nil must mark the error path")
+	}
+	if res.In[doneBlock] {
+		t.Error("false edge must stay off the error path")
+	}
+}
+
+// types renders a binary expression for the contains check above (the
+// fixture has no type info, so this is purely syntactic).
+func types(e *ast.BinaryExpr) string {
+	x, okx := e.X.(*ast.Ident)
+	y, oky := e.Y.(*ast.Ident)
+	if okx && oky {
+		return x.Name + " " + e.Op.String() + " " + y.Name
+	}
+	return ""
+}
+
+func TestIntraBlockFold(t *testing.T) {
+	g, _ := build(t, `
+func f() {
+	before()
+	mark()
+	after()
+}`)
+	lat := markLattice()
+	res := flow.Forward(g, lat, false)
+	// Fold the entry block node by node: the fact flips at the mark call.
+	b := g.Entry
+	f := res.In[b]
+	var states []bool
+	for _, n := range b.Nodes {
+		f = lat.TransferNode(n, f)
+		states = append(states, f)
+	}
+	want := []bool{false, true, true}
+	if len(states) != len(want) {
+		t.Fatalf("states = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("states = %v, want %v", states, want)
+		}
+	}
+}
+
+func TestUnreachableBlocksHaveNoFacts(t *testing.T) {
+	g, _ := build(t, `
+func f() {
+	return
+	mark()
+}`)
+	res := flow.Forward(g, markLattice(), false)
+	for _, b := range g.Blocks {
+		if b.Label == "unreachable" {
+			if _, ok := res.In[b]; ok {
+				t.Error("unreachable block must not receive facts")
+			}
+		}
+	}
+}

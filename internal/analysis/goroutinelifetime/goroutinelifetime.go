@@ -1,0 +1,215 @@
+// Package goroutinelifetime requires every goroutine started in non-test
+// code to have a provable way to finish — the Sammy processes are
+// long-lived servers and population drivers, and an unjoinable goroutine is
+// how they leak memory (PR 7's per-stream workers) or hang shutdown (PR 6's
+// heartbeat). A `go` statement passes when its body shows either:
+//
+//   - a join edge: the goroutine signals completion — (*sync.WaitGroup).Done
+//     or Wait, a close(ch), or a channel send that a collector receives; or
+//   - a stop edge: the goroutine watches a signal someone else owns — a
+//     receive from ctx.Done(), or a receive (or range) over a channel
+//     declared outside the goroutine body (parameter, capture, or struct
+//     field). A time.Ticker/time.Timer .C receive is not a stop edge: the
+//     clock never tells anyone to exit.
+//
+// Additionally the body's CFG must be escapable: a reachable block that
+// cannot reach function exit (`for { select { case <-tick.C: } }`) means
+// the goroutine literally has no terminating path, whatever channels it
+// touches.
+//
+// Bodies are resolved for function literals and same-package functions and
+// methods. A `go` call into another package (go srv.Serve(ln)) cannot be
+// verified intraprocedurally and must either move the lifetime evidence to
+// the call site or carry an audited //sammy:goroutinelifetime suppression.
+package goroutinelifetime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer is the goroutinelifetime pass.
+var Analyzer = &analysis.Analyzer{
+	Name:        "goroutinelifetime",
+	Doc:         "require every go statement in non-test code to reach a join edge (WaitGroup.Done, close, send) or stop edge (ctx.Done or externally owned channel receive), with an escapable body CFG",
+	SuppressKey: "goroutinelifetime",
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Index same-package function and method declarations so `go w.run()`
+	// resolves to a body.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			check(pass, decls, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	var name string
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body, name = fun.Body, "func literal"
+	default:
+		fn := analysis.CalleeFunc(pass.TypesInfo, gs.Call)
+		if fn != nil {
+			if fd, ok := decls[fn]; ok && fd.Body != nil {
+				body, name = fd.Body, fn.Name()
+			}
+		}
+		if body == nil {
+			callee := types.ExprString(gs.Call.Fun)
+			pass.Reportf(gs.Pos(), "cannot verify goroutine lifetime: %s is not defined in this package; prove the join/stop edge at the call site or audit with //sammy:goroutinelifetime", callee)
+			return
+		}
+	}
+
+	g := cfg.New(name, body)
+	reach, canExit := g.ReachableFromEntry(), g.CanReachExit()
+	trapped := 0
+	for _, blk := range g.Blocks {
+		if reach[blk] && !canExit[blk] {
+			trapped++
+		}
+	}
+	if trapped > 0 {
+		pass.Reportf(gs.Pos(), "goroutine %s can never terminate: %d reachable blocks cannot reach function exit (inescapable loop — add a stop case that returns)", name, trapped)
+		return
+	}
+
+	if !hasLifetimeEvidence(pass.TypesInfo, body) {
+		pass.Reportf(gs.Pos(), "goroutine %s has no join or stop edge: no WaitGroup.Done/Wait, close, or send (join), and no ctx.Done() or externally owned channel receive (stop)", name)
+	}
+}
+
+// hasLifetimeEvidence scans the whole body — nested closures and deferred
+// calls included, since `defer wg.Done()` and `defer close(done)` are the
+// canonical join edges — for any join or stop evidence.
+func hasLifetimeEvidence(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			// A send is a join edge only on an externally owned channel:
+			// the collector holding the other end receives it. A send on a
+			// channel the goroutine made for itself proves nothing.
+			if isExternalChan(info, n.Chan, body) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isCloseCall(info, n) {
+				if len(n.Args) == 1 && isExternalChan(info, n.Args[0], body) {
+					found = true
+				}
+			} else if isWaitGroupCall(info, n) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isStopReceive(info, n.X, body) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			t := info.TypeOf(n.X)
+			if t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok && isExternalChan(info, n.X, body) {
+					found = true // range ends when the owner closes the channel
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCloseCall recognizes the close builtin.
+func isCloseCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// isWaitGroupCall recognizes (*sync.WaitGroup).Done / Wait.
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Name() != "Done" && fn.Name() != "Wait" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && analysis.IsNamed(sig.Recv().Type(), "sync", "WaitGroup")
+}
+
+// isStopReceive reports whether receiving from x is a stop edge: ctx.Done()
+// or an externally owned channel (excluding Ticker/Timer .C).
+func isStopReceive(info *types.Info, x ast.Expr, body *ast.BlockStmt) bool {
+	x = ast.Unparen(x)
+	if call, ok := x.(*ast.CallExpr); ok {
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil || fn.Name() != "Done" {
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		return ok && sig.Recv() != nil && analysis.IsNamed(sig.Recv().Type(), "context", "Context")
+	}
+	return isExternalChan(info, x, body)
+}
+
+// isExternalChan reports whether x names a channel owned outside the
+// goroutine body — a parameter, captured variable, or struct field — so
+// someone else can signal or close it. Local channels the goroutine made
+// for itself prove nothing.
+func isExternalChan(info *types.Info, x ast.Expr, body *ast.BlockStmt) bool {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(x)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+	case *ast.SelectorExpr:
+		// A struct-field channel is external by construction — except the
+		// runtime-owned clock channels, which never deliver "exit".
+		if x.Sel.Name == "C" {
+			t := info.TypeOf(x.X)
+			if analysis.IsNamed(t, "time", "Ticker") || analysis.IsNamed(t, "time", "Timer") {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,21 @@
+package goroutinelifetime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/goroutinelifetime"
+)
+
+func TestGoroutineLifetime(t *testing.T) {
+	diags := antest.Run(t, goroutinelifetime.Analyzer, "gl/a", "gl/sup")
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want exactly the audited Serve site", suppressed)
+	}
+}

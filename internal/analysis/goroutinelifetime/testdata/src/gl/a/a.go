@@ -1,0 +1,133 @@
+// Package a exercises the goroutinelifetime analyzer: joinable and
+// stoppable goroutines, inescapable loops, unverifiable cross-package
+// callees, and the ticker trap.
+package a
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// waitGroupJoin: the canonical fan-out worker.
+func waitGroupJoin(wg *sync.WaitGroup, items []int) {
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+}
+
+// closeJoin: completion signalled by closing a channel.
+func closeJoin() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// sendJoin: result handed back over a channel.
+func sendJoin() chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- compute()
+	}()
+	return out
+}
+
+// ctxStop: select on ctx.Done.
+func ctxStop(ctx context.Context, kick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-kick:
+				handle(v)
+			}
+		}
+	}()
+}
+
+// capturedStop: receive from a channel the caller owns.
+func capturedStop(stop chan struct{}) {
+	go func() {
+		<-stop
+		work()
+	}()
+}
+
+// rangeStop: range over an external channel ends when the owner closes it.
+func rangeStop(jobs chan int) {
+	go func() {
+		for v := range jobs {
+			handle(v)
+		}
+	}()
+}
+
+// methodWorker resolves a same-package method body.
+type worker struct {
+	kick chan struct{}
+}
+
+func (w *worker) run() {
+	for {
+		_, ok := <-w.kick
+		if !ok {
+			return
+		}
+		work()
+	}
+}
+
+func methodWorker(w *worker) {
+	go w.run()
+}
+
+// tickerOnly: the clock never says exit; no join, no stop.
+func tickerOnly(t *time.Ticker) {
+	go func() { // want `has no join or stop edge`
+		for {
+			<-t.C
+			work()
+			return
+		}
+	}()
+}
+
+// inescapable: the select has no case that leads to return.
+func inescapable(tick chan int) {
+	go func() { // want `can never terminate`
+		for {
+			select {
+			case v := <-tick:
+				handle(v)
+			}
+		}
+	}()
+}
+
+// localOnly: a channel the goroutine made for itself proves nothing.
+func localOnly() {
+	go func() { // want `has no join or stop edge`
+		self := make(chan int, 1)
+		self <- 1
+		<-self
+		work()
+	}()
+}
+
+// crossPackage cannot be verified intraprocedurally.
+func crossPackage(srv *http.Server) {
+	go srv.ListenAndServe() // want `cannot verify goroutine lifetime`
+}
+
+func work()          {}
+func compute() int   { return 0 }
+func handle(int)     {}

@@ -58,8 +58,9 @@ type listedPackage struct {
 // concurrent use and shared process-wide so repeated analysistest loads do
 // not re-list the standard library.
 type Exports struct {
-	mu    sync.Mutex
-	dir   string // directory to run `go list` in
+	mu  sync.Mutex
+	dir string // directory to run `go list` in
+	// guarded by mu
 	files map[string]string
 }
 
@@ -148,14 +149,32 @@ func runList(dir string, extra []string) ([]listedPackage, error) {
 	return pkgs, nil
 }
 
+// LoadError is one package the loader could not fully provide: a root
+// package `go list` flagged, or a dependency with no export data. Drivers
+// must surface these as tool errors (sammy-vet exits 2) — a silently
+// skipped package is an analyzer that silently stopped looking.
+type LoadError struct {
+	ImportPath string
+	Detail     string
+}
+
+func (e LoadError) Error() string {
+	return e.ImportPath + ": " + e.Detail
+}
+
 // Packages loads and type-checks the root packages matched by patterns
 // (e.g. "./..."), resolving their dependencies from export data. Test
 // files are not included — `go vet -vettool=sammy-vet` covers those using
 // the toolchain's own loader.
-func Packages(dir string, patterns []string) ([]*Package, error) {
+//
+// Load failures do not abort the run: every loadable package is still
+// analyzed, and the failures come back as LoadErrors so the driver can
+// report them and exit with a tool error instead of quietly analyzing a
+// subset of the tree.
+func Packages(dir string, patterns []string) ([]*Package, []LoadError, error) {
 	listed, err := runList(dir, append([]string{"-deps", "--"}, patterns...))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	exports := NewExports(dir)
 	exports.add(listed)
@@ -164,12 +183,24 @@ func Packages(dir string, patterns []string) ([]*Package, error) {
 	imp := exports.Importer(fset)
 
 	var out []*Package
+	var loadErrs []LoadError
 	for _, lp := range listed {
 		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			// A dependency we can only import from export data; if `go
+			// list -e` could not produce it (a failed build, a missing
+			// package), every importer of lp will type-check against a
+			// hole. "unsafe" is virtual and never has export data.
+			if lp.DepOnly && !lp.Standard && lp.Export == "" && lp.ImportPath != "unsafe" {
+				detail := "no export data (dependency failed to build?)"
+				if lp.Error != nil {
+					detail = lp.Error.Err
+				}
+				loadErrs = append(loadErrs, LoadError{ImportPath: lp.ImportPath, Detail: detail})
+			}
 			continue
 		}
 		if lp.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+			loadErrs = append(loadErrs, LoadError{ImportPath: lp.ImportPath, Detail: lp.Error.Err})
 		}
 		var files []string
 		for _, f := range lp.GoFiles {
@@ -178,14 +209,18 @@ func Packages(dir string, patterns []string) ([]*Package, error) {
 			}
 			files = append(files, f)
 		}
+		if len(files) == 0 {
+			continue
+		}
 		pkg, err := Check(fset, imp, lp.ImportPath, files)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+			loadErrs = append(loadErrs, LoadError{ImportPath: lp.ImportPath, Detail: err.Error()})
+			continue
 		}
 		pkg.Dir = lp.Dir
 		out = append(out, pkg)
 	}
-	return out, nil
+	return out, loadErrs, nil
 }
 
 // Check parses and type-checks one package from explicit file paths using

@@ -1,0 +1,435 @@
+// Package lockdiscipline checks the `// guarded by <mu>` contracts the repo
+// writes on struct fields: a field carrying the annotation may only be read
+// or written while the named sibling mutex is held, every lock taken on a
+// path must be released before that path returns (directly or by a pending
+// defer), and a mutex must never be unlocked twice.
+//
+// The check is a forward dataflow over the function's CFG. The fact tracks,
+// per mutex expression (keyed by its printed form, e.g. "l.mu"), one of
+// four states: Unknown (entry), Locked, Unlocked, or Maybe (paths
+// disagree), plus the set of mutexes with a deferred unlock pending on
+// every path. A guarded access is clean only in the Locked state; a
+// double-unlock fires only in the definite Unlocked state (Unknown and
+// Maybe stay quiet — helpers that unlock on behalf of a caller are the
+// callee's contract, not a bug the analyzer can see).
+//
+// Escapes, in decreasing order of preference: functions whose name ends in
+// "Locked" declare the caller-holds-the-lock convention and are skipped;
+// values freshly constructed in the same function (`l := &Lease{...}`) are
+// unshared and exempt; _test.go files are skipped; anything else carries an
+// audited //sammy:lockdiscipline suppression.
+//
+// Function literals are analyzed as separate functions starting from
+// Unknown: a closure that touches guarded state must take the lock itself
+// (or be suppressed), because nothing guarantees when it runs.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/flow"
+)
+
+// Analyzer is the lockdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name:        "lockdiscipline",
+	Doc:         "enforce `// guarded by <mu>` field annotations: guarded fields accessed only while the mutex is held, no lock held across return without a deferred unlock, no double-unlock",
+	SuppressKey: "lockdiscipline",
+	Run:         run,
+}
+
+var guardedRE = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)`)
+
+// lockState is the per-mutex abstract state.
+type lockState int8
+
+const (
+	stUnknown lockState = iota // no information (entry, or helper contract)
+	stLocked
+	stUnlocked
+	stMaybe // paths disagree
+)
+
+func (s lockState) String() string {
+	switch s {
+	case stLocked:
+		return "locked"
+	case stUnlocked:
+		return "unlocked"
+	case stMaybe:
+		return "locked on some paths only"
+	default:
+		return "not visibly locked"
+	}
+}
+
+// joinState merges two per-mutex states at a CFG merge point.
+func joinState(a, b lockState) lockState {
+	switch {
+	case a == b:
+		return a
+	case a == stMaybe || b == stMaybe:
+		return stMaybe
+	case a == stLocked || b == stLocked:
+		// Locked vs Unlocked/Unknown: cannot rely on the lock being held.
+		return stMaybe
+	default:
+		// Unlocked vs Unknown: still definitely not held; keep Unknown so
+		// double-unlock stays quiet on the unknown path.
+		return stUnknown
+	}
+}
+
+// fact is the dataflow fact: mutex states plus pending deferred unlocks.
+// Treated as immutable; transfers copy before writing.
+type fact struct {
+	locks    map[string]lockState
+	deferred map[string]bool
+}
+
+func (f fact) clone() fact {
+	g := fact{
+		locks:    make(map[string]lockState, len(f.locks)),
+		deferred: make(map[string]bool, len(f.deferred)),
+	}
+	for k, v := range f.locks {
+		g.locks[k] = v
+	}
+	for k := range f.deferred {
+		g.deferred[k] = true
+	}
+	return g
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exempt := strings.HasSuffix(fd.Name.Name, "Locked")
+			// Analyze the declaration body and every nested literal as
+			// separate graphs, each from the Unknown entry state.
+			var bodies []*ast.BlockStmt
+			if !exempt {
+				bodies = append(bodies, fd.Body)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					bodies = append(bodies, lit.Body)
+				}
+				return true
+			})
+			for _, body := range bodies {
+				checkFunc(pass, guarded, fd.Name.Name, body)
+			}
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps each annotated field object to its guard's field
+// name. Only annotations naming a sibling field of mutex type are
+// enforceable by this intraprocedural grammar; a guard spelled as a path
+// through another object (`guarded by w.mu`, the wheel protecting its
+// streams) is documentation the analyzer cannot check and is ignored.
+func collectGuarded(pass *analysis.Pass) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := ""
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedRE.FindStringSubmatch(cg.Text()); m != nil {
+						// Reject path guards: the ident must be the whole
+						// guard expression, not the head of `w.mu`.
+						if !strings.Contains(cg.Text(), m[0]+".") {
+							mu = m[1]
+						}
+					}
+				}
+				if mu == "" || !hasMutexSibling(pass.TypesInfo, st, mu) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// hasMutexSibling reports whether st declares a field named mu whose type
+// is (a pointer to) sync.Mutex or sync.RWMutex.
+func hasMutexSibling(info *types.Info, st *ast.StructType, mu string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != mu {
+				continue
+			}
+			t := info.TypeOf(field.Type)
+			return analysis.IsNamed(t, "sync", "Mutex") || analysis.IsNamed(t, "sync", "RWMutex")
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	guarded map[types.Object]string
+	fresh   map[types.Object]bool
+}
+
+func checkFunc(pass *analysis.Pass, guarded map[types.Object]string, name string, body *ast.BlockStmt) {
+	c := &checker{pass: pass, guarded: guarded, fresh: freshLocals(pass.TypesInfo, body)}
+	g := cfg.New(name, body)
+	lat := &flow.Lattice[fact]{
+		Join:  c.join,
+		Equal: factEqual,
+		TransferNode: func(n ast.Node, f fact) fact {
+			return c.apply(n, f, nil)
+		},
+	}
+	res := flow.Forward(g, lat, fact{})
+
+	// Reporting pass: refold each reachable block with diagnostics on.
+	reportedEnd := false
+	for _, blk := range g.Blocks {
+		f, ok := res.In[blk]
+		if !ok {
+			continue
+		}
+		implicitReturn := false
+		for _, e := range blk.Succs {
+			if e.Kind == cfg.EdgeReturn {
+				implicitReturn = true
+			}
+		}
+		for _, n := range blk.Nodes {
+			f = c.apply(n, f, pass)
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				implicitReturn = false // the edge belongs to this return
+			}
+		}
+		if implicitReturn && !reportedEnd {
+			for _, key := range heldKeys(f) {
+				reportedEnd = true
+				pass.Reportf(body.Rbrace, "function ends while %s is still held and no deferred unlock is pending", key)
+			}
+		}
+	}
+}
+
+// heldKeys returns the definitely-held mutexes with no pending deferred
+// unlock, sorted for deterministic output.
+func heldKeys(f fact) []string {
+	var keys []string
+	for k, s := range f.locks {
+		if s == stLocked && !f.deferred[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// apply transfers one CFG node over the fact; with pass non-nil it also
+// reports violations seen at this node.
+func (c *checker) apply(n ast.Node, f fact, pass *analysis.Pass) fact {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		// The deferred call runs at exit (it is also a node of the defers
+		// block); here it only registers the pending unlock.
+		if key, method, ok := mutexOp(c.pass.TypesInfo, d.Call); ok && isUnlock(method) {
+			f = f.clone()
+			f.deferred[key] = true
+		}
+		return f
+	}
+	cfg.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			key, method, ok := mutexOp(c.pass.TypesInfo, m)
+			if !ok {
+				break
+			}
+			f = f.clone()
+			if isUnlock(method) {
+				if pass != nil && f.locks[key] == stUnlocked {
+					pass.Reportf(m.Pos(), "%s.%s: %s is already unlocked on this path", key, method, key)
+				}
+				f.locks[key] = stUnlocked
+			} else {
+				f.locks[key] = stLocked
+			}
+		case *ast.SelectorExpr:
+			if pass == nil {
+				break
+			}
+			obj := c.pass.TypesInfo.Uses[m.Sel]
+			mu, ok := c.guarded[obj]
+			if !ok {
+				break
+			}
+			if base, isIdent := ast.Unparen(m.X).(*ast.Ident); isIdent {
+				if c.fresh[c.pass.TypesInfo.ObjectOf(base)] {
+					break // freshly constructed here; not shared yet
+				}
+			}
+			key := types.ExprString(m.X) + "." + mu
+			if f.locks[key] != stLocked {
+				pass.Reportf(m.Sel.Pos(), "field %s is guarded by %s but accessed while %s", types.ExprString(m), key, f.locks[key])
+			}
+		}
+		return true
+	})
+	if ret, ok := n.(*ast.ReturnStmt); ok && pass != nil {
+		for _, key := range heldKeys(f) {
+			pass.Reportf(ret.Pos(), "return while %s is still held and no deferred unlock is pending", key)
+		}
+	}
+	return f
+}
+
+// join merges two facts: per-key state join, deferred-set intersection.
+func (c *checker) join(a, b fact) fact {
+	out := fact{locks: make(map[string]lockState), deferred: make(map[string]bool)}
+	for k, v := range a.locks {
+		out.locks[k] = joinState(v, b.locks[k])
+	}
+	for k, v := range b.locks {
+		if _, seen := a.locks[k]; !seen {
+			out.locks[k] = joinState(v, stUnknown)
+		}
+	}
+	for k := range a.deferred {
+		if b.deferred[k] {
+			out.deferred[k] = true
+		}
+	}
+	return out
+}
+
+func factEqual(a, b fact) bool {
+	if len(a.deferred) != len(b.deferred) {
+		return false
+	}
+	for k := range a.deferred {
+		if !b.deferred[k] {
+			return false
+		}
+	}
+	keys := make(map[string]bool, len(a.locks)+len(b.locks))
+	for k := range a.locks {
+		keys[k] = true
+	}
+	for k := range b.locks {
+		keys[k] = true
+	}
+	for k := range keys {
+		if a.locks[k] != b.locks[k] { // missing reads as stUnknown
+			return false
+		}
+	}
+	return true
+}
+
+// mutexOp recognizes Lock/Unlock/RLock/RUnlock on a sync.Mutex or
+// sync.RWMutex receiver and returns the receiver's printed form as the key.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key, method string, ok bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if !analysis.IsNamed(t, "sync", "Mutex") && !analysis.IsNamed(t, "sync", "RWMutex") {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+func isUnlock(method string) bool {
+	return method == "Unlock" || method == "RUnlock"
+}
+
+// freshLocals collects local variables bound to values constructed in this
+// body (`x := &T{...}`, `x := T{...}`, `x := new(T)`): they are unshared,
+// so their guarded fields may be initialized lock-free.
+func freshLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if isFreshExpr(info, as.Rhs[i]) {
+				if obj := info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			_, isBuiltin := info.ObjectOf(id).(*types.Builtin)
+			return isBuiltin
+		}
+	}
+	return false
+}

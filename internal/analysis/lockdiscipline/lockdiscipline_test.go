@@ -1,0 +1,21 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	diags := antest.Run(t, lockdiscipline.Analyzer, "ld/a", "ld/sup")
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want exactly the audited advisory-read site", suppressed)
+	}
+}

@@ -1,0 +1,155 @@
+// Package a exercises the lockdiscipline analyzer: guarded-field access
+// with and without the lock, deferred and conditional unlocks, double
+// unlocks, RWMutex, fresh locals, and the *Locked naming convention.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) bare() int {
+	return c.n // want `guarded by c\.mu but accessed while not visibly locked`
+}
+
+func (c *counter) maybeHeld(flag bool) {
+	if flag {
+		c.mu.Lock()
+	}
+	c.n++ // want `guarded by c\.mu but accessed while locked on some paths only`
+	if flag {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) afterUnlock() int {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	return c.n // want `guarded by c\.mu but accessed while unlocked`
+}
+
+func (c *counter) returnWhileHeld(flag bool) int {
+	c.mu.Lock()
+	if flag {
+		return c.n // want `return while c\.mu is still held`
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func (c *counter) condDefer(flag bool) int {
+	c.mu.Lock()
+	if flag {
+		defer c.mu.Unlock()
+		return c.n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func (c *counter) doubleUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock() // want `c\.mu is already unlocked on this path`
+}
+
+// incLocked follows the caller-holds-the-lock naming convention.
+func (c *counter) incLocked() {
+	c.n++
+}
+
+func (c *counter) viaHelper() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incLocked()
+}
+
+// newCounter initializes guarded fields on a fresh, unshared value.
+func newCounter(start int) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}
+
+// closureNeedsOwnLock: a literal runs whenever it runs; the enclosing
+// function's lock state is no promise.
+func (c *counter) closureNeedsOwnLock() func() int {
+	return func() int {
+		return c.n // want `guarded by c\.mu but accessed while not visibly locked`
+	}
+}
+
+func (c *counter) closureLocksItself() func() int {
+	return func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n
+	}
+}
+
+type table struct {
+	mu sync.RWMutex
+	// guarded by mu
+	m map[string]int
+}
+
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.mu.Unlock()
+}
+
+func (t *table) raceyLen() int {
+	return len(t.m) // want `guarded by t\.mu but accessed while not visibly locked`
+}
+
+// node's comment names a guard through another object ("w.mu"): that is
+// documentation outside the enforceable grammar, so no access is flagged.
+type wheel struct {
+	mu sync.Mutex
+}
+
+type node struct {
+	w *wheel
+	// Linkage, all guarded by w.mu.
+	next *node
+}
+
+func (n *node) unchecked() *node {
+	return n.next
+}
+
+// ring's comment names a sibling that is not a mutex, so the annotation is
+// ignored rather than enforced against a key that can never be locked.
+type ring struct {
+	owner string
+	// guarded by owner
+	head *node
+}
+
+func (r *ring) peek() *node {
+	return r.head
+}

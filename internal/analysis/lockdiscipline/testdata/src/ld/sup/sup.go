@@ -1,0 +1,22 @@
+// Package sup holds the audited exception: an advisory stats read that
+// tolerates torn values by design.
+package sup
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	// guarded by mu
+	v int
+}
+
+func (g *gauge) set(v int) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+func (g *gauge) racyRead() int {
+	//sammy:lockdiscipline: metrics read is advisory; a torn read costs one sample, not correctness
+	return g.v
+}

@@ -1,0 +1,227 @@
+// Package sarif emits sammy-vet results in SARIF 2.1.0 (Static Analysis
+// Results Interchange Format), the schema CI code-scanning services ingest.
+// It models exactly the subset the suite needs — one run, one driver, a
+// rule per analyzer, results with a single physical location, and in-source
+// suppressions for honored //sammy:<key> comments — and a Validate pass
+// that enforces the spec's required fields so the writer cannot drift into
+// emitting unloadable logs.
+package sarif
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// SchemaURI and Version identify SARIF 2.1.0, the only version emitted.
+const (
+	SchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+	Version   = "2.1.0"
+)
+
+// Log is the top-level SARIF document.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []*Run `json:"runs"`
+}
+
+// Run is one invocation of the tool.
+type Run struct {
+	Tool    Tool      `json:"tool"`
+	Results []*Result `json:"results"`
+
+	ruleIndex map[string]int `json:"-"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver describes the producing tool and its rules.
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+// Rule is one analyzer, as a SARIF reportingDescriptor.
+type Rule struct {
+	ID               string         `json:"id"`
+	ShortDescription Message        `json:"shortDescription"`
+	Properties       map[string]any `json:"properties,omitempty"`
+}
+
+// Message is SARIF's text wrapper.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID       string        `json:"ruleId"`
+	RuleIndex    int           `json:"ruleIndex"`
+	Level        string        `json:"level"` // error | warning | note | none
+	Message      Message       `json:"message"`
+	Locations    []Location    `json:"locations"`
+	Suppressions []Suppression `json:"suppressions,omitempty"`
+}
+
+// Location wraps a physical location.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation is a file region.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+// ArtifactLocation names the file, as a URI relative to the repo root.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is the position within the artifact.
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// Suppression records why a result does not fail the run. Kind "inSource"
+// is the //sammy:<key> comment.
+type Suppression struct {
+	Kind          string `json:"kind"` // inSource | external
+	Justification string `json:"justification,omitempty"`
+}
+
+// New builds a single-run log whose rules are the given analyzers, in
+// order. The analyzer's suppression key rides in rule properties so a SARIF
+// consumer can render the audit instruction next to the finding.
+func New(toolName string, analyzers []*analysis.Analyzer) *Log {
+	run := &Run{
+		Tool: Tool{Driver: Driver{
+			Name:  toolName,
+			Rules: make([]Rule, 0, len(analyzers)),
+		}},
+		Results:   []*Result{},
+		ruleIndex: make(map[string]int, len(analyzers)),
+	}
+	for i, a := range analyzers {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, Rule{
+			ID:               a.Name,
+			ShortDescription: Message{Text: a.Doc},
+			Properties: map[string]any{
+				"suppressKey": "sammy:" + a.SuppressKey,
+			},
+		})
+		run.ruleIndex[a.Name] = i
+	}
+	return &Log{Schema: SchemaURI, Version: Version, Runs: []*Run{run}}
+}
+
+// Add appends one result to the log's run. level is "error" for failing
+// findings and "note" for suppressed ones; justification (the text after
+// //sammy:<key>:) is recorded when the site is suppressed.
+func (l *Log) Add(ruleID, level, message, uri string, line, col int, suppressed bool, justification string) error {
+	run := l.Runs[0]
+	idx, ok := run.ruleIndex[ruleID]
+	if !ok {
+		return fmt.Errorf("sarif: result for unknown rule %q", ruleID)
+	}
+	r := &Result{
+		RuleID:    ruleID,
+		RuleIndex: idx,
+		Level:     level,
+		Message:   Message{Text: message},
+		Locations: []Location{{PhysicalLocation: PhysicalLocation{
+			ArtifactLocation: ArtifactLocation{URI: uri},
+			Region:           Region{StartLine: line, StartColumn: col},
+		}}},
+	}
+	if suppressed {
+		r.Suppressions = []Suppression{{Kind: "inSource", Justification: justification}}
+	}
+	run.Results = append(run.Results, r)
+	return nil
+}
+
+// Validate enforces the SARIF 2.1.0 required fields on the subset this
+// package emits, so a writer bug fails the producing run instead of the
+// consuming service.
+func (l *Log) Validate() error {
+	if l.Version != Version {
+		return fmt.Errorf("sarif: version = %q, want %q", l.Version, Version)
+	}
+	if l.Schema == "" {
+		return fmt.Errorf("sarif: missing $schema")
+	}
+	if len(l.Runs) == 0 {
+		return fmt.Errorf("sarif: no runs")
+	}
+	for _, run := range l.Runs {
+		if run.Tool.Driver.Name == "" {
+			return fmt.Errorf("sarif: run has no tool.driver.name")
+		}
+		if run.Results == nil {
+			return fmt.Errorf("sarif: run.results must be present (may be empty)")
+		}
+		ruleIDs := make(map[string]int, len(run.Tool.Driver.Rules))
+		for i, rule := range run.Tool.Driver.Rules {
+			if rule.ID == "" {
+				return fmt.Errorf("sarif: rule %d has no id", i)
+			}
+			ruleIDs[rule.ID] = i
+		}
+		for i, r := range run.Results {
+			if r.Message.Text == "" {
+				return fmt.Errorf("sarif: result %d has no message.text", i)
+			}
+			idx, known := ruleIDs[r.RuleID]
+			if r.RuleID == "" || !known {
+				return fmt.Errorf("sarif: result %d references unknown rule %q", i, r.RuleID)
+			}
+			if r.RuleIndex != idx {
+				return fmt.Errorf("sarif: result %d ruleIndex %d does not match rule %q at %d", i, r.RuleIndex, r.RuleID, idx)
+			}
+			switch r.Level {
+			case "error", "warning", "note", "none":
+			default:
+				return fmt.Errorf("sarif: result %d has invalid level %q", i, r.Level)
+			}
+			if len(r.Locations) == 0 {
+				return fmt.Errorf("sarif: result %d has no locations", i)
+			}
+			for _, loc := range r.Locations {
+				if loc.PhysicalLocation.ArtifactLocation.URI == "" {
+					return fmt.Errorf("sarif: result %d has no artifact URI", i)
+				}
+				if loc.PhysicalLocation.Region.StartLine < 1 {
+					return fmt.Errorf("sarif: result %d has startLine %d", i, loc.PhysicalLocation.Region.StartLine)
+				}
+			}
+			for _, s := range r.Suppressions {
+				if s.Kind != "inSource" && s.Kind != "external" {
+					return fmt.Errorf("sarif: result %d has invalid suppression kind %q", i, s.Kind)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile validates the log and writes it as indented JSON.
+func (l *Log) WriteFile(path string) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

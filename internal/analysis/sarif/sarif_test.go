@@ -1,0 +1,139 @@
+package sarif_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/sarif"
+)
+
+func testAnalyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		{Name: "alpha", Doc: "checks alpha things", SuppressKey: "alpha-ok"},
+		{Name: "beta", Doc: "checks beta things", SuppressKey: "beta"},
+	}
+}
+
+// TestRoundTrip writes a log with failing and suppressed results and checks
+// that the decoded document still validates and carries every SARIF 2.1.0
+// required field.
+func TestRoundTrip(t *testing.T) {
+	log := sarif.New("sammy-vet", testAnalyzers())
+	if err := log.Add("alpha", "error", "alpha finding", "internal/x/x.go", 10, 3, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Add("beta", "note", "beta finding", "cmd/y/main.go", 42, 1, true, "audited: reason"); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "out.sarif")
+	if err := log.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode into the typed form: must still validate.
+	var back sarif.Log
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped log does not validate: %v", err)
+	}
+
+	// Decode into a generic map: spot-check the spec's required fields by
+	// their exact JSON names, independent of the Go struct tags.
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["version"] != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", doc["version"])
+	}
+	if _, ok := doc["$schema"].(string); !ok {
+		t.Error("missing $schema")
+	}
+	runs := doc["runs"].([]any)
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "sammy-vet" {
+		t.Errorf("driver.name = %v", driver["name"])
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(rules))
+	}
+	if id := rules[0].(map[string]any)["id"]; id != "alpha" {
+		t.Errorf("rules[0].id = %v", id)
+	}
+	results := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	r0 := results[0].(map[string]any)
+	if r0["ruleId"] != "alpha" || r0["level"] != "error" {
+		t.Errorf("results[0] = %v", r0)
+	}
+	loc := r0["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	if uri := loc["artifactLocation"].(map[string]any)["uri"]; uri != "internal/x/x.go" {
+		t.Errorf("uri = %v", uri)
+	}
+	if line := loc["region"].(map[string]any)["startLine"]; line != float64(10) {
+		t.Errorf("startLine = %v", line)
+	}
+	r1 := results[1].(map[string]any)
+	sup := r1["suppressions"].([]any)[0].(map[string]any)
+	if sup["kind"] != "inSource" {
+		t.Errorf("suppression.kind = %v", sup["kind"])
+	}
+	if sup["justification"] != "audited: reason" {
+		t.Errorf("suppression.justification = %v", sup["justification"])
+	}
+	if _, hasSup := r0["suppressions"]; hasSup {
+		t.Error("failing result must not carry suppressions")
+	}
+}
+
+// TestValidateRejects pins the validator's required-field checks.
+func TestValidateRejects(t *testing.T) {
+	mk := func() *sarif.Log { return sarif.New("sammy-vet", testAnalyzers()) }
+
+	log := mk()
+	if err := log.Add("gamma", "error", "x", "f.go", 1, 1, false, ""); err == nil {
+		t.Error("Add with unknown rule must fail")
+	}
+
+	log = mk()
+	log.Add("alpha", "fatal", "x", "f.go", 1, 1, false, "")
+	if err := log.Validate(); err == nil {
+		t.Error("invalid level must not validate")
+	}
+
+	log = mk()
+	log.Add("alpha", "error", "x", "f.go", 0, 1, false, "")
+	if err := log.Validate(); err == nil {
+		t.Error("startLine 0 must not validate")
+	}
+
+	log = mk()
+	log.Add("alpha", "error", "", "f.go", 1, 1, false, "")
+	if err := log.Validate(); err == nil {
+		t.Error("empty message must not validate")
+	}
+
+	log = mk()
+	log.Version = "2.0.0"
+	if err := log.Validate(); err == nil {
+		t.Error("non-2.1.0 version must not validate")
+	}
+
+	if err := mk().Validate(); err != nil {
+		t.Errorf("empty result set must validate (clean runs still upload): %v", err)
+	}
+}

@@ -6,9 +6,12 @@ import (
 	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/durablerename"
 	"repro/internal/analysis/eventref"
+	"repro/internal/analysis/goroutinelifetime"
 	"repro/internal/analysis/hardenedserver"
 	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockdiscipline"
 	"repro/internal/analysis/obsguard"
 	"repro/internal/analysis/packetownership"
 	"repro/internal/analysis/sharedpacer"
@@ -21,8 +24,11 @@ import (
 // them over every package.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		durablerename.Analyzer,
 		eventref.Analyzer,
+		goroutinelifetime.Analyzer,
 		hardenedserver.Analyzer,
+		lockdiscipline.Analyzer,
 		obsguard.Analyzer,
 		packetownership.Analyzer,
 		sharedpacer.Analyzer,
@@ -80,20 +86,22 @@ func RunPackage(pkg *load.Package, analyzers []*analysis.Analyzer) (PkgResult, e
 // Run loads the packages matched by patterns (relative to dir) and applies
 // the full suite to each. Type errors in loaded packages are reported on
 // the PkgResult's Pkg (load.Package.TypeErrors); drivers decide whether to
-// surface them.
-func Run(dir string, patterns []string) ([]PkgResult, error) {
-	pkgs, err := load.Packages(dir, patterns)
+// surface them. Load errors — packages or dependencies the loader could not
+// provide — come back alongside the results and MUST be treated as tool
+// errors by drivers: they mean part of the tree went unanalyzed.
+func Run(dir string, patterns []string) ([]PkgResult, []load.LoadError, error) {
+	pkgs, loadErrs, err := load.Packages(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	analyzers := All()
 	results := make([]PkgResult, 0, len(pkgs))
 	for _, pkg := range pkgs {
 		res, err := RunPackage(pkg, analyzers)
 		if err != nil {
-			return nil, err
+			return nil, loadErrs, err
 		}
 		results = append(results, res)
 	}
-	return results, nil
+	return results, loadErrs, nil
 }

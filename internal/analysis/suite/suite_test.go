@@ -23,12 +23,17 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	root := load.ModuleRoot(wd)
 
-	results, err := suite.Run(root, []string{"./..."})
+	results, loadErrs, err := suite.Run(root, []string{"./..."})
 	if err != nil {
 		t.Fatalf("running suite over %s: %v", root, err)
 	}
 	if len(results) == 0 {
 		t.Fatal("suite loaded zero packages")
+	}
+	// Load errors mean part of the tree went unanalyzed — that is a tool
+	// failure here, not a skip.
+	for _, le := range loadErrs {
+		t.Errorf("load error: %v", le)
 	}
 
 	suppressed := 0
@@ -51,9 +56,9 @@ func TestRepoIsClean(t *testing.T) {
 }
 
 // TestSuiteInventory pins the analyzer roster: CI docs (DESIGN.md §11) and
-// the README name exactly these seven.
+// the README name exactly these ten.
 func TestSuiteInventory(t *testing.T) {
-	want := []string{"eventref", "hardenedserver", "obsguard", "packetownership", "sharedpacer", "simdeterminism", "spanend"}
+	want := []string{"durablerename", "eventref", "goroutinelifetime", "hardenedserver", "lockdiscipline", "obsguard", "packetownership", "sharedpacer", "simdeterminism", "spanend"}
 	all := suite.All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,78 @@
+// Suppression-budget gate: a committed JSON file pins how many audited
+// //sammy:<key> suppressions each analyzer is allowed, and CI fails when a
+// count grows without a deliberate budget update in the same change. This
+// turns "add a suppression comment" from a silent bypass into a reviewed
+// diff on the budget file.
+package citools
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BudgetSchema identifies the budget file format.
+const BudgetSchema = "sammy-vet-budget/v1"
+
+// Budget is the committed suppression allowance, counter name → ceiling.
+// For sammy-vet the counter names are analyzer names and the counts are
+// non-test //sammy:<key> sites seen by the standalone loader.
+type Budget struct {
+	Schema  string         `json:"schema"`
+	Budgets map[string]int `json:"budgets"`
+}
+
+// LoadBudget reads and validates a budget file.
+func LoadBudget(path string) (*Budget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Budget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if b.Schema != BudgetSchema {
+		return nil, fmt.Errorf("%s: schema = %q, want %q", path, b.Schema, BudgetSchema)
+	}
+	if b.Budgets == nil {
+		b.Budgets = map[string]int{}
+	}
+	return &b, nil
+}
+
+// WriteBudget writes counts as a budget file, keys sorted by the JSON
+// marshaller, so -update-suppression-budget produces deterministic diffs.
+func WriteBudget(path string, counts map[string]int) error {
+	b := Budget{Schema: BudgetSchema, Budgets: counts}
+	if b.Budgets == nil {
+		b.Budgets = map[string]int{}
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckBudget compares observed counts against the budget and records one
+// finding per exceeded counter. A counter absent from the budget has a
+// ceiling of zero; a counter under budget is reported as info so shrinkage
+// shows up in logs (and the budget can be ratcheted down).
+func (r *Reporter) CheckBudget(b *Budget, counts map[string]int) {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n, allowed := counts[name], b.Budgets[name]
+		switch {
+		case n > allowed:
+			r.Findingf("suppression budget exceeded for %s: %d sites, budget %d — new //sammy: suppressions need an audited budget update (rerun with -update-suppression-budget and commit the diff)", name, n, allowed)
+		case n < allowed:
+			r.Infof("suppression budget slack for %s: %d sites, budget %d (budget can be ratcheted down)", name, n, allowed)
+		}
+	}
+}

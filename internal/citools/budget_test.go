@@ -1,0 +1,58 @@
+package citools
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBudgetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budget.json")
+	if err := WriteBudget(path, map[string]int{"simdeterminism": 8, "sharedpacer": 4}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBudget(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Schema != BudgetSchema {
+		t.Errorf("schema = %q", b.Schema)
+	}
+	if b.Budgets["simdeterminism"] != 8 || b.Budgets["sharedpacer"] != 4 {
+		t.Errorf("budgets = %v", b.Budgets)
+	}
+}
+
+func TestLoadBudgetRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budget.json")
+	writeFile(t, path, `{"schema":"something-else/v9","budgets":{}}`)
+	if _, err := LoadBudget(path); err == nil {
+		t.Error("wrong schema must not load")
+	}
+}
+
+func TestCheckBudget(t *testing.T) {
+	var out, errw bytes.Buffer
+	r := &Reporter{name: "sammy-vet", Out: &out, Err: &errw}
+	b := &Budget{Schema: BudgetSchema, Budgets: map[string]int{"a": 2, "b": 3}}
+
+	r.CheckBudget(b, map[string]int{"a": 2, "b": 2, "c": 1})
+	if r.Findings() != 1 {
+		t.Fatalf("findings = %d, want 1 (counter c over its implicit zero budget)", r.Findings())
+	}
+	if !strings.Contains(errw.String(), "suppression budget exceeded for c: 1 sites, budget 0") {
+		t.Errorf("stderr = %q", errw.String())
+	}
+	if !strings.Contains(out.String(), "slack for b: 2 sites, budget 3") {
+		t.Errorf("stdout = %q", out.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -171,6 +171,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		switch transport {
 		case "inproc":
 			ln := newMemListener()
+			//sammy:goroutinelifetime: Serve returns ErrServerClosed when the deferred srv.Close below tears down the listener
 			go srv.Serve(ln)
 			dial = ln.Dial
 		case "tcp":
@@ -180,6 +181,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 			}
 			addr := ln.Addr().String()
 			d := &net.Dialer{Timeout: 10 * time.Second}
+			//sammy:goroutinelifetime: Serve returns ErrServerClosed when the deferred srv.Close below tears down the listener
 			go srv.Serve(ln)
 			dial = func() (net.Conn, error) { return d.DialContext(ctx, "tcp", addr) }
 		}

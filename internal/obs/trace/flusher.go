@@ -15,8 +15,9 @@ type Flusher struct {
 	w     io.Writer
 	every time.Duration
 
-	mu      sync.Mutex
-	err     error // first write error, sticky
+	mu sync.Mutex
+	// first write error, sticky; guarded by mu
+	err error
 	stop    chan struct{}
 	done    chan struct{}
 	stopped bool
